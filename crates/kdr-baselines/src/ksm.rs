@@ -1,0 +1,400 @@
+//! Bulk-synchronous Krylov solvers in classic rank-local (MPI) style.
+//!
+//! Each rank owns a contiguous row slab of the matrix and of every
+//! vector; matrix-vector products read a halo *window* of the shared
+//! search direction (published slab-wise, barrier-ordered), and every
+//! inner product is a blocking all-reduce. This mirrors how PETSc and
+//! Trilinos execute the same algorithms, down to the phase structure
+//! — no overlap of communication with computation, by construction.
+//!
+//! Initial guesses are zero (the libraries' default), and iteration
+//! counts/ tolerances follow the paper's benchmark protocol.
+
+use kdr_sparse::{Csr, Scalar};
+
+use crate::spmd::{run_spmd, SharedVec, SpmdContext};
+
+/// Which baseline method to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaselineKsm {
+    Cg,
+    BiCgStab,
+    /// GMRES with a static restart length (the paper uses 10).
+    Gmres(usize),
+}
+
+/// Result of a bulk-synchronous solve.
+#[derive(Clone, Debug)]
+pub struct SpmdSolveResult<T> {
+    /// Iterations performed (inner iterations for GMRES).
+    pub iters: usize,
+    /// Final residual norm (from the recurrence).
+    pub residual: f64,
+    /// Assembled solution.
+    pub x: Vec<T>,
+}
+
+/// One rank's slab of the matrix: rows `[row_lo, row_hi)` with global
+/// column indices, plus the column window its entries touch.
+struct LocalSlab<T> {
+    #[allow(dead_code)]
+    row_lo: u64,
+    rowptr: Vec<u64>,
+    colidx: Vec<u64>,
+    values: Vec<T>,
+    win_lo: u64,
+    win_hi: u64,
+}
+
+impl<T: Scalar> LocalSlab<T> {
+    fn extract(m: &Csr<T, u64>, row_lo: u64, row_hi: u64) -> Self {
+        let gp = m.rowptr();
+        let (klo, khi) = (gp[row_lo as usize] as usize, gp[row_hi as usize] as usize);
+        let rowptr: Vec<u64> = gp[row_lo as usize..=row_hi as usize]
+            .iter()
+            .map(|&p| p - gp[row_lo as usize])
+            .collect();
+        let colidx = m.colidx()[klo..khi].to_vec();
+        let values = m.values()[klo..khi].to_vec();
+        let win_lo = colidx.iter().copied().min().unwrap_or(0);
+        let win_hi = colidx.iter().copied().max().map_or(0, |v| v + 1);
+        LocalSlab {
+            row_lo,
+            rowptr,
+            colidx,
+            values,
+            win_lo,
+            win_hi,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.rowptr.len() - 1
+    }
+
+    /// `y = A_local · xw` where `xw` spans `[win_lo, win_hi)`.
+    fn spmv(&self, xw: &[T], y: &mut [T]) {
+        debug_assert_eq!(xw.len() as u64, self.win_hi - self.win_lo);
+        for r in 0..self.rows() {
+            let mut acc = T::ZERO;
+            for k in self.rowptr[r] as usize..self.rowptr[r + 1] as usize {
+                acc = self.values[k]
+                    .mul_add(xw[(self.colidx[k] - self.win_lo) as usize], acc);
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+fn local_dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Solve `A x = b` (zero initial guess) with `nranks` bulk-synchronous
+/// ranks; stops at `max_iters` or when the recurrence residual drops
+/// below `tol` (`tol <= 0` disables the check).
+pub fn solve_spmd<T: Scalar>(
+    matrix: &Csr<T, u64>,
+    b: &[T],
+    ksm: BaselineKsm,
+    nranks: usize,
+    max_iters: usize,
+    tol: f64,
+) -> SpmdSolveResult<T> {
+    let n = matrix.rows();
+    assert_eq!(matrix.cols(), n, "baselines require a square system");
+    assert_eq!(b.len() as u64, n);
+    let ctx = SpmdContext::<T>::new(nranks);
+    // Pre-extract slabs so ranks never touch the global matrix.
+    let slabs: Vec<LocalSlab<T>> = (0..nranks)
+        .map(|r| {
+            let (lo, hi) = ctx.slab(r, n);
+            LocalSlab::extract(matrix, lo, hi)
+        })
+        .collect();
+    let x_sh = SharedVec::<T>::zeros(n);
+    let iters_out = parking_lot::Mutex::new(0usize);
+    let res_out = parking_lot::Mutex::new(f64::NAN);
+
+    match ksm {
+        BaselineKsm::Cg => {
+            let p_sh = SharedVec::<T>::zeros(n);
+            run_spmd(nranks, |rank| {
+                let (lo, hi) = ctx.slab(rank, n);
+                let slab = &slabs[rank];
+                let rows = (hi - lo) as usize;
+                let mut x = vec![T::ZERO; rows];
+                let mut r: Vec<T> = b[lo as usize..hi as usize].to_vec();
+                let mut pl = r.clone();
+                let mut q = vec![T::ZERO; rows];
+                let mut pw = Vec::new();
+                p_sh.publish(lo, &pl);
+                ctx.barrier();
+                let mut res = ctx.allreduce_sum(rank, local_dot(&r, &r));
+                let mut it = 0;
+                while it < max_iters {
+                    p_sh.read_window(slab.win_lo, slab.win_hi, &mut pw);
+                    slab.spmv(&pw, &mut q);
+                    let pq = ctx.allreduce_sum(rank, local_dot(&pl, &q));
+                    let alpha = res / pq;
+                    for i in 0..rows {
+                        x[i] += alpha * pl[i];
+                        r[i] -= alpha * q[i];
+                    }
+                    let new_res = ctx.allreduce_sum(rank, local_dot(&r, &r));
+                    it += 1;
+                    if tol > 0.0 && new_res.to_f64().sqrt() < tol {
+                        res = new_res;
+                        break;
+                    }
+                    let beta = new_res / res;
+                    for i in 0..rows {
+                        pl[i] = r[i] + beta * pl[i];
+                    }
+                    p_sh.publish(lo, &pl);
+                    ctx.barrier();
+                    res = new_res;
+                }
+                x_sh.publish(lo, &x);
+                if rank == 0 {
+                    *iters_out.lock() = it;
+                    *res_out.lock() = res.to_f64().sqrt();
+                }
+            });
+        }
+        BaselineKsm::BiCgStab => {
+            let p_sh = SharedVec::<T>::zeros(n);
+            let s_sh = SharedVec::<T>::zeros(n);
+            run_spmd(nranks, |rank| {
+                let (lo, hi) = ctx.slab(rank, n);
+                let slab = &slabs[rank];
+                let rows = (hi - lo) as usize;
+                let mut x = vec![T::ZERO; rows];
+                let mut r: Vec<T> = b[lo as usize..hi as usize].to_vec();
+                let r0 = r.clone();
+                let mut pl = r.clone();
+                let mut v = vec![T::ZERO; rows];
+                let mut t = vec![T::ZERO; rows];
+                let mut sl = vec![T::ZERO; rows];
+                let mut win = Vec::new();
+                p_sh.publish(lo, &pl);
+                ctx.barrier();
+                let mut rho = ctx.allreduce_sum(rank, local_dot(&r0, &r));
+                let mut res = rho;
+                let mut it = 0;
+                while it < max_iters {
+                    p_sh.read_window(slab.win_lo, slab.win_hi, &mut win);
+                    slab.spmv(&win, &mut v);
+                    let r0v = ctx.allreduce_sum(rank, local_dot(&r0, &v));
+                    let alpha = rho / r0v;
+                    for i in 0..rows {
+                        sl[i] = r[i] - alpha * v[i];
+                    }
+                    s_sh.publish(lo, &sl);
+                    ctx.barrier();
+                    s_sh.read_window(slab.win_lo, slab.win_hi, &mut win);
+                    slab.spmv(&win, &mut t);
+                    let ts = ctx.allreduce_sum(rank, local_dot(&t, &sl));
+                    let tt = ctx.allreduce_sum(rank, local_dot(&t, &t));
+                    let omega = ts / tt;
+                    for i in 0..rows {
+                        x[i] += alpha * pl[i] + omega * sl[i];
+                        r[i] = sl[i] - omega * t[i];
+                    }
+                    let rho_new = ctx.allreduce_sum(rank, local_dot(&r0, &r));
+                    res = ctx.allreduce_sum(rank, local_dot(&r, &r));
+                    it += 1;
+                    if tol > 0.0 && res.to_f64().sqrt() < tol {
+                        break;
+                    }
+                    let beta = (rho_new / rho) * (alpha / omega);
+                    for i in 0..rows {
+                        pl[i] = r[i] + beta * (pl[i] - omega * v[i]);
+                    }
+                    p_sh.publish(lo, &pl);
+                    ctx.barrier();
+                    rho = rho_new;
+                }
+                x_sh.publish(lo, &x);
+                if rank == 0 {
+                    *iters_out.lock() = it;
+                    *res_out.lock() = res.to_f64().sqrt();
+                }
+            });
+        }
+        BaselineKsm::Gmres(m) => {
+            assert!(m >= 1);
+            let basis: Vec<SharedVec<T>> = (0..=m).map(|_| SharedVec::<T>::zeros(n)).collect();
+            run_spmd(nranks, |rank| {
+                let (lo, hi) = ctx.slab(rank, n);
+                let slab = &slabs[rank];
+                let rows = (hi - lo) as usize;
+                let mut x = vec![T::ZERO; rows];
+                let mut vloc: Vec<Vec<T>> = vec![vec![T::ZERO; rows]; m + 1];
+                let mut w = vec![T::ZERO; rows];
+                let mut win = Vec::new();
+                let mut it = 0usize;
+                #[allow(unused_assignments)]
+                let mut res = f64::NAN;
+                'outer: loop {
+                    // r0 = b - A x (x published so slabs can window it).
+                    x_sh.publish(lo, &x);
+                    ctx.barrier();
+                    x_sh.read_window(slab.win_lo, slab.win_hi, &mut win);
+                    slab.spmv(&win, &mut w);
+                    for i in 0..rows {
+                        vloc[0][i] = b[lo as usize + i] - w[i];
+                    }
+                    let beta2 = ctx.allreduce_sum(rank, local_dot(&vloc[0], &vloc[0]));
+                    let beta = beta2.sqrt();
+                    res = beta.to_f64();
+                    if it >= max_iters || (tol > 0.0 && res < tol) {
+                        break 'outer;
+                    }
+                    let inv = T::ONE / beta;
+                    for i in 0..rows {
+                        vloc[0][i] *= inv;
+                    }
+                    basis[0].publish(lo, &vloc[0]);
+                    ctx.barrier();
+                    // Replicated least-squares state.
+                    let mut g = vec![T::ZERO; m + 1];
+                    g[0] = beta;
+                    let mut rcols: Vec<Vec<T>> = Vec::new();
+                    let mut cs: Vec<T> = Vec::new();
+                    let mut sn: Vec<T> = Vec::new();
+                    let mut k_done = 0;
+                    for k in 0..m {
+                        basis[k].read_window(slab.win_lo, slab.win_hi, &mut win);
+                        slab.spmv(&win, &mut w);
+                        let mut h = vec![T::ZERO; k + 2];
+                        for i in 0..=k {
+                            let hi_val = ctx.allreduce_sum(rank, local_dot(&w, &vloc[i]));
+                            h[i] = hi_val;
+                            for idx in 0..rows {
+                                w[idx] -= hi_val * vloc[i][idx];
+                            }
+                        }
+                        let hk1 = ctx
+                            .allreduce_sum(rank, local_dot(&w, &w))
+                            .sqrt();
+                        h[k + 1] = hk1;
+                        let invk = T::ONE / hk1;
+                        for idx in 0..rows {
+                            vloc[k + 1][idx] = w[idx] * invk;
+                        }
+                        basis[k + 1].publish(lo, &vloc[k + 1]);
+                        ctx.barrier();
+                        // Givens rotations (replicated, deterministic).
+                        for i in 0..k {
+                            let t1 = cs[i] * h[i] + sn[i] * h[i + 1];
+                            let t2 = -(sn[i] * h[i]) + cs[i] * h[i + 1];
+                            h[i] = t1;
+                            h[i + 1] = t2;
+                        }
+                        let denom = (h[k] * h[k] + h[k + 1] * h[k + 1]).sqrt();
+                        let c = h[k] / denom;
+                        let s = h[k + 1] / denom;
+                        h[k] = denom;
+                        g[k + 1] = -(s * g[k]);
+                        g[k] = c * g[k];
+                        cs.push(c);
+                        sn.push(s);
+                        h.truncate(k + 1);
+                        rcols.push(h);
+                        it += 1;
+                        k_done = k + 1;
+                        res = g[k + 1].to_f64().abs();
+                        if it >= max_iters || (tol > 0.0 && res < tol) {
+                            break;
+                        }
+                    }
+                    // Back-substitute and update x with k_done basis
+                    // vectors.
+                    let mut y = vec![T::ZERO; k_done];
+                    for i in (0..k_done).rev() {
+                        let mut acc = g[i];
+                        for j in i + 1..k_done {
+                            acc -= rcols[j][i] * y[j];
+                        }
+                        y[i] = acc / rcols[i][i];
+                    }
+                    for i in 0..k_done {
+                        for idx in 0..rows {
+                            x[idx] += y[i] * vloc[i][idx];
+                        }
+                    }
+                    if it >= max_iters || (tol > 0.0 && res < tol) {
+                        break 'outer;
+                    }
+                }
+                x_sh.publish(lo, &x);
+                if rank == 0 {
+                    *iters_out.lock() = it;
+                    *res_out.lock() = res;
+                }
+            });
+        }
+    }
+
+    SpmdSolveResult {
+        iters: iters_out.into_inner(),
+        residual: res_out.into_inner(),
+        x: x_sh.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdr_sparse::stencil::rhs_vector;
+    use kdr_sparse::{SparseMatrix, Stencil};
+
+    fn check(ksm: BaselineKsm, nranks: usize, max_iters: usize) {
+        let s = Stencil::lap2d(12, 12);
+        let n = s.unknowns();
+        let m: Csr<f64, u64> = s.to_csr();
+        let b = rhs_vector::<f64>(n, 17);
+        let r = solve_spmd(&m, &b, ksm, nranks, max_iters, 1e-10);
+        // True residual.
+        let mut ax = vec![0.0; n as usize];
+        m.spmv(&r.x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, bb)| (a - bb) * (a - bb))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "{ksm:?} on {nranks} ranks: residual {res}");
+        assert!(r.iters > 0 && r.iters <= max_iters);
+    }
+
+    #[test]
+    fn cg_solves() {
+        check(BaselineKsm::Cg, 1, 2000);
+        check(BaselineKsm::Cg, 4, 2000);
+    }
+
+    #[test]
+    fn bicgstab_solves() {
+        check(BaselineKsm::BiCgStab, 3, 2000);
+    }
+
+    #[test]
+    fn gmres_solves() {
+        check(BaselineKsm::Gmres(10), 2, 4000);
+        check(BaselineKsm::Gmres(30), 4, 4000);
+    }
+
+    #[test]
+    fn rank_count_does_not_change_answer() {
+        let s = Stencil::lap2d(10, 10);
+        let m: Csr<f64, u64> = s.to_csr();
+        let b = rhs_vector::<f64>(100, 3);
+        let x1 = solve_spmd(&m, &b, BaselineKsm::Cg, 1, 200, 0.0).x;
+        let x4 = solve_spmd(&m, &b, BaselineKsm::Cg, 4, 200, 0.0).x;
+        for i in 0..100 {
+            assert!((x1[i] - x4[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+}

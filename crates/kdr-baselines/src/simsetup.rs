@@ -1,0 +1,206 @@
+//! Simulated library setups for the Figure 8/9 comparisons.
+//!
+//! All three libraries run the *same* Krylov algorithms on the same
+//! CSR-stored stencil matrices with the same row-based partitioning
+//! (the paper's protocol); they differ in execution model and kernel
+//! profile:
+//!
+//! * **LegionSolvers** — task-oriented: dataflow-ordered graph,
+//!   per-task overhead plus a serial per-node dispatcher.
+//! * **PETSc** — bulk-synchronous phases, lean kernel launches.
+//! * **Trilinos** — bulk-synchronous phases, slightly costlier
+//!   launches and slightly lower sustained kernel efficiency
+//!   (portability layer).
+
+use std::sync::Arc;
+
+use kdr_core::simbackend::SimBackend;
+use kdr_core::solvers::{BiCgStabSolver, CgSolver, GmresSolver, Solver};
+use kdr_core::Planner;
+use kdr_machine::{simulate, MachineConfig, TaskGraph};
+use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
+
+/// Which library's execution model and kernel profile to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LibraryProfile {
+    LegionSolvers,
+    Petsc,
+    Trilinos,
+}
+
+impl LibraryProfile {
+    pub fn name(&self) -> &'static str {
+        match self {
+            LibraryProfile::LegionSolvers => "legionsolvers",
+            LibraryProfile::Petsc => "petsc",
+            LibraryProfile::Trilinos => "trilinos",
+        }
+    }
+
+    /// Machine configuration for `nodes` Lassen-like nodes.
+    pub fn machine(&self, nodes: usize) -> MachineConfig {
+        let base = MachineConfig::lassen(nodes);
+        match self {
+            LibraryProfile::LegionSolvers => base.legion_profile(),
+            LibraryProfile::Petsc => base.petsc_profile(),
+            LibraryProfile::Trilinos => base.trilinos_profile(),
+        }
+    }
+
+    /// Whether execution is bulk-synchronous.
+    pub fn is_bulk_sync(&self) -> bool {
+        !matches!(self, LibraryProfile::LegionSolvers)
+    }
+}
+
+/// The three KSMs of the paper's §6.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KsmKind {
+    Cg,
+    BiCgStab,
+    /// GMRES(10), the static restart schedule shared by LegionSolvers
+    /// and Trilinos.
+    Gmres,
+}
+
+impl KsmKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            KsmKind::Cg => "cg",
+            KsmKind::BiCgStab => "bicgstab",
+            KsmKind::Gmres => "gmres",
+        }
+    }
+}
+
+/// Build a simulated single-operator planner for a stencil problem:
+/// matrix-free stencil operator (priced as CSR), row-based partition
+/// with `pieces` pieces.
+pub fn sim_planner(stencil: Stencil, pieces: usize, profile: LibraryProfile, nodes: usize) -> Planner<f64> {
+    let mut backend = SimBackend::<f64>::new(profile.machine(nodes))
+        // PETSc config in the paper uses 32-bit indices
+        // (`--with-64-bit-indices=0`); all libraries store CSR.
+        .with_index_bytes(4.0);
+    if profile.is_bulk_sync() {
+        backend = backend.bulk_synchronous();
+    }
+    let n = stencil.unknowns();
+    let op: Arc<dyn SparseMatrix<f64>> = Arc::new(StencilOperator::<f64>::new(stencil));
+    let mut planner = Planner::new(Box::new(backend));
+    let part = kdr_index::Partition::equal_blocks(n, pieces);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(op, d, r);
+    planner
+}
+
+/// Run `iters` solver iterations on a simulated planner and return
+/// the task graph.
+pub fn build_iteration_graph(
+    stencil: Stencil,
+    ksm: KsmKind,
+    pieces: usize,
+    profile: LibraryProfile,
+    nodes: usize,
+    iters: usize,
+) -> TaskGraph {
+    let mut planner = sim_planner(stencil, pieces, profile, nodes);
+    let mut solver: Box<dyn Solver<f64>> = match ksm {
+        KsmKind::Cg => Box::new(CgSolver::new(&mut planner)),
+        KsmKind::BiCgStab => Box::new(BiCgStabSolver::new(&mut planner)),
+        KsmKind::Gmres => Box::new(GmresSolver::with_restart(&mut planner, 10)),
+    };
+    for _ in 0..iters {
+        solver.step(&mut planner);
+    }
+    drop(solver);
+    planner.with_backend(|b| {
+        b.as_any()
+            .downcast_mut::<SimBackend<f64>>()
+            .expect("sim backend")
+            .take_graph()
+            .0
+    })
+}
+
+/// Simulated steady-state time per iteration: simulate `warmup` and
+/// `warmup + timed` iterations and difference the makespans (this
+/// cancels setup cost and captures cross-iteration pipelining).
+pub fn per_iteration_seconds(
+    stencil: Stencil,
+    ksm: KsmKind,
+    pieces: usize,
+    profile: LibraryProfile,
+    nodes: usize,
+    warmup: usize,
+    timed: usize,
+) -> f64 {
+    let machine = profile.machine(nodes);
+    let g_warm = build_iteration_graph(stencil, ksm, pieces, profile, nodes, warmup);
+    let g_full = build_iteration_graph(stencil, ksm, pieces, profile, nodes, warmup + timed);
+    let t_warm = simulate(&g_warm, &machine, None).makespan;
+    let t_full = simulate(&g_full, &machine, None).makespan;
+    (t_full - t_warm) / timed as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_build_graphs() {
+        let s = Stencil::lap2d(1 << 9, 1 << 9);
+        for profile in [
+            LibraryProfile::LegionSolvers,
+            LibraryProfile::Petsc,
+            LibraryProfile::Trilinos,
+        ] {
+            let g = build_iteration_graph(s, KsmKind::Cg, 16, profile, 4, 2);
+            assert!(g.len() > 0, "{}", profile.name());
+            let barriers = g
+                .nodes()
+                .iter()
+                .filter(|n| n.label == "phase_barrier")
+                .count();
+            if profile.is_bulk_sync() {
+                assert!(barriers > 0, "{} must barrier", profile.name());
+            } else {
+                assert_eq!(barriers, 0, "{} must not barrier", profile.name());
+            }
+        }
+    }
+
+    #[test]
+    fn legion_wins_at_large_sizes() {
+        // The paper's headline shape at the benchmark configuration
+        // (16 nodes, vp = 64): on large problems the task-oriented
+        // model is faster (overlap, no phase collectives), while on
+        // tiny problems it is slower (serial dispatch).
+        let nodes = 16;
+        let pieces = 64;
+        let big = Stencil::lap2d(1 << 14, 1 << 14); // 2^28 unknowns
+        let t_leg = per_iteration_seconds(big, KsmKind::BiCgStab, pieces, LibraryProfile::LegionSolvers, nodes, 2, 3);
+        let t_pet = per_iteration_seconds(big, KsmKind::BiCgStab, pieces, LibraryProfile::Petsc, nodes, 2, 3);
+        assert!(
+            t_leg < t_pet,
+            "large problem: legion {t_leg} must beat petsc {t_pet}"
+        );
+
+        let tiny = Stencil::lap2d(1 << 7, 1 << 7); // 2^14 unknowns
+        let t_leg_s = per_iteration_seconds(tiny, KsmKind::Cg, pieces, LibraryProfile::LegionSolvers, nodes, 2, 3);
+        let t_pet_s = per_iteration_seconds(tiny, KsmKind::Cg, pieces, LibraryProfile::Petsc, nodes, 2, 3);
+        assert!(
+            t_leg_s > t_pet_s,
+            "small problem: legion {t_leg_s} must trail petsc {t_pet_s}"
+        );
+    }
+
+    #[test]
+    fn trilinos_trails_petsc_slightly() {
+        let s = Stencil::lap2d(1 << 12, 1 << 12);
+        let t_pet = per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Petsc, 4, 2, 3);
+        let t_tri = per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Trilinos, 4, 2, 3);
+        assert!(t_tri > t_pet);
+        assert!(t_tri < 1.3 * t_pet, "gap should be modest: {t_pet} vs {t_tri}");
+    }
+}

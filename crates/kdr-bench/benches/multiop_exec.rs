@@ -1,0 +1,102 @@
+//! Real (threaded) single- vs multi-operator execution — the
+//! shared-memory analogue of the paper's Figure 9 — plus SPMD
+//! baseline iterations for cross-checking execution models at small
+//! scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use kdr_baselines::{solve_spmd, BaselineKsm};
+use kdr_core::{BiCgStabSolver, ExecBackend, Planner, Solver};
+use kdr_index::Partition;
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{Csr, SparseMatrix, Stencil};
+
+fn single_planner(side: u64, pieces: usize) -> Planner<f64> {
+    let s = Stencil::lap2d(side, side);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u32>());
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(8)));
+    let part = Partition::equal_blocks(n, pieces);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 3));
+    planner
+}
+
+fn multi_planner(side: u64, pieces: usize) -> Planner<f64> {
+    let s = Stencil::lap2d(side, side);
+    let n = s.unknowns();
+    let h = n / 2;
+    let a11: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u32>(0, h, 0, h));
+    let a12: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u32>(0, h, h, n));
+    let a21: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u32>(h, n, 0, h));
+    let a22: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u32>(h, n, h, n));
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(8)));
+    let part = Partition::equal_blocks(h, pieces);
+    let d1 = planner.add_sol_vector(h, Some(part.clone()));
+    let d2 = planner.add_sol_vector(h, Some(part.clone()));
+    let r1 = planner.add_rhs_vector(h, Some(part.clone()));
+    let r2 = planner.add_rhs_vector(h, Some(part));
+    planner.add_operator(a11, d1, r1);
+    planner.add_operator(a12, d2, r1);
+    planner.add_operator(a21, d1, r2);
+    planner.add_operator(a22, d2, r2);
+    let b = rhs_vector::<f64>(n, 3);
+    planner.set_rhs_data(r1, &b[..h as usize]);
+    planner.set_rhs_data(r2, &b[h as usize..]);
+    planner
+}
+
+fn bench_multiop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bicgstab_iterations_exec");
+    g.sample_size(10);
+    for &side in &[128u64, 512] {
+        g.bench_function(BenchmarkId::new("single_operator", side), |b| {
+            let mut planner = single_planner(side, 8);
+            let mut solver = BiCgStabSolver::new(&mut planner);
+            planner.fence();
+            b.iter(|| {
+                for _ in 0..3 {
+                    solver.step(&mut planner);
+                }
+                planner.fence();
+            });
+        });
+        g.bench_function(BenchmarkId::new("multi_operator", side), |b| {
+            let mut planner = multi_planner(side, 8);
+            let mut solver = BiCgStabSolver::new(&mut planner);
+            planner.fence();
+            b.iter(|| {
+                for _ in 0..3 {
+                    solver.step(&mut planner);
+                }
+                planner.fence();
+            });
+        });
+    }
+    g.finish();
+
+    // Bulk-synchronous SPMD baseline for the same problem.
+    let mut g = c.benchmark_group("bicgstab_iterations_spmd");
+    g.sample_size(10);
+    for &side in &[128u64, 512] {
+        let s = Stencil::lap2d(side, side);
+        let m: Csr<f64, u64> = s.to_csr();
+        let b_vec = rhs_vector::<f64>(s.unknowns(), 3);
+        g.bench_function(BenchmarkId::new("spmd_8ranks", side), |bch| {
+            bch.iter(|| {
+                solve_spmd(&m, &b_vec, BaselineKsm::BiCgStab, 8, 3, 0.0);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multiop
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Planner operation overhead on the execution backend: deferred,
+//! task-based vector operations versus raw sequential loops, and the
+//! vp (pieces-per-vector) ablation the paper's §5 motivates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use kdr_core::{CgSolver, ExecBackend, Planner, Solver};
+use kdr_index::Partition;
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+fn make_planner(n_side: u64, pieces: usize, workers: usize) -> Planner<f64> {
+    let s = Stencil::lap2d(n_side, n_side);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u32>());
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(workers)));
+    let part = Partition::equal_blocks(n, pieces);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 3));
+    planner
+}
+
+fn bench_planner(c: &mut Criterion) {
+    // Raw baseline: one sequential CG iteration's worth of axpys.
+    let n = 512 * 512;
+    let mut g = c.benchmark_group("vector_ops");
+    g.bench_function("raw_axpy_512x512", |b| {
+        let x = vec![1.0f64; n];
+        let mut y = vec![2.0f64; n];
+        b.iter(|| {
+            for i in 0..n {
+                y[i] += 0.5 * x[i];
+            }
+            std::hint::black_box(&y);
+        });
+    });
+    for &pieces in &[1usize, 8, 64] {
+        g.bench_function(BenchmarkId::new("planner_axpy_512x512", pieces), |b| {
+            let mut planner = make_planner(512, pieces, 8);
+            planner.finalize();
+            let w = planner.allocate_workspace_vector();
+            let half = planner.scalar(0.5);
+            b.iter(|| {
+                planner.axpy(w, &half, kdr_core::SOL);
+                planner.fence();
+            });
+        });
+    }
+    g.finish();
+
+    // Full CG iterations through the planner: the vp ablation.
+    let mut g = c.benchmark_group("cg_iteration_vp");
+    g.sample_size(10);
+    for &pieces in &[1usize, 4, 16, 64] {
+        g.bench_function(BenchmarkId::from_parameter(pieces), |b| {
+            let mut planner = make_planner(512, pieces, 8);
+            let mut solver = CgSolver::new(&mut planner);
+            planner.fence();
+            b.iter(|| {
+                for _ in 0..5 {
+                    solver.step(&mut planner);
+                }
+                planner.fence();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_planner
+}
+criterion_main!(benches);

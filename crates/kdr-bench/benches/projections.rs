@@ -1,0 +1,65 @@
+//! Dependent-partitioning operator costs: images, preimages, and full
+//! operator tiling, across stored and implicit relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdr_core::partitioning::compute_tiles;
+use kdr_index::{project, project_back, Partition};
+use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
+
+fn bench_projections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projection");
+    for &e in &[16u32, 20] {
+        let s = Stencil::lap2d(1 << (e / 2), 1 << (e / 2));
+        let n = s.unknowns();
+        // Stored relations (CSR arrays, built once).
+        let csr = s.to_csr::<f64, u64>();
+        let row_stored = csr.row_relation();
+        let col_stored = csr.col_relation();
+        // Implicit relations (matrix-free stencil).
+        let op = StencilOperator::<f64>::new(s);
+        let row_impl = op.row_relation();
+        let col_impl = op.col_relation();
+
+        let part = Partition::equal_blocks(n, 64);
+        g.bench_function(BenchmarkId::new("preimage_row_stored", format!("2^{e}")), |b| {
+            b.iter(|| project_back(row_stored.as_ref(), std::hint::black_box(&part)));
+        });
+        g.bench_function(
+            BenchmarkId::new("preimage_row_implicit", format!("2^{e}")),
+            |b| {
+                b.iter(|| project_back(row_impl.as_ref(), std::hint::black_box(&part)));
+            },
+        );
+        let kp = project_back(row_stored.as_ref(), &part);
+        g.bench_function(BenchmarkId::new("image_col_stored", format!("2^{e}")), |b| {
+            b.iter(|| project(col_stored.as_ref(), std::hint::black_box(&kp)));
+        });
+        let kp_impl = project_back(row_impl.as_ref(), &part);
+        g.bench_function(
+            BenchmarkId::new("image_col_implicit", format!("2^{e}")),
+            |b| {
+                b.iter(|| project(col_impl.as_ref(), std::hint::black_box(&kp_impl)));
+            },
+        );
+    }
+    g.finish();
+
+    // Whole-operator tiling: the planner's finalize cost.
+    let mut g = c.benchmark_group("compute_tiles");
+    for &pieces in &[16usize, 64, 256] {
+        let s = Stencil::lap2d(1 << 10, 1 << 10);
+        let op = StencilOperator::<f64>::new(s);
+        let part = Partition::equal_blocks(s.unknowns(), pieces);
+        g.bench_function(BenchmarkId::from_parameter(pieces), |b| {
+            b.iter(|| compute_tiles(&op, std::hint::black_box(&part), &part, 0, 0));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_projections
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Runtime ablations: dependence analysis vs. dynamic-tracing replay
+//! (Lee et al., SC'18 — the optimization the paper's implementation
+//! relies on), and raw task throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kdr_index::IntervalSet;
+use kdr_runtime::{Buffer, Runtime, TaskBuilder};
+
+/// One CG-like "iteration": per-piece vector ops with a reduction
+/// pattern over `pieces` pieces of three vectors.
+fn iteration_tasks(
+    bufs: &[Buffer<f64>; 3],
+    pieces: usize,
+    len: usize,
+) -> Vec<TaskBuilder> {
+    let plen = (len / pieces) as u64;
+    let mut out = Vec::new();
+    for stage in 0..3 {
+        let (src, dst) = match stage {
+            0 => (0usize, 1usize),
+            1 => (1, 2),
+            _ => (2, 0),
+        };
+        for p in 0..pieces {
+            let subset = IntervalSet::from_range(p as u64 * plen, (p as u64 + 1) * plen);
+            out.push(
+                TaskBuilder::new("axpyish")
+                    .read(&bufs[src], subset.clone())
+                    .write(&bufs[dst], subset)
+                    .body(move |ctx| {
+                        let s = ctx.read::<f64>(0);
+                        let d = ctx.write::<f64>(1);
+                        for run in ctx.subset(1).runs() {
+                            for i in run.lo as usize..run.hi as usize {
+                                d.set(i, d.get(i) + 0.5 * s.get(i));
+                            }
+                        }
+                    }),
+            );
+        }
+    }
+    out
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let len = 1 << 16;
+    let mut g = c.benchmark_group("runtime");
+    for &pieces in &[4usize, 16, 64] {
+        // Analyzed submission: every iteration pays dependence
+        // analysis (interval intersections) per task.
+        g.bench_function(BenchmarkId::new("analyzed_iteration", pieces), |b| {
+            let rt = Runtime::new(4);
+            let bufs = [
+                Buffer::filled(len, 1.0f64),
+                Buffer::filled(len, 2.0f64),
+                Buffer::filled(len, 3.0f64),
+            ];
+            b.iter(|| {
+                for t in iteration_tasks(&bufs, pieces, len) {
+                    rt.submit(t);
+                }
+                rt.fence();
+            });
+        });
+        // Trace replay: analysis memoized, only graph instantiation.
+        g.bench_function(BenchmarkId::new("replayed_iteration", pieces), |b| {
+            let rt = Runtime::new(4);
+            let bufs = [
+                Buffer::filled(len, 1.0f64),
+                Buffer::filled(len, 2.0f64),
+                Buffer::filled(len, 3.0f64),
+            ];
+            rt.begin_trace();
+            for t in iteration_tasks(&bufs, pieces, len) {
+                rt.submit(t);
+            }
+            let trace = rt.end_trace();
+            b.iter(|| {
+                rt.replay(&trace, iteration_tasks(&bufs, pieces, len));
+                rt.fence();
+            });
+        });
+    }
+    g.finish();
+
+    // Pure task overhead: empty bodies, no conflicts.
+    let mut g = c.benchmark_group("task_overhead");
+    for &ntasks in &[64usize, 512] {
+        g.bench_function(BenchmarkId::new("independent_empty", ntasks), |b| {
+            let rt = Runtime::new(4);
+            let buf = Buffer::filled(ntasks, 0.0f64);
+            b.iter(|| {
+                for i in 0..ntasks {
+                    rt.submit(
+                        TaskBuilder::new("empty")
+                            .write(&buf, IntervalSet::from_range(i as u64, i as u64 + 1))
+                            .body(|_| {}),
+                    );
+                }
+                rt.fence();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_tracing
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! SpMV throughput per storage format (and the piece-restricted
+//! kernels used by partitioned execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{convert, SparseMatrix, Stencil, StencilOperator};
+
+fn bench_formats(c: &mut Criterion) {
+    let s = Stencil::lap2d(256, 256);
+    let n = s.unknowns() as usize;
+    let base = s.to_csr::<f64, u32>();
+    let x = rhs_vector::<f64>(n as u64, 5);
+    let formats: Vec<(&'static str, Box<dyn SparseMatrix<f64>>)> = vec![
+        ("csr", Box::new(base.clone())),
+        ("csc", Box::new(convert::to_csc::<f64, u32>(&base))),
+        ("coo", Box::new(convert::to_coo::<f64, u32>(&base))),
+        ("coo_aos", Box::new(convert::to_coo_aos::<f64, u32>(&base))),
+        ("ell", Box::new(convert::to_ell::<f64, u32>(&base))),
+        ("ellt", Box::new(convert::to_ellt::<f64, u32>(&base))),
+        ("dia", Box::new(convert::to_dia::<f64>(&base))),
+        ("bcsr4x4", Box::new(convert::to_bcsr::<f64, u32>(&base, 4, 4))),
+        ("stencil_matrix_free", Box::new(StencilOperator::<f64>::new(s))),
+    ];
+
+    let mut g = c.benchmark_group("spmv");
+    g.throughput(Throughput::Elements(base.nnz()));
+    for (name, m) in &formats {
+        let mut y = vec![0.0f64; n];
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| m.spmv(std::hint::black_box(&x), &mut y));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("spmv_transpose");
+    for (name, m) in &formats {
+        let mut y = vec![0.0f64; n];
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| m.spmv_transpose(std::hint::black_box(&x), &mut y));
+        });
+    }
+    g.finish();
+
+    // Piece-restricted kernels: the same product split into 8 pieces.
+    let mut g = c.benchmark_group("spmv_pieces");
+    for (name, m) in &formats {
+        let pieces = m.kernel_space().all().split_equal(8);
+        let mut y = vec![0.0f64; n];
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                y.fill(0.0);
+                for p in &pieces {
+                    m.spmv_add_piece(p, std::hint::black_box(&x), &mut y);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! # kdr-bench
+//!
+//! The benchmark harness that regenerates every table and figure of
+//! the paper's evaluation section:
+//!
+//! | Binary | Paper element |
+//! |--------|---------------|
+//! | `table3`   | Figure 3 — format/relation table, verified |
+//! | `figure8`  | Figure 8 — CG/BiCGStab/GMRES × four stencils × sizes, LegionSolvers vs PETSc vs Trilinos |
+//! | `figure9`  | Figure 9 — single- vs multi-operator BiCGStab |
+//! | `figure10` | Figure 10 — dynamic load balancing time series |
+//!
+//! Criterion benches (`cargo bench`) cover the measured substrate:
+//! SpMV per storage format, dependent-partitioning projections,
+//! dependence analysis vs. trace replay, planner operation overhead,
+//! and real (threaded) single- vs multi-operator execution.
+
+use kdr_sparse::{Stencil, StencilKind};
+
+/// The paper's four stencil families.
+pub const STENCILS: [StencilKind; 4] = [
+    StencilKind::Lap1D3,
+    StencilKind::Lap2D5,
+    StencilKind::Lap3D7,
+    StencilKind::Lap3D27,
+];
+
+/// A stencil problem with exactly `2^log2n` unknowns, shaped like the
+/// paper's Cartesian meshes (squares and near-cubes in powers of two).
+pub fn sized_stencil(kind: StencilKind, log2n: u32) -> Stencil {
+    match kind {
+        StencilKind::Lap1D3 => Stencil::lap1d(1 << log2n),
+        StencilKind::Lap2D5 => {
+            let ex = log2n.div_ceil(2);
+            let ey = log2n - ex;
+            Stencil::lap2d(1 << ex, 1 << ey)
+        }
+        StencilKind::Lap3D7 | StencilKind::Lap3D27 => {
+            let ex = log2n.div_ceil(3);
+            let ey = (log2n - ex).div_ceil(2);
+            let ez = log2n - ex - ey;
+            let s = |e: u32| 1u64 << e;
+            if kind == StencilKind::Lap3D7 {
+                Stencil::lap3d7(s(ex), s(ey), s(ez))
+            } else {
+                Stencil::lap3d27(s(ex), s(ey), s(ez))
+            }
+        }
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_stencils_hit_target_size() {
+        for kind in STENCILS {
+            for e in [12u32, 20, 24] {
+                let s = sized_stencil(kind, e);
+                assert_eq!(s.unknowns(), 1u64 << e, "{kind:?} 2^{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,294 @@
+//! The backend abstraction separating solver logic from execution.
+//!
+//! The paper's planner/solver split lets solver implementations be
+//! "written with no awareness of storage formats, multiple operators,
+//! or data movement" (§5). We push the same split one level further:
+//! the [`Planner`](crate::Planner) lowers every mathematical operation
+//! onto this `Backend` trait, and two backends implement it —
+//!
+//! * [`ExecBackend`](crate::exec::ExecBackend): real execution on the
+//!   `kdr-runtime` task runtime (shared-memory threads stand in for
+//!   cluster nodes), used for correctness and small-scale benchmarks;
+//! * [`SimBackend`](crate::simbackend::SimBackend): lowers the same
+//!   operation stream into a `kdr-machine` task graph with flop/byte
+//!   costs, used to reproduce the paper's 64–1,024 GPU experiments at
+//!   full problem scale.
+//!
+//! Scalars are *futures in dataflow form*: every scalar lives in a
+//! backend-managed cell, scalar arithmetic is itself a (tiny) task,
+//! and vector operations take scalar references as coefficients. A
+//! solver iteration therefore never blocks the driving thread — the
+//! same property Legion futures give the paper's CG in Figure 7.
+
+use std::sync::Arc;
+
+use kdr_index::{IntervalSet, Partition};
+use kdr_sparse::{Scalar, SparseMatrix};
+
+/// Backend vector handle (a multi-component vector instance).
+pub type BVec = usize;
+
+/// Backend scalar handle.
+pub type SRef = usize;
+
+/// Registered operator-set handle (the system matrix, or the
+/// preconditioner).
+pub type OpHandle = usize;
+
+/// Binary scalar operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScalarOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Unary scalar operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScalarUnop {
+    Neg,
+    Sqrt,
+    Abs,
+    Recip,
+}
+
+impl ScalarOp {
+    /// Evaluate on concrete values.
+    pub fn eval<T: Scalar>(self, a: T, b: T) -> T {
+        match self {
+            ScalarOp::Add => a + b,
+            ScalarOp::Sub => a - b,
+            ScalarOp::Mul => a * b,
+            ScalarOp::Div => a / b,
+        }
+    }
+}
+
+impl ScalarUnop {
+    /// Evaluate on a concrete value.
+    pub fn eval<T: Scalar>(self, a: T) -> T {
+        match self {
+            ScalarUnop::Neg => -a,
+            ScalarUnop::Sqrt => a.sqrt(),
+            ScalarUnop::Abs => a.abs(),
+            ScalarUnop::Recip => T::ONE / a,
+        }
+    }
+}
+
+/// One component of a multi-component vector: its index-space size and
+/// canonical partition (complete and disjoint, per §5).
+#[derive(Clone, Debug)]
+pub struct CompSpec {
+    pub len: u64,
+    pub partition: Partition,
+}
+
+impl CompSpec {
+    /// A component with the trivial single-color partition.
+    pub fn unpartitioned(len: u64) -> Self {
+        CompSpec {
+            len,
+            partition: Partition::equal_blocks(len, 1),
+        }
+    }
+
+    /// A component split into `pieces` equal blocks.
+    pub fn blocks(len: u64, pieces: usize) -> Self {
+        CompSpec {
+            len,
+            partition: Partition::equal_blocks(len, pieces),
+        }
+    }
+}
+
+/// One computational tile of one operator component: the work needed
+/// to produce range color `range_color` of component `rhs_comp`,
+/// derived entirely by dependent-partitioning projections (see
+/// [`crate::partitioning`]).
+#[derive(Clone, Debug)]
+pub struct TileSpec {
+    /// Output (range-side) component index.
+    pub rhs_comp: usize,
+    /// Input (domain-side) component index.
+    pub sol_comp: usize,
+    /// Color of the range partition this tile produces.
+    pub range_color: usize,
+    /// Kernel points of this tile (subset of the operator's `K`).
+    pub kernel_piece: IntervalSet,
+    /// Range points written: `row_{K→R}` image of the kernel piece.
+    pub out_subset: IntervalSet,
+    /// Domain points read: `col_{K→D}` image of the kernel piece.
+    pub in_union: IntervalSet,
+    /// `in_union` split by the domain partition's colors (ghost
+    /// regions per source piece); empty intersections omitted.
+    pub in_by_color: Vec<(usize, IntervalSet)>,
+    /// Stored-entry count (cost model; includes format padding).
+    pub nnz: u64,
+}
+
+/// One operator component `(K_ℓ, A_ℓ, i_ℓ, j_ℓ)` with its derived
+/// tiles.
+pub struct OpComponentSpec<T> {
+    pub matrix: Arc<dyn SparseMatrix<T>>,
+    pub sol_comp: usize,
+    pub rhs_comp: usize,
+    pub tiles: Vec<TileSpec>,
+}
+
+/// A full operator set (all components of `A_total` or `P_total`).
+pub struct OpSetSpec<T> {
+    pub components: Vec<OpComponentSpec<T>>,
+}
+
+/// The execution backend interface the planner lowers onto.
+pub trait Backend<T: Scalar>: Send {
+    /// Allocate a zero-initialized multi-component vector.
+    fn alloc_vector(&mut self, comps: &[CompSpec]) -> BVec;
+
+    /// Overwrite one component's contents (no-op on the simulation
+    /// backend). Quiesces the backend first.
+    fn fill_component(&mut self, v: BVec, comp: usize, data: &[T]);
+
+    /// Read one component's contents (panics on the simulation
+    /// backend). Quiesces the backend first.
+    fn read_component(&mut self, v: BVec, comp: usize) -> Vec<T>;
+
+    /// Register an operator set for use with [`Backend::apply`].
+    fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle;
+
+    /// `dst ← src` componentwise.
+    fn copy(&mut self, dst: BVec, src: BVec);
+
+    /// `dst ← alpha · dst`.
+    fn scal(&mut self, dst: BVec, alpha: SRef);
+
+    /// `dst ← dst + alpha · src`.
+    fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec);
+
+    /// `dst ← src + alpha · dst`.
+    fn xpay(&mut self, dst: BVec, alpha: SRef, src: BVec);
+
+    /// Inner product across all components.
+    fn dot(&mut self, a: BVec, b: BVec) -> SRef;
+
+    /// Materialize a scalar constant.
+    fn scalar_const(&mut self, v: T) -> SRef;
+
+    /// Deferred scalar arithmetic.
+    fn scalar_binop(&mut self, op: ScalarOp, a: SRef, b: SRef) -> SRef;
+
+    /// Deferred unary scalar arithmetic.
+    fn scalar_unop(&mut self, op: ScalarUnop, a: SRef) -> SRef;
+
+    /// Force a scalar to a concrete value (blocks the driver on the
+    /// execution backend; returns a placeholder `1.0` on the
+    /// simulation backend, whose graphs are value-independent).
+    fn scalar_get(&mut self, s: SRef) -> T;
+
+    /// `dst ← A(src)` (or `Aᵀ` when `transpose`), where `A` is the
+    /// registered operator set: zero-fill then accumulate every tile.
+    fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool);
+
+    /// Wait for all outstanding work (no-op on the simulation
+    /// backend).
+    fn fence(&mut self);
+
+    /// Downcasting hook so callers holding a `dyn Backend` can reach
+    /// backend-specific functionality (graph extraction, runtime
+    /// statistics).
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<T: Scalar> Backend<T> for Box<dyn Backend<T>> {
+    fn alloc_vector(&mut self, comps: &[CompSpec]) -> BVec {
+        (**self).alloc_vector(comps)
+    }
+
+    fn fill_component(&mut self, v: BVec, comp: usize, data: &[T]) {
+        (**self).fill_component(v, comp, data)
+    }
+
+    fn read_component(&mut self, v: BVec, comp: usize) -> Vec<T> {
+        (**self).read_component(v, comp)
+    }
+
+    fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
+        (**self).register_operator(spec)
+    }
+
+    fn copy(&mut self, dst: BVec, src: BVec) {
+        (**self).copy(dst, src)
+    }
+
+    fn scal(&mut self, dst: BVec, alpha: SRef) {
+        (**self).scal(dst, alpha)
+    }
+
+    fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        (**self).axpy(dst, alpha, src)
+    }
+
+    fn xpay(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        (**self).xpay(dst, alpha, src)
+    }
+
+    fn dot(&mut self, a: BVec, b: BVec) -> SRef {
+        (**self).dot(a, b)
+    }
+
+    fn scalar_const(&mut self, v: T) -> SRef {
+        (**self).scalar_const(v)
+    }
+
+    fn scalar_binop(&mut self, op: ScalarOp, a: SRef, b: SRef) -> SRef {
+        (**self).scalar_binop(op, a, b)
+    }
+
+    fn scalar_unop(&mut self, op: ScalarUnop, a: SRef) -> SRef {
+        (**self).scalar_unop(op, a)
+    }
+
+    fn scalar_get(&mut self, s: SRef) -> T {
+        (**self).scalar_get(s)
+    }
+
+    fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool) {
+        (**self).apply(op, dst, src, transpose)
+    }
+
+    fn fence(&mut self) {
+        (**self).fence()
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        (**self).as_any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ops_eval() {
+        assert_eq!(ScalarOp::Add.eval(2.0, 3.0), 5.0);
+        assert_eq!(ScalarOp::Sub.eval(2.0, 3.0), -1.0);
+        assert_eq!(ScalarOp::Mul.eval(2.0, 3.0), 6.0);
+        assert_eq!(ScalarOp::Div.eval(3.0, 2.0), 1.5);
+        assert_eq!(ScalarUnop::Neg.eval(2.0), -2.0);
+        assert_eq!(ScalarUnop::Sqrt.eval(9.0), 3.0);
+        assert_eq!(ScalarUnop::Abs.eval(-4.0), 4.0);
+        assert_eq!(ScalarUnop::Recip.eval(4.0), 0.25);
+    }
+
+    #[test]
+    fn comp_spec_constructors() {
+        let c = CompSpec::unpartitioned(10);
+        assert_eq!(c.partition.num_colors(), 1);
+        let c = CompSpec::blocks(10, 3);
+        assert_eq!(c.partition.num_colors(), 3);
+        assert!(c.partition.is_complete() && c.partition.is_disjoint());
+    }
+}

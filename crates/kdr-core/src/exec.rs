@@ -1,0 +1,495 @@
+//! The execution backend: real data, real threads.
+//!
+//! Vectors become `kdr-runtime` buffers (one per component); every
+//! planner operation becomes one task per `(component, color)` of the
+//! canonical partition — an index launch — with subsets declared so
+//! that the runtime's dependence analysis extracts all available
+//! parallelism. Operator tiles are extracted once at registration
+//! into flat `(row, col, value)` arrays in component-local
+//! coordinates, giving a tight accumulation kernel for *every*
+//! storage format (including matrix-free operators, which are asked
+//! to enumerate their entries exactly once).
+
+use std::sync::Arc;
+
+use kdr_index::{IntervalSet, Partition};
+use kdr_runtime::{promise, Buffer, Runtime, RuntimeStats, TaskBuilder};
+use kdr_sparse::Scalar;
+#[cfg(test)]
+use kdr_sparse::SparseMatrix;
+
+use crate::backend::{
+    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
+};
+
+struct ExecComp<T> {
+    buf: Buffer<T>,
+    part: Partition,
+}
+
+struct ExecVec<T> {
+    comps: Vec<ExecComp<T>>,
+}
+
+/// Flat tile payload: entries in component-local coordinates, sorted
+/// in kernel order.
+struct TileData<T> {
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+    vals: Vec<T>,
+}
+
+struct ExecTile<T> {
+    rhs_comp: usize,
+    sol_comp: usize,
+    out_subset: IntervalSet,
+    in_union: IntervalSet,
+    data: Arc<TileData<T>>,
+}
+
+struct ExecOpSet<T> {
+    tiles: Vec<ExecTile<T>>,
+}
+
+/// Threaded execution backend over `kdr-runtime`.
+pub struct ExecBackend<T: Scalar> {
+    rt: Runtime,
+    vectors: Vec<ExecVec<T>>,
+    scalars: Vec<Buffer<T>>,
+    opsets: Vec<ExecOpSet<T>>,
+}
+
+impl<T: Scalar> ExecBackend<T> {
+    /// Create with `workers` runtime threads.
+    pub fn new(workers: usize) -> Self {
+        ExecBackend {
+            rt: Runtime::new(workers),
+            vectors: Vec::new(),
+            scalars: Vec::new(),
+            opsets: Vec::new(),
+        }
+    }
+
+    /// Create sized to the machine.
+    pub fn with_default_workers() -> Self {
+        ExecBackend {
+            rt: Runtime::with_default_workers(),
+            vectors: Vec::new(),
+            scalars: Vec::new(),
+            opsets: Vec::new(),
+        }
+    }
+
+    /// Runtime activity counters (dependence-analysis cost, task
+    /// counts) for benchmarking.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.rt.stats()
+    }
+
+    /// The underlying task runtime. Applications may submit their own
+    /// tasks here to interleave independent work with a running solve
+    /// (the paper's P1): the dependence analysis keeps solver and
+    /// application tasks ordered only where they actually share data.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Submit one `(component, color)` point task for an elementwise
+    /// operation on `dst` (optionally reading `src` at the same
+    /// subset and a scalar coefficient).
+    fn elementwise(
+        &self,
+        name: &'static str,
+        dst: BVec,
+        src: Option<BVec>,
+        alpha: Option<SRef>,
+        kernel: impl Fn(/*alpha*/ T, /*src*/ T, /*dst*/ T) -> T + Copy + Send + 'static,
+    ) {
+        let dvec = &self.vectors[dst];
+        for (ci, dcomp) in dvec.comps.iter().enumerate() {
+            let scomp = src.map(|s| &self.vectors[s].comps[ci]);
+            if let Some(sc) = scomp {
+                assert_eq!(sc.buf.len(), dcomp.buf.len(), "component {ci} length mismatch");
+            }
+            for color in 0..dcomp.part.num_colors() {
+                let subset = dcomp.part.piece(color).clone();
+                if subset.is_empty() {
+                    continue;
+                }
+                let mut tb = TaskBuilder::new(name);
+                let mut idx_alpha = None;
+                let mut idx_src = None;
+                if let Some(a) = alpha {
+                    idx_alpha = Some(0usize);
+                    tb = tb.read(&self.scalars[a], IntervalSet::full(1));
+                }
+                if let Some(sc) = scomp {
+                    idx_src = Some(idx_alpha.map_or(0, |_| 1));
+                    tb = tb.read(&sc.buf, subset.clone());
+                }
+                let idx_dst = idx_alpha.iter().count() + idx_src.iter().count();
+                tb = tb.write(&dcomp.buf, subset);
+                self.rt.submit(tb.body(move |ctx| {
+                    let a = idx_alpha.map_or(T::ZERO, |i| ctx.read::<T>(i).get(0));
+                    let sview = idx_src.map(|i| ctx.read::<T>(i));
+                    let d = ctx.write::<T>(idx_dst);
+                    for run in ctx.subset(idx_dst).runs() {
+                        for i in run.lo as usize..run.hi as usize {
+                            let s = sview.as_ref().map_or(T::ZERO, |v| v.get(i));
+                            d.set(i, kernel(a, s, d.get(i)));
+                        }
+                    }
+                }));
+            }
+        }
+    }
+
+    fn new_scalar(&mut self, v: T) -> SRef {
+        self.scalars.push(Buffer::from_vec(vec![v]));
+        self.scalars.len() - 1
+    }
+}
+
+impl<T: Scalar> Backend<T> for ExecBackend<T> {
+    fn alloc_vector(&mut self, comps: &[CompSpec]) -> BVec {
+        let v = ExecVec {
+            comps: comps
+                .iter()
+                .map(|c| ExecComp {
+                    buf: Buffer::filled(c.len as usize, T::ZERO),
+                    part: c.partition.clone(),
+                })
+                .collect(),
+        };
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    fn fill_component(&mut self, v: BVec, comp: usize, data: &[T]) {
+        self.rt.fence();
+        self.vectors[v].comps[comp].buf.fill_from(data);
+    }
+
+    fn read_component(&mut self, v: BVec, comp: usize) -> Vec<T> {
+        self.rt.fence();
+        self.vectors[v].comps[comp].buf.snapshot()
+    }
+
+    fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
+        let mut tiles = Vec::new();
+        for comp in &spec.components {
+            // Map kernel point -> tile via the disjoint kernel pieces.
+            let mut lookup: Vec<(u64, u64, usize)> = Vec::new(); // (lo, hi, local tile)
+            let base = tiles.len();
+            for (ti, t) in comp.tiles.iter().enumerate() {
+                for r in t.kernel_piece.runs() {
+                    lookup.push((r.lo, r.hi, ti));
+                }
+                tiles.push(ExecTile {
+                    rhs_comp: t.rhs_comp,
+                    sol_comp: t.sol_comp,
+                    out_subset: t.out_subset.clone(),
+                    in_union: t.in_union.clone(),
+                    data: Arc::new(TileData {
+                        rows: Vec::new(),
+                        cols: Vec::new(),
+                        vals: Vec::new(),
+                    }),
+                });
+            }
+            lookup.sort_unstable();
+            // Fill tile data in one pass over the operator's entries.
+            let mut bufs: Vec<TileData<T>> = (0..comp.tiles.len())
+                .map(|_| TileData {
+                    rows: Vec::new(),
+                    cols: Vec::new(),
+                    vals: Vec::new(),
+                })
+                .collect();
+            comp.matrix.for_each_entry(&mut |k, i, j, v| {
+                // Binary search the owning kernel run.
+                let idx = lookup.partition_point(|&(lo, _, _)| lo <= k);
+                if idx == 0 {
+                    return; // padding point before first piece
+                }
+                let (lo, hi, ti) = lookup[idx - 1];
+                debug_assert!(k >= lo);
+                if k < hi {
+                    let b = &mut bufs[ti];
+                    b.rows.push(i);
+                    b.cols.push(j);
+                    b.vals.push(v);
+                }
+            });
+            for (ti, data) in bufs.into_iter().enumerate() {
+                tiles[base + ti].data = Arc::new(data);
+            }
+        }
+        self.opsets.push(ExecOpSet { tiles });
+        self.opsets.len() - 1
+    }
+
+    fn copy(&mut self, dst: BVec, src: BVec) {
+        self.elementwise("copy", dst, Some(src), None, |_, s, _| s);
+    }
+
+    fn scal(&mut self, dst: BVec, alpha: SRef) {
+        self.elementwise("scal", dst, None, Some(alpha), |a, _, d| a * d);
+    }
+
+    fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        self.elementwise("axpy", dst, Some(src), Some(alpha), |a, s, d| d + a * s);
+    }
+
+    fn xpay(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        self.elementwise("xpay", dst, Some(src), Some(alpha), |a, s, d| s + a * d);
+    }
+
+    fn dot(&mut self, a: BVec, b: BVec) -> SRef {
+        let av = &self.vectors[a];
+        let bv = &self.vectors[b];
+        assert_eq!(av.comps.len(), bv.comps.len(), "dot structure mismatch");
+        let total_slots: usize = av.comps.iter().map(|c| c.part.num_colors()).sum();
+        let partials = Buffer::filled(total_slots, T::ZERO);
+        let mut slot = 0usize;
+        for (ci, ac) in av.comps.iter().enumerate() {
+            let bc = &bv.comps[ci];
+            assert_eq!(ac.buf.len(), bc.buf.len(), "dot component {ci} mismatch");
+            for color in 0..ac.part.num_colors() {
+                let subset = ac.part.piece(color).clone();
+                let my_slot = slot;
+                slot += 1;
+                if subset.is_empty() {
+                    continue;
+                }
+                let tb = TaskBuilder::new("dot_partial")
+                    .read(&ac.buf, subset.clone())
+                    .read(&bc.buf, subset.clone())
+                    .write(&partials, IntervalSet::from_range(my_slot as u64, my_slot as u64 + 1))
+                    .body(move |ctx| {
+                        let x = ctx.read::<T>(0);
+                        let y = ctx.read::<T>(1);
+                        let out = ctx.write::<T>(2);
+                        let mut acc = T::ZERO;
+                        for run in ctx.subset(0).runs() {
+                            for i in run.lo as usize..run.hi as usize {
+                                acc = x.get(i).mul_add(y.get(i), acc);
+                            }
+                        }
+                        out.set(my_slot, acc);
+                    });
+                self.rt.submit(tb);
+            }
+        }
+        let sref = self.new_scalar(T::ZERO);
+        let n = total_slots;
+        let tb = TaskBuilder::new("dot_reduce")
+            .read_all(&partials)
+            .write_all(&self.scalars[sref])
+            .body(move |ctx| {
+                let p = ctx.read::<T>(0);
+                let out = ctx.write::<T>(1);
+                let mut acc = T::ZERO;
+                for i in 0..n {
+                    acc += p.get(i);
+                }
+                out.set(0, acc);
+            });
+        self.rt.submit(tb);
+        sref
+    }
+
+    fn scalar_const(&mut self, v: T) -> SRef {
+        self.new_scalar(v)
+    }
+
+    fn scalar_binop(&mut self, op: ScalarOp, a: SRef, b: SRef) -> SRef {
+        let out = self.new_scalar(T::ZERO);
+        let tb = TaskBuilder::new("scalar_binop")
+            .read_all(&self.scalars[a])
+            .read_all(&self.scalars[b])
+            .write_all(&self.scalars[out])
+            .body(move |ctx| {
+                let x = ctx.read::<T>(0).get(0);
+                let y = ctx.read::<T>(1).get(0);
+                ctx.write::<T>(2).set(0, op.eval(x, y));
+            });
+        self.rt.submit(tb);
+        out
+    }
+
+    fn scalar_unop(&mut self, op: ScalarUnop, a: SRef) -> SRef {
+        let out = self.new_scalar(T::ZERO);
+        let tb = TaskBuilder::new("scalar_unop")
+            .read_all(&self.scalars[a])
+            .write_all(&self.scalars[out])
+            .body(move |ctx| {
+                let x = ctx.read::<T>(0).get(0);
+                ctx.write::<T>(1).set(0, op.eval(x));
+            });
+        self.rt.submit(tb);
+        out
+    }
+
+    fn scalar_get(&mut self, s: SRef) -> T {
+        let (p, f) = promise::<T>();
+        let tb = TaskBuilder::new("scalar_get")
+            .read_all(&self.scalars[s])
+            .body(move |ctx| {
+                p.set(ctx.read::<T>(0).get(0));
+            });
+        self.rt.submit(tb);
+        f.get()
+    }
+
+    fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool) {
+        // Zero-fill the destination (eq. 8 treats missing components
+        // as empty sums).
+        self.elementwise("apply_zero", dst, None, None, |_, _, _| T::ZERO);
+        let opset = &self.opsets[op];
+        for tile in &opset.tiles {
+            let (dcomp, scomp, wsubset, rsubset) = if transpose {
+                (tile.sol_comp, tile.rhs_comp, &tile.in_union, &tile.out_subset)
+            } else {
+                (tile.rhs_comp, tile.sol_comp, &tile.out_subset, &tile.in_union)
+            };
+            if tile.data.vals.is_empty() {
+                continue;
+            }
+            let dbuf = &self.vectors[dst].comps[dcomp].buf;
+            let sbuf = &self.vectors[src].comps[scomp].buf;
+            let data = Arc::clone(&tile.data);
+            let t = transpose;
+            let tb = TaskBuilder::new(if t { "spmv_t_tile" } else { "spmv_tile" })
+                .read(sbuf, rsubset.clone())
+                .write(dbuf, wsubset.clone())
+                .body(move |ctx| {
+                    let x = ctx.read::<T>(0);
+                    let y = ctx.write::<T>(1);
+                    let n = data.vals.len();
+                    if t {
+                        for idx in 0..n {
+                            let j = data.cols[idx] as usize;
+                            y.set(
+                                j,
+                                data.vals[idx].mul_add(x.get(data.rows[idx] as usize), y.get(j)),
+                            );
+                        }
+                    } else {
+                        for idx in 0..n {
+                            let i = data.rows[idx] as usize;
+                            y.set(
+                                i,
+                                data.vals[idx].mul_add(x.get(data.cols[idx] as usize), y.get(i)),
+                            );
+                        }
+                    }
+                });
+            self.rt.submit(tb);
+        }
+    }
+
+    fn fence(&mut self) {
+        self.rt.fence();
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::OpComponentSpec;
+    use crate::partitioning::compute_tiles;
+    use kdr_sparse::{Csr, Stencil};
+
+    fn backend() -> ExecBackend<f64> {
+        ExecBackend::new(4)
+    }
+
+    fn spec(n: u64, pieces: usize) -> CompSpec {
+        CompSpec::blocks(n, pieces)
+    }
+
+    #[test]
+    fn vector_ops_roundtrip() {
+        let mut b = backend();
+        let v = b.alloc_vector(&[spec(8, 2)]);
+        let w = b.alloc_vector(&[spec(8, 2)]);
+        b.fill_component(v, 0, &[1.0; 8]);
+        b.fill_component(w, 0, &[2.0; 8]);
+        let two = b.scalar_const(2.0);
+        b.axpy(v, two, w); // v = 1 + 2*2 = 5
+        b.scal(v, two); // v = 10
+        let half = b.scalar_const(0.5);
+        b.xpay(v, half, w); // v = 2 + 0.5*10 = 7
+        assert_eq!(b.read_component(v, 0), vec![7.0; 8]);
+        // copy
+        b.copy(w, v);
+        assert_eq!(b.read_component(w, 0), vec![7.0; 8]);
+    }
+
+    #[test]
+    fn dot_across_components() {
+        let mut b = backend();
+        let v = b.alloc_vector(&[spec(4, 2), spec(3, 1)]);
+        let w = b.alloc_vector(&[spec(4, 2), spec(3, 1)]);
+        b.fill_component(v, 0, &[1.0, 2.0, 3.0, 4.0]);
+        b.fill_component(v, 1, &[1.0, 1.0, 1.0]);
+        b.fill_component(w, 0, &[1.0; 4]);
+        b.fill_component(w, 1, &[2.0, 3.0, 4.0]);
+        let d = b.dot(v, w);
+        assert_eq!(b.scalar_get(d), 10.0 + 9.0);
+    }
+
+    #[test]
+    fn scalar_pipeline() {
+        let mut b = backend();
+        let x = b.scalar_const(9.0);
+        let y = b.scalar_const(2.0);
+        let s = b.scalar_binop(ScalarOp::Div, x, y); // 4.5
+        let r = b.scalar_unop(ScalarUnop::Sqrt, x); // 3
+        let t = b.scalar_binop(ScalarOp::Add, s, r); // 7.5
+        assert_eq!(b.scalar_get(t), 7.5);
+    }
+
+    #[test]
+    fn apply_matches_reference_spmv() {
+        let s = Stencil::lap2d(6, 6);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>() as Csr<f64, u64>);
+        let part = Partition::equal_blocks(36, 4);
+        let tiles = compute_tiles(m.as_ref(), &part, &part, 0, 0);
+        let mut b = backend();
+        let op = b.register_operator(OpSetSpec {
+            components: vec![OpComponentSpec {
+                matrix: Arc::clone(&m),
+                sol_comp: 0,
+                rhs_comp: 0,
+                tiles,
+            }],
+        });
+        let cs = CompSpec {
+            len: 36,
+            partition: part,
+        };
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        let xv = kdr_sparse::stencil::rhs_vector::<f64>(36, 3);
+        b.fill_component(x, 0, &xv);
+        b.apply(op, y, x, false);
+        let got = b.read_component(y, 0);
+        let mut expect = vec![0.0; 36];
+        m.spmv(&xv, &mut expect);
+        for i in 0..36 {
+            assert!((got[i] - expect[i]).abs() < 1e-12, "row {i}");
+        }
+        // Adjoint (symmetric matrix: same values).
+        b.apply(op, y, x, true);
+        let got_t = b.read_component(y, 0);
+        for i in 0..36 {
+            assert!((got_t[i] - expect[i]).abs() < 1e-12, "t row {i}");
+        }
+    }
+}

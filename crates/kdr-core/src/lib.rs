@@ -1,0 +1,50 @@
+//! # kdr-core
+//!
+//! The KDRSolvers framework: scalable, flexible, task-oriented Krylov
+//! solvers (the paper's primary contribution).
+//!
+//! KDRSolvers represents a sparse linear system through three index
+//! spaces — kernel `K`, domain `D`, range `R` — related by each
+//! storage format's row and column relations. On top of that
+//! representation this crate provides:
+//!
+//! * **Universal co-partitioning** ([`partitioning`]): operator tiles
+//!   derived purely from relations, for any format including
+//!   user-defined and matrix-free ones.
+//! * **Multi-operator systems** ([`Planner`]): one logical system
+//!   assembled from many `(K_ℓ, A_ℓ, i_ℓ, j_ℓ)` components over
+//!   multiple domain/range spaces, with aliasing — a single stored
+//!   matrix reused by many components (multiple right-hand sides,
+//!   related systems, §4.2).
+//! * **The planner/solver split** (§5, Figures 5–7): solvers speak a
+//!   small mathematical operation set (`copy`/`scal`/`axpy`/`xpay`/
+//!   `dot`/`matmul`/`psolve`) with deferred scalars, and never see
+//!   formats, components, partitions, or data movement.
+//! * **Interchangeable KSMs** ([`solvers`]): CG, preconditioned CG,
+//!   BiCG, BiCGStab, CGS, GMRES(m), MINRES.
+//! * **Two backends**: [`exec::ExecBackend`] executes for real on the
+//!   `kdr-runtime` task runtime; [`simbackend::SimBackend`] lowers
+//!   the identical operation stream onto the `kdr-machine` cluster
+//!   simulator for the paper's large-scale experiments.
+//! * **Preconditioners** ([`precond`]) and the §6.3 thermodynamic
+//!   **load balancer** ([`loadbalance`]).
+
+pub mod backend;
+pub mod exec;
+pub mod loadbalance;
+pub mod partitioning;
+pub mod planner;
+pub mod precond;
+pub mod scalar_handle;
+pub mod simbackend;
+pub mod solvers;
+
+pub use backend::{Backend, CompSpec, OpSetSpec, TileSpec};
+pub use exec::ExecBackend;
+pub use planner::{Planner, VecId, RHS, SOL};
+pub use scalar_handle::ScalarHandle;
+pub use simbackend::SimBackend;
+pub use solvers::{
+    solve, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, MinresSolver,
+    PBiCgStabSolver, PcgSolver, SolveControl, SolveReport, Solver, TfqmrSolver,
+};

@@ -1,0 +1,434 @@
+//! The planner: problem setup and the solver-facing operation set
+//! (the paper's Figures 5 and 6).
+//!
+//! A [`Planner`] is built in two phases. *Setup* (Figure 5): the user
+//! supplies solution-vector components (`add_sol_vector`),
+//! right-hand-side components (`add_rhs_vector`), operator components
+//! (`add_operator`) and optionally preconditioner components
+//! (`add_preconditioner`), each with an optional canonical partition.
+//! *Solving* (Figure 6): solvers drive the planner through
+//! format-agnostic mathematical operations — `copy`, `scal`, `axpy`,
+//! `xpay`, `dot`, `matmul`, `psolve` — on opaque vector ids, with
+//! `SOL` and `RHS` preallocated.
+//!
+//! The planner owns the dependent-partitioning step: on finalization
+//! it derives every operator component's tiles from its row/column
+//! relations (see [`crate::partitioning`]) and registers them with the
+//! backend. Changing a partition changes *nothing else* in user or
+//! solver code — the paper's P3.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kdr_index::Partition;
+use kdr_sparse::{Scalar, SparseMatrix};
+
+use crate::backend::{Backend, BVec, CompSpec, OpComponentSpec, OpHandle, OpSetSpec};
+use crate::partitioning::compute_tiles;
+use crate::scalar_handle::{ScalarHandle, SharedBackend};
+
+/// Planner-level vector identifier.
+pub type VecId = usize;
+
+/// The solution vector (always id 0).
+pub const SOL: VecId = 0;
+
+/// The right-hand-side vector (always id 1).
+pub const RHS: VecId = 1;
+
+/// Which multi-component structure a vector instance carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VecStructure {
+    /// Indexed by the total domain space `D_total = D_1 ⊔ … ⊔ D_n`.
+    Sol,
+    /// Indexed by the total range space `R_total = R_1 ⊔ … ⊔ R_m`.
+    Rhs,
+}
+
+struct PendingOp<T> {
+    matrix: Arc<dyn SparseMatrix<T>>,
+    sol_comp: usize,
+    rhs_comp: usize,
+}
+
+/// The KDRSolvers planner.
+pub struct Planner<T: Scalar> {
+    backend: SharedBackend<T>,
+    sol_comps: Vec<CompSpec>,
+    rhs_comps: Vec<CompSpec>,
+    ops: Vec<PendingOp<T>>,
+    precs: Vec<PendingOp<T>>,
+    vectors: Vec<(BVec, VecStructure)>,
+    op_handle: Option<OpHandle>,
+    prec_handle: Option<OpHandle>,
+    /// Data supplied before finalization, applied when `SOL`/`RHS`
+    /// are allocated: `(is_sol, component, data)`.
+    pending_data: Vec<(bool, usize, Vec<T>)>,
+    finalized: bool,
+}
+
+impl<T: Scalar> Planner<T> {
+    /// Create a planner over a backend.
+    pub fn new(backend: Box<dyn Backend<T>>) -> Self {
+        Planner {
+            backend: Arc::new(Mutex::new(backend)) as SharedBackend<T>,
+            sol_comps: Vec::new(),
+            rhs_comps: Vec::new(),
+            ops: Vec::new(),
+            precs: Vec::new(),
+            vectors: Vec::new(),
+            op_handle: None,
+            prec_handle: None,
+            pending_data: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    // ----- Setup API (paper Figure 5) -------------------------------
+
+    /// Add a solution-vector component of `len` points with an
+    /// optional canonical partition (complete and disjoint); defaults
+    /// to a single piece. Returns the component's `sol_id`.
+    pub fn add_sol_vector(&mut self, len: u64, partition: Option<Partition>) -> usize {
+        assert!(!self.finalized, "planner already finalized");
+        let partition = partition.unwrap_or_else(|| Partition::equal_blocks(len, 1));
+        assert_eq!(partition.space_size(), len);
+        assert!(
+            partition.is_complete() && partition.is_disjoint(),
+            "canonical partitions must be complete and disjoint"
+        );
+        self.sol_comps.push(CompSpec { len, partition });
+        self.sol_comps.len() - 1
+    }
+
+    /// Add a right-hand-side component; see [`Planner::add_sol_vector`].
+    pub fn add_rhs_vector(&mut self, len: u64, partition: Option<Partition>) -> usize {
+        assert!(!self.finalized, "planner already finalized");
+        let partition = partition.unwrap_or_else(|| Partition::equal_blocks(len, 1));
+        assert_eq!(partition.space_size(), len);
+        assert!(
+            partition.is_complete() && partition.is_disjoint(),
+            "canonical partitions must be complete and disjoint"
+        );
+        self.rhs_comps.push(CompSpec { len, partition });
+        self.rhs_comps.len() - 1
+    }
+
+    /// Add an operator component `(K_ℓ, A_ℓ, i_ℓ, j_ℓ)`: `matrix` maps
+    /// solution component `sol_id` to right-hand-side component
+    /// `rhs_id`. The same `Arc` may be added many times (aliasing,
+    /// §4.2) — its storage is shared, never duplicated.
+    pub fn add_operator(
+        &mut self,
+        matrix: Arc<dyn SparseMatrix<T>>,
+        sol_id: usize,
+        rhs_id: usize,
+    ) {
+        assert!(!self.finalized, "planner already finalized");
+        assert_eq!(
+            matrix.domain_space().size(),
+            self.sol_comps[sol_id].len,
+            "operator domain does not match sol component {sol_id}"
+        );
+        assert_eq!(
+            matrix.range_space().size(),
+            self.rhs_comps[rhs_id].len,
+            "operator range does not match rhs component {rhs_id}"
+        );
+        self.ops.push(PendingOp {
+            matrix,
+            sol_comp: sol_id,
+            rhs_comp: rhs_id,
+        });
+    }
+
+    /// Add a preconditioner component: `matrix` maps right-hand-side
+    /// component `rhs_id` to solution component `sol_id` (so that
+    /// `P_total A_total ≈ I`).
+    pub fn add_preconditioner(
+        &mut self,
+        matrix: Arc<dyn SparseMatrix<T>>,
+        sol_id: usize,
+        rhs_id: usize,
+    ) {
+        assert!(!self.finalized, "planner already finalized");
+        assert_eq!(
+            matrix.domain_space().size(),
+            self.rhs_comps[rhs_id].len,
+            "preconditioner domain does not match rhs component {rhs_id}"
+        );
+        assert_eq!(
+            matrix.range_space().size(),
+            self.sol_comps[sol_id].len,
+            "preconditioner range does not match sol component {sol_id}"
+        );
+        self.precs.push(PendingOp {
+            matrix,
+            sol_comp: sol_id,
+            rhs_comp: rhs_id,
+        });
+    }
+
+    /// Derive tiles for every operator component and allocate `SOL`
+    /// and `RHS`. Invoked automatically by the first solver-facing
+    /// call.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        assert!(
+            !self.sol_comps.is_empty() && !self.rhs_comps.is_empty(),
+            "planner needs at least one sol and one rhs component"
+        );
+        assert!(!self.ops.is_empty(), "planner needs at least one operator");
+        let op_spec = OpSetSpec {
+            components: self
+                .ops
+                .iter()
+                .map(|op| OpComponentSpec {
+                    matrix: Arc::clone(&op.matrix),
+                    sol_comp: op.sol_comp,
+                    rhs_comp: op.rhs_comp,
+                    tiles: compute_tiles(
+                        op.matrix.as_ref(),
+                        &self.sol_comps[op.sol_comp].partition,
+                        &self.rhs_comps[op.rhs_comp].partition,
+                        op.sol_comp,
+                        op.rhs_comp,
+                    ),
+                })
+                .collect(),
+        };
+        let prec_spec = (!self.precs.is_empty()).then(|| OpSetSpec {
+            components: self
+                .precs
+                .iter()
+                .map(|op| OpComponentSpec {
+                    matrix: Arc::clone(&op.matrix),
+                    // Preconditioners run range -> domain: input is the
+                    // rhs component, output the sol component.
+                    sol_comp: op.rhs_comp,
+                    rhs_comp: op.sol_comp,
+                    tiles: compute_tiles(
+                        op.matrix.as_ref(),
+                        &self.rhs_comps[op.rhs_comp].partition,
+                        &self.sol_comps[op.sol_comp].partition,
+                        op.rhs_comp,
+                        op.sol_comp,
+                    ),
+                })
+                .collect(),
+        });
+        let mut b = self.backend.lock();
+        self.op_handle = Some(b.register_operator(op_spec));
+        self.prec_handle = prec_spec.map(|s| b.register_operator(s));
+        let sol = b.alloc_vector(&self.sol_comps);
+        let rhs = b.alloc_vector(&self.rhs_comps);
+        drop(b);
+        debug_assert!(self.vectors.is_empty());
+        let (sol_id, _) = self.register_vec_id(sol, VecStructure::Sol);
+        let (rhs_id, _) = self.register_vec_id(rhs, VecStructure::Rhs);
+        assert_eq!(sol_id, SOL);
+        assert_eq!(rhs_id, RHS);
+        self.finalized = true;
+        for (is_sol, comp, data) in std::mem::take(&mut self.pending_data) {
+            let bv = self.vectors[if is_sol { SOL } else { RHS }].0;
+            self.backend.lock().fill_component(bv, comp, &data);
+        }
+    }
+
+    fn register_vec_id(&mut self, bvec: BVec, s: VecStructure) -> (VecId, BVec) {
+        self.vectors.push((bvec, s));
+        (self.vectors.len() - 1, bvec)
+    }
+
+    fn ensure_finalized(&mut self) {
+        self.finalize();
+    }
+
+    /// Overwrite a solution component (initial guess). May be called
+    /// during setup (applied at finalization) or after.
+    pub fn set_sol_data(&mut self, comp: usize, data: &[T]) {
+        assert_eq!(data.len() as u64, self.sol_comps[comp].len);
+        if self.finalized {
+            let bv = self.vectors[SOL].0;
+            self.backend.lock().fill_component(bv, comp, data);
+        } else {
+            self.pending_data.push((true, comp, data.to_vec()));
+        }
+    }
+
+    /// Overwrite a right-hand-side component. May be called during
+    /// setup (applied at finalization) or after.
+    pub fn set_rhs_data(&mut self, comp: usize, data: &[T]) {
+        assert_eq!(data.len() as u64, self.rhs_comps[comp].len);
+        if self.finalized {
+            let bv = self.vectors[RHS].0;
+            self.backend.lock().fill_component(bv, comp, data);
+        } else {
+            self.pending_data.push((false, comp, data.to_vec()));
+        }
+    }
+
+    /// Read back a component of any planner vector (execution backend
+    /// only).
+    pub fn read_component(&mut self, vec: VecId, comp: usize) -> Vec<T> {
+        self.ensure_finalized();
+        let bv = self.vectors[vec].0;
+        self.backend.lock().read_component(bv, comp)
+    }
+
+    // ----- Solver-facing API (paper Figure 6) ------------------------
+
+    /// `D_i = R_i` for all `i` (componentwise sizes and counts).
+    pub fn is_square(&self) -> bool {
+        self.sol_comps.len() == self.rhs_comps.len()
+            && self
+                .sol_comps
+                .iter()
+                .zip(&self.rhs_comps)
+                .all(|(d, r)| d.len == r.len)
+    }
+
+    /// Whether a preconditioner was supplied.
+    pub fn has_preconditioner(&self) -> bool {
+        !self.precs.is_empty()
+    }
+
+    /// Allocate a workspace vector with the solution structure.
+    pub fn allocate_workspace_vector(&mut self) -> VecId {
+        self.ensure_finalized();
+        let bv = self.backend.lock().alloc_vector(&self.sol_comps.clone());
+        self.register_vec_id(bv, VecStructure::Sol).0
+    }
+
+    /// Allocate a workspace vector with the right-hand-side structure.
+    pub fn allocate_workspace_vector_rhs(&mut self) -> VecId {
+        self.ensure_finalized();
+        let bv = self.backend.lock().alloc_vector(&self.rhs_comps.clone());
+        self.register_vec_id(bv, VecStructure::Rhs).0
+    }
+
+    fn bvec(&self, v: VecId) -> BVec {
+        self.vectors[v].0
+    }
+
+    fn check_compatible(&self, a: VecId, b: VecId) {
+        let (sa, sb) = (self.vectors[a].1, self.vectors[b].1);
+        if sa != sb {
+            assert!(
+                self.is_square(),
+                "mixing sol- and rhs-structured vectors requires a square system"
+            );
+        }
+    }
+
+    /// `dst ← src`.
+    pub fn copy(&mut self, dst: VecId, src: VecId) {
+        self.ensure_finalized();
+        self.check_compatible(dst, src);
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().copy(d, s);
+    }
+
+    /// `dst ← alpha · dst`.
+    pub fn scal(&mut self, dst: VecId, alpha: &ScalarHandle<T>) {
+        self.ensure_finalized();
+        let d = self.bvec(dst);
+        self.backend.lock().scal(d, alpha.sref());
+    }
+
+    /// `dst ← dst + alpha · src`.
+    pub fn axpy(&mut self, dst: VecId, alpha: &ScalarHandle<T>, src: VecId) {
+        self.ensure_finalized();
+        self.check_compatible(dst, src);
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().axpy(d, alpha.sref(), s);
+    }
+
+    /// `dst ← src + alpha · dst`.
+    pub fn xpay(&mut self, dst: VecId, alpha: &ScalarHandle<T>, src: VecId) {
+        self.ensure_finalized();
+        self.check_compatible(dst, src);
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().xpay(d, alpha.sref(), s);
+    }
+
+    /// Deferred inner product `v · w`.
+    pub fn dot(&mut self, v: VecId, w: VecId) -> ScalarHandle<T> {
+        self.ensure_finalized();
+        self.check_compatible(v, w);
+        let (a, b) = (self.bvec(v), self.bvec(w));
+        let sref = self.backend.lock().dot(a, b);
+        ScalarHandle::new(Arc::clone(&self.backend), sref)
+    }
+
+    /// Materialize a scalar constant as a deferred scalar.
+    pub fn scalar(&mut self, v: T) -> ScalarHandle<T> {
+        self.ensure_finalized();
+        let sref = self.backend.lock().scalar_const(v);
+        ScalarHandle::new(Arc::clone(&self.backend), sref)
+    }
+
+    /// `dst ← A_total(src)`.
+    pub fn matmul(&mut self, dst: VecId, src: VecId) {
+        self.ensure_finalized();
+        let op = self.op_handle.expect("finalized");
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().apply(op, d, s, false);
+    }
+
+    /// `dst ← A_totalᵀ(src)` (adjoint matrix-vector multiplication).
+    pub fn matmul_transpose(&mut self, dst: VecId, src: VecId) {
+        self.ensure_finalized();
+        let op = self.op_handle.expect("finalized");
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().apply(op, d, s, true);
+    }
+
+    /// `dst ← P_total(src)`; panics without a preconditioner.
+    pub fn psolve(&mut self, dst: VecId, src: VecId) {
+        self.ensure_finalized();
+        let op = self
+            .prec_handle
+            .expect("psolve requires add_preconditioner");
+        let (d, s) = (self.bvec(dst), self.bvec(src));
+        self.backend.lock().apply(op, d, s, false);
+    }
+
+    /// Block until all deferred work has completed (no-op on the
+    /// simulation backend).
+    pub fn fence(&mut self) {
+        self.ensure_finalized();
+        self.backend.lock().fence();
+    }
+
+    /// Number of solution components.
+    pub fn num_sol_components(&self) -> usize {
+        self.sol_comps.len()
+    }
+
+    /// Number of right-hand-side components.
+    pub fn num_rhs_components(&self) -> usize {
+        self.rhs_comps.len()
+    }
+
+    /// The canonical partition of a solution component.
+    pub fn sol_partition(&self, comp: usize) -> &Partition {
+        &self.sol_comps[comp].partition
+    }
+
+    /// The canonical partition of a right-hand-side component.
+    pub fn rhs_partition(&self, comp: usize) -> &Partition {
+        &self.rhs_comps[comp].partition
+    }
+
+    /// Reach the concrete backend (for graph extraction or runtime
+    /// statistics): `planner.with_backend(|b| { let sim = b.as_any()
+    /// .downcast_mut::<SimBackend<f64>>()...; })`.
+    pub fn with_backend<R>(&mut self, f: impl FnOnce(&mut dyn Backend<T>) -> R) -> R {
+        let mut b = self.backend.lock();
+        f(&mut *b)
+    }
+}

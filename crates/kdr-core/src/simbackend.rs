@@ -1,0 +1,785 @@
+//! The simulation backend: same operation stream, priced task graph.
+//!
+//! `SimBackend` implements [`Backend`] without touching any data: it
+//! lowers the planner's operation stream into a `kdr-machine`
+//! [`TaskGraph`] whose nodes carry flop/byte costs and processor
+//! placements. Vector pieces are assigned owners by a block
+//! distribution over the machine's processors; cross-node ghost reads
+//! become `Copy` nodes; inner products become partial-compute nodes
+//! plus a latency-bound collective. Dependences (including
+//! write-after-read) are tracked per piece, so the discrete-event
+//! scheduler sees exactly the dataflow a task-oriented runtime would —
+//! in particular, ghost copies for the next matvec float freely and
+//! overlap with unrelated compute, which is the effect the paper's §6
+//! measures.
+//!
+//! Scalars have no values here: `scalar_get` returns `1.0`
+//! (documented placeholder) — simulated solver runs must use fixed
+//! iteration counts, exactly like the paper's fixed 500-iteration
+//! benchmark protocol.
+
+use std::marker::PhantomData;
+
+use kdr_machine::{MachineConfig, ProcId, SimNodeId, TaskGraph};
+use kdr_sparse::Scalar;
+
+use crate::backend::{
+    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
+};
+
+#[derive(Default, Clone)]
+struct PieceState {
+    last_writer: Option<SimNodeId>,
+    readers: Vec<SimNodeId>,
+}
+
+struct SimComp {
+    piece_lens: Vec<u64>,
+    owners: Vec<ProcId>,
+    state: Vec<PieceState>,
+}
+
+struct SimVec {
+    comps: Vec<SimComp>,
+}
+
+struct SimTile {
+    rhs_comp: usize,
+    sol_comp: usize,
+    range_color: usize,
+    nnz: u64,
+    out_len: u64,
+    in_total: u64,
+    in_by_color: Vec<(usize, u64)>,
+}
+
+struct SimOpSet {
+    tiles: Vec<SimTile>,
+}
+
+/// Graph-building backend for large-scale simulated experiments.
+pub struct SimBackend<T> {
+    machine: MachineConfig,
+    graph: TaskGraph,
+    vectors: Vec<SimVec>,
+    scalars: Vec<Option<SimNodeId>>,
+    opsets: Vec<SimOpSet>,
+    /// Stored bytes per matrix entry beyond the value itself (CSR
+    /// column index + amortized rowptr ≈ 4–8 B).
+    index_bytes: f64,
+    /// Graph sizes recorded at [`SimBackend::mark`] calls (iteration
+    /// boundaries).
+    marks: Vec<usize>,
+    /// Bulk-synchronous mode: a global barrier closes every planner
+    /// operation (and separates the halo-exchange and compute phases
+    /// of `apply`), modeling MPI-style libraries. The default (false)
+    /// is the task-oriented model: only dataflow orders work.
+    bulk_sync: bool,
+    /// Barrier closing the previous phase (bulk-sync mode).
+    phase_barrier: Option<SimNodeId>,
+    /// Nodes emitted during the current phase (bulk-sync mode).
+    phase_nodes: Vec<SimNodeId>,
+    _t: PhantomData<T>,
+}
+
+impl<T: Scalar> SimBackend<T> {
+    pub fn new(machine: MachineConfig) -> Self {
+        SimBackend {
+            machine,
+            graph: TaskGraph::new(),
+            vectors: Vec::new(),
+            scalars: Vec::new(),
+            opsets: Vec::new(),
+            index_bytes: 8.0,
+            _t: PhantomData,
+            marks: Vec::new(),
+            bulk_sync: false,
+            phase_barrier: None,
+            phase_nodes: Vec::new(),
+        }
+    }
+
+    /// Override metadata bytes per stored entry (e.g. 4 for 32-bit
+    /// column indices).
+    pub fn with_index_bytes(mut self, b: f64) -> Self {
+        self.index_bytes = b;
+        self
+    }
+
+    /// Enable the bulk-synchronous (MPI-library-like) execution
+    /// model: see the `bulk_sync` field.
+    pub fn bulk_synchronous(mut self) -> Self {
+        self.bulk_sync = true;
+        self
+    }
+
+    /// Register a freshly emitted node with the current phase and
+    /// return it.
+    fn phase_node(&mut self, node: SimNodeId) -> SimNodeId {
+        if self.bulk_sync {
+            self.phase_nodes.push(node);
+        }
+        node
+    }
+
+    /// Close the current phase with a global barrier (bulk-sync mode
+    /// only).
+    fn close_phase(&mut self) {
+        if !self.bulk_sync {
+            return;
+        }
+        let nodes = std::mem::take(&mut self.phase_nodes);
+        if nodes.is_empty() {
+            return;
+        }
+        // An MPI phase boundary is a real collective: every rank
+        // pays ~log(P) network latency, unlike the free dataflow
+        // joins of the task-oriented model.
+        let bar = self
+            .graph
+            .collective(self.machine.nodes, 0.0, "phase_barrier", nodes);
+        self.phase_barrier = Some(bar);
+    }
+
+    /// Dependences every node must include in bulk-sync mode.
+    fn phase_deps(&self) -> Vec<SimNodeId> {
+        self.phase_barrier.into_iter().collect()
+    }
+
+    fn elem_bytes(&self) -> f64 {
+        std::mem::size_of::<T>() as f64
+    }
+
+    /// Record an iteration boundary (current graph length).
+    pub fn mark(&mut self) {
+        self.marks.push(self.graph.len());
+    }
+
+    /// Recorded iteration boundaries.
+    pub fn marks(&self) -> &[usize] {
+        &self.marks
+    }
+
+    /// The machine this backend prices against.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Finish building and take the graph (with its marks).
+    pub fn into_graph(self) -> (TaskGraph, Vec<usize>) {
+        (self.graph, self.marks)
+    }
+
+    /// Take the graph out of a backend reached through `dyn Backend`
+    /// (see [`crate::Planner::with_backend`]). The backend must not
+    /// be used afterwards: piece dependence state still refers to the
+    /// extracted graph.
+    pub fn take_graph(&mut self) -> (TaskGraph, Vec<usize>) {
+        (
+            std::mem::take(&mut self.graph),
+            std::mem::take(&mut self.marks),
+        )
+    }
+
+    /// Borrow the graph built so far.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Owner assignment: pieces are laid out consecutively per
+    /// component and block-distributed over all processors.
+    fn assign_owners(&self, comps: &[CompSpec]) -> Vec<Vec<ProcId>> {
+        let total_pieces: usize = comps.iter().map(|c| c.partition.num_colors()).sum();
+        let procs = self.machine.total_procs();
+        let ppn = self.machine.procs_per_node;
+        let mut out = Vec::with_capacity(comps.len());
+        let mut linear = 0usize;
+        for c in comps {
+            let mut owners = Vec::with_capacity(c.partition.num_colors());
+            for _ in 0..c.partition.num_colors() {
+                let p = (linear * procs) / total_pieces.max(1);
+                owners.push(ProcId {
+                    node: p / ppn,
+                    lane: p % ppn,
+                });
+                linear += 1;
+            }
+            out.push(owners);
+        }
+        out
+    }
+
+    /// Dependences for writing a piece: after its last writer and all
+    /// readers since (WAW + WAR); resets reader list.
+    fn write_deps(state: &mut PieceState, node_placeholder: ()) -> Vec<SimNodeId> {
+        let _ = node_placeholder;
+        let mut deps: Vec<SimNodeId> = state.readers.drain(..).collect();
+        if let Some(w) = state.last_writer {
+            deps.push(w);
+        }
+        deps
+    }
+
+    /// Dependences for reading a piece (RAW).
+    fn read_deps(state: &PieceState) -> Vec<SimNodeId> {
+        state.last_writer.into_iter().collect()
+    }
+
+    /// Emit one elementwise op over `dst` (optionally reading `src`),
+    /// `traffic` counts vector-stream accesses per element.
+    fn elementwise(
+        &mut self,
+        label: &'static str,
+        dst: BVec,
+        src: Option<BVec>,
+        alpha: Option<SRef>,
+        flops_per_elem: f64,
+        traffic: f64,
+    ) {
+        let eb = self.elem_bytes();
+        let alpha_dep: Vec<SimNodeId> = alpha
+            .and_then(|a| self.scalars[a])
+            .into_iter()
+            .collect();
+        let ncomps = self.vectors[dst].comps.len();
+        if let Some(s) = src {
+            // Elementwise ops pair pieces positionally; mixing vectors
+            // with different component/piece structures would corrupt
+            // the dependence bookkeeping.
+            assert_eq!(
+                self.vectors[s].comps.len(),
+                ncomps,
+                "elementwise op across mismatched component structures"
+            );
+            for ci in 0..ncomps {
+                assert_eq!(
+                    self.vectors[s].comps[ci].piece_lens,
+                    self.vectors[dst].comps[ci].piece_lens,
+                    "elementwise op across mismatched partitions (component {ci})"
+                );
+            }
+        }
+        for ci in 0..ncomps {
+            let ncolors = self.vectors[dst].comps[ci].piece_lens.len();
+            for color in 0..ncolors {
+                let len = self.vectors[dst].comps[ci].piece_lens[color];
+                if len == 0 {
+                    continue;
+                }
+                let owner = self.vectors[dst].comps[ci].owners[color];
+                let mut deps = alpha_dep.clone();
+                deps.extend(self.phase_deps());
+                if let Some(s) = src {
+                    deps.extend(Self::read_deps(&self.vectors[s].comps[ci].state[color]));
+                }
+                deps.extend(Self::write_deps(
+                    &mut self.vectors[dst].comps[ci].state[color],
+                    (),
+                ));
+                deps.sort_unstable();
+                deps.dedup();
+                let node = self.graph.compute(
+                    owner,
+                    flops_per_elem * len as f64,
+                    traffic * eb * len as f64,
+                    label,
+                    deps,
+                );
+                self.phase_node(node);
+                self.vectors[dst].comps[ci].state[color].last_writer = Some(node);
+                if let Some(s) = src {
+                    self.vectors[s].comps[ci].state[color].readers.push(node);
+                }
+            }
+        }
+        self.close_phase();
+    }
+}
+
+impl<T: Scalar> Backend<T> for SimBackend<T> {
+    fn alloc_vector(&mut self, comps: &[CompSpec]) -> BVec {
+        let owners = self.assign_owners(comps);
+        let v = SimVec {
+            comps: comps
+                .iter()
+                .zip(owners)
+                .map(|(c, owners)| SimComp {
+                    piece_lens: (0..c.partition.num_colors())
+                        .map(|col| c.partition.piece(col).cardinality())
+                        .collect(),
+                    state: vec![PieceState::default(); c.partition.num_colors()],
+                    owners,
+                })
+                .collect(),
+        };
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    fn fill_component(&mut self, _v: BVec, _comp: usize, _data: &[T]) {
+        // Simulated vectors carry no data.
+    }
+
+    fn read_component(&mut self, _v: BVec, _comp: usize) -> Vec<T> {
+        panic!("SimBackend has no data to read; use ExecBackend for numerics");
+    }
+
+    fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
+        let tiles = spec
+            .components
+            .iter()
+            .flat_map(|c| {
+                c.tiles.iter().map(|t| SimTile {
+                    rhs_comp: t.rhs_comp,
+                    sol_comp: t.sol_comp,
+                    range_color: t.range_color,
+                    nnz: t.nnz,
+                    out_len: t.out_subset.cardinality(),
+                    in_total: t.in_union.cardinality(),
+                    in_by_color: t
+                        .in_by_color
+                        .iter()
+                        .map(|(c, s)| (*c, s.cardinality()))
+                        .collect(),
+                })
+            })
+            .collect();
+        self.opsets.push(SimOpSet { tiles });
+        self.opsets.len() - 1
+    }
+
+    fn copy(&mut self, dst: BVec, src: BVec) {
+        self.elementwise("copy", dst, Some(src), None, 0.0, 2.0);
+    }
+
+    fn scal(&mut self, dst: BVec, alpha: SRef) {
+        self.elementwise("scal", dst, None, Some(alpha), 1.0, 2.0);
+    }
+
+    fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        self.elementwise("axpy", dst, Some(src), Some(alpha), 2.0, 3.0);
+    }
+
+    fn xpay(&mut self, dst: BVec, alpha: SRef, src: BVec) {
+        self.elementwise("xpay", dst, Some(src), Some(alpha), 2.0, 3.0);
+    }
+
+    fn dot(&mut self, a: BVec, b: BVec) -> SRef {
+        let eb = self.elem_bytes();
+        let mut partials = Vec::new();
+        let ncomps = self.vectors[a].comps.len();
+        for ci in 0..ncomps {
+            let ncolors = self.vectors[a].comps[ci].piece_lens.len();
+            for color in 0..ncolors {
+                let len = self.vectors[a].comps[ci].piece_lens[color];
+                if len == 0 {
+                    continue;
+                }
+                let owner = self.vectors[a].comps[ci].owners[color];
+                let mut deps = Self::read_deps(&self.vectors[a].comps[ci].state[color]);
+                deps.extend(Self::read_deps(&self.vectors[b].comps[ci].state[color]));
+                deps.extend(self.phase_deps());
+                deps.sort_unstable();
+                deps.dedup();
+                let node = self.graph.compute(
+                    owner,
+                    2.0 * len as f64,
+                    2.0 * eb * len as f64,
+                    "dot_partial",
+                    deps,
+                );
+                self.vectors[a].comps[ci].state[color].readers.push(node);
+                self.vectors[b].comps[ci].state[color].readers.push(node);
+                partials.push(node);
+            }
+        }
+        let col = self
+            .graph
+            .collective(self.machine.nodes, eb, "dot_allreduce", partials);
+        // In bulk-sync mode the blocking all-reduce *is* the phase
+        // boundary: everything after the dot waits for it.
+        if self.bulk_sync {
+            self.phase_nodes.clear();
+            self.phase_barrier = Some(col);
+        }
+        self.scalars.push(Some(col));
+        self.scalars.len() - 1
+    }
+
+    fn scalar_const(&mut self, _v: T) -> SRef {
+        self.scalars.push(None);
+        self.scalars.len() - 1
+    }
+
+    fn scalar_binop(&mut self, _op: ScalarOp, a: SRef, b: SRef) -> SRef {
+        let deps: Vec<SimNodeId> = [self.scalars[a], self.scalars[b]]
+            .into_iter()
+            .flatten()
+            .collect();
+        let node = if deps.is_empty() {
+            None
+        } else {
+            Some(self.graph.barrier(deps, "scalar_op"))
+        };
+        self.scalars.push(node);
+        self.scalars.len() - 1
+    }
+
+    fn scalar_unop(&mut self, _op: ScalarUnop, a: SRef) -> SRef {
+        self.scalars.push(self.scalars[a]);
+        self.scalars.len() - 1
+    }
+
+    fn scalar_get(&mut self, _s: SRef) -> T {
+        // Placeholder: simulated graphs are value-independent. Run
+        // simulated solves with fixed iteration counts.
+        T::ONE
+    }
+
+    fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool) {
+        let eb = self.elem_bytes();
+        let ntiles = self.opsets[op].tiles.len();
+        if !transpose {
+            // Zero-fill fusion: the first tile writing a piece carries
+            // the β = 0 semantics (the standard fused SpMV kernel), so
+            // no separate zero pass exists and its memory traffic is
+            // one write of y instead of zero-write + read + write.
+            // Pieces no tile touches still need an explicit zero (the
+            // paper's eq. 8 empty sum).
+            let mut first_write: std::collections::HashSet<(usize, usize)> =
+                std::collections::HashSet::new();
+            // Pass 1: ghost copies for every tile (the halo-exchange
+            // phase of a bulk-synchronous library; free-floating
+            // dataflow in the task-oriented model).
+            let mut tile_deps: Vec<Vec<SimNodeId>> = Vec::with_capacity(ntiles);
+            for ti in 0..ntiles {
+                let tile = &self.opsets[op].tiles[ti];
+                let (rhs_comp, sol_comp, range_color) =
+                    (tile.rhs_comp, tile.sol_comp, tile.range_color);
+                let in_by_color = tile.in_by_color.clone();
+                let owner = self.vectors[dst].comps[rhs_comp].owners[range_color];
+                let mut deps = self.phase_deps();
+                for &(c, len) in &in_by_color {
+                    let src_owner = self.vectors[src].comps[sol_comp].owners[c];
+                    let mut rdeps =
+                        Self::read_deps(&self.vectors[src].comps[sol_comp].state[c]);
+                    rdeps.extend(self.phase_deps());
+                    if src_owner.node != owner.node {
+                        let cp = self.graph.copy(
+                            src_owner.node,
+                            owner.node,
+                            eb * len as f64,
+                            "ghost_copy",
+                            rdeps,
+                        );
+                        self.phase_node(cp);
+                        self.vectors[src].comps[sol_comp].state[c].readers.push(cp);
+                        deps.push(cp);
+                    } else {
+                        deps.extend(rdeps);
+                    }
+                }
+                tile_deps.push(deps);
+            }
+            self.close_phase();
+            // Pass 2: tile computes.
+            for ti in 0..ntiles {
+                let tile = &self.opsets[op].tiles[ti];
+                let (nnz, out_len, in_total) = (tile.nnz, tile.out_len, tile.in_total);
+                let (rhs_comp, sol_comp, range_color) =
+                    (tile.rhs_comp, tile.sol_comp, tile.range_color);
+                let in_by_color = tile.in_by_color.clone();
+                let owner = self.vectors[dst].comps[rhs_comp].owners[range_color];
+                let mut deps = std::mem::take(&mut tile_deps[ti]);
+                deps.extend(self.phase_deps());
+                deps.extend(Self::write_deps(
+                    &mut self.vectors[dst].comps[rhs_comp].state[range_color],
+                    (),
+                ));
+                deps.sort_unstable();
+                deps.dedup();
+                // Fused first write (β = 0) avoids reading y back.
+                let y_accesses = if first_write.insert((rhs_comp, range_color)) {
+                    1
+                } else {
+                    2
+                };
+                let node = self.graph.compute(
+                    owner,
+                    2.0 * nnz as f64,
+                    nnz as f64 * (eb + self.index_bytes)
+                        + eb * (in_total + y_accesses * out_len) as f64,
+                    "spmv_tile",
+                    deps,
+                );
+                self.phase_node(node);
+                self.vectors[dst].comps[rhs_comp].state[range_color].last_writer = Some(node);
+                for &(c, _) in &in_by_color {
+                    if self.vectors[src].comps[sol_comp].owners[c].node == owner.node {
+                        self.vectors[src].comps[sol_comp].state[c].readers.push(node);
+                    }
+                }
+            }
+            // Pieces untouched by any tile are an empty sum: zero them
+            // explicitly.
+            let ncomps = self.vectors[dst].comps.len();
+            for ci in 0..ncomps {
+                let ncolors = self.vectors[dst].comps[ci].piece_lens.len();
+                for color in 0..ncolors {
+                    if first_write.contains(&(ci, color)) {
+                        continue;
+                    }
+                    let len = self.vectors[dst].comps[ci].piece_lens[color];
+                    if len == 0 {
+                        continue;
+                    }
+                    let owner = self.vectors[dst].comps[ci].owners[color];
+                    let mut deps = self.phase_deps();
+                    deps.extend(Self::write_deps(
+                        &mut self.vectors[dst].comps[ci].state[color],
+                        (),
+                    ));
+                    let node =
+                        self.graph
+                            .compute(owner, 0.0, eb * len as f64, "apply_zero", deps);
+                    self.phase_node(node);
+                    self.vectors[dst].comps[ci].state[color].last_writer = Some(node);
+                }
+            }
+            self.close_phase();
+            return;
+        }
+        // Adjoint path: scatter-accumulation reads the destination, so
+        // an explicit zero pass is required.
+        self.elementwise("apply_zero", dst, None, None, 0.0, 1.0);
+        for ti in 0..ntiles {
+            let tile = &self.opsets[op].tiles[ti];
+            let (nnz, out_len, in_total) = (tile.nnz, tile.out_len, tile.in_total);
+            let (rhs_comp, sol_comp, range_color) =
+                (tile.rhs_comp, tile.sol_comp, tile.range_color);
+            let in_by_color = tile.in_by_color.clone();
+            {
+                // Adjoint: the tile computes at the matrix owner's
+                // node (co-located with the rhs-side piece), then
+                // scatters partial results back to each sol piece.
+                let owner = self.vectors[src].comps[rhs_comp].owners[range_color];
+                let mut deps =
+                    Self::read_deps(&self.vectors[src].comps[rhs_comp].state[range_color]);
+                deps.extend(self.phase_deps());
+                deps.sort_unstable();
+                deps.dedup();
+                let compute = self.graph.compute(
+                    owner,
+                    2.0 * nnz as f64,
+                    nnz as f64 * (eb + self.index_bytes) + eb * (in_total + out_len) as f64,
+                    "spmv_t_tile",
+                    deps,
+                );
+                self.vectors[src].comps[rhs_comp].state[range_color]
+                    .readers
+                    .push(compute);
+                for &(c, len) in &in_by_color {
+                    let dst_owner = self.vectors[dst].comps[sol_comp].owners[c];
+                    let dep = if dst_owner.node != owner.node {
+                        self.graph.copy(
+                            owner.node,
+                            dst_owner.node,
+                            eb * len as f64,
+                            "scatter_copy",
+                            vec![compute],
+                        )
+                    } else {
+                        compute
+                    };
+                    let mut wdeps =
+                        Self::write_deps(&mut self.vectors[dst].comps[sol_comp].state[c], ());
+                    wdeps.push(dep);
+                    wdeps.sort_unstable();
+                    wdeps.dedup();
+                    let accum = self.graph.compute(
+                        dst_owner,
+                        len as f64,
+                        3.0 * eb * len as f64,
+                        "scatter_accum",
+                        wdeps,
+                    );
+                    self.phase_node(accum);
+                    self.vectors[dst].comps[sol_comp].state[c].last_writer = Some(accum);
+                }
+            }
+        }
+        self.close_phase();
+    }
+
+    fn fence(&mut self) {
+        // Graph construction is synchronous; nothing to wait for.
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::OpComponentSpec;
+    use crate::partitioning::compute_tiles;
+    use kdr_index::Partition;
+    use kdr_machine::simulate;
+    use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
+    use std::sync::Arc;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::lassen(4).legion_profile()
+    }
+
+    fn build_spmv_graph(pieces: usize) -> (TaskGraph, usize) {
+        let s = Stencil::lap2d(1 << 11, 1 << 11);
+        let op: Arc<dyn SparseMatrix<f64>> = Arc::new(StencilOperator::<f64>::new(s));
+        let n = s.unknowns();
+        let part = Partition::equal_blocks(n, pieces);
+        let tiles = compute_tiles(op.as_ref(), &part, &part, 0, 0);
+        let ntiles = tiles.len();
+        let mut b = SimBackend::<f64>::new(machine());
+        let h = b.register_operator(OpSetSpec {
+            components: vec![OpComponentSpec {
+                matrix: op,
+                sol_comp: 0,
+                rhs_comp: 0,
+                tiles,
+            }],
+        });
+        let cs = CompSpec {
+            len: n,
+            partition: part,
+        };
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        b.apply(h, y, x, false);
+        let (g, _) = b.into_graph();
+        (g, ntiles)
+    }
+
+    #[test]
+    fn spmv_graph_shape() {
+        let (g, ntiles) = build_spmv_graph(16);
+        assert_eq!(ntiles, 16);
+        // 16 zero nodes + 16 tiles + ghost copies (interior pieces
+        // have 2 neighbors; same-node neighbors don't copy).
+        let copies = g
+            .nodes()
+            .iter()
+            .filter(|n| n.label == "ghost_copy")
+            .count();
+        assert!(copies > 0 && copies < 32, "copies = {copies}");
+        let r = simulate(&g, &machine(), None);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn more_pieces_scale_down_time() {
+        let (g1, _) = build_spmv_graph(1);
+        let (g16, _) = build_spmv_graph(16);
+        let m = machine();
+        let t1 = simulate(&g1, &m, None).makespan;
+        let t16 = simulate(&g16, &m, None).makespan;
+        // 16 pieces over 16 GPUs: bounded below by per-node dispatch
+        // serialization, but still far faster than one processor.
+        assert!(
+            t16 < t1 / 3.0,
+            "16-way partitioned SpMV must be much faster: {t1} vs {t16}"
+        );
+    }
+
+    #[test]
+    fn dot_emits_collective() {
+        let mut b = SimBackend::<f64>::new(machine());
+        let cs = CompSpec::blocks(1 << 16, 16);
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        let d = b.dot(x, y);
+        assert!(b.scalars[d].is_some());
+        let g = b.graph();
+        assert_eq!(
+            g.nodes().iter().filter(|n| n.label == "dot_allreduce").count(),
+            1
+        );
+        assert_eq!(
+            g.nodes().iter().filter(|n| n.label == "dot_partial").count(),
+            16
+        );
+    }
+
+    #[test]
+    fn war_dependences_tracked() {
+        // axpy reading x, then a write to x, must be ordered.
+        let mut b = SimBackend::<f64>::new(machine());
+        let cs = CompSpec::blocks(1024, 2);
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        let one = b.scalar_const(1.0);
+        b.axpy(y, one, x); // reads x
+        b.scal(x, one); // writes x -> must depend on the axpy reads
+        let g = b.graph();
+        let scal_nodes: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.label == "scal")
+            .collect();
+        assert_eq!(scal_nodes.len(), 2);
+        for n in scal_nodes {
+            assert!(!n.deps.is_empty(), "WAR edge missing");
+        }
+    }
+
+    #[test]
+    fn bulk_sync_inserts_phase_barriers() {
+        let build = |bulk: bool| {
+            let mut b = SimBackend::<f64>::new(machine());
+            if bulk {
+                b = b.bulk_synchronous();
+            }
+            let cs = CompSpec::blocks(1 << 14, 16);
+            let x = b.alloc_vector(std::slice::from_ref(&cs));
+            let y = b.alloc_vector(std::slice::from_ref(&cs));
+            let one = b.scalar_const(1.0);
+            b.axpy(y, one, x);
+            b.scal(x, one);
+            let g = b.graph().clone();
+            g
+        };
+        let async_g = build(false);
+        let sync_g = build(true);
+        assert_eq!(
+            async_g
+                .nodes()
+                .iter()
+                .filter(|n| n.label == "phase_barrier")
+                .count(),
+            0
+        );
+        assert!(
+            sync_g
+                .nodes()
+                .iter()
+                .filter(|n| n.label == "phase_barrier")
+                .count()
+                >= 2
+        );
+        // In bulk-sync mode the scal nodes must wait for the phase
+        // barrier even on pieces the axpy never touched... (all
+        // pieces are touched here; the point is the serialization).
+        let m = machine();
+        let t_async = simulate(&async_g, &m, None).makespan;
+        let t_sync = simulate(&sync_g, &m, None).makespan;
+        assert!(t_sync >= t_async);
+    }
+
+    #[test]
+    fn scalar_get_returns_placeholder() {
+        let mut b = SimBackend::<f64>::new(machine());
+        let s = b.scalar_const(123.0);
+        assert_eq!(b.scalar_get(s), 1.0);
+    }
+}

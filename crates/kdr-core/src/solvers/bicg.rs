@@ -1,0 +1,81 @@
+//! Biconjugate gradient (Fletcher 1976).
+//!
+//! Exercises the planner's *adjoint* matrix-vector product
+//! (`matmul_transpose`) — one forward and one adjoint product per
+//! iteration.
+
+use kdr_sparse::Scalar;
+
+use crate::planner::{Planner, RHS, SOL};
+use crate::scalar_handle::ScalarHandle;
+use crate::solvers::Solver;
+
+pub struct BiCgSolver<T: Scalar> {
+    r: usize,
+    rt: usize,
+    p: usize,
+    pt: usize,
+    q: usize,
+    qt: usize,
+    rho: ScalarHandle<T>,
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> BiCgSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "BiCG requires a square system");
+        let r = planner.allocate_workspace_vector();
+        let rt = planner.allocate_workspace_vector();
+        let p = planner.allocate_workspace_vector();
+        let pt = planner.allocate_workspace_vector();
+        let q = planner.allocate_workspace_vector();
+        let qt = planner.allocate_workspace_vector();
+        // r = b - A x0 ; shadow residual starts equal to r.
+        planner.matmul(q, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, q);
+        planner.copy(rt, r);
+        planner.copy(p, r);
+        planner.copy(pt, rt);
+        let rho = planner.dot(rt, r);
+        let res = planner.dot(r, r);
+        BiCgSolver {
+            r,
+            rt,
+            p,
+            pt,
+            q,
+            qt,
+            rho,
+            res,
+        }
+    }
+}
+
+impl<T: Scalar> Solver<T> for BiCgSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        planner.matmul(self.q, self.p);
+        planner.matmul_transpose(self.qt, self.pt);
+        let ptq = planner.dot(self.pt, self.q);
+        let alpha = self.rho.clone() / ptq;
+        planner.axpy(SOL, &alpha, self.p);
+        planner.axpy(self.r, &(-&alpha), self.q);
+        planner.axpy(self.rt, &(-&alpha), self.qt);
+        let new_rho = planner.dot(self.rt, self.r);
+        let beta = new_rho.clone() / self.rho.clone();
+        planner.xpay(self.p, &beta, self.r);
+        planner.xpay(self.pt, &beta, self.rt);
+        self.rho = new_rho;
+        self.res = planner.dot(self.r, self.r);
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "bicg"
+    }
+}

@@ -1,0 +1,188 @@
+//! Stabilized biconjugate gradient (van der Vorst 1992).
+//!
+//! Two matrix-vector products per iteration, no adjoint; converges on
+//! general nonsymmetric systems.
+
+use kdr_sparse::Scalar;
+
+use crate::planner::{Planner, RHS, SOL};
+use crate::scalar_handle::ScalarHandle;
+use crate::solvers::Solver;
+
+pub struct BiCgStabSolver<T: Scalar> {
+    r0hat: usize,
+    r: usize,
+    p: usize,
+    v: usize,
+    s: usize,
+    t: usize,
+    rho: ScalarHandle<T>,
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> BiCgStabSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "BiCGStab requires a square system");
+        let r0hat = planner.allocate_workspace_vector();
+        let r = planner.allocate_workspace_vector();
+        let p = planner.allocate_workspace_vector();
+        let v = planner.allocate_workspace_vector();
+        let s = planner.allocate_workspace_vector();
+        let t = planner.allocate_workspace_vector();
+        // r = b - A x0 ; r0hat = p = r.
+        planner.matmul(v, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, v);
+        planner.copy(r0hat, r);
+        planner.copy(p, r);
+        let rho = planner.dot(r0hat, r);
+        let res = planner.dot(r, r);
+        BiCgStabSolver {
+            r0hat,
+            r,
+            p,
+            v,
+            s,
+            t,
+            rho,
+            res,
+        }
+    }
+}
+
+impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        // v = A p ; alpha = rho / (r0hat · v).
+        planner.matmul(self.v, self.p);
+        let r0v = planner.dot(self.r0hat, self.v);
+        let alpha = self.rho.clone() / r0v;
+        // s = r - alpha v.
+        planner.copy(self.s, self.r);
+        planner.axpy(self.s, &(-&alpha), self.v);
+        // t = A s ; omega = (t · s) / (t · t).
+        planner.matmul(self.t, self.s);
+        let ts = planner.dot(self.t, self.s);
+        let tt = planner.dot(self.t, self.t);
+        // The `tiny` guard turns the exact lucky-breakdown 0/0 (s = 0
+        // after the first half-step) into omega = 0 instead of NaN.
+        let tiny = planner.scalar(T::tiny());
+        let omega = ts / (tt + tiny);
+        // x += alpha p + omega s.
+        planner.axpy(SOL, &alpha, self.p);
+        planner.axpy(SOL, &omega, self.s);
+        // r = s - omega t.
+        planner.copy(self.r, self.s);
+        planner.axpy(self.r, &(-&omega), self.t);
+        // beta = (rho' / rho) (alpha / omega) ; p = r + beta (p - omega v).
+        let new_rho = planner.dot(self.r0hat, self.r);
+        let beta = (new_rho.clone() / self.rho.clone()) * (alpha / omega.clone());
+        planner.axpy(self.p, &(-&omega), self.v);
+        planner.xpay(self.p, &beta, self.r);
+        self.rho = new_rho;
+        self.res = planner.dot(self.r, self.r);
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "bicgstab"
+    }
+}
+
+/// Right-preconditioned BiCGStab: identical recurrence with
+/// `p̂ = P p` and `ŝ = P s` inserted before each product, and the
+/// solution updated along the preconditioned directions (the PETSc
+/// `-pc_side right` formulation).
+pub struct PBiCgStabSolver<T: Scalar> {
+    r0hat: usize,
+    r: usize,
+    p: usize,
+    phat: usize,
+    shat: usize,
+    v: usize,
+    s: usize,
+    t: usize,
+    rho: ScalarHandle<T>,
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> PBiCgStabSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "BiCGStab requires a square system");
+        assert!(
+            planner.has_preconditioner(),
+            "PBiCgStabSolver requires add_preconditioner"
+        );
+        let r0hat = planner.allocate_workspace_vector();
+        let r = planner.allocate_workspace_vector();
+        let p = planner.allocate_workspace_vector();
+        let phat = planner.allocate_workspace_vector();
+        let shat = planner.allocate_workspace_vector();
+        let v = planner.allocate_workspace_vector();
+        let s = planner.allocate_workspace_vector();
+        let t = planner.allocate_workspace_vector();
+        planner.matmul(v, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, v);
+        planner.copy(r0hat, r);
+        planner.copy(p, r);
+        let rho = planner.dot(r0hat, r);
+        let res = planner.dot(r, r);
+        PBiCgStabSolver {
+            r0hat,
+            r,
+            p,
+            phat,
+            shat,
+            v,
+            s,
+            t,
+            rho,
+            res,
+        }
+    }
+}
+
+impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        // p̂ = P p ; v = A p̂.
+        planner.psolve(self.phat, self.p);
+        planner.matmul(self.v, self.phat);
+        let r0v = planner.dot(self.r0hat, self.v);
+        let alpha = self.rho.clone() / r0v;
+        // s = r − α v ; ŝ = P s ; t = A ŝ.
+        planner.copy(self.s, self.r);
+        planner.axpy(self.s, &(-&alpha), self.v);
+        planner.psolve(self.shat, self.s);
+        planner.matmul(self.t, self.shat);
+        let ts = planner.dot(self.t, self.s);
+        let tt = planner.dot(self.t, self.t);
+        let tiny = planner.scalar(T::tiny());
+        let omega = ts / (tt + tiny);
+        // x += α p̂ + ω ŝ ; r = s − ω t.
+        planner.axpy(SOL, &alpha, self.phat);
+        planner.axpy(SOL, &omega, self.shat);
+        planner.copy(self.r, self.s);
+        planner.axpy(self.r, &(-&omega), self.t);
+        let new_rho = planner.dot(self.r0hat, self.r);
+        let beta = (new_rho.clone() / self.rho.clone()) * (alpha / omega.clone());
+        planner.axpy(self.p, &(-&omega), self.v);
+        planner.xpay(self.p, &beta, self.r);
+        self.rho = new_rho;
+        self.res = planner.dot(self.r, self.r);
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "pbicgstab"
+    }
+}

@@ -1,0 +1,133 @@
+//! Conjugate gradient (Hestenes & Stiefel 1952), plain and
+//! preconditioned.
+//!
+//! [`CgSolver`] is a line-for-line port of the paper's Figure 7
+//! listing, generalized to a nonzero initial guess. [`PcgSolver`] is
+//! its preconditioned variant using `psolve`.
+
+use kdr_sparse::Scalar;
+
+use crate::planner::{Planner, RHS, SOL};
+use crate::scalar_handle::ScalarHandle;
+use crate::solvers::Solver;
+
+/// Unpreconditioned CG. Requires a square system without a
+/// preconditioner (use [`PcgSolver`] otherwise).
+pub struct CgSolver<T: Scalar> {
+    p: usize,
+    q: usize,
+    r: usize,
+    /// Squared residual norm (deferred).
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> CgSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "CG requires a square system");
+        assert!(
+            !planner.has_preconditioner(),
+            "use PcgSolver with a preconditioner"
+        );
+        let p = planner.allocate_workspace_vector();
+        let q = planner.allocate_workspace_vector();
+        let r = planner.allocate_workspace_vector();
+        // r = b - A x0 ; p = r.
+        planner.matmul(q, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, q);
+        planner.copy(p, r);
+        let res = planner.dot(r, r);
+        CgSolver { p, q, r, res }
+    }
+}
+
+impl<T: Scalar> Solver<T> for CgSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        planner.matmul(self.q, self.p);
+        let p_norm = planner.dot(self.p, self.q);
+        let alpha = self.res.clone() / p_norm;
+        planner.axpy(SOL, &alpha, self.p);
+        planner.axpy(self.r, &(-&alpha), self.q);
+        let new_res = planner.dot(self.r, self.r);
+        let beta = new_res.clone() / self.res.clone();
+        planner.xpay(self.p, &beta, self.r);
+        self.res = new_res;
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+}
+
+/// Preconditioned CG: identical structure with `z = P r` inserted.
+pub struct PcgSolver<T: Scalar> {
+    p: usize,
+    q: usize,
+    r: usize,
+    z: usize,
+    /// `r · z` (deferred).
+    rz: ScalarHandle<T>,
+    /// Squared residual norm (deferred).
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> PcgSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "PCG requires a square system");
+        assert!(
+            planner.has_preconditioner(),
+            "PcgSolver requires add_preconditioner"
+        );
+        let p = planner.allocate_workspace_vector();
+        let q = planner.allocate_workspace_vector();
+        let r = planner.allocate_workspace_vector();
+        let z = planner.allocate_workspace_vector();
+        planner.matmul(q, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, q);
+        planner.psolve(z, r);
+        planner.copy(p, z);
+        let rz = planner.dot(r, z);
+        let res = planner.dot(r, r);
+        PcgSolver {
+            p,
+            q,
+            r,
+            z,
+            rz,
+            res,
+        }
+    }
+}
+
+impl<T: Scalar> Solver<T> for PcgSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        planner.matmul(self.q, self.p);
+        let pq = planner.dot(self.p, self.q);
+        let alpha = self.rz.clone() / pq;
+        planner.axpy(SOL, &alpha, self.p);
+        planner.axpy(self.r, &(-&alpha), self.q);
+        planner.psolve(self.z, self.r);
+        let new_rz = planner.dot(self.r, self.z);
+        let beta = new_rz.clone() / self.rz.clone();
+        planner.xpay(self.p, &beta, self.z);
+        self.rz = new_rz;
+        self.res = planner.dot(self.r, self.r);
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "pcg"
+    }
+}

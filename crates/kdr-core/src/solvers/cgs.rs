@@ -1,0 +1,92 @@
+//! Conjugate gradient squared (Sonneveld 1989).
+//!
+//! Transpose-free variant of BiCG; two forward products per
+//! iteration.
+
+use kdr_sparse::Scalar;
+
+use crate::planner::{Planner, RHS, SOL};
+use crate::scalar_handle::ScalarHandle;
+use crate::solvers::Solver;
+
+pub struct CgsSolver<T: Scalar> {
+    r: usize,
+    rt: usize,
+    u: usize,
+    p: usize,
+    q: usize,
+    v: usize,
+    w: usize,
+    rho: ScalarHandle<T>,
+    res: ScalarHandle<T>,
+}
+
+impl<T: Scalar> CgsSolver<T> {
+    pub fn new(planner: &mut Planner<T>) -> Self {
+        planner.finalize();
+        assert!(planner.is_square(), "CGS requires a square system");
+        let r = planner.allocate_workspace_vector();
+        let rt = planner.allocate_workspace_vector();
+        let u = planner.allocate_workspace_vector();
+        let p = planner.allocate_workspace_vector();
+        let q = planner.allocate_workspace_vector();
+        let v = planner.allocate_workspace_vector();
+        let w = planner.allocate_workspace_vector();
+        planner.matmul(v, SOL);
+        planner.copy(r, RHS);
+        let minus_one = planner.scalar(-T::ONE);
+        planner.axpy(r, &minus_one, v);
+        planner.copy(rt, r);
+        planner.copy(u, r);
+        planner.copy(p, r);
+        let rho = planner.dot(rt, r);
+        let res = planner.dot(r, r);
+        CgsSolver {
+            r,
+            rt,
+            u,
+            p,
+            q,
+            v,
+            w,
+            rho,
+            res,
+        }
+    }
+}
+
+impl<T: Scalar> Solver<T> for CgsSolver<T> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        // v = A p ; alpha = rho / (rt · v).
+        planner.matmul(self.v, self.p);
+        let rtv = planner.dot(self.rt, self.v);
+        let alpha = self.rho.clone() / rtv;
+        // q = u - alpha v.
+        planner.copy(self.q, self.u);
+        planner.axpy(self.q, &(-&alpha), self.v);
+        // w = u + q ; x += alpha w ; r -= alpha A w.
+        planner.copy(self.w, self.u);
+        let one = planner.scalar(T::ONE);
+        planner.axpy(self.w, &one, self.q);
+        planner.axpy(SOL, &alpha, self.w);
+        planner.matmul(self.v, self.w);
+        planner.axpy(self.r, &(-&alpha), self.v);
+        // beta = rho' / rho ; u = r + beta q ; p = u + beta (q + beta p).
+        let new_rho = planner.dot(self.rt, self.r);
+        let beta = new_rho.clone() / self.rho.clone();
+        planner.copy(self.u, self.r);
+        planner.axpy(self.u, &beta, self.q);
+        planner.xpay(self.p, &beta, self.q);
+        planner.xpay(self.p, &beta, self.u);
+        self.rho = new_rho;
+        self.res = planner.dot(self.r, self.r);
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        Some(self.res.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "cgs"
+    }
+}

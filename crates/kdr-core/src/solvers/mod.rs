@@ -1,0 +1,152 @@
+//! Krylov subspace methods over the planner interface.
+//!
+//! Every solver follows the paper's contract (§5, Figure 7): it is
+//! constructed from a mutable planner reference, exposes `step()`,
+//! and optionally a `convergence_measure()` scalar. Solvers know
+//! nothing about storage formats, operator multiplicity, partitioning
+//! or data movement — they speak only the Figure 6 operation set —
+//! so every solver works unchanged on single- and multi-operator
+//! systems, on the threaded backend and on the simulator, and all are
+//! drop-in interchangeable.
+
+pub mod bicg;
+pub mod bicgstab;
+pub mod cg;
+pub mod cgs;
+pub mod chebyshev;
+pub mod gmres;
+pub mod minres;
+pub mod tfqmr;
+
+pub use bicg::BiCgSolver;
+pub use bicgstab::{BiCgStabSolver, PBiCgStabSolver};
+pub use cg::{CgSolver, PcgSolver};
+pub use cgs::CgsSolver;
+pub use chebyshev::ChebyshevSolver;
+pub use gmres::GmresSolver;
+pub use minres::MinresSolver;
+pub use tfqmr::TfqmrSolver;
+
+use kdr_sparse::Scalar;
+
+use crate::planner::Planner;
+use crate::scalar_handle::ScalarHandle;
+
+/// A Krylov subspace method driving a [`Planner`].
+pub trait Solver<T: Scalar> {
+    /// Perform one iteration.
+    fn step(&mut self, planner: &mut Planner<T>);
+
+    /// A scalar whose square root tracks solve progress (typically
+    /// the squared residual norm), if the method maintains one.
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>>;
+
+    /// Method name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Apply any deferred solution update (e.g. GMRES's end-of-cycle
+    /// least-squares step) so `SOL` reflects all iterations performed.
+    /// Called by [`solve`] before returning; default is a no-op.
+    fn finalize_solution(&mut self, planner: &mut Planner<T>) {
+        let _ = planner;
+    }
+}
+
+/// Iteration control for [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolveControl {
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Stop when `sqrt(convergence_measure) < tol` (as `f64`);
+    /// `0.0` disables the check (fixed-iteration runs, as in the
+    /// paper's benchmarks).
+    pub tol: f64,
+    /// Force and test the measure every `check_every` iterations;
+    /// checking blocks the pipeline, so benchmarks use large values.
+    pub check_every: usize,
+}
+
+impl SolveControl {
+    /// Run exactly `n` iterations with no convergence checks.
+    pub fn fixed(n: usize) -> Self {
+        SolveControl {
+            max_iters: n,
+            tol: 0.0,
+            check_every: 0,
+        }
+    }
+
+    /// Iterate to tolerance, checking every iteration.
+    pub fn to_tolerance(tol: f64, max_iters: usize) -> Self {
+        SolveControl {
+            max_iters,
+            tol,
+            check_every: 1,
+        }
+    }
+}
+
+/// Outcome of [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolveReport {
+    /// Iterations performed.
+    pub iters: usize,
+    /// Final forced convergence measure (square root), `NaN` if never
+    /// checked.
+    pub final_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Drive a solver until convergence or the iteration cap.
+pub fn solve<T: Scalar>(
+    planner: &mut Planner<T>,
+    solver: &mut dyn Solver<T>,
+    control: SolveControl,
+) -> SolveReport {
+    let mut iters = 0;
+    let mut final_residual = f64::NAN;
+    let mut converged = false;
+    // Already-converged guard (e.g. a zero right-hand side): stepping
+    // a Krylov method from an exactly zero residual divides by zero.
+    if control.tol > 0.0 && control.check_every > 0 {
+        if let Some(m) = solver.convergence_measure() {
+            let r = m.get().to_f64().abs().sqrt();
+            if r < control.tol {
+                planner.fence();
+                return SolveReport {
+                    iters: 0,
+                    final_residual: r,
+                    converged: true,
+                };
+            }
+        }
+    }
+    while iters < control.max_iters {
+        solver.step(planner);
+        iters += 1;
+        if control.tol > 0.0 && control.check_every > 0 && iters % control.check_every == 0 {
+            if let Some(m) = solver.convergence_measure() {
+                let r = m.get().to_f64().abs().sqrt();
+                final_residual = r;
+                if r < control.tol {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+    }
+    solver.finalize_solution(planner);
+    if final_residual.is_nan() {
+        if let Some(m) = solver.convergence_measure() {
+            final_residual = m.get().to_f64().abs().sqrt();
+            converged = control.tol > 0.0 && final_residual < control.tol;
+        }
+    }
+    planner.fence();
+    SolveReport {
+        iters,
+        final_residual,
+        converged,
+    }
+}

@@ -1,0 +1,172 @@
+//! Unit tests for the planner's setup contract and error handling.
+
+use std::sync::Arc;
+
+use kdr_core::{CgSolver, ExecBackend, Planner, RHS, SOL};
+use kdr_index::{IntervalSet, Partition};
+use kdr_sparse::{Csr, SparseMatrix, Stencil, Triples};
+
+fn small_matrix(n: u64) -> Arc<dyn SparseMatrix<f64>> {
+    Arc::new(Stencil::lap1d(n).to_csr::<f64, u64>())
+}
+
+fn planner() -> Planner<f64> {
+    Planner::new(Box::new(ExecBackend::<f64>::new(2)))
+}
+
+#[test]
+fn default_partition_is_single_piece() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    assert_eq!(p.sol_partition(0).num_colors(), 1);
+    assert!(p.is_square());
+    assert!(!p.has_preconditioner());
+}
+
+#[test]
+#[should_panic(expected = "complete and disjoint")]
+fn incomplete_canonical_partition_rejected() {
+    let mut p = planner();
+    let gap = Partition::new(
+        8,
+        vec![IntervalSet::from_range(0, 3), IntervalSet::from_range(5, 8)],
+    );
+    p.add_sol_vector(8, Some(gap));
+}
+
+#[test]
+#[should_panic(expected = "does not match sol component")]
+fn operator_dimension_mismatch_rejected() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(10), d, r);
+}
+
+#[test]
+#[should_panic(expected = "at least one operator")]
+fn finalize_without_operator_panics() {
+    let mut p = planner();
+    p.add_sol_vector(8, None);
+    p.add_rhs_vector(8, None);
+    p.finalize();
+}
+
+#[test]
+#[should_panic(expected = "already finalized")]
+fn setup_after_finalize_panics() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    p.add_sol_vector(4, None);
+}
+
+#[test]
+#[should_panic(expected = "psolve requires add_preconditioner")]
+fn psolve_without_preconditioner_panics() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    let w = p.allocate_workspace_vector();
+    p.psolve(w, RHS);
+}
+
+#[test]
+fn is_square_detects_rectangular_structures() {
+    // 2 sol components vs 1 rhs component of matching total size is
+    // still not square (componentwise comparison).
+    let mut p = planner();
+    let d1 = p.add_sol_vector(4, None);
+    let d2 = p.add_sol_vector(4, None);
+    let r = p.add_rhs_vector(8, None);
+    let wide: Arc<dyn SparseMatrix<f64>> = Arc::new(Csr::<f64>::from_triples(
+        Triples::from_entries(8, 4, vec![(0, 0, 1.0)]),
+    ));
+    p.add_operator(Arc::clone(&wide), d1, r);
+    p.add_operator(wide, d2, r);
+    assert!(!p.is_square());
+}
+
+#[test]
+fn pending_data_applied_at_finalize() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    // Data set during setup, interleaved with more setup calls.
+    p.set_sol_data(d, &[7.0; 8]);
+    let r = p.add_rhs_vector(8, None);
+    p.set_rhs_data(r, &[3.0; 8]);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    assert_eq!(p.read_component(SOL, 0), vec![7.0; 8]);
+    assert_eq!(p.read_component(RHS, 0), vec![3.0; 8]);
+}
+
+#[test]
+fn scalar_handle_arithmetic_chain() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    let a = p.scalar(2.0);
+    let b = p.scalar(3.0);
+    let c = (&a + &b) * (&a - &b); // (5)(-1) = -5
+    assert_eq!(c.get(), -5.0);
+    assert_eq!((-&c).get(), 5.0);
+    assert_eq!(c.abs().get(), 5.0);
+    assert_eq!(p.scalar(16.0).sqrt().get(), 4.0);
+    assert_eq!(p.scalar(8.0).recip().get(), 0.125);
+    let chained = ((a / b.clone()) + b).sqrt(); // sqrt(2/3 + 3)
+    assert!((chained.get() - (11.0f64 / 3.0).sqrt()).abs() < 1e-15);
+}
+
+#[test]
+fn workspace_vectors_are_zero_initialized() {
+    let mut p = planner();
+    let d = p.add_sol_vector(8, None);
+    let r = p.add_rhs_vector(8, None);
+    p.add_operator(small_matrix(8), d, r);
+    p.finalize();
+    let w = p.allocate_workspace_vector();
+    assert_eq!(p.read_component(w, 0), vec![0.0; 8]);
+}
+
+#[test]
+fn cyclic_canonical_partition_solves() {
+    // A maximally scattered partition still produces a correct solve
+    // (stress for interval-heavy tiles).
+    let s = Stencil::lap1d(32);
+    let n = s.unknowns();
+    let mut p = planner();
+    let part = Partition::cyclic(n, 4);
+    let d = p.add_sol_vector(n, Some(part.clone()));
+    let r = p.add_rhs_vector(n, Some(part));
+    p.add_operator(Arc::new(s.to_csr::<f64, u64>()), d, r);
+    let b = kdr_sparse::stencil::rhs_vector::<f64>(n, 8);
+    p.set_rhs_data(r, &b);
+    let mut solver = CgSolver::new(&mut p);
+    let report = kdr_core::solve(
+        &mut p,
+        &mut solver,
+        kdr_core::SolveControl::to_tolerance(1e-10, 2000),
+    );
+    assert!(report.converged);
+    let x = p.read_component(SOL, 0);
+    let m: Csr<f64> = s.to_csr();
+    let mut ax = vec![0.0; n as usize];
+    m.spmv(&x, &mut ax);
+    let res: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(a, bb)| (a - bb) * (a - bb))
+        .sum::<f64>()
+        .sqrt();
+    assert!(res < 1e-8);
+}

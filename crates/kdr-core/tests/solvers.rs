@@ -1,0 +1,546 @@
+//! End-to-end solver tests on the execution backend: every KSM must
+//! actually solve linear systems, through the full planner → tiles →
+//! task runtime stack.
+
+use std::sync::Arc;
+
+use kdr_core::{
+    precond, solve, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ExecBackend, GmresSolver,
+    MinresSolver, PcgSolver, Planner, SolveControl, Solver, RHS, SOL,
+};
+use kdr_index::Partition;
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{Csr, SparseMatrix, Stencil, StencilOperator, Triples};
+
+fn poisson_planner(nx: u64, ny: u64, pieces: usize, workers: usize) -> (Planner<f64>, Vec<f64>) {
+    let s = Stencil::lap2d(nx, ny);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let part = Partition::equal_blocks(n, pieces);
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(workers)));
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    let b = rhs_vector::<f64>(n, 42);
+    planner.set_rhs_data(r, &b);
+    (planner, b)
+}
+
+/// Residual of the current solution against the true operator.
+fn residual_norm(planner: &mut Planner<f64>, s: &Stencil, b: &[f64]) -> f64 {
+    let x = planner.read_component(SOL, 0);
+    let m: Csr<f64> = s.to_csr();
+    let mut ax = vec![0.0; x.len()];
+    m.spmv(&x, &mut ax);
+    ax.iter()
+        .zip(b)
+        .map(|(a, bb)| (a - bb) * (a - bb))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn run_to_tolerance(mut make: impl FnMut(&mut Planner<f64>) -> Box<dyn Solver<f64>>) {
+    let s = Stencil::lap2d(16, 16);
+    let (mut planner, b) = poisson_planner(16, 16, 4, 4);
+    let mut solver = make(&mut planner);
+    let report = solve(
+        &mut planner,
+        solver.as_mut(),
+        SolveControl::to_tolerance(1e-10, 2000),
+    );
+    assert!(
+        report.converged,
+        "{} did not converge: residual {}",
+        solver.name(),
+        report.final_residual
+    );
+    let true_res = residual_norm(&mut planner, &s, &b);
+    assert!(
+        true_res < 1e-8,
+        "{}: true residual {true_res}",
+        solver.name()
+    );
+}
+
+#[test]
+fn cg_converges() {
+    run_to_tolerance(|p| Box::new(CgSolver::new(p)));
+}
+
+#[test]
+fn bicgstab_converges() {
+    run_to_tolerance(|p| Box::new(BiCgStabSolver::new(p)));
+}
+
+#[test]
+fn bicg_converges() {
+    run_to_tolerance(|p| Box::new(BiCgSolver::new(p)));
+}
+
+#[test]
+fn cgs_converges() {
+    run_to_tolerance(|p| Box::new(CgsSolver::new(p)));
+}
+
+#[test]
+fn gmres_converges() {
+    run_to_tolerance(|p| Box::new(GmresSolver::with_restart(p, 10)));
+}
+
+#[test]
+fn minres_converges() {
+    run_to_tolerance(|p| Box::new(MinresSolver::new(p)));
+}
+
+#[test]
+fn tfqmr_converges() {
+    run_to_tolerance(|p| Box::new(kdr_core::TfqmrSolver::new(p)));
+}
+
+#[test]
+fn preconditioned_bicgstab_and_gmres_converge() {
+    let s = Stencil::lap2d(12, 12);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let b = rhs_vector::<f64>(n, 31);
+    type Make = fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>;
+    let makes: Vec<(&str, Make)> = vec![
+        ("pbicgstab", |p| Box::new(kdr_core::PBiCgStabSolver::new(p))),
+        ("pgmres", |p| Box::new(GmresSolver::preconditioned(p, 10))),
+    ];
+    for (name, make) in makes {
+        let part = Partition::equal_blocks(n, 4);
+        let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+        let d = planner.add_sol_vector(n, Some(part.clone()));
+        let r = planner.add_rhs_vector(n, Some(part));
+        planner.add_operator(Arc::clone(&m), d, r);
+        planner.add_preconditioner(Arc::new(precond::jacobi(m.as_ref())), d, r);
+        planner.set_rhs_data(r, &b);
+        let mut solver = make(&mut planner);
+        let report = solve(
+            &mut planner,
+            solver.as_mut(),
+            SolveControl::to_tolerance(1e-10, 5000),
+        );
+        assert!(report.converged, "{name}");
+        let res = residual_norm(&mut planner, &s, &b);
+        assert!(res < 1e-8, "{name}: true residual {res}");
+    }
+}
+
+#[test]
+fn block_jacobi_pcg_beats_point_jacobi_on_block_structured_system() {
+    // A system with strongly coupled 4x4 blocks: exact block inverses
+    // capture the coupling that point Jacobi ignores.
+    let n: u64 = 128;
+    let mut t = Triples::new(n, n);
+    for b in 0..n / 4 {
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                let v = if r == c { 8.0 } else { -1.5 };
+                t.push(b * 4 + r, b * 4 + c, v);
+            }
+        }
+    }
+    // Weak off-block coupling keeps it non-trivial.
+    for i in 0..n - 4 {
+        t.push(i, i + 4, -0.5);
+        t.push(i + 4, i, -0.5);
+    }
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(Csr::<f64>::from_triples(t));
+    let b = rhs_vector::<f64>(n, 77);
+
+    let run = |block: Option<u64>| -> usize {
+        let part = Partition::equal_blocks(n, 4);
+        let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+        let d = planner.add_sol_vector(n, Some(part.clone()));
+        let r = planner.add_rhs_vector(n, Some(part));
+        planner.add_operator(Arc::clone(&m), d, r);
+        match block {
+            Some(bs) => planner
+                .add_preconditioner(Arc::new(precond::block_jacobi(m.as_ref(), bs)), d, r),
+            None => planner.add_preconditioner(Arc::new(precond::jacobi(m.as_ref())), d, r),
+        }
+        planner.set_rhs_data(r, &b);
+        let mut solver = PcgSolver::new(&mut planner);
+        let report = solve(
+            &mut planner,
+            &mut solver,
+            SolveControl::to_tolerance(1e-10, 3000),
+        );
+        assert!(report.converged);
+        report.iters
+    };
+    let iters_point = run(None);
+    let iters_block = run(Some(4));
+    assert!(
+        iters_block <= iters_point,
+        "block Jacobi ({iters_block}) should not trail point Jacobi ({iters_point})"
+    );
+}
+
+#[test]
+fn pcg_converges_faster_than_unpreconditioned_iterations() {
+    // A diagonally-scaled Laplacian where Jacobi actually helps.
+    let s = Stencil::lap2d(12, 12);
+    let n = s.unknowns();
+    let base = s.to_triples::<f64>();
+    // Scale row/col i by (1 + i mod 7), keeping symmetry: D A D.
+    let scaled = Triples::from_entries(
+        n,
+        n,
+        base.entries()
+            .iter()
+            .map(|&(i, j, v)| {
+                let di = 1.0 + (i % 7) as f64;
+                let dj = 1.0 + (j % 7) as f64;
+                (i, j, di * v * dj)
+            })
+            .collect(),
+    );
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(Csr::<f64>::from_triples(scaled));
+    let b = rhs_vector::<f64>(n, 9);
+
+    let run = |precondition: bool| -> (usize, f64) {
+        let part = Partition::equal_blocks(n, 4);
+        let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+        let d = planner.add_sol_vector(n, Some(part.clone()));
+        let r = planner.add_rhs_vector(n, Some(part));
+        planner.add_operator(Arc::clone(&m), d, r);
+        if precondition {
+            let p = precond::jacobi(m.as_ref());
+            planner.add_preconditioner(Arc::new(p), d, r);
+        }
+        planner.set_rhs_data(r, &b);
+        let report = if precondition {
+            let mut s = PcgSolver::new(&mut planner);
+            solve(&mut planner, &mut s, SolveControl::to_tolerance(1e-9, 3000))
+        } else {
+            let mut s = CgSolver::new(&mut planner);
+            solve(&mut planner, &mut s, SolveControl::to_tolerance(1e-9, 3000))
+        };
+        assert!(report.converged);
+        (report.iters, report.final_residual)
+    };
+
+    let (iters_plain, _) = run(false);
+    let (iters_pcg, _) = run(true);
+    assert!(
+        iters_pcg < iters_plain,
+        "PCG ({iters_pcg}) should beat CG ({iters_plain}) on a badly scaled system"
+    );
+}
+
+#[test]
+fn partitioning_does_not_change_the_answer() {
+    // P3: swapping the partitioning strategy must not change results.
+    let s = Stencil::lap2d(12, 12);
+    let solutions: Vec<Vec<f64>> = [1usize, 3, 8]
+        .iter()
+        .map(|&pieces| {
+            let (mut planner, _) = poisson_planner(12, 12, pieces, 3);
+            let mut solver = CgSolver::new(&mut planner);
+            solve(&mut planner, &mut solver, SolveControl::fixed(120));
+            planner.read_component(SOL, 0)
+        })
+        .collect();
+    let _ = s;
+    for sol in &solutions[1..] {
+        for (a, b) in solutions[0].iter().zip(sol) {
+            assert!((a - b).abs() < 1e-8, "partitioning changed the solution");
+        }
+    }
+}
+
+#[test]
+fn matrix_free_operator_solves() {
+    // P2: a user-defined, matrix-free operator drops in with no
+    // library changes.
+    let s = Stencil::lap2d(10, 10);
+    let n = s.unknowns();
+    let op: Arc<dyn SparseMatrix<f64>> = Arc::new(StencilOperator::<f64>::new(s));
+    let part = Partition::equal_blocks(n, 4);
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(op, d, r);
+    let b = rhs_vector::<f64>(n, 5);
+    planner.set_rhs_data(r, &b);
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 1000),
+    );
+    assert!(report.converged);
+    let res = residual_norm(&mut planner, &s, &b);
+    assert!(res < 1e-8, "matrix-free residual {res}");
+}
+
+#[test]
+fn multi_operator_system_matches_single_operator() {
+    // The §6.2 formulation: one grid cut into two domain halves with
+    // four CSR blocks must produce the same solution as the
+    // single-operator system.
+    let s = Stencil::lap2d(12, 12);
+    let n = s.unknowns();
+    let b = rhs_vector::<f64>(n, 13);
+    let half = n / 2;
+
+    // Single-operator reference.
+    let (mut p1, _) = poisson_planner(12, 12, 4, 4);
+    p1.set_rhs_data(0, &b);
+    let mut s1 = BiCgStabSolver::new(&mut p1);
+    solve(&mut p1, &mut s1, SolveControl::fixed(150));
+    let x_single = p1.read_component(SOL, 0);
+
+    // Multi-operator: two domain spaces, four blocks.
+    let a11: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u64>(0, half, 0, half));
+    let a12: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u64>(0, half, half, n));
+    let a21: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u64>(half, n, 0, half));
+    let a22: Arc<dyn SparseMatrix<f64>> = Arc::new(s.tile_csr::<f64, u64>(half, n, half, n));
+    let mut p2 = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+    let part = Partition::equal_blocks(half, 2);
+    let d1 = p2.add_sol_vector(half, Some(part.clone()));
+    let d2 = p2.add_sol_vector(half, Some(part.clone()));
+    let r1 = p2.add_rhs_vector(half, Some(part.clone()));
+    let r2 = p2.add_rhs_vector(half, Some(part));
+    p2.add_operator(a11, d1, r1);
+    p2.add_operator(a12, d2, r1);
+    p2.add_operator(a21, d1, r2);
+    p2.add_operator(a22, d2, r2);
+    p2.set_rhs_data(r1, &b[..half as usize]);
+    p2.set_rhs_data(r2, &b[half as usize..]);
+    let mut s2 = BiCgStabSolver::new(&mut p2);
+    solve(&mut p2, &mut s2, SolveControl::fixed(150));
+    let mut x_multi = p2.read_component(SOL, 0);
+    x_multi.extend(p2.read_component(SOL, 1));
+
+    for i in 0..n as usize {
+        assert!(
+            (x_single[i] - x_multi[i]).abs() < 1e-6,
+            "row {i}: {} vs {}",
+            x_single[i],
+            x_multi[i]
+        );
+    }
+}
+
+#[test]
+fn multiple_rhs_via_aliasing() {
+    // §4.2: n systems sharing one stored matrix,
+    // {(K, A, 1, 1), (K, A, 2, 2)} — the matrix Arc is added twice,
+    // never copied.
+    let s = Stencil::lap2d(8, 8);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let b1 = rhs_vector::<f64>(n, 1);
+    let b2 = rhs_vector::<f64>(n, 2);
+
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+    let part = Partition::equal_blocks(n, 2);
+    let d1 = planner.add_sol_vector(n, Some(part.clone()));
+    let d2 = planner.add_sol_vector(n, Some(part.clone()));
+    let r1 = planner.add_rhs_vector(n, Some(part.clone()));
+    let r2 = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(Arc::clone(&m), d1, r1);
+    planner.add_operator(Arc::clone(&m), d2, r2);
+    planner.set_rhs_data(r1, &b1);
+    planner.set_rhs_data(r2, &b2);
+    // The shared matrix has three owners: two components + this test.
+    assert_eq!(Arc::strong_count(&m), 3);
+
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 2000),
+    );
+    assert!(report.converged);
+
+    // Each component must solve its own system.
+    let csr: Csr<f64> = s.to_csr();
+    for (comp, b) in [(0usize, &b1), (1usize, &b2)] {
+        let x = planner.read_component(SOL, comp);
+        let mut ax = vec![0.0; n as usize];
+        csr.spmv(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(b.iter())
+            .map(|(a, bb)| (a - bb) * (a - bb))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "component {comp} residual {res}");
+    }
+}
+
+#[test]
+fn related_systems_share_base_matrix() {
+    // §4.2: (A0 + ΔA_i) x_i = b_i with one stored A0.
+    let s = Stencil::lap2d(8, 8);
+    let n = s.unknowns();
+    let a0: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    // ΔA: bump two diagonal entries per system.
+    let mk_delta = |rows: &[u64]| -> Arc<dyn SparseMatrix<f64>> {
+        Arc::new(Csr::<f64>::from_triples(Triples::from_entries(
+            n,
+            n,
+            rows.iter().map(|&r| (r, r, 1.5)).collect(),
+        )))
+    };
+    let d1m = mk_delta(&[3, 17]);
+    let d2m = mk_delta(&[40, 41]);
+    let b1 = rhs_vector::<f64>(n, 21);
+    let b2 = rhs_vector::<f64>(n, 22);
+
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+    let part = Partition::equal_blocks(n, 2);
+    let d1 = planner.add_sol_vector(n, Some(part.clone()));
+    let d2 = planner.add_sol_vector(n, Some(part.clone()));
+    let r1 = planner.add_rhs_vector(n, Some(part.clone()));
+    let r2 = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(Arc::clone(&a0), d1, r1);
+    planner.add_operator(Arc::clone(&d1m), d1, r1);
+    planner.add_operator(Arc::clone(&a0), d2, r2);
+    planner.add_operator(Arc::clone(&d2m), d2, r2);
+    planner.set_rhs_data(r1, &b1);
+    planner.set_rhs_data(r2, &b2);
+
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 2000),
+    );
+    assert!(report.converged);
+
+    // Verify against dense per-system references.
+    for (comp, (delta_rows, b)) in [(0usize, (&[3u64, 17][..], &b1)), (1, (&[40, 41][..], &b2))] {
+        let mut t = s.to_triples::<f64>();
+        for &r in delta_rows {
+            t.push(r, r, 1.5);
+        }
+        let full: Csr<f64> = Csr::from_triples(t);
+        let x = planner.read_component(SOL, comp);
+        let mut ax = vec![0.0; n as usize];
+        full.spmv(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(b.iter())
+            .map(|(a, bb)| (a - bb) * (a - bb))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "related system {comp} residual {res}");
+    }
+}
+
+#[test]
+fn solvers_are_drop_in_interchangeable() {
+    // The same planner setup runs under every solver type.
+    let solvers: Vec<fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>> = vec![
+        |p| Box::new(CgSolver::new(p)),
+        |p| Box::new(BiCgStabSolver::new(p)),
+        |p| Box::new(BiCgSolver::new(p)),
+        |p| Box::new(CgsSolver::new(p)),
+        |p| Box::new(GmresSolver::new(p)),
+        |p| Box::new(MinresSolver::new(p)),
+    ];
+    let s = Stencil::lap1d(64);
+    for make in solvers {
+        let n = s.unknowns();
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+        let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(2)));
+        let d = planner.add_sol_vector(n, Some(Partition::equal_blocks(n, 2)));
+        let r = planner.add_rhs_vector(n, Some(Partition::equal_blocks(n, 2)));
+        planner.add_operator(m, d, r);
+        planner.set_rhs_data(r, &rhs_vector::<f64>(n, 3));
+        let mut solver = make(&mut planner);
+        // GMRES(10) restarts stagnate on the ill-conditioned 1-D
+        // Laplacian; give every method the same generous cap.
+        let report = solve(
+            &mut planner,
+            solver.as_mut(),
+            SolveControl::to_tolerance(1e-9, 3000),
+        );
+        assert!(report.converged, "{} failed", solver.name());
+    }
+}
+
+#[test]
+fn nonzero_initial_guess_respected() {
+    let s = Stencil::lap2d(8, 8);
+    let (mut planner, b) = poisson_planner(8, 8, 2, 2);
+    // Start from a wild guess; CG must still converge.
+    let guess: Vec<f64> = (0..64).map(|i| (i as f64) - 32.0).collect();
+    planner.set_sol_data(0, &guess);
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 1000),
+    );
+    assert!(report.converged);
+    assert!(residual_norm(&mut planner, &s, &b) < 1e-8);
+}
+
+#[test]
+fn rhs_structured_workspace_and_copy() {
+    let (mut planner, _) = poisson_planner(8, 8, 2, 2);
+    planner.finalize();
+    let w = planner.allocate_workspace_vector_rhs();
+    planner.copy(w, RHS);
+    let a = planner.read_component(w, 0);
+    let b = planner.read_component(RHS, 0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn chebyshev_converges_with_spectral_bounds() {
+    use kdr_core::ChebyshevSolver;
+    let s = Stencil::lap2d(16, 16);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let b = rhs_vector::<f64>(n, 12);
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(4)));
+    let part = Partition::equal_blocks(n, 4);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(Arc::clone(&m), d, r);
+    planner.set_rhs_data(r, &b);
+    // Bounds: Gershgorin upper (8 for the 5-point Laplacian) plus the
+    // analytic lower bound 4 sin^2(pi / (2 (nx + 1))) per axis.
+    let lmax = ChebyshevSolver::<f64>::gershgorin_upper_bound(m.as_ref());
+    assert!((lmax - 8.0).abs() < 1e-12);
+    let lmin = 2.0 * 4.0 * (std::f64::consts::PI / (2.0 * 17.0)).sin().powi(2);
+    let mut solver = ChebyshevSolver::with_bounds(&mut planner, lmin, lmax);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-9, 5000),
+    );
+    assert!(report.converged, "chebyshev residual {}", report.final_residual);
+    let res = residual_norm(&mut planner, &s, &b);
+    assert!(res < 1e-7, "true residual {res}");
+}
+
+#[test]
+fn chebyshev_without_tracking_is_dot_free() {
+    use kdr_core::ChebyshevSolver;
+    let s = Stencil::lap1d(32);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(2)));
+    let d = planner.add_sol_vector(n, None);
+    let r = planner.add_rhs_vector(n, None);
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 1));
+    let mut solver =
+        ChebyshevSolver::with_bounds(&mut planner, 0.01, 4.0).without_residual_tracking();
+    assert!(solver.convergence_measure().is_none());
+    for _ in 0..50 {
+        solver.step(&mut planner);
+    }
+    planner.fence();
+    // Iterations ran; no measure is maintained.
+    assert!(solver.convergence_measure().is_none());
+}

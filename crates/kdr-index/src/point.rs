@@ -1,0 +1,195 @@
+//! Multi-dimensional points and rectangles with row-major
+//! linearization.
+//!
+//! KDRSolvers index spaces are abstractly flat sets of identifiers;
+//! grid-structured problems (stencils, dense matrices, ELL/DIA kernel
+//! spaces) give those identifiers 2-D or 3-D structure. These helpers
+//! convert between the structured and linearized views.
+
+/// A point in a 2-D grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Point2 {
+    pub x: u64,
+    pub y: u64,
+}
+
+/// A point in a 3-D grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Point3 {
+    pub x: u64,
+    pub y: u64,
+    pub z: u64,
+}
+
+/// A 1-D rectangle: the half-open range `[lo, hi)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rect1 {
+    pub lo: u64,
+    pub hi: u64,
+}
+
+/// A 2-D axis-aligned rectangle with exclusive upper bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rect2 {
+    pub lo: Point2,
+    pub hi: Point2,
+}
+
+/// A 3-D axis-aligned box with exclusive upper bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rect3 {
+    pub lo: Point3,
+    pub hi: Point3,
+}
+
+impl Rect1 {
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Rect1 { lo, hi }
+    }
+
+    pub fn volume(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+impl Rect2 {
+    pub fn new(lo: Point2, hi: Point2) -> Self {
+        Rect2 { lo, hi }
+    }
+
+    /// The full `nx × ny` grid.
+    pub fn full(nx: u64, ny: u64) -> Self {
+        Rect2 {
+            lo: Point2 { x: 0, y: 0 },
+            hi: Point2 { x: nx, y: ny },
+        }
+    }
+
+    pub fn volume(&self) -> u64 {
+        self.hi.x.saturating_sub(self.lo.x) * self.hi.y.saturating_sub(self.lo.y)
+    }
+
+    pub fn contains(&self, p: Point2) -> bool {
+        self.lo.x <= p.x && p.x < self.hi.x && self.lo.y <= p.y && p.y < self.hi.y
+    }
+}
+
+impl Rect3 {
+    pub fn new(lo: Point3, hi: Point3) -> Self {
+        Rect3 { lo, hi }
+    }
+
+    /// The full `nx × ny × nz` grid.
+    pub fn full(nx: u64, ny: u64, nz: u64) -> Self {
+        Rect3 {
+            lo: Point3 { x: 0, y: 0, z: 0 },
+            hi: Point3 {
+                x: nx,
+                y: ny,
+                z: nz,
+            },
+        }
+    }
+
+    pub fn volume(&self) -> u64 {
+        self.hi.x.saturating_sub(self.lo.x)
+            * self.hi.y.saturating_sub(self.lo.y)
+            * self.hi.z.saturating_sub(self.lo.z)
+    }
+
+    pub fn contains(&self, p: Point3) -> bool {
+        self.lo.x <= p.x
+            && p.x < self.hi.x
+            && self.lo.y <= p.y
+            && p.y < self.hi.y
+            && self.lo.z <= p.z
+            && p.z < self.hi.z
+    }
+}
+
+/// Row-major linearization of a 2-D point within an `nx × ny` grid
+/// (x is the slow axis).
+#[inline]
+pub fn linearize2(p: Point2, ny: u64) -> u64 {
+    p.x * ny + p.y
+}
+
+/// Inverse of [`linearize2`].
+#[inline]
+pub fn delinearize2(i: u64, ny: u64) -> Point2 {
+    Point2 {
+        x: i / ny,
+        y: i % ny,
+    }
+}
+
+/// Row-major linearization of a 3-D point within an `nx × ny × nz`
+/// grid (x slowest, z fastest).
+#[inline]
+pub fn linearize3(p: Point3, ny: u64, nz: u64) -> u64 {
+    (p.x * ny + p.y) * nz + p.z
+}
+
+/// Inverse of [`linearize3`].
+#[inline]
+pub fn delinearize3(i: u64, ny: u64, nz: u64) -> Point3 {
+    Point3 {
+        x: i / (ny * nz),
+        y: (i / nz) % ny,
+        z: i % nz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize2_roundtrip() {
+        let (nx, ny) = (7, 5);
+        for x in 0..nx {
+            for y in 0..ny {
+                let p = Point2 { x, y };
+                let i = linearize2(p, ny);
+                assert!(i < nx * ny);
+                assert_eq!(delinearize2(i, ny), p);
+            }
+        }
+    }
+
+    #[test]
+    fn linearize3_roundtrip() {
+        let (nx, ny, nz) = (3, 4, 5);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let p = Point3 { x, y, z };
+                    let i = linearize3(p, ny, nz);
+                    assert!(i < nx * ny * nz);
+                    assert!(seen.insert(i), "linearization must be injective");
+                    assert_eq!(delinearize3(i, ny, nz), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rect_volumes() {
+        assert_eq!(Rect1::new(3, 10).volume(), 7);
+        assert_eq!(Rect2::full(4, 6).volume(), 24);
+        assert_eq!(Rect3::full(2, 3, 4).volume(), 24);
+        assert_eq!(Rect1::new(5, 5).volume(), 0);
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Rect2::full(4, 4);
+        assert!(r.contains(Point2 { x: 0, y: 0 }));
+        assert!(r.contains(Point2 { x: 3, y: 3 }));
+        assert!(!r.contains(Point2 { x: 4, y: 0 }));
+        let b = Rect3::full(2, 2, 2);
+        assert!(b.contains(Point3 { x: 1, y: 1, z: 1 }));
+        assert!(!b.contains(Point3 { x: 1, y: 2, z: 1 }));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for interval sets, partitions, and relations.
+//!
+//! Every structured fast path (run-level set algebra, relation
+//! image/preimage overrides) is checked against a naive point-set
+//! model.
+
+use std::collections::BTreeSet;
+
+use kdr_index::interval::Run;
+use kdr_index::{
+    DiagonalRelation, FnRelation, IntervalMapRelation, IntervalSet, Partition, ProjectionAxis,
+    ProjectionRelation, Relation, TransposedRelation,
+};
+use proptest::prelude::*;
+
+const SPACE: u64 = 64;
+
+fn arb_point_set() -> impl Strategy<Value = BTreeSet<u64>> {
+    prop::collection::btree_set(0..SPACE, 0..40)
+}
+
+fn to_iset(s: &BTreeSet<u64>) -> IntervalSet {
+    IntervalSet::from_points(s.iter().copied())
+}
+
+fn to_points(s: &IntervalSet) -> BTreeSet<u64> {
+    s.iter_points().collect()
+}
+
+proptest! {
+    #[test]
+    fn interval_set_roundtrip(model in arb_point_set()) {
+        let s = to_iset(&model);
+        prop_assert_eq!(to_points(&s), model.clone());
+        prop_assert_eq!(s.cardinality(), model.len() as u64);
+        // Runs are normalized: non-empty, sorted, non-adjacent.
+        for w in s.runs().windows(2) {
+            prop_assert!(w[0].hi < w[1].lo);
+        }
+        for r in s.runs() {
+            prop_assert!(r.lo < r.hi);
+        }
+    }
+
+    #[test]
+    fn set_algebra_matches_model(a in arb_point_set(), b in arb_point_set()) {
+        let (sa, sb) = (to_iset(&a), to_iset(&b));
+        prop_assert_eq!(to_points(&sa.union(&sb)), a.union(&b).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(to_points(&sa.intersect(&sb)), a.intersection(&b).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(to_points(&sa.difference(&sb)), a.difference(&b).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+        prop_assert_eq!(sa.is_subset_of(&sb), a.is_subset(&b));
+        let comp = sa.complement(SPACE);
+        prop_assert!(comp.is_disjoint(&sa));
+        prop_assert_eq!(comp.union(&sa), IntervalSet::full(SPACE));
+    }
+
+    #[test]
+    fn membership_matches_model(model in arb_point_set(), probe in 0..SPACE) {
+        let s = to_iset(&model);
+        prop_assert_eq!(s.contains(probe), model.contains(&probe));
+    }
+
+    #[test]
+    fn split_equal_partitions_the_set(model in arb_point_set(), pieces in 1usize..8) {
+        let s = to_iset(&model);
+        let parts = s.split_equal(pieces);
+        prop_assert_eq!(parts.len(), pieces);
+        let mut union = IntervalSet::empty();
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(p.is_subset_of(&s));
+            for q in &parts[i + 1..] {
+                prop_assert!(p.is_disjoint(q));
+            }
+            union = union.union(p);
+        }
+        prop_assert_eq!(union, s.clone());
+        // Piece sizes differ by at most one.
+        let sizes: Vec<u64> = parts.iter().map(|p| p.cardinality()).collect();
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn shift_clamped_matches_model(model in arb_point_set(), off in -80i64..80) {
+        let s = to_iset(&model);
+        let shifted = s.shift_clamped(off, SPACE);
+        let expect: BTreeSet<u64> = model
+            .iter()
+            .filter_map(|&p| {
+                let q = p as i64 + off;
+                (q >= 0 && (q as u64) < SPACE).then_some(q as u64)
+            })
+            .collect();
+        prop_assert_eq!(to_points(&shifted), expect);
+    }
+}
+
+/// Naive image/preimage through `targets_of` only.
+fn naive_image(rel: &dyn Relation, set: &IntervalSet) -> IntervalSet {
+    let mut pts = Vec::new();
+    let mut buf = Vec::new();
+    for s in set.iter_points() {
+        buf.clear();
+        rel.targets_of(s, &mut buf);
+        pts.extend_from_slice(&buf);
+    }
+    IntervalSet::from_points(pts)
+}
+
+fn naive_preimage(rel: &dyn Relation, set: &IntervalSet) -> IntervalSet {
+    let mut pts = Vec::new();
+    let mut buf = Vec::new();
+    for s in 0..rel.source_size() {
+        buf.clear();
+        rel.targets_of(s, &mut buf);
+        if buf.iter().any(|&t| set.contains(t)) {
+            pts.push(s);
+        }
+    }
+    IntervalSet::from_sorted_points(&pts)
+}
+
+fn check_relation(rel: &dyn Relation, src_set: &BTreeSet<u64>, dst_set: &BTreeSet<u64>) {
+    let src = IntervalSet::from_points(src_set.iter().copied().filter(|&p| p < rel.source_size()));
+    let dst = IntervalSet::from_points(dst_set.iter().copied().filter(|&p| p < rel.target_size()));
+    assert_eq!(rel.image(&src), naive_image(rel, &src), "image mismatch");
+    assert_eq!(
+        rel.preimage(&dst),
+        naive_preimage(rel, &dst),
+        "preimage mismatch"
+    );
+    // Galois-style closure: every source point with at least one
+    // target is recovered by preimage(image(.)).
+    let img = rel.image(&src);
+    let back = rel.preimage(&img);
+    let mut buf = Vec::new();
+    for s in src.iter_points() {
+        buf.clear();
+        rel.targets_of(s, &mut buf);
+        if !buf.is_empty() {
+            assert!(back.contains(s), "closure lost source point {s}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fn_relation_matches_naive(
+        map in prop::collection::vec(0..32u64, 1..64),
+        src in arb_point_set(),
+        dst in arb_point_set(),
+    ) {
+        let rel = FnRelation::new(map, 32);
+        check_relation(&rel, &src, &dst);
+    }
+
+    #[test]
+    fn interval_map_matches_naive(
+        gaps in prop::collection::vec(0..5u64, 1..16),
+        src in arb_point_set(),
+        dst in arb_point_set(),
+    ) {
+        // Build a monotonic rowptr from run lengths.
+        let mut offsets = vec![0u64];
+        for g in &gaps {
+            offsets.push(offsets.last().unwrap() + g);
+        }
+        let total = *offsets.last().unwrap();
+        let rel = IntervalMapRelation::from_offsets(&offsets, total.max(1));
+        check_relation(&rel, &src, &dst);
+        // And its transpose.
+        let offsets2 = offsets.clone();
+        let t = TransposedRelation::new(Box::new(IntervalMapRelation::from_offsets(&offsets2, total.max(1))));
+        check_relation(&t, &dst, &src);
+    }
+
+    #[test]
+    fn projection_matches_naive(
+        outer in 1..10u64,
+        inner in 1..10u64,
+        src in arb_point_set(),
+        dst in arb_point_set(),
+    ) {
+        for axis in [ProjectionAxis::Outer, ProjectionAxis::Inner] {
+            let rel = ProjectionRelation::new(outer, inner, axis);
+            check_relation(&rel, &src, &dst);
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_naive(
+        offsets in prop::collection::vec(-8i64..8, 1..6),
+        d in 1..12u64,
+        r in 1..12u64,
+        src in arb_point_set(),
+        dst in arb_point_set(),
+    ) {
+        let rel = DiagonalRelation::new(offsets, d, r);
+        check_relation(&rel, &src, &dst);
+    }
+
+    #[test]
+    fn partition_projection_preserves_completeness(
+        gaps in prop::collection::vec(1..5u64, 2..12),
+        colors in 1usize..6,
+    ) {
+        // A CSR-like system where every row is non-empty: projecting a
+        // complete, disjoint range partition back to K must yield a
+        // complete, disjoint kernel partition.
+        let mut offsets = vec![0u64];
+        for g in &gaps {
+            offsets.push(offsets.last().unwrap() + g);
+        }
+        let nrows = gaps.len() as u64;
+        let nnz = *offsets.last().unwrap();
+        let rowptr = IntervalMapRelation::from_offsets(&offsets, nnz);
+        let row = TransposedRelation::new(Box::new(rowptr));
+        let rp = Partition::equal_blocks(nrows, colors);
+        let kp = kdr_index::project_back(&row, &rp);
+        prop_assert!(kp.is_complete());
+        prop_assert!(kp.is_disjoint());
+        prop_assert_eq!(kp.space_size(), nnz);
+    }
+}
+
+#[test]
+fn runs_are_public_and_usable() {
+    let s = IntervalSet::from_runs([Run::new(0, 2), Run::new(4, 6)]);
+    assert_eq!(s.runs().len(), 2);
+}

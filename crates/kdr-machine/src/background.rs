@@ -1,0 +1,119 @@
+//! Stochastic background loads for the dynamic load-balancing
+//! experiment (paper §6.3).
+//!
+//! Each node runs a background task occupying some of its cores; after
+//! every 100th solver iteration the occupied-core count of every node
+//! is redrawn uniformly from `[0, cores-1]`. A node's effective speed
+//! for solver work is the fraction of cores left free.
+
+/// Per-node background occupancy, redrawn on a fixed iteration period.
+pub struct BackgroundLoad {
+    cores_per_node: u32,
+    period: u64,
+    occupied: Vec<u32>,
+    rng_state: u64,
+}
+
+impl BackgroundLoad {
+    /// `cores_per_node` total cores (Lassen: 40), redraw every
+    /// `period` iterations (paper: 100).
+    pub fn new(nodes: usize, cores_per_node: u32, period: u64, seed: u64) -> Self {
+        let mut b = BackgroundLoad {
+            cores_per_node,
+            period,
+            occupied: vec![0; nodes],
+            rng_state: seed.max(1),
+        };
+        b.redraw();
+        b
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        self.rng_state
+    }
+
+    /// Redraw every node's occupancy uniformly from
+    /// `[0, cores_per_node - 1]`.
+    pub fn redraw(&mut self) {
+        for i in 0..self.occupied.len() {
+            let r = self.next_u64();
+            self.occupied[i] = (r % self.cores_per_node as u64) as u32;
+        }
+    }
+
+    /// Advance to iteration `it`, redrawing when the period boundary
+    /// is crossed. Returns true if a redraw happened.
+    pub fn advance(&mut self, it: u64) -> bool {
+        if it > 0 && it % self.period == 0 {
+            self.redraw();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cores currently occupied on `node`.
+    pub fn occupied(&self, node: usize) -> u32 {
+        self.occupied[node]
+    }
+
+    /// Effective speed multiplier for solver work on `node`: the free
+    /// fraction of cores, floored at one free core.
+    pub fn speed(&self, node: usize) -> f64 {
+        let free = self.cores_per_node - self.occupied[node];
+        (free.max(1)) as f64 / self.cores_per_node as f64
+    }
+
+    /// Speed multipliers for every node.
+    pub fn speeds(&self) -> Vec<f64> {
+        (0..self.occupied.len()).map(|i| self.speed(i)).collect()
+    }
+
+    /// The reference speed with an *average* background load
+    /// (paper: 20 of 40 cores occupied), used to compute the
+    /// load-balancer's reference iteration time `T0`.
+    pub fn reference_speed(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_in_range_and_deterministic() {
+        let a = BackgroundLoad::new(32, 40, 100, 7);
+        let b = BackgroundLoad::new(32, 40, 100, 7);
+        for n in 0..32 {
+            assert!(a.occupied(n) < 40);
+            assert_eq!(a.occupied(n), b.occupied(n));
+            assert!(a.speed(n) > 0.0 && a.speed(n) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn advance_redraws_on_period() {
+        let mut l = BackgroundLoad::new(8, 40, 100, 3);
+        let before = l.speeds();
+        assert!(!l.advance(1));
+        assert!(!l.advance(99));
+        assert_eq!(l.speeds(), before);
+        assert!(l.advance(100));
+        // With 8 nodes the chance all redraws coincide is negligible.
+        assert_ne!(l.speeds(), before);
+        assert!(!l.advance(101));
+    }
+
+    #[test]
+    fn speed_floors_at_one_core() {
+        let mut l = BackgroundLoad::new(1, 4, 10, 1);
+        // Force max occupancy.
+        l.occupied[0] = 3;
+        assert!((l.speed(0) - 0.25).abs() < 1e-12);
+        assert!((l.reference_speed() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine model parameters and presets.
+
+/// Cluster cost-model parameters. All times in seconds, rates in
+/// units/second, sizes in bytes.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Processors (GPU or CPU lanes) per node.
+    pub procs_per_node: usize,
+    /// Peak double-precision flop rate per processor.
+    pub flops_per_proc: f64,
+    /// Memory bandwidth per processor (the binding resource for
+    /// sparse kernels).
+    pub mem_bw_per_proc: f64,
+    /// Sustained-to-peak efficiency factor applied to compute kernels
+    /// (distinguishes library kernel quality; 1.0 = ideal).
+    pub kernel_efficiency: f64,
+    /// Node-to-node link bandwidth (per NIC, serialized).
+    pub nic_bandwidth: f64,
+    /// One-way message latency.
+    pub nic_latency: f64,
+    /// Fixed cost added to every compute task (kernel-launch or
+    /// task-body overhead).
+    pub task_overhead: f64,
+    /// Per-task serial dispatch cost on the node's runtime/utility
+    /// processor; zero disables the dispatcher resource.
+    pub dispatch_cost: f64,
+}
+
+impl MachineConfig {
+    /// Lassen-like node: 4 × V100 (≈7.0 TF/s sustained fp64, ≈800 GB/s
+    /// sustained HBM2), InfiniBand EDR (≈12.5 GB/s, ≈1.5 µs).
+    /// Overheads default to the task-oriented profile; see the
+    /// `*_profile` methods to specialize per library.
+    pub fn lassen(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            procs_per_node: 4,
+            flops_per_proc: 7.0e12,
+            mem_bw_per_proc: 800.0e9,
+            kernel_efficiency: 1.0,
+            nic_bandwidth: 12.5e9,
+            nic_latency: 1.5e-6,
+            task_overhead: 5.0e-6,
+            dispatch_cost: 0.0,
+        }
+    }
+
+    /// Profile for the task-oriented runtime (LegionSolvers): per-task
+    /// overhead plus a serial per-node dispatcher (utility processor).
+    pub fn legion_profile(mut self) -> Self {
+        // Kernel launches are as lean as the MPI libraries'; the
+        // distinguishing cost is the dynamic runtime's serial per-node
+        // dispatch (dependence analysis + mapping on the utility
+        // processors). Dispatch pipelines ahead of execution, so it
+        // hides completely once kernels are large, and dominates when
+        // they are tiny — the asymmetry Figure 8 shows.
+        self.task_overhead = 4.0e-6;
+        self.dispatch_cost = 8.0e-6;
+        self.kernel_efficiency = 1.0;
+        self
+    }
+
+    /// Profile for a bulk-synchronous MPI library with cuSPARSE-class
+    /// kernels (PETSc): lean launches, no dynamic dispatcher.
+    pub fn petsc_profile(mut self) -> Self {
+        self.task_overhead = 4.0e-6;
+        self.dispatch_cost = 0.0;
+        self.kernel_efficiency = 1.0;
+        self
+    }
+
+    /// Profile for a bulk-synchronous library with an extra
+    /// portability layer on the kernel path (Trilinos/Tpetra through
+    /// Kokkos): slightly higher launch cost and slightly lower
+    /// sustained kernel efficiency.
+    pub fn trilinos_profile(mut self) -> Self {
+        self.task_overhead = 6.0e-6;
+        self.dispatch_cost = 0.0;
+        self.kernel_efficiency = 0.95;
+        self
+    }
+
+    /// CPU-only profile used by the §6.3 load-balancing experiment:
+    /// one lane per node aggregating its POWER9 cores.
+    pub fn lassen_cpu(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            procs_per_node: 1,
+            // 40 usable cores × ~20 GF/s sustained.
+            flops_per_proc: 0.8e12,
+            // Aggregate ~170 GB/s per socket pair, derated.
+            mem_bw_per_proc: 120.0e9,
+            kernel_efficiency: 1.0,
+            nic_bandwidth: 12.5e9,
+            nic_latency: 1.5e-6,
+            task_overhead: 8.0e-6,
+            dispatch_cost: 4.0e-6,
+        }
+    }
+
+    /// Total processor count.
+    pub fn total_procs(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// Roofline duration of a compute task on one processor
+    /// (excluding overheads).
+    pub fn compute_seconds(&self, flops: f64, bytes: f64) -> f64 {
+        let eff = self.kernel_efficiency;
+        (flops / (self.flops_per_proc * eff)).max(bytes / (self.mem_bw_per_proc * eff))
+    }
+
+    /// Duration of a point-to-point copy.
+    pub fn copy_seconds(&self, bytes: f64) -> f64 {
+        self.nic_latency + bytes / self.nic_bandwidth
+    }
+
+    /// Duration of an all-reduce-style collective over `n`
+    /// participants carrying `bytes` payload.
+    pub fn collective_seconds(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let rounds = (n as f64).log2().ceil();
+        2.0 * rounds * self.nic_latency + rounds * bytes / self.nic_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lassen_dimensions() {
+        let m = MachineConfig::lassen(16);
+        assert_eq!(m.total_procs(), 64);
+    }
+
+    #[test]
+    fn roofline_picks_binding_resource() {
+        let m = MachineConfig::lassen(1);
+        // Bandwidth-bound: 1 GB at 800 GB/s ≈ 1.25 ms, flops tiny.
+        let t = m.compute_seconds(1e6, 1e9);
+        assert!((t - 1.25e-3).abs() < 1e-6);
+        // Flop-bound: 1 TF at 7 TF/s.
+        let t = m.compute_seconds(1e12, 1e3);
+        assert!((t - 0.142857e0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn copy_and_collective_costs() {
+        let m = MachineConfig::lassen(4);
+        assert!(m.copy_seconds(0.0) == m.nic_latency);
+        assert!(m.copy_seconds(12.5e9) > 1.0);
+        assert_eq!(m.collective_seconds(1, 8.0), 0.0);
+        // 64 participants: 6 rounds.
+        let t = m.collective_seconds(64, 8.0);
+        assert!(t > 2.0 * 6.0 * m.nic_latency);
+        assert!(t < 2.0 * 6.0 * m.nic_latency + 1e-6);
+    }
+
+    #[test]
+    fn profiles_differ_as_documented() {
+        let leg = MachineConfig::lassen(1).legion_profile();
+        let pet = MachineConfig::lassen(1).petsc_profile();
+        let tri = MachineConfig::lassen(1).trilinos_profile();
+        assert!(leg.dispatch_cost > 0.0 && pet.dispatch_cost == 0.0);
+        assert!(tri.kernel_efficiency < pet.kernel_efficiency);
+    }
+}

@@ -1,0 +1,147 @@
+//! Abstract task graphs consumed by the simulator.
+//!
+//! Frontends (the KDRSolvers simulation backend and the
+//! PETSc/Trilinos-like baselines) lower one or more solver iterations
+//! into a [`TaskGraph`]: compute tasks pinned to processors, copies
+//! between nodes, latency-bound collectives, and barriers. Costs are
+//! abstract (flops/bytes); the machine model prices them.
+
+/// A processor: `(node, lane)` where lane indexes a GPU (or the CPU
+/// aggregate lane).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct ProcId {
+    pub node: usize,
+    pub lane: usize,
+}
+
+/// Index of a node within a [`TaskGraph`].
+pub type SimNodeId = usize;
+
+/// The work performed by one graph node.
+#[derive(Clone, Debug)]
+pub enum SimWork {
+    /// A kernel on one processor with roofline cost.
+    Compute { proc: ProcId, flops: f64, bytes: f64 },
+    /// A point-to-point transfer between nodes. Same-node copies are
+    /// free (they model instance aliasing, not data movement).
+    Copy { from: usize, to: usize, bytes: f64 },
+    /// An all-reduce-style collective among `participants` nodes.
+    Collective { participants: usize, bytes: f64 },
+    /// A pure synchronization point (no cost beyond dependences); the
+    /// bulk-synchronous frontends insert one per phase.
+    Barrier,
+}
+
+/// One node of the graph: its work, label, and dependence list.
+#[derive(Clone, Debug)]
+pub struct SimNode {
+    pub work: SimWork,
+    pub label: &'static str,
+    pub deps: Vec<SimNodeId>,
+}
+
+/// A DAG of priced work items.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    nodes: Vec<SimNode>,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a node; dependences must refer to earlier nodes.
+    pub fn add(&mut self, work: SimWork, label: &'static str, deps: Vec<SimNodeId>) -> SimNodeId {
+        let id = self.nodes.len();
+        for &d in &deps {
+            assert!(d < id, "dependence {d} of node {id} is not earlier");
+        }
+        self.nodes.push(SimNode { work, label, deps });
+        id
+    }
+
+    /// Convenience: compute task.
+    pub fn compute(
+        &mut self,
+        proc: ProcId,
+        flops: f64,
+        bytes: f64,
+        label: &'static str,
+        deps: Vec<SimNodeId>,
+    ) -> SimNodeId {
+        self.add(SimWork::Compute { proc, flops, bytes }, label, deps)
+    }
+
+    /// Convenience: copy task.
+    pub fn copy(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: f64,
+        label: &'static str,
+        deps: Vec<SimNodeId>,
+    ) -> SimNodeId {
+        self.add(SimWork::Copy { from, to, bytes }, label, deps)
+    }
+
+    /// Convenience: collective over `participants` nodes.
+    pub fn collective(
+        &mut self,
+        participants: usize,
+        bytes: f64,
+        label: &'static str,
+        deps: Vec<SimNodeId>,
+    ) -> SimNodeId {
+        self.add(
+            SimWork::Collective {
+                participants,
+                bytes,
+            },
+            label,
+            deps,
+        )
+    }
+
+    /// Convenience: barrier joining `deps`.
+    pub fn barrier(&mut self, deps: Vec<SimNodeId>, label: &'static str) -> SimNodeId {
+        self.add(SimWork::Barrier, label, deps)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn nodes(&self) -> &[SimNode] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_dag() {
+        let mut g = TaskGraph::new();
+        let p = ProcId { node: 0, lane: 0 };
+        let a = g.compute(p, 100.0, 800.0, "a", vec![]);
+        let c = g.copy(0, 1, 4096.0, "c", vec![a]);
+        let b = g.compute(ProcId { node: 1, lane: 0 }, 100.0, 800.0, "b", vec![c]);
+        let r = g.collective(2, 8.0, "dot", vec![a, b]);
+        let f = g.barrier(vec![r], "fence");
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.nodes()[f].deps, vec![r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn forward_dependences_rejected() {
+        let mut g = TaskGraph::new();
+        g.add(SimWork::Barrier, "bad", vec![3]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the discrete-event scheduler: fundamental
+//! scheduling invariants on random task graphs.
+
+use kdr_machine::{simulate, MachineConfig, ProcId, SimWork, TaskGraph};
+use proptest::prelude::*;
+
+fn machine(nodes: usize, lanes: usize) -> MachineConfig {
+    MachineConfig {
+        nodes,
+        procs_per_node: lanes,
+        flops_per_proc: 1e9,
+        mem_bw_per_proc: 1e9,
+        kernel_efficiency: 1.0,
+        nic_bandwidth: 1e9,
+        nic_latency: 1e-6,
+        task_overhead: 1e-6,
+        dispatch_cost: 0.0,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum NodeSpec {
+    Compute { proc: usize, flops: u64 },
+    Copy { from: usize, to: usize, kb: u64 },
+    Barrier,
+}
+
+fn arb_graph(
+    nodes: usize,
+    lanes: usize,
+) -> impl Strategy<Value = (Vec<NodeSpec>, Vec<Vec<usize>>)> {
+    let total = nodes * lanes;
+    let spec = prop_oneof![
+        (0..total, 1u64..1_000_000).prop_map(|(p, f)| NodeSpec::Compute { proc: p, flops: f }),
+        (0..nodes, 0..nodes, 1u64..100).prop_map(|(a, b, kb)| NodeSpec::Copy {
+            from: a,
+            to: b,
+            kb
+        }),
+        Just(NodeSpec::Barrier),
+    ];
+    prop::collection::vec(spec, 1..40).prop_flat_map(|specs| {
+        let n = specs.len();
+        // Random back-edges: each node depends on a subset of earlier
+        // nodes.
+        let deps: Vec<_> = (0..n)
+            .map(|i| prop::collection::vec(0..i.max(1), 0..3.min(i + 1)))
+            .collect();
+        (Just(specs), deps)
+    })
+}
+
+fn build(specs: &[NodeSpec], deps: &[Vec<usize>], lanes: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for (i, s) in specs.iter().enumerate() {
+        let d: Vec<usize> = deps[i].iter().copied().filter(|&x| x < i).collect();
+        match *s {
+            NodeSpec::Compute { proc, flops } => {
+                g.compute(
+                    ProcId {
+                        node: proc / lanes,
+                        lane: proc % lanes,
+                    },
+                    flops as f64,
+                    0.0,
+                    "c",
+                    d,
+                );
+            }
+            NodeSpec::Copy { from, to, kb } => {
+                g.copy(from, to, kb as f64 * 1024.0, "x", d);
+            }
+            NodeSpec::Barrier => {
+                g.barrier(d, "b");
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduling_invariants((specs, deps) in arb_graph(3, 2)) {
+        let m = machine(3, 2);
+        let g = build(&specs, &deps, 2);
+        let r = simulate(&g, &m, None);
+        // 1. Every node finished at a non-negative time.
+        for (i, &f) in r.finish_times.iter().enumerate() {
+            prop_assert!(f.is_finite() && f >= 0.0, "node {i}");
+        }
+        // 2. Dependences respected: a node finishes no earlier than
+        //    any dependence.
+        for (i, node) in g.nodes().iter().enumerate() {
+            for &d in &node.deps {
+                prop_assert!(
+                    r.finish_times[i] >= r.finish_times[d] - 1e-15,
+                    "node {i} finished before dep {d}"
+                );
+            }
+        }
+        // 3. Makespan equals the max finish time.
+        let max = r.finish_times.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((r.makespan - max).abs() < 1e-12);
+        // 4. Work conservation: total busy time equals the sum of
+        //    compute durations (overhead + roofline).
+        let expect: f64 = g
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.work {
+                SimWork::Compute { flops, bytes, .. } => {
+                    Some(m.task_overhead + m.compute_seconds(flops, bytes))
+                }
+                _ => None,
+            })
+            .sum();
+        let busy: f64 = r.proc_busy.iter().flatten().sum();
+        prop_assert!((busy - expect).abs() < 1e-9, "busy {busy} vs {expect}");
+        // 5. Makespan is at least the busiest processor's load.
+        let max_busy = r.proc_busy.iter().flatten().cloned().fold(0.0, f64::max);
+        prop_assert!(r.makespan >= max_busy - 1e-12);
+        // 6. Determinism.
+        let r2 = simulate(&g, &m, None);
+        prop_assert_eq!(r.finish_times, r2.finish_times);
+    }
+
+    #[test]
+    fn slowdown_is_monotone((specs, deps) in arb_graph(2, 2), speed in 0.1f64..1.0) {
+        let m = machine(2, 2);
+        let g = build(&specs, &deps, 2);
+        let fast = simulate(&g, &m, None).makespan;
+        let slow = simulate(&g, &m, Some(&[speed, 1.0])).makespan;
+        prop_assert!(slow >= fast - 1e-12, "slowing a node cannot speed things up");
+    }
+}
+
+#[test]
+fn breakdown_accounts_every_node() {
+    let m = machine(2, 1);
+    let mut g = TaskGraph::new();
+    let a = g.compute(ProcId { node: 0, lane: 0 }, 1e6, 0.0, "work", vec![]);
+    g.copy(0, 1, 1024.0, "halo", vec![a]);
+    g.barrier(vec![a], "sync");
+    let r = simulate(&g, &m, None);
+    let b = r.breakdown(&g);
+    let total_count: usize = b.iter().map(|&(_, c, _)| c).sum();
+    assert_eq!(total_count, 3);
+    assert!(b.iter().any(|&(l, _, _)| l == "work"));
+    assert!(b.iter().any(|&(l, _, _)| l == "halo"));
+}

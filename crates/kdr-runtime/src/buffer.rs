@@ -1,0 +1,315 @@
+//! Typed shared buffers and subset-scoped views.
+//!
+//! A [`Buffer`] is the runtime's physical storage unit (one field of
+//! one logical region, in Legion terms). Tasks never hold `&[T]` or
+//! `&mut [T]` into a buffer; they hold [`ReadView`]/[`WriteView`]
+//! accessors that perform raw-pointer element accesses. This is the
+//! *only* module in the crate containing `unsafe`.
+//!
+//! # Safety argument
+//!
+//! * Every view is created by the executor from a task's declared
+//!   requirements (or by [`Buffer::snapshot`]/[`Buffer::fill_from`] on a
+//!   quiesced runtime).
+//! * Dependence analysis serializes any two tasks whose declared
+//!   subsets of a buffer overlap when at least one holds
+//!   [`Privilege::Write`](crate::task::Privilege). Hence at any
+//!   instant, for each buffer element, either all live accessors are
+//!   reads, or exactly one running task may touch it — no data race.
+//! * Views never create references into the buffer, so no aliasing
+//!   invariants of `&`/`&mut` are asserted; all element traffic is
+//!   `ptr::read`/`ptr::write` on `Copy` data.
+//! * Debug builds assert each access lies inside the declared subset,
+//!   catching tasks that under-declare their footprint.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kdr_index::IntervalSet;
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct BufferInner<T> {
+    id: u64,
+    /// `UnsafeCell` per element: the slice metadata is freely
+    /// shareable, only element contents are interior-mutable.
+    data: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: concurrent access to the UnsafeCell contents is mediated by
+// the runtime's dependence analysis (see module docs); the cell itself
+// is shared freely.
+unsafe impl<T: Send> Send for BufferInner<T> {}
+unsafe impl<T: Send> Sync for BufferInner<T> {}
+
+/// A typed, shareable storage buffer. Cloning is shallow (`Arc`).
+pub struct Buffer<T> {
+    inner: Arc<BufferInner<T>>,
+}
+
+impl<T> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Buffer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Send + 'static> Buffer<T> {
+    /// Allocate from an initial vector.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        // SAFETY: UnsafeCell<T> is repr(transparent) over T, so the
+        // allocation can be reinterpreted in place.
+        let boxed: Box<[T]> = data.into_boxed_slice();
+        let data = unsafe {
+            Box::from_raw(Box::into_raw(boxed) as *mut [UnsafeCell<T>])
+        };
+        Buffer {
+            inner: Arc::new(BufferInner {
+                id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+                data,
+            }),
+        }
+    }
+
+    /// Allocate `len` copies of `init`.
+    pub fn filled(len: usize, init: T) -> Self {
+        Self::from_vec(vec![init; len])
+    }
+
+    /// Stable identifier used by dependence analysis.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn base_ptr(&self) -> *mut T {
+        // UnsafeCell<T> is repr(transparent); the slice base doubles
+        // as the element base.
+        self.inner.data.as_ptr() as *mut T
+    }
+
+    /// Copy out the entire contents.
+    ///
+    /// Must only be called when no task writing this buffer is in
+    /// flight (e.g. after [`Runtime::fence`](crate::Runtime::fence)).
+    pub fn snapshot(&self) -> Vec<T> {
+        let len = self.len();
+        let mut out = Vec::with_capacity(len);
+        let ptr = self.base_ptr();
+        for i in 0..len {
+            // SAFETY: in bounds; caller guarantees quiescence.
+            out.push(unsafe { std::ptr::read(ptr.add(i)) });
+        }
+        out
+    }
+
+    /// Overwrite the entire contents from a slice.
+    ///
+    /// Must only be called on a quiesced runtime (see
+    /// [`Buffer::snapshot`]).
+    pub fn fill_from(&self, src: &[T]) {
+        assert_eq!(src.len(), self.len());
+        let ptr = self.base_ptr();
+        for (i, &v) in src.iter().enumerate() {
+            // SAFETY: in bounds; caller guarantees quiescence.
+            unsafe { std::ptr::write(ptr.add(i), v) };
+        }
+    }
+
+    /// Create a read view over `subset`.
+    ///
+    /// Safe to *create*; soundness of subsequent `get` calls relies on
+    /// the runtime contract in the module docs. Prefer obtaining views
+    /// through [`TaskContext`](crate::task::TaskContext).
+    pub fn read_view(&self, subset: Arc<IntervalSet>) -> ReadView<T> {
+        ReadView {
+            ptr: self.base_ptr(),
+            len: self.len(),
+            subset,
+            _keep: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Create a write view over `subset` (see [`Buffer::read_view`]).
+    pub fn write_view(&self, subset: Arc<IntervalSet>) -> WriteView<T> {
+        WriteView {
+            ptr: self.base_ptr(),
+            len: self.len(),
+            subset,
+            _keep: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Read-only element access into a buffer, scoped to a declared
+/// subset.
+pub struct ReadView<T> {
+    ptr: *const T,
+    len: usize,
+    subset: Arc<IntervalSet>,
+    _keep: Arc<BufferInner<T>>,
+}
+
+// SAFETY: views carry a raw pointer plus a keep-alive Arc; sending
+// them between threads is safe because all element access is mediated
+// by the runtime discipline.
+unsafe impl<T: Send> Send for ReadView<T> {}
+unsafe impl<T: Send> Sync for ReadView<T> {}
+
+impl<T: Copy> ReadView<T> {
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        debug_assert!(
+            self.subset.contains(i as u64),
+            "read of undeclared element {i}"
+        );
+        // SAFETY: in bounds; data-race freedom per module docs.
+        unsafe { std::ptr::read(self.ptr.add(i)) }
+    }
+
+    /// The declared subset of this view.
+    pub fn subset(&self) -> &IntervalSet {
+        &self.subset
+    }
+
+    /// Buffer length (not subset cardinality).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy the elements of a contiguous range into `dst`.
+    pub fn copy_range(&self, lo: usize, dst: &mut [T]) {
+        for (off, d) in dst.iter_mut().enumerate() {
+            *d = self.get(lo + off);
+        }
+    }
+}
+
+/// Read-write element access into a buffer, scoped to a declared
+/// subset.
+pub struct WriteView<T> {
+    ptr: *mut T,
+    len: usize,
+    subset: Arc<IntervalSet>,
+    _keep: Arc<BufferInner<T>>,
+}
+
+// SAFETY: see ReadView.
+unsafe impl<T: Send> Send for WriteView<T> {}
+unsafe impl<T: Send> Sync for WriteView<T> {}
+
+impl<T: Copy> WriteView<T> {
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        debug_assert!(
+            self.subset.contains(i as u64),
+            "read of undeclared element {i}"
+        );
+        // SAFETY: in bounds; data-race freedom per module docs.
+        unsafe { std::ptr::read(self.ptr.add(i)) }
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        debug_assert!(
+            self.subset.contains(i as u64),
+            "write of undeclared element {i}"
+        );
+        // SAFETY: in bounds; exclusivity per module docs.
+        unsafe { std::ptr::write(self.ptr.add(i), v) };
+    }
+
+    /// The declared subset of this view.
+    pub fn subset(&self) -> &IntervalSet {
+        &self.subset
+    }
+
+    /// Buffer length (not subset cardinality).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn whole(n: u64) -> Arc<IntervalSet> {
+        Arc::new(IntervalSet::full(n))
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let b = Buffer::from_vec(vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.snapshot(), vec![1.0, 2.0, 3.0]);
+        b.fill_from(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.snapshot(), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn views_read_and_write() {
+        let b = Buffer::filled(4, 0.0f64);
+        let w = b.write_view(whole(4));
+        w.set(1, 7.5);
+        w.set(3, -2.0);
+        assert_eq!(w.get(1), 7.5);
+        let r = b.read_view(whole(4));
+        assert_eq!(r.get(0), 0.0);
+        assert_eq!(r.get(3), -2.0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Buffer::filled(1, 0u64);
+        let b = Buffer::filled(1, 0u64);
+        assert_ne!(a.id(), b.id());
+        // Clones share identity.
+        assert_eq!(a.id(), a.clone().id());
+    }
+
+    #[test]
+    fn copy_range() {
+        let b = Buffer::from_vec((0..10).map(|i| i as f64).collect());
+        let r = b.read_view(whole(10));
+        let mut dst = [0.0; 4];
+        r.copy_range(3, &mut dst);
+        assert_eq!(dst, [3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "undeclared element")]
+    fn subset_violation_caught_in_debug() {
+        let b = Buffer::filled(8, 0.0f64);
+        let r = b.read_view(Arc::new(IntervalSet::from_range(0, 4)));
+        r.get(5);
+    }
+}

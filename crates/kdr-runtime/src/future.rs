@@ -1,0 +1,121 @@
+//! Scalar futures.
+//!
+//! Krylov iterations thread scalars (dot products, norms) between
+//! tasks and the driving thread. A [`Future`] is a one-shot,
+//! blocking-read cell: tasks fill it through the paired [`Promise`],
+//! and `get()` parks the caller until the value arrives. Because the
+//! executor runs continuously on worker threads, blocking on a future
+//! from the application thread cannot deadlock.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Shared<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+/// The write end of a one-shot scalar channel.
+pub struct Promise<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The read end of a one-shot scalar channel. Cloneable; every clone
+/// observes the same value.
+pub struct Future<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Create a connected promise/future pair.
+pub fn promise<T>() -> (Promise<T>, Future<T>) {
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    (
+        Promise {
+            shared: Arc::clone(&shared),
+        },
+        Future { shared },
+    )
+}
+
+impl<T> Promise<T> {
+    /// Fill the future. Panics if already filled.
+    pub fn set(self, value: T) {
+        let mut slot = self.shared.slot.lock();
+        assert!(slot.is_none(), "promise set twice");
+        *slot = Some(value);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl<T: Clone> Future<T> {
+    /// Block until the value arrives, then return a clone of it.
+    pub fn get(&self) -> T {
+        let mut slot = self.shared.slot.lock();
+        while slot.is_none() {
+            self.shared.cv.wait(&mut slot);
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    /// Non-blocking probe.
+    pub fn try_get(&self) -> Option<T> {
+        self.shared.slot.lock().as_ref().cloned()
+    }
+
+    /// True once the promise has been fulfilled.
+    pub fn is_ready(&self) -> bool {
+        self.shared.slot.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn set_then_get() {
+        let (p, f) = promise();
+        assert!(!f.is_ready());
+        assert_eq!(f.try_get(), None);
+        p.set(42u64);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 42);
+        assert_eq!(f.clone().get(), 42);
+    }
+
+    #[test]
+    fn get_blocks_until_set() {
+        let (p, f) = promise();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            p.set(7.5f64);
+        });
+        assert_eq!(f.get(), 7.5);
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "set twice")]
+    fn double_set_panics() {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Some(1u32)),
+            cv: Condvar::new(),
+        });
+        let p = Promise { shared };
+        p.set(2);
+    }
+}

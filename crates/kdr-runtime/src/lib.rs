@@ -1,0 +1,44 @@
+//! # kdr-runtime
+//!
+//! A task-oriented runtime in the mold of Legion, built from scratch
+//! as the execution substrate for KDRSolvers.
+//!
+//! The programming model: the application submits *tasks*, each
+//! declaring the data it touches as *(buffer, subset, privilege)*
+//! requirements. The runtime performs *dependence analysis* — two
+//! tasks conflict when their declared subsets of the same buffer
+//! overlap and at least one writes — and executes the resulting DAG on
+//! a pool of worker threads, overlapping everything the analysis
+//! proves independent. Scalars flow between tasks and the main thread
+//! through [`Future`]s, *index launches* spray one task per color of a
+//! partition, and *dynamic tracing* memoizes the dependence analysis
+//! of a repeated task sequence (after Lee et al., SC'18, which the
+//! paper cites for exactly this purpose).
+//!
+//! ## Safety model
+//!
+//! Buffers hand out [`ReadView`]/[`WriteView`] accessors that perform
+//! raw-pointer element reads and writes rather than materializing
+//! `&[T]`/`&mut [T]`. Dependence analysis guarantees that no two
+//! *concurrently running* tasks hold overlapping views of the same
+//! buffer with a writer among them — the same discipline Legion
+//! enforces — which makes the raw accesses data-race free. Debug
+//! builds additionally assert that every access stays inside the
+//! subset the task declared. All `unsafe` in this crate lives in
+//! [`buffer`].
+
+pub mod buffer;
+pub mod executor;
+pub mod future;
+pub mod graph;
+pub mod mapper;
+pub mod runtime;
+pub mod task;
+pub mod trace;
+
+pub use buffer::{Buffer, ReadView, WriteView};
+pub use future::{promise, Future, Promise};
+pub use mapper::{Mapper, RoundRobinMapper, TaskMeta};
+pub use runtime::{Runtime, RuntimeStats};
+pub use task::{Privilege, TaskBuilder, TaskContext, TaskId, TaskMetaLite};
+pub use trace::Trace;

@@ -1,0 +1,102 @@
+//! Mappers: policy objects that assign tasks to processors.
+//!
+//! In Legion, mapping decisions (which processor runs a task, where
+//! instances live) are delegated to an application-replaceable
+//! *mapper*. Our thread-pool executor is symmetric shared memory, so
+//! mapping is advisory there; the machine simulator in `kdr-machine`
+//! honors it exactly, and the dynamic load-balancing experiment
+//! (paper §6.3) is implemented as a custom mapper that migrates
+//! matrix tiles between nodes.
+
+/// Scheduling metadata attached to a task.
+#[derive(Clone, Debug)]
+pub struct TaskMeta {
+    /// Human-readable kernel name.
+    pub name: &'static str,
+    /// Color within an index launch, if any.
+    pub color: Option<usize>,
+    /// Estimated floating-point operations.
+    pub flops: u64,
+    /// Estimated bytes of memory traffic.
+    pub bytes: u64,
+}
+
+impl TaskMeta {
+    pub fn new(name: &'static str) -> Self {
+        TaskMeta {
+            name,
+            color: None,
+            flops: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Attach an index-launch color.
+    pub fn with_color(mut self, color: usize) -> Self {
+        self.color = Some(color);
+        self
+    }
+
+    /// Attach cost estimates (used by simulators and mappers).
+    pub fn with_cost(mut self, flops: u64, bytes: u64) -> Self {
+        self.flops = flops;
+        self.bytes = bytes;
+        self
+    }
+}
+
+/// Assigns each task a processor index in `0..num_procs`.
+pub trait Mapper: Send + Sync {
+    /// Number of processors this mapper targets.
+    fn num_procs(&self) -> usize;
+
+    /// Pick a processor for a task.
+    fn map_task(&self, meta: &TaskMeta) -> usize;
+}
+
+/// Spreads index-launch colors round-robin over processors; tasks
+/// without a color go to processor 0.
+pub struct RoundRobinMapper {
+    procs: usize,
+}
+
+impl RoundRobinMapper {
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0);
+        RoundRobinMapper { procs }
+    }
+}
+
+impl Mapper for RoundRobinMapper {
+    fn num_procs(&self) -> usize {
+        self.procs
+    }
+
+    fn map_task(&self, meta: &TaskMeta) -> usize {
+        meta.color.map_or(0, |c| c % self.procs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_colors() {
+        let m = RoundRobinMapper::new(4);
+        assert_eq!(m.num_procs(), 4);
+        let mk = |c| TaskMeta::new("t").with_color(c);
+        assert_eq!(m.map_task(&mk(0)), 0);
+        assert_eq!(m.map_task(&mk(5)), 1);
+        assert_eq!(m.map_task(&TaskMeta::new("t")), 0);
+    }
+
+    #[test]
+    fn meta_builders() {
+        let m = TaskMeta::new("spmv").with_color(3).with_cost(100, 800);
+        assert_eq!(m.name, "spmv");
+        assert_eq!(m.color, Some(3));
+        assert_eq!(m.flops, 100);
+        assert_eq!(m.bytes, 800);
+    }
+}

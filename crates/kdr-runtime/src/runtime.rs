@@ -1,0 +1,432 @@
+//! The user-facing runtime: submission, fencing, index launches, and
+//! trace capture/replay.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::executor::{Executor, Runnable};
+use crate::graph::Analyzer;
+use crate::mapper::Mapper;
+use crate::task::{TaskBuilder, TaskId, TaskMetaLite};
+use crate::trace::Trace;
+
+/// Counters describing runtime activity; useful for the tracing
+/// ablation benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Tasks submitted (analyzed or replayed).
+    pub tasks_submitted: u64,
+    /// Task bodies actually executed.
+    pub tasks_executed: u64,
+    /// Dependence edges created by analysis.
+    pub edges_created: u64,
+    /// Nanoseconds spent in dependence analysis.
+    pub analysis_ns: u64,
+    /// Tasks submitted through trace replay (analysis skipped).
+    pub tasks_replayed: u64,
+    /// Tasks executed by a worker other than their affinity target
+    /// (work stealing).
+    pub tasks_stolen: u64,
+}
+
+struct TraceCapture {
+    id_to_local: HashMap<TaskId, usize>,
+    deps: Vec<Vec<usize>>,
+}
+
+struct RtState {
+    analyzer: Analyzer,
+    next_id: TaskId,
+    capture: Option<TraceCapture>,
+    analysis_ns: u64,
+    tasks_submitted: u64,
+    tasks_replayed: u64,
+}
+
+/// A task-oriented runtime instance owning a worker pool.
+pub struct Runtime {
+    exec: Executor,
+    state: Mutex<RtState>,
+}
+
+impl Runtime {
+    /// Create a runtime with `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Self::build(Executor::new(workers))
+    }
+
+    /// Create a runtime whose ready tasks are routed to workers by a
+    /// [`Mapper`] (processor-affinity scheduling; idle workers still
+    /// steal).
+    pub fn with_mapper(workers: usize, mapper: std::sync::Arc<dyn Mapper>) -> Self {
+        Self::build(Executor::with_mapper(workers, Some(mapper)))
+    }
+
+    fn build(exec: Executor) -> Self {
+        Runtime {
+            exec,
+            state: Mutex::new(RtState {
+                analyzer: Analyzer::new(),
+                next_id: 0,
+                capture: None,
+                analysis_ns: 0,
+                tasks_submitted: 0,
+                tasks_replayed: 0,
+            }),
+        }
+    }
+
+    /// Create a runtime sized to the machine's available parallelism.
+    pub fn with_default_workers() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.exec.num_workers()
+    }
+
+    /// Submit one task; returns its id. Dependences are derived
+    /// automatically from the task's declared requirements.
+    pub fn submit(&self, task: TaskBuilder) -> TaskId {
+        let lites = task.req_lites();
+        let body = task
+            .body
+            .expect("task submitted without a body; call .body(..)");
+        let reqs = Arc::new(task.reqs);
+
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.tasks_submitted += 1;
+        let t0 = Instant::now();
+        let deps = st.analyzer.analyze(id, &lites);
+        st.analysis_ns += t0.elapsed().as_nanos() as u64;
+        if let Some(cap) = &mut st.capture {
+            let local = cap.deps.len();
+            let local_deps = deps
+                .iter()
+                .filter_map(|d| cap.id_to_local.get(d).copied())
+                .collect();
+            cap.id_to_local.insert(id, local);
+            cap.deps.push(local_deps);
+        }
+        // Hold the state lock across executor submission so tasks
+        // enter the executor in analysis order.
+        self.exec.submit(
+            Runnable {
+                id,
+                name: task.name,
+                body,
+                reqs,
+                meta: TaskMetaLite::from_meta(&task.meta),
+            },
+            &deps,
+        );
+        drop(st);
+        id
+    }
+
+    /// Launch one task per color in `0..colors` (Legion's index task
+    /// launch). `make(color)` builds the point task.
+    pub fn index_launch(
+        &self,
+        colors: usize,
+        mut make: impl FnMut(usize) -> TaskBuilder,
+    ) -> Vec<TaskId> {
+        (0..colors).map(|c| self.submit(make(c))).collect()
+    }
+
+    /// Block until all submitted tasks have completed.
+    pub fn fence(&self) {
+        self.exec.fence();
+    }
+
+    /// Begin capturing a trace. Fences first (traces start from a
+    /// quiescent runtime) and resets the analyzer, which is sound
+    /// because every frontier entry then refers to a finished task.
+    pub fn begin_trace(&self) {
+        self.fence();
+        let mut st = self.state.lock();
+        assert!(st.capture.is_none(), "nested trace capture");
+        st.analyzer.clear();
+        st.capture = Some(TraceCapture {
+            id_to_local: HashMap::new(),
+            deps: Vec::new(),
+        });
+    }
+
+    /// Finish capturing; returns the trace. Fences so the recorded
+    /// frontier is final.
+    pub fn end_trace(&self) -> Trace {
+        self.fence();
+        let mut st = self.state.lock();
+        let cap = st.capture.take().expect("end_trace without begin_trace");
+        let frontier = st
+            .analyzer
+            .snapshot()
+            .into_iter()
+            .map(|(buf, mut f)| {
+                for e in &mut f.entries {
+                    e.task = *cap
+                        .id_to_local
+                        .get(&e.task)
+                        .expect("frontier task must be intra-trace") as TaskId;
+                }
+                (buf, f)
+            })
+            .collect();
+        Trace {
+            deps: cap.deps,
+            frontier,
+        }
+    }
+
+    /// Replay a captured trace with a fresh, same-shaped task list:
+    /// `tasks[i]` must declare the same accesses as the `i`-th
+    /// captured task. Dependence analysis is skipped; the recorded
+    /// edges and final frontier are installed instead.
+    pub fn replay(&self, trace: &Trace, tasks: Vec<TaskBuilder>) -> Vec<TaskId> {
+        assert_eq!(
+            tasks.len(),
+            trace.len(),
+            "replay task list does not match trace length"
+        );
+        self.fence();
+        let mut st = self.state.lock();
+        let base = st.next_id;
+        st.next_id += tasks.len() as TaskId;
+        st.tasks_submitted += tasks.len() as u64;
+        st.tasks_replayed += tasks.len() as u64;
+        let mut ids = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.into_iter().enumerate() {
+            let id = base + i as TaskId;
+            let body = task.body.expect("replayed task without a body");
+            let reqs = Arc::new(task.reqs);
+            let deps: Vec<TaskId> = trace.deps[i].iter().map(|&l| base + l as TaskId).collect();
+            self.exec.submit(
+                Runnable {
+                    id,
+                    name: task.name,
+                    body,
+                    reqs,
+                    meta: TaskMetaLite::from_meta(&task.meta),
+                },
+                &deps,
+            );
+            ids.push(id);
+        }
+        st.analyzer.install(&trace.frontier, |local| base + local);
+        drop(st);
+        ids
+    }
+
+    /// Current activity counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let st = self.state.lock();
+        RuntimeStats {
+            tasks_submitted: st.tasks_submitted,
+            tasks_executed: self.exec.executed(),
+            edges_created: st.analyzer.edges_created,
+            analysis_ns: st.analysis_ns,
+            tasks_replayed: st.tasks_replayed,
+            tasks_stolen: self.exec.stolen(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::task::TaskBuilder;
+    use kdr_index::IntervalSet;
+
+    #[test]
+    fn dataflow_through_buffers() {
+        let rt = Runtime::new(4);
+        let a = Buffer::filled(8, 1.0f64);
+        let b = Buffer::filled(8, 0.0f64);
+        // b = 2 * a, then a = b + 1 (serialized by analysis).
+        rt.submit(
+            TaskBuilder::new("scale")
+                .read_all(&a)
+                .write_all(&b)
+                .body(|ctx| {
+                    let a = ctx.read::<f64>(0);
+                    let b = ctx.write::<f64>(1);
+                    for i in 0..8 {
+                        b.set(i, 2.0 * a.get(i));
+                    }
+                }),
+        );
+        rt.submit(
+            TaskBuilder::new("incr")
+                .read_all(&b)
+                .write_all(&a)
+                .body(|ctx| {
+                    let b = ctx.read::<f64>(0);
+                    let a = ctx.write::<f64>(1);
+                    for i in 0..8 {
+                        a.set(i, b.get(i) + 1.0);
+                    }
+                }),
+        );
+        rt.fence();
+        assert_eq!(a.snapshot(), vec![3.0; 8]);
+        assert_eq!(b.snapshot(), vec![2.0; 8]);
+        let s = rt.stats();
+        assert_eq!(s.tasks_submitted, 2);
+        assert_eq!(s.tasks_executed, 2);
+        assert!(s.edges_created >= 1);
+    }
+
+    #[test]
+    fn disjoint_pieces_execute_in_any_order() {
+        let rt = Runtime::new(4);
+        let v = Buffer::filled(100, 0.0f64);
+        rt.index_launch(4, |c| {
+            let lo = c as u64 * 25;
+            TaskBuilder::new("fill")
+                .write(&v, IntervalSet::from_range(lo, lo + 25))
+                .body(move |ctx| {
+                    let w = ctx.write::<f64>(0);
+                    for i in lo as usize..lo as usize + 25 {
+                        w.set(i, c as f64);
+                    }
+                })
+        });
+        rt.fence();
+        let snap = v.snapshot();
+        for c in 0..4 {
+            assert!(snap[c * 25..(c + 1) * 25].iter().all(|&x| x == c as f64));
+        }
+    }
+
+    #[test]
+    fn overlapping_writes_serialize() {
+        // 100 increments of the same cell must not lose updates.
+        let rt = Runtime::new(8);
+        let v = Buffer::filled(1, 0.0f64);
+        for _ in 0..100 {
+            rt.submit(TaskBuilder::new("inc").write_all(&v).body(|ctx| {
+                let w = ctx.write::<f64>(0);
+                w.set(0, w.get(0) + 1.0);
+            }));
+        }
+        rt.fence();
+        assert_eq!(v.snapshot(), vec![100.0]);
+    }
+
+    #[test]
+    fn futures_deliver_scalars() {
+        let rt = Runtime::new(2);
+        let v = Buffer::from_vec((0..10).map(|i| i as f64).collect());
+        let (p, f) = crate::future::promise::<f64>();
+        rt.submit(TaskBuilder::new("sum").read_all(&v).body(move |ctx| {
+            let v = ctx.read::<f64>(0);
+            let mut s = 0.0;
+            for i in 0..10 {
+                s += v.get(i);
+            }
+            p.set(s);
+        }));
+        assert_eq!(f.get(), 45.0);
+    }
+
+    #[test]
+    fn trace_capture_and_replay() {
+        let rt = Runtime::new(4);
+        let v = Buffer::filled(4, 0.0f64);
+        let step = |v: &Buffer<f64>| {
+            TaskBuilder::new("inc").write_all(v).body(|ctx| {
+                let w = ctx.write::<f64>(0);
+                for i in 0..4 {
+                    w.set(i, w.get(i) + 1.0);
+                }
+            })
+        };
+        rt.begin_trace();
+        rt.submit(step(&v));
+        rt.submit(step(&v));
+        let trace = rt.end_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.num_edges(), 1);
+        // Replay three more iterations.
+        for _ in 0..3 {
+            rt.replay(&trace, vec![step(&v), step(&v)]);
+        }
+        rt.fence();
+        assert_eq!(v.snapshot(), vec![8.0; 4]);
+        let s = rt.stats();
+        assert_eq!(s.tasks_replayed, 6);
+        assert_eq!(s.tasks_executed, 8);
+    }
+
+    #[test]
+    fn post_replay_submissions_depend_on_replayed_tasks() {
+        let rt = Runtime::new(2);
+        let v = Buffer::filled(1, 0.0f64);
+        let inc = |v: &Buffer<f64>| {
+            TaskBuilder::new("inc").write_all(v).body(|ctx| {
+                let w = ctx.write::<f64>(0);
+                w.set(0, w.get(0) + 1.0);
+            })
+        };
+        rt.begin_trace();
+        rt.submit(inc(&v));
+        let trace = rt.end_trace();
+        rt.replay(&trace, vec![inc(&v)]);
+        // Normal submission after a replay must see the replayed write.
+        rt.submit(TaskBuilder::new("dbl").write_all(&v).body(|ctx| {
+            let w = ctx.write::<f64>(0);
+            w.set(0, w.get(0) * 10.0);
+        }));
+        rt.fence();
+        assert_eq!(v.snapshot(), vec![20.0]);
+    }
+
+    #[test]
+    fn replay_is_cheaper_than_analysis() {
+        let rt = Runtime::new(2);
+        let v = Buffer::filled(64, 0.0f64);
+        let mk = |v: &Buffer<f64>, c: usize| {
+            let lo = c as u64 * 8;
+            TaskBuilder::new("w")
+                .write(v, IntervalSet::from_range(lo, lo + 8))
+                .body(|_| {})
+        };
+        rt.begin_trace();
+        for c in 0..8 {
+            rt.submit(mk(&v, c));
+        }
+        let trace = rt.end_trace();
+        let before = rt.stats().analysis_ns;
+        rt.replay(&trace, (0..8).map(|c| mk(&v, c)).collect());
+        rt.fence();
+        assert_eq!(
+            rt.stats().analysis_ns,
+            before,
+            "replay must not spend analysis time"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match trace length")]
+    fn replay_length_mismatch_panics() {
+        let rt = Runtime::new(1);
+        rt.begin_trace();
+        let trace = rt.end_trace();
+        let v = Buffer::filled(1, 0.0f64);
+        rt.replay(
+            &trace,
+            vec![TaskBuilder::new("x").write_all(&v).body(|_| {})],
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Task descriptions: privileges, requirements, builders, and the
+//! context handed to a running task.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use kdr_index::IntervalSet;
+
+use crate::buffer::{Buffer, ReadView, WriteView};
+use crate::mapper::TaskMeta;
+
+/// Copyable scheduling metadata carried into the executor (the
+/// name-free core of [`TaskMeta`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskMetaLite {
+    pub color: Option<usize>,
+    pub flops: u64,
+    pub bytes: u64,
+}
+
+impl TaskMetaLite {
+    /// Re-expand for mapper calls.
+    pub fn to_meta(self) -> TaskMeta {
+        TaskMeta {
+            name: "",
+            color: self.color,
+            flops: self.flops,
+            bytes: self.bytes,
+        }
+    }
+
+    pub(crate) fn from_meta(m: &TaskMeta) -> Self {
+        TaskMetaLite {
+            color: m.color,
+            flops: m.flops,
+            bytes: m.bytes,
+        }
+    }
+}
+
+/// Unique task identifier, in submission order.
+pub type TaskId = u64;
+
+/// What a task is allowed to do with a declared buffer subset.
+///
+/// `Write` subsumes read-modify-write; reductions are expressed as
+/// `Write` because the executor serializes overlapping accumulations
+/// (the paper's "interference analysis" for multiply-adds into the
+/// same component, §4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Privilege {
+    /// Read the declared subset.
+    Read,
+    /// Read and write the declared subset.
+    Write,
+}
+
+/// One declared access of a task.
+pub(crate) struct Requirement {
+    pub buffer_id: u64,
+    /// Type-erased `Buffer<T>` for view construction.
+    pub handle: Arc<dyn Any + Send + Sync>,
+    pub subset: Arc<IntervalSet>,
+    pub privilege: Privilege,
+}
+
+/// A lightweight copy of a requirement for dependence analysis.
+#[derive(Clone)]
+pub(crate) struct ReqLite {
+    pub buffer_id: u64,
+    pub subset: Arc<IntervalSet>,
+    pub write: bool,
+}
+
+/// Builder for a task: name, declared accesses, metadata and body.
+pub struct TaskBuilder {
+    pub(crate) name: &'static str,
+    pub(crate) reqs: Vec<Requirement>,
+    pub(crate) body: Option<Box<dyn FnOnce(&TaskContext) + Send>>,
+    pub(crate) meta: TaskMeta,
+}
+
+impl TaskBuilder {
+    /// Start a task description.
+    pub fn new(name: &'static str) -> Self {
+        TaskBuilder {
+            name,
+            reqs: Vec::new(),
+            body: None,
+            meta: TaskMeta::new(name),
+        }
+    }
+
+    /// Declare a read of `subset` of `buffer`. Returns the requirement
+    /// index used with [`TaskContext::read`].
+    pub fn read<T: Copy + Send + 'static>(
+        mut self,
+        buffer: &Buffer<T>,
+        subset: IntervalSet,
+    ) -> Self {
+        self.push(buffer, subset, Privilege::Read);
+        self
+    }
+
+    /// Declare a read-write of `subset` of `buffer`.
+    pub fn write<T: Copy + Send + 'static>(
+        mut self,
+        buffer: &Buffer<T>,
+        subset: IntervalSet,
+    ) -> Self {
+        self.push(buffer, subset, Privilege::Write);
+        self
+    }
+
+    /// Declare a read of the whole buffer.
+    pub fn read_all<T: Copy + Send + 'static>(self, buffer: &Buffer<T>) -> Self {
+        let s = IntervalSet::full(buffer.len() as u64);
+        self.read(buffer, s)
+    }
+
+    /// Declare a read-write of the whole buffer.
+    pub fn write_all<T: Copy + Send + 'static>(self, buffer: &Buffer<T>) -> Self {
+        let s = IntervalSet::full(buffer.len() as u64);
+        self.write(buffer, s)
+    }
+
+    fn push<T: Copy + Send + 'static>(
+        &mut self,
+        buffer: &Buffer<T>,
+        subset: IntervalSet,
+        privilege: Privilege,
+    ) {
+        self.reqs.push(Requirement {
+            buffer_id: buffer.id(),
+            handle: Arc::new(buffer.clone()),
+            subset: Arc::new(subset),
+            privilege,
+        });
+    }
+
+    /// Attach scheduling metadata (cost estimates, color).
+    pub fn meta(mut self, meta: TaskMeta) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Provide the task body. The closure receives a [`TaskContext`]
+    /// from which it obtains views onto its declared requirements.
+    pub fn body(mut self, f: impl FnOnce(&TaskContext) + Send + 'static) -> Self {
+        self.body = Some(Box::new(f));
+        self
+    }
+
+    pub(crate) fn req_lites(&self) -> Vec<ReqLite> {
+        self.reqs
+            .iter()
+            .map(|r| ReqLite {
+                buffer_id: r.buffer_id,
+                subset: Arc::clone(&r.subset),
+                write: r.privilege == Privilege::Write,
+            })
+            .collect()
+    }
+}
+
+/// Handed to a running task body: resolves requirement indices to
+/// typed views.
+pub struct TaskContext {
+    pub(crate) reqs: Arc<Vec<Requirement>>,
+}
+
+impl TaskContext {
+    /// A read view of requirement `idx`; panics on privilege or type
+    /// mismatch.
+    pub fn read<T: Copy + Send + 'static>(&self, idx: usize) -> ReadView<T> {
+        let req = &self.reqs[idx];
+        let buf = req
+            .handle
+            .downcast_ref::<Buffer<T>>()
+            .unwrap_or_else(|| panic!("requirement {idx}: type mismatch"));
+        buf.read_view(Arc::clone(&req.subset))
+    }
+
+    /// A write view of requirement `idx`; panics unless the
+    /// requirement was declared with write privilege.
+    pub fn write<T: Copy + Send + 'static>(&self, idx: usize) -> WriteView<T> {
+        let req = &self.reqs[idx];
+        assert_eq!(
+            req.privilege,
+            Privilege::Write,
+            "requirement {idx} was not declared writable"
+        );
+        let buf = req
+            .handle
+            .downcast_ref::<Buffer<T>>()
+            .unwrap_or_else(|| panic!("requirement {idx}: type mismatch"));
+        buf.write_view(Arc::clone(&req.subset))
+    }
+
+    /// The declared subset of requirement `idx`.
+    pub fn subset(&self, idx: usize) -> &IntervalSet {
+        &self.reqs[idx].subset
+    }
+
+    /// Number of declared requirements.
+    pub fn num_requirements(&self) -> usize {
+        self.reqs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_requirements() {
+        let a = Buffer::filled(4, 0.0f64);
+        let b = Buffer::filled(4, 0.0f64);
+        let t = TaskBuilder::new("axpy")
+            .read_all(&a)
+            .write(&b, IntervalSet::from_range(0, 2))
+            .body(|_| {});
+        assert_eq!(t.reqs.len(), 2);
+        let lites = t.req_lites();
+        assert!(!lites[0].write);
+        assert!(lites[1].write);
+        assert_eq!(lites[1].subset.cardinality(), 2);
+    }
+
+    #[test]
+    fn context_resolves_views() {
+        let a = Buffer::from_vec(vec![1.0f64, 2.0]);
+        let t = TaskBuilder::new("t").write_all(&a);
+        let ctx = TaskContext {
+            reqs: Arc::new(t.reqs),
+        };
+        let w = ctx.write::<f64>(0);
+        w.set(0, 9.0);
+        assert_eq!(ctx.read::<f64>(0).get(0), 9.0);
+        assert_eq!(ctx.num_requirements(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared writable")]
+    fn write_on_read_requirement_panics() {
+        let a = Buffer::filled(2, 0.0f64);
+        let t = TaskBuilder::new("t").read_all(&a);
+        let ctx = TaskContext {
+            reqs: Arc::new(t.reqs),
+        };
+        let _ = ctx.write::<f64>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let a = Buffer::filled(2, 0.0f64);
+        let t = TaskBuilder::new("t").read_all(&a);
+        let ctx = TaskContext {
+            reqs: Arc::new(t.reqs),
+        };
+        let _ = ctx.read::<f32>(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Dynamic tracing: memoization of dependence analysis.
+//!
+//! Iterative solvers submit the same task sequence every iteration.
+//! Capturing one iteration as a [`Trace`] records the intra-trace
+//! dependence edges and the final access frontier; replaying it
+//! re-submits a same-shaped task list with the recorded edges,
+//! skipping interval-set intersection work entirely. This reproduces
+//! the dynamic-tracing optimization of Lee et al. (SC '18) that the
+//! paper's implementation relies on.
+//!
+//! Both capture and replay begin from a quiescent runtime (the
+//! runtime fences internally), so a trace's first tasks have no
+//! external dependences and the recorded frontier fully describes the
+//! post-trace access state.
+
+use crate::graph::Frontier;
+
+/// A captured task sequence: per-task dependence lists (as indices
+/// into the trace) plus the access frontier left behind.
+pub struct Trace {
+    /// `deps[i]` = indices `< i` of tasks that task `i` waits on.
+    pub(crate) deps: Vec<Vec<usize>>,
+    /// Final analyzer frontiers with trace-local task indices.
+    pub(crate) frontier: Vec<(u64, Frontier)>,
+}
+
+impl Trace {
+    /// Number of tasks in the trace.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True if the trace recorded no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Total recorded dependence edges.
+    pub fn num_edges(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+}

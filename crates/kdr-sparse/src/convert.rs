@@ -1,0 +1,147 @@
+//! Format conversions.
+//!
+//! Conversions route through [`Triples`](crate::Triples), the neutral interchange
+//! representation: any [`SparseMatrix`] can be lowered with
+//! [`SparseMatrix::to_triples`] and rebuilt in another format. Note
+//! that padded formats (ELL, DIA, BCSR/BCSC) may introduce explicit
+//! structural zeros when converted *from*, which is semantically
+//! harmless (and matches what real libraries do).
+
+use crate::formats::bcsr::{Bcsc, Bcsr};
+use crate::formats::coo::{Coo, CooAos};
+use crate::formats::csc::Csc;
+use crate::formats::csr::Csr;
+use crate::formats::dense::Dense;
+use crate::formats::dia::Dia;
+use crate::formats::ell::{Ell, EllT};
+use crate::matrix::SparseMatrix;
+use crate::scalar::{IndexInt, Scalar};
+
+/// Convert any matrix to CSR.
+pub fn to_csr<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> Csr<T, I> {
+    Csr::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to CSC.
+pub fn to_csc<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> Csc<T, I> {
+    Csc::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to SoA COO.
+pub fn to_coo<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> Coo<T, I> {
+    Coo::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to AoS COO.
+pub fn to_coo_aos<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> CooAos<T, I> {
+    CooAos::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to ELL.
+pub fn to_ell<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> Ell<T, I> {
+    Ell::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to ELL'.
+pub fn to_ellt<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> EllT<T, I> {
+    EllT::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to HYB (ELL body + COO overflow).
+pub fn to_hyb<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>) -> crate::formats::hyb::Hyb<T, I> {
+    crate::formats::hyb::Hyb::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to DIA.
+pub fn to_dia<T: Scalar>(m: &dyn SparseMatrix<T>) -> Dia<T> {
+    Dia::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to dense.
+pub fn to_dense<T: Scalar>(m: &dyn SparseMatrix<T>) -> Dense<T> {
+    Dense::from_triples(m.to_triples())
+}
+
+/// Convert any matrix to BCSR with the given block shape.
+pub fn to_bcsr<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>, br: u64, bd: u64) -> Bcsr<T, I> {
+    Bcsr::from_triples(m.to_triples(), br, bd)
+}
+
+/// Convert any matrix to BCSC with the given block shape.
+pub fn to_bcsc<T: Scalar, I: IndexInt>(m: &dyn SparseMatrix<T>, br: u64, bd: u64) -> Bcsc<T, I> {
+    Bcsc::from_triples(m.to_triples(), br, bd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{rhs_vector, Stencil};
+
+    fn apply<T: Scalar>(m: &dyn SparseMatrix<T>, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::ZERO; m.range_space().size() as usize];
+        m.spmv(x, &mut y);
+        y
+    }
+
+    #[test]
+    fn all_formats_define_the_same_operator() {
+        let s = Stencil::lap2d(6, 4);
+        let base: Csr<f64, u32> = s.to_csr();
+        let x = rhs_vector::<f64>(24, 3);
+        let expect = apply(&base, &x);
+
+        let formats: Vec<Box<dyn SparseMatrix<f64>>> = vec![
+            Box::new(to_csc::<f64, u32>(&base)),
+            Box::new(to_coo::<f64, u64>(&base)),
+            Box::new(to_coo_aos::<f64, u32>(&base)),
+            Box::new(to_ell::<f64, u32>(&base)),
+            Box::new(to_ellt::<f64, u32>(&base)),
+            Box::new(to_dia::<f64>(&base)),
+            Box::new(to_hyb::<f64, u32>(&base)),
+            Box::new(to_dense::<f64>(&base)),
+            Box::new(to_bcsr::<f64, u32>(&base, 2, 2)),
+            Box::new(to_bcsc::<f64, u32>(&base, 4, 3)),
+        ];
+        for (idx, m) in formats.iter().enumerate() {
+            let y = apply(m.as_ref(), &x);
+            for i in 0..y.len() {
+                assert!(
+                    (y[i] - expect[i]).abs() < 1e-12,
+                    "format #{idx} row {i}: {} vs {}",
+                    y[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjoints_agree_across_formats() {
+        let s = Stencil::lap2d(4, 5);
+        let base: Csr<f64, u32> = s.to_csr();
+        let x = rhs_vector::<f64>(20, 9);
+        let mut expect = vec![0.0; 20];
+        base.spmv_transpose(&x, &mut expect);
+
+        let csc = to_csc::<f64, u32>(&base);
+        let ell = to_ell::<f64, u32>(&base);
+        let dia = to_dia::<f64>(&base);
+        for m in [&csc as &dyn SparseMatrix<f64>, &ell, &dia] {
+            let mut y = vec![0.0; 20];
+            m.spmv_transpose(&x, &mut y);
+            for i in 0..20 {
+                assert!((y[i] - expect[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_csr_csc_csr_is_identity() {
+        let s = Stencil::lap3d7(3, 3, 3);
+        let a: Csr<f64> = s.to_csr();
+        let b: Csr<f64> = to_csr(&to_csc::<f64, u64>(&a));
+        assert_eq!(a.rowptr(), b.rowptr());
+        assert_eq!(a.colidx(), b.colidx());
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,229 @@
+//! Dense matrices as a degenerate "sparse" format.
+//!
+//! Structural assumption: `K = R × D` (row-major). Both relations are
+//! the implicit projections `π1`/`π2`, so — as the paper puts it — a
+//! dense matrix is "a structural assumption paired with an empty data
+//! structure": no metadata is stored at all.
+
+use kdr_index::{IndexSpace, IntervalSet, ProjectionAxis, ProjectionRelation, Relation};
+#[cfg(test)]
+use kdr_index::Shape;
+
+use crate::matrix::SparseMatrix;
+use crate::scalar::Scalar;
+use crate::triples::Triples;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug)]
+pub struct Dense<T> {
+    data: Vec<T>,
+    rows: u64,
+    cols: u64,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// A zero matrix.
+    pub fn zeros(rows: u64, cols: u64) -> Self {
+        Dense {
+            data: vec![T::ZERO; (rows * cols) as usize],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a coordinate list (missing coordinates are zero,
+    /// duplicates sum).
+    pub fn from_triples(t: Triples<T>) -> Self {
+        let mut m = Dense::zeros(t.rows(), t.cols());
+        for &(i, j, v) in t.entries() {
+            *m.at_mut(i, j) += v;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    pub fn from_row_major(rows: u64, cols: u64, data: Vec<T>) -> Self {
+        assert_eq!(data.len() as u64, rows * cols);
+        Dense { data, rows, cols }
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Entry accessor.
+    pub fn at(&self, i: u64, j: u64) -> T {
+        self.data[(i * self.cols + j) as usize]
+    }
+
+    /// Mutable entry accessor.
+    pub fn at_mut(&mut self, i: u64, j: u64) -> &mut T {
+        &mut self.data[(i * self.cols + j) as usize]
+    }
+}
+
+impl<T: Scalar> SparseMatrix<T> for Dense<T> {
+    fn kernel_space(&self) -> IndexSpace {
+        // The structural assumption K = R × D, exposed as a 2-D grid.
+        IndexSpace::grid2(self.rows, self.cols)
+    }
+
+    fn domain_space(&self) -> IndexSpace {
+        IndexSpace::flat(self.cols)
+    }
+
+    fn range_space(&self) -> IndexSpace {
+        IndexSpace::flat(self.rows)
+    }
+
+    fn col_relation(&self) -> Box<dyn Relation> {
+        Box::new(ProjectionRelation::new(
+            self.rows,
+            self.cols,
+            ProjectionAxis::Inner,
+        ))
+    }
+
+    fn row_relation(&self) -> Box<dyn Relation> {
+        Box::new(ProjectionRelation::new(
+            self.rows,
+            self.cols,
+            ProjectionAxis::Outer,
+        ))
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(u64, u64, u64, T)) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let k = i * self.cols + j;
+                f(k, i, j, self.data[k as usize]);
+            }
+        }
+    }
+
+    fn spmv_add_piece(&self, piece: &IntervalSet, x: &[T], y: &mut [T]) {
+        debug_assert_eq!(x.len() as u64, self.cols);
+        debug_assert_eq!(y.len() as u64, self.rows);
+        let cols = self.cols as usize;
+        for run in piece.runs() {
+            let mut k = run.lo;
+            while k < run.hi {
+                let i = (k / self.cols) as usize;
+                let j0 = (k % self.cols) as usize;
+                // Process the remainder of this row within the run.
+                let row_end = ((i as u64 + 1) * self.cols).min(run.hi);
+                let j1 = j0 + (row_end - k) as usize;
+                let base = i * cols;
+                let mut acc = T::ZERO;
+                for j in j0..j1 {
+                    acc = self.data[base + j].mul_add(x[j], acc);
+                }
+                y[i] += acc;
+                k = row_end;
+            }
+        }
+    }
+
+    fn spmv_transpose_add_piece(&self, piece: &IntervalSet, x: &[T], y: &mut [T]) {
+        debug_assert_eq!(x.len() as u64, self.rows);
+        debug_assert_eq!(y.len() as u64, self.cols);
+        let cols = self.cols as usize;
+        for run in piece.runs() {
+            let mut k = run.lo;
+            while k < run.hi {
+                let i = (k / self.cols) as usize;
+                let j0 = (k % self.cols) as usize;
+                let row_end = ((i as u64 + 1) * self.cols).min(run.hi);
+                let j1 = j0 + (row_end - k) as usize;
+                let base = i * cols;
+                let xi = x[i];
+                for j in j0..j1 {
+                    y[j] += self.data[base + j] * xi;
+                }
+                k = row_end;
+            }
+        }
+    }
+
+    fn nnz(&self) -> u64 {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dense<f64> {
+        Dense::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn kernel_space_is_product() {
+        let m = sample();
+        assert_eq!(m.kernel_space().shape(), Shape::Grid2 { nx: 2, ny: 3 });
+        assert_eq!(m.nnz(), 6);
+    }
+
+    #[test]
+    fn spmv() {
+        let m = sample();
+        let mut y = vec![0.0; 2];
+        m.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn spmv_transpose() {
+        let m = sample();
+        let mut y = vec![0.0; 3];
+        m.spmv_transpose(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn piece_restricted_spmv() {
+        let m = sample();
+        // Kernel points 1..5 cover row 0 cols 1,2 and row 1 cols 0,1.
+        let piece = IntervalSet::from_range(1, 5);
+        let mut y = vec![0.0; 2];
+        m.spmv_add_piece(&piece, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![5.0, 9.0]);
+        let mut z = vec![0.0; 3];
+        m.spmv_transpose_add_piece(&piece, &[1.0, 1.0], &mut z);
+        assert_eq!(z, vec![4.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn implicit_relations() {
+        let m = sample();
+        let row = m.row_relation();
+        let col = m.col_relation();
+        // Row 1 owns kernel points 3..6.
+        assert_eq!(
+            row.preimage(&IntervalSet::from_points([1])),
+            IntervalSet::from_range(3, 6)
+        );
+        // Column 2 appears at kernel points 2 and 5.
+        assert_eq!(
+            col.preimage(&IntervalSet::from_points([2])),
+            IntervalSet::from_points([2, 5])
+        );
+    }
+
+    #[test]
+    fn from_triples_fills_and_sums() {
+        let m = Dense::from_triples(Triples::from_entries(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)],
+        ));
+        assert_eq!(m.at(0, 0), 3.0);
+        assert_eq!(m.at(0, 1), 0.0);
+        assert_eq!(m.at(1, 1), 5.0);
+    }
+}

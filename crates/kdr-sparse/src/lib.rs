@@ -1,0 +1,51 @@
+//! # kdr-sparse
+//!
+//! Sparse matrix storage formats for the KDRSolvers framework.
+//!
+//! Following the paper's §3, a storage format is nothing more than an
+//! indexed collection of entries over a *kernel space* `K` together
+//! with a *column relation* `col ⊆ K × D` and a *row relation*
+//! `row ⊆ K × R`. Every format in this crate implements the
+//! [`SparseMatrix`] trait, which exposes exactly those three pieces
+//! plus computational kernels (SpMV, adjoint SpMV, and
+//! piece-restricted variants used by partitioned execution).
+//!
+//! Formats implemented (the paper's Figure 3):
+//!
+//! | Format | Module | Structural assumption |
+//! |--------|--------|----------------------|
+//! | Dense  | [`formats::dense`] | `K = R × D`, both relations implicit |
+//! | COO    | [`formats::coo`]   | none (SoA and AoS layouts) |
+//! | CSR    | [`formats::csr`]   | `K` totally ordered, `rowptr : R → [K,K]` |
+//! | CSC    | [`formats::csc`]   | `K` totally ordered, `colptr : D → [K,K]` |
+//! | ELL    | [`formats::ell`]   | `K = R × K0`, row relation implicit |
+//! | ELL'   | [`formats::ell`]   | `K = D × K0`, column relation implicit |
+//! | DIA    | [`formats::dia`]   | `K = K0 × D`, both relations implicit |
+//! | BCSR   | [`formats::bcsr`]  | `K = K0 × B_R × B_D`, block relations |
+//! | BCSC   | [`formats::bcsr`]  | `K = K0 × B_R × B_D`, block relations |
+//!
+//! Because every format hands back its relations as
+//! [`kdr_index::Relation`] trait objects, the universal co-partitioning
+//! operators in `kdr-index` apply to all of them — including formats
+//! defined *outside* this crate (see the `custom_format` example).
+
+pub mod convert;
+pub mod formats;
+pub mod io;
+pub mod matrix;
+pub mod scalar;
+pub mod stencil;
+pub mod triples;
+
+pub use formats::bcsr::{Bcsc, Bcsr};
+pub use formats::coo::{Coo, CooAos};
+pub use formats::csc::Csc;
+pub use formats::csr::Csr;
+pub use formats::dense::Dense;
+pub use formats::dia::Dia;
+pub use formats::ell::{Ell, EllT};
+pub use formats::hyb::Hyb;
+pub use matrix::SparseMatrix;
+pub use scalar::{IndexInt, Scalar};
+pub use stencil::{Stencil, StencilKind, StencilOperator, VirtualBanded};
+pub use triples::Triples;

@@ -1,0 +1,143 @@
+//! The [`SparseMatrix`] trait: a matrix *is* its K/D/R description
+//! plus kernels.
+//!
+//! This is the library boundary the paper argues for: a format
+//! participates in KDRSolvers by exposing its kernel space and its
+//! row/column relations — nothing else. Co-partitioning, dependence
+//! analysis and solver code never look inside the format; only the
+//! computational kernels do.
+
+use kdr_index::{IndexSpace, IntervalSet, Relation};
+
+use crate::scalar::Scalar;
+
+/// A sparse (or dense) matrix described by kernel/domain/range spaces,
+/// row and column relations, and matrix-vector kernels.
+///
+/// Kernels use *add* semantics (`y += A x`) because multi-operator
+/// systems accumulate several components into one output vector
+/// (paper §4.1); plain `y = A x` is a zero-fill followed by an add.
+pub trait SparseMatrix<T: Scalar>: Send + Sync {
+    /// The kernel space `K` indexing stored entries.
+    fn kernel_space(&self) -> IndexSpace;
+
+    /// The domain space `D` (solution/input vector coordinates).
+    fn domain_space(&self) -> IndexSpace;
+
+    /// The range space `R` (right-hand-side/output vector coordinates).
+    fn range_space(&self) -> IndexSpace;
+
+    /// The column relation `col ⊆ K × D` (canonical direction
+    /// `K -> D`).
+    fn col_relation(&self) -> Box<dyn Relation>;
+
+    /// The row relation `row ⊆ K × R` (canonical direction `K -> R`).
+    fn row_relation(&self) -> Box<dyn Relation>;
+
+    /// Number of stored entries (size of `K`).
+    fn nnz(&self) -> u64 {
+        self.kernel_space().size()
+    }
+
+    /// Visit every stored entry as `(kernel point, range point,
+    /// domain point, value)`. Entries whose implicit relations fall
+    /// outside the grid (DIA padding) are skipped.
+    fn for_each_entry(&self, f: &mut dyn FnMut(u64, u64, u64, T));
+
+    /// `y += A x` restricted to the kernel points in `piece`.
+    ///
+    /// `x` spans the full domain space and `y` the full range space;
+    /// only entries in `piece` contribute. This is the kernel launched
+    /// per color after co-partitioning.
+    fn spmv_add_piece(&self, piece: &IntervalSet, x: &[T], y: &mut [T]);
+
+    /// `y += Aᵀ x` restricted to the kernel points in `piece`
+    /// (`x` over `R`, `y` over `D`).
+    fn spmv_transpose_add_piece(&self, piece: &IntervalSet, x: &[T], y: &mut [T]);
+
+    /// `y += A x` over the whole kernel space.
+    fn spmv_add(&self, x: &[T], y: &mut [T]) {
+        self.spmv_add_piece(&self.kernel_space().all(), x, y);
+    }
+
+    /// `y += Aᵀ x` over the whole kernel space.
+    fn spmv_transpose_add(&self, x: &[T], y: &mut [T]) {
+        self.spmv_transpose_add_piece(&self.kernel_space().all(), x, y);
+    }
+
+    /// `y = A x` (zero-fill then add).
+    fn spmv(&self, x: &[T], y: &mut [T]) {
+        y.fill(T::ZERO);
+        self.spmv_add(x, y);
+    }
+
+    /// `y = Aᵀ x` (zero-fill then add).
+    fn spmv_transpose(&self, x: &[T], y: &mut [T]) {
+        y.fill(T::ZERO);
+        self.spmv_transpose_add(x, y);
+    }
+
+    /// Extract the diagonal `diag[i] = A[i, i]` (for Jacobi
+    /// preconditioning). Sums aliased entries; requires `D = R`.
+    fn diagonal(&self) -> Vec<T> {
+        assert_eq!(
+            self.domain_space().size(),
+            self.range_space().size(),
+            "diagonal of a non-square operator"
+        );
+        let mut diag = vec![T::ZERO; self.range_space().size() as usize];
+        self.for_each_entry(&mut |_, i, j, v| {
+            if i == j {
+                diag[i as usize] += v;
+            }
+        });
+        diag
+    }
+
+    /// Lower to a coordinate list (the interchange representation for
+    /// format conversions).
+    fn to_triples(&self) -> crate::triples::Triples<T> {
+        let mut t =
+            crate::triples::Triples::new(self.range_space().size(), self.domain_space().size());
+        self.for_each_entry(&mut |_, i, j, v| t.push(i, j, v));
+        t
+    }
+
+    /// Fallback entry-wise piece kernel used by formats without a
+    /// faster override; provided for implementors.
+    fn generic_spmv_add_piece(&self, piece: &IntervalSet, x: &[T], y: &mut [T]) {
+        self.for_each_entry(&mut |k, i, j, v| {
+            if piece.contains(k) {
+                y[i as usize] += v * x[j as usize];
+            }
+        });
+    }
+}
+
+/// Estimate of the memory traffic (bytes) of one `y += A x` with a
+/// given format, used by the machine cost model. Counts entry loads,
+/// index metadata loads, vector reads and output writes.
+pub fn spmv_bytes(nnz: u64, rows: u64, cols: u64, entry_bytes: u64, index_bytes: u64) -> u64 {
+    // entries + column indices per nonzero, rowptr per row, x read,
+    // y read+write.
+    nnz * (entry_bytes + index_bytes) + rows * index_bytes + cols * entry_bytes + 2 * rows * entry_bytes
+}
+
+/// Flop count of one `y += A x` (one multiply + one add per stored
+/// entry).
+pub fn spmv_flops(nnz: u64) -> u64 {
+    2 * nnz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_helpers() {
+        assert_eq!(spmv_flops(10), 20);
+        // 10 nnz, 4 rows, 4 cols, f64 + u32 indices.
+        let b = spmv_bytes(10, 4, 4, 8, 4);
+        assert_eq!(b, 10 * 12 + 4 * 4 + 4 * 8 + 2 * 4 * 8);
+    }
+}

@@ -1,0 +1,269 @@
+//! Coordinate-list matrix builder.
+//!
+//! [`Triples`] is the neutral interchange representation every format
+//! can be built from and lowered to: a list of `(row, col, value)`
+//! entries plus explicit domain/range sizes. Duplicate coordinates are
+//! allowed and *sum* (assembly semantics), matching how finite-element
+//! codes insert element contributions.
+
+use crate::scalar::Scalar;
+
+/// A list of `(row, col, value)` entries with explicit shape.
+#[derive(Clone, Debug)]
+pub struct Triples<T> {
+    rows: u64,
+    cols: u64,
+    entries: Vec<(u64, u64, T)>,
+}
+
+impl<T: Scalar> Triples<T> {
+    /// An empty `rows × cols` builder.
+    pub fn new(rows: u64, cols: u64) -> Self {
+        Triples {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build directly from an entry list.
+    pub fn from_entries(rows: u64, cols: u64, entries: Vec<(u64, u64, T)>) -> Self {
+        let mut t = Triples {
+            rows,
+            cols,
+            entries: Vec::new(),
+        };
+        for (i, j, v) in entries {
+            t.push(i, j, v);
+        }
+        t
+    }
+
+    /// Insert one entry; panics if out of bounds.
+    pub fn push(&mut self, row: u64, col: u64, value: T) {
+        assert!(row < self.rows, "row {row} out of bounds {}", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds {}", self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of range points.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of domain points.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Raw entries, in insertion order.
+    pub fn entries(&self) -> &[(u64, u64, T)] {
+        &self.entries
+    }
+
+    /// Number of stored entries (before deduplication).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sort row-major and sum duplicates. Returns a canonical builder
+    /// whose coordinates are unique and sorted; zero-valued sums are
+    /// kept (structural nonzeros).
+    pub fn canonicalize(mut self) -> Self {
+        self.entries
+            .sort_unstable_by_key(|&(i, j, _)| (i, j));
+        let mut out: Vec<(u64, u64, T)> = Vec::with_capacity(self.entries.len());
+        for (i, j, v) in self.entries {
+            match out.last_mut() {
+                Some(&mut (pi, pj, ref mut pv)) if pi == i && pj == j => *pv += v,
+                _ => out.push((i, j, v)),
+            }
+        }
+        Triples {
+            rows: self.rows,
+            cols: self.cols,
+            entries: out,
+        }
+    }
+
+    /// Reference dense SpMV used as ground truth in tests:
+    /// `y[i] = Σ_j A[i,j] x[j]` with duplicates summed.
+    pub fn dense_apply(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len() as u64, self.cols);
+        let mut y = vec![T::ZERO; self.rows as usize];
+        for &(i, j, v) in &self.entries {
+            y[i as usize] += v * x[j as usize];
+        }
+        y
+    }
+
+    /// Reference transpose SpMV: `y[j] = Σ_i A[i,j] x[i]`.
+    pub fn dense_apply_transpose(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len() as u64, self.rows);
+        let mut y = vec![T::ZERO; self.cols as usize];
+        for &(i, j, v) in &self.entries {
+            y[j as usize] += v * x[i as usize];
+        }
+        y
+    }
+
+    /// Maximum number of entries in any row (ELL width).
+    pub fn max_row_nnz(&self) -> u64 {
+        let mut counts = vec![0u64; self.rows as usize];
+        for &(i, _, _) in &self.entries {
+            counts[i as usize] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// The set of distinct diagonal offsets `col - row` present (DIA
+    /// diagonals), sorted ascending.
+    pub fn diagonal_offsets(&self) -> Vec<i64> {
+        let mut offs: Vec<i64> = self
+            .entries
+            .iter()
+            .map(|&(i, j, _)| j as i64 - i as i64)
+            .collect();
+        offs.sort_unstable();
+        offs.dedup();
+        offs
+    }
+
+    /// Restrict to the sub-block `[row_lo, row_hi) × [col_lo, col_hi)`,
+    /// re-indexed to local coordinates. Used to cut a matrix into
+    /// tiles for multi-operator formulations (paper §6.2, §6.3).
+    pub fn sub_block(&self, row_lo: u64, row_hi: u64, col_lo: u64, col_hi: u64) -> Triples<T> {
+        assert!(row_lo <= row_hi && row_hi <= self.rows);
+        assert!(col_lo <= col_hi && col_hi <= self.cols);
+        let entries = self
+            .entries
+            .iter()
+            .filter(|&&(i, j, _)| i >= row_lo && i < row_hi && j >= col_lo && j < col_hi)
+            .map(|&(i, j, v)| (i - row_lo, j - col_lo, v))
+            .collect();
+        Triples {
+            rows: row_hi - row_lo,
+            cols: col_hi - col_lo,
+            entries,
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Triples<T> {
+        Triples {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.iter().map(|&(i, j, v)| (j, i, v)).collect(),
+        }
+    }
+}
+
+/// Generate a uniformly random sparse matrix with `nnz` entries drawn
+/// with replacement (duplicates sum), values in `[-1, 1]`. Determinism
+/// comes from the caller-provided RNG-like closure to avoid a hard
+/// `rand` dependency in the library.
+pub fn random_triples<T: Scalar>(
+    rows: u64,
+    cols: u64,
+    nnz: usize,
+    mut next: impl FnMut() -> u64,
+) -> Triples<T> {
+    let mut t = Triples::new(rows, cols);
+    for _ in 0..nnz {
+        let i = next() % rows;
+        let j = next() % cols;
+        let raw = (next() % 2000) as f64 / 1000.0 - 1.0;
+        t.push(i, j, T::from_f64(raw));
+    }
+    t
+}
+
+/// A tiny deterministic xorshift generator for tests and examples.
+pub fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.max(1);
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_apply() {
+        let mut t = Triples::<f64>::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, 3.0);
+        let y = t.dense_apply(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 3.0]);
+        let yt = t.dense_apply_transpose(&[1.0, 1.0]);
+        assert_eq!(yt, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_sum_on_canonicalize() {
+        let t = Triples::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0)]);
+        let c = t.canonicalize();
+        assert_eq!(c.entries(), &[(0, 0, 3.0), (1, 1, 4.0)]);
+        // Apply is identical before and after canonicalization.
+        let t2 = Triples::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0)]);
+        assert_eq!(t2.dense_apply(&[1.0, 1.0]), c.dense_apply(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn canonicalize_sorts_row_major() {
+        let t = Triples::from_entries(3, 3, vec![(2, 0, 1.0), (0, 1, 1.0), (0, 0, 1.0)]);
+        let c = t.canonicalize();
+        let coords: Vec<(u64, u64)> = c.entries().iter().map(|&(i, j, _)| (i, j)).collect();
+        assert_eq!(coords, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn sub_block_reindexes() {
+        let t = Triples::from_entries(
+            4,
+            4,
+            vec![(0, 0, 1.0), (1, 2, 2.0), (2, 2, 3.0), (3, 3, 4.0)],
+        );
+        let b = t.sub_block(1, 3, 2, 4);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 2);
+        let mut e = b.entries().to_vec();
+        e.sort_by_key(|&(i, j, _)| (i, j));
+        assert_eq!(e, vec![(0, 0, 2.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn helpers() {
+        let t = Triples::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0)]);
+        assert_eq!(t.max_row_nnz(), 2);
+        assert_eq!(t.diagonal_offsets(), vec![0, 1]);
+        let tt = t.transposed();
+        assert_eq!(tt.dense_apply(&[1.0, 2.0, 4.0]), t.dense_apply_transpose(&[1.0, 2.0, 4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let mut t = Triples::<f64>::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = random_triples::<f64>(8, 8, 20, xorshift(42));
+        let b = random_triples::<f64>(8, 8, 20, xorshift(42));
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.len(), 20);
+    }
+}

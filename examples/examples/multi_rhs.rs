@@ -1,0 +1,68 @@
+//! Multiple right-hand sides through multi-operator aliasing
+//! (paper §4.2).
+//!
+//! Solves `A x₁ = b₁`, `A x₂ = b₂`, `A x₃ = b₃` as ONE multi-operator
+//! system `{(K, A, 1, 1), (K, A, 2, 2), (K, A, 3, 3)}`: the matrix is
+//! stored once and aliased into three components — no block-diagonal
+//! assembly, no duplication — and one CG run advances all three
+//! systems in lockstep, with all component work overlapping.
+//!
+//! Run: `cargo run --release -p kdr-examples --example multi_rhs`
+
+use std::sync::Arc;
+
+use kdr_core::{solve, CgSolver, ExecBackend, Planner, SolveControl, SOL};
+use kdr_index::Partition;
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+const NRHS: usize = 3;
+
+fn main() {
+    let stencil = Stencil::lap2d(32, 32);
+    let n = stencil.unknowns();
+    // ONE stored matrix.
+    let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u32>());
+
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::with_default_workers()));
+    let part = Partition::equal_blocks(n, 4);
+    let rhs_data: Vec<Vec<f64>> = (0..NRHS).map(|k| rhs_vector::<f64>(n, k as u64 + 1)).collect();
+    for b in &rhs_data {
+        let d = planner.add_sol_vector(n, Some(part.clone()));
+        let r = planner.add_rhs_vector(n, Some(part.clone()));
+        // The SAME Arc is added each time — aliasing, not copying.
+        planner.add_operator(Arc::clone(&matrix), d, r);
+        planner.set_rhs_data(r, b);
+    }
+    println!(
+        "one stored matrix ({} nonzeros), {} aliased operator components",
+        matrix.nnz(),
+        NRHS
+    );
+    assert_eq!(Arc::strong_count(&matrix), NRHS + 1);
+
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 10_000),
+    );
+    println!(
+        "coupled solve finished in {} iterations (aggregate residual {:.3e})",
+        report.iters, report.final_residual
+    );
+
+    for k in 0..NRHS {
+        let x = planner.read_component(SOL, k);
+        let mut ax = vec![0.0; n as usize];
+        matrix.spmv(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&rhs_data[k])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        println!("system {k}: true residual {res:.3e}");
+        assert!(res < 1e-7);
+    }
+}

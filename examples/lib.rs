@@ -1,0 +1,1 @@
+//! Runnable examples for KDRSolvers; see the `examples/` directory.

@@ -1,0 +1,158 @@
+//! Integration tests for the simulation path: the same solver code
+//! must drive both backends, and the simulated execution models must
+//! show the paper's qualitative behaviors.
+
+use std::sync::Arc;
+
+use kdr_baselines::{build_iteration_graph, per_iteration_seconds, KsmKind, LibraryProfile};
+use kdr_core::simbackend::SimBackend;
+use kdr_core::solvers::{CgSolver, Solver};
+use kdr_core::Planner;
+use kdr_index::Partition;
+use kdr_machine::{simulate, MachineConfig};
+use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
+
+/// The identical solver type runs on the simulation backend without
+/// modification (the backend split is invisible to solvers).
+#[test]
+fn same_solver_code_runs_on_sim_backend() {
+    let s = Stencil::lap2d(1 << 8, 1 << 8);
+    let n = s.unknowns();
+    let op: Arc<dyn SparseMatrix<f64>> = Arc::new(StencilOperator::<f64>::new(s));
+    let machine = MachineConfig::lassen(4).legion_profile();
+    let mut planner = Planner::new(Box::new(SimBackend::<f64>::new(machine.clone())));
+    let part = Partition::equal_blocks(n, 16);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(op, d, r);
+    let mut solver = CgSolver::new(&mut planner);
+    for _ in 0..3 {
+        solver.step(&mut planner);
+    }
+    drop(solver);
+    let graph = planner.with_backend(|b| {
+        b.as_any()
+            .downcast_mut::<SimBackend<f64>>()
+            .unwrap()
+            .take_graph()
+            .0
+    });
+    assert!(graph.len() > 100, "three CG iterations must emit real work");
+    let result = simulate(&graph, &machine, None);
+    assert!(result.makespan > 0.0);
+    assert!(result.utilization() > 0.1);
+}
+
+/// Simulated per-iteration time grows roughly linearly in problem
+/// size once out of the overhead regime (bandwidth-bound scaling).
+#[test]
+fn per_iteration_time_scales_linearly_at_large_sizes() {
+    let t26 = per_iteration_seconds(
+        Stencil::lap2d(1 << 14, 1 << 14),
+        KsmKind::Cg,
+        64,
+        LibraryProfile::LegionSolvers,
+        16,
+        2,
+        3,
+    );
+    let t28 = per_iteration_seconds(
+        Stencil::lap2d(1 << 15, 1 << 15),
+        KsmKind::Cg,
+        64,
+        LibraryProfile::LegionSolvers,
+        16,
+        2,
+        3,
+    );
+    let ratio = t28 / t26;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4x problem should be ~4x slower, got {ratio}"
+    );
+}
+
+/// The bulk-synchronous execution model emits strictly more
+/// synchronization than the task-oriented one, and never finishes
+/// faster on identical work.
+#[test]
+fn bulk_sync_never_beats_task_oriented_on_identical_profiles() {
+    // Same machine profile for both, so only the execution model
+    // differs.
+    let s = Stencil::lap2d(1 << 12, 1 << 12);
+    let machine = MachineConfig::lassen(4).legion_profile();
+    let build = |bulk: bool| {
+        let n = s.unknowns();
+        let op: Arc<dyn SparseMatrix<f64>> = Arc::new(StencilOperator::<f64>::new(s));
+        let mut backend = SimBackend::<f64>::new(machine.clone());
+        if bulk {
+            backend = backend.bulk_synchronous();
+        }
+        let mut planner = Planner::new(Box::new(backend));
+        let part = Partition::equal_blocks(n, 16);
+        let d = planner.add_sol_vector(n, Some(part.clone()));
+        let r = planner.add_rhs_vector(n, Some(part));
+        planner.add_operator(op, d, r);
+        let mut solver = CgSolver::new(&mut planner);
+        for _ in 0..4 {
+            solver.step(&mut planner);
+        }
+        drop(solver);
+        planner.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<SimBackend<f64>>()
+                .unwrap()
+                .take_graph()
+                .0
+        })
+    };
+    let t_async = simulate(&build(false), &machine, None).makespan;
+    let t_sync = simulate(&build(true), &machine, None).makespan;
+    assert!(
+        t_sync >= t_async,
+        "barriers cannot make identical work faster: {t_sync} vs {t_async}"
+    );
+}
+
+/// GMRES graphs grow within a restart cycle (more dots per Arnoldi
+/// step) — sanity on the simulated op stream.
+#[test]
+fn gmres_graph_structure() {
+    let g5 = build_iteration_graph(
+        Stencil::lap2d(1 << 6, 1 << 6),
+        KsmKind::Gmres,
+        8,
+        LibraryProfile::LegionSolvers,
+        2,
+        5,
+    );
+    let g10 = build_iteration_graph(
+        Stencil::lap2d(1 << 6, 1 << 6),
+        KsmKind::Gmres,
+        8,
+        LibraryProfile::LegionSolvers,
+        2,
+        10,
+    );
+    // The second five Arnoldi steps orthogonalize against more basis
+    // vectors, so the graph more than doubles.
+    assert!(g10.len() > 2 * g5.len());
+}
+
+/// The Trilinos profile prices identical graphs higher than PETSc
+/// (kernel-efficiency derating), for any stencil.
+#[test]
+fn trilinos_never_faster_than_petsc() {
+    for kind in [kdr_sparse::StencilKind::Lap2D5, kdr_sparse::StencilKind::Lap3D7] {
+        let s = if kind == kdr_sparse::StencilKind::Lap2D5 {
+            Stencil::lap2d(1 << 11, 1 << 11)
+        } else {
+            Stencil::lap3d7(1 << 8, 1 << 7, 1 << 7)
+        };
+        let t_pet =
+            per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Petsc, 4, 2, 3);
+        let t_tri =
+            per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Trilinos, 4, 2, 3);
+        assert!(t_tri >= t_pet, "{kind:?}: {t_tri} vs {t_pet}");
+    }
+}
