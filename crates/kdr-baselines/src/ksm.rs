@@ -75,13 +75,13 @@ impl<T: Scalar> LocalSlab<T> {
     /// `y = A_local · xw` where `xw` spans `[win_lo, win_hi)`.
     fn spmv(&self, xw: &[T], y: &mut [T]) {
         debug_assert_eq!(xw.len() as u64, self.win_hi - self.win_lo);
-        for r in 0..self.rows() {
+        for (r, yr) in y.iter_mut().enumerate().take(self.rows()) {
             let mut acc = T::ZERO;
             for k in self.rowptr[r] as usize..self.rowptr[r + 1] as usize {
                 acc = self.values[k]
                     .mul_add(xw[(self.colidx[k] - self.win_lo) as usize], acc);
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 }
@@ -252,8 +252,8 @@ pub fn solve_spmd<T: Scalar>(
                         break 'outer;
                     }
                     let inv = T::ONE / beta;
-                    for i in 0..rows {
-                        vloc[0][i] *= inv;
+                    for v in vloc[0].iter_mut().take(rows) {
+                        *v *= inv;
                     }
                     basis[0].publish(lo, &vloc[0]);
                     ctx.barrier();

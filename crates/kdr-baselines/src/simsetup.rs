@@ -156,7 +156,7 @@ mod tests {
             LibraryProfile::Trilinos,
         ] {
             let g = build_iteration_graph(s, KsmKind::Cg, 16, profile, 4, 2);
-            assert!(g.len() > 0, "{}", profile.name());
+            assert!(!g.is_empty(), "{}", profile.name());
             let barriers = g
                 .nodes()
                 .iter()

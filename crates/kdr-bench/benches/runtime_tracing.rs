@@ -1,10 +1,17 @@
 //! Runtime ablations: dependence analysis vs. dynamic-tracing replay
 //! (Lee et al., SC'18 — the optimization the paper's implementation
-//! relies on), and raw task throughput.
+//! relies on), raw task throughput, and the end-to-end traced CG fast
+//! path (results written to `BENCH_tracing.json` at the repo root).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kdr_index::IntervalSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use kdr_core::solvers::{CgSolver, Solver};
+use kdr_core::{ExecBackend, Planner};
+use kdr_index::{IntervalSet, Partition};
 use kdr_runtime::{Buffer, Runtime, TaskBuilder};
+use kdr_sparse::{stencil::rhs_vector, SparseMatrix, Stencil};
 
 /// One CG-like "iteration": per-piece vector ops with a reduction
 /// pattern over `pieces` pieces of three vectors.
@@ -104,9 +111,70 @@ fn bench_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+/// Median of per-step wall-clock times for `steps` CG iterations on
+/// the paper's Figure-8 stencil configuration, with the traced fast
+/// path on or off. Warmup steps let the trace cache capture the
+/// solver's shape variants before measurement begins.
+fn cg_ns_per_step(nx: u64, pieces: usize, steps: usize, traced: bool) -> f64 {
+    let s = Stencil::lap2d(nx, nx);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let mut backend = ExecBackend::<f64>::new(4);
+    backend.set_tracing(traced);
+    let mut planner = Planner::new(Box::new(backend));
+    let part = Partition::equal_blocks(n, pieces);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 7));
+    let mut solver = CgSolver::new(&mut planner);
+    for _ in 0..6 {
+        planner.step_begin();
+        solver.step(&mut planner);
+        planner.step_end();
+    }
+    planner.fence();
+    let mut samples = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        planner.step_begin();
+        solver.step(&mut planner);
+        planner.step_end();
+        planner.fence();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    drop(solver);
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// End-to-end ablation: identical CG iterations through analyzed
+/// submission vs. trace replay, reported to stdout and persisted as
+/// hand-rolled JSON for the paper's tracing table.
+fn bench_e2e_traced_cg() {
+    let (nx, pieces, steps) = (256u64, 64usize, 40usize);
+    let analyzed = cg_ns_per_step(nx, pieces, steps, false);
+    let traced = cg_ns_per_step(nx, pieces, steps, true);
+    let speedup = analyzed / traced;
+    println!(
+        "cg_e2e/lap2d_{nx}x{nx}/p{pieces}  analyzed {:.1} us/iter  traced {:.1} us/iter  speedup {speedup:.2}x",
+        analyzed / 1e3,
+        traced / 1e3,
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"traced_vs_analyzed_cg\",\n  \"stencil\": \"lap2d_{nx}x{nx}\",\n  \"pieces\": {pieces},\n  \"measured_steps\": {steps},\n  \"analyzed_ns_per_iter\": {analyzed:.0},\n  \"traced_ns_per_iter\": {traced:.0},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tracing.json");
+    std::fs::write(path, json).expect("write BENCH_tracing.json");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
     targets = bench_tracing
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    bench_e2e_traced_cg();
+}

@@ -53,6 +53,22 @@ pub enum ScalarUnop {
     Recip,
 }
 
+/// How a backend executed the operations between
+/// [`Backend::step_begin`] and [`Backend::step_end`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// Tasks went through full dependence analysis (also reported by
+    /// backends that do not trace, and for steps interrupted by a
+    /// forcing operation such as `scalar_get`).
+    Analyzed,
+    /// The step was analyzed once and its trace was recorded for
+    /// future replay.
+    Captured,
+    /// A previously captured trace was replayed; dependence analysis
+    /// was skipped.
+    Replayed,
+}
+
 impl ScalarOp {
     /// Evaluate on concrete values.
     pub fn eval<T: Scalar>(self, a: T, b: T) -> T {
@@ -191,6 +207,30 @@ pub trait Backend<T: Scalar>: Send {
     /// registered operator set: zero-fill then accumulate every tile.
     fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool);
 
+    /// Mark the start of one solver iteration. Backends that trace may
+    /// defer the iteration's tasks until [`Backend::step_end`] so a
+    /// repeated iteration shape can skip dependence analysis. Default:
+    /// no-op.
+    fn step_begin(&mut self) {}
+
+    /// Mark the end of one solver iteration; reports how the
+    /// iteration's tasks were executed. Default: [`StepOutcome::Analyzed`].
+    fn step_end(&mut self) -> StepOutcome {
+        StepOutcome::Analyzed
+    }
+
+    /// Note an additional owner of scalar `s` (slot-pooling backends
+    /// refcount their scalar arena). Default: no-op.
+    fn scalar_retain(&mut self, s: SRef) {
+        let _ = s;
+    }
+
+    /// Drop one owner of scalar `s`; the slot may be reused once the
+    /// count reaches zero. Default: no-op.
+    fn scalar_release(&mut self, s: SRef) {
+        let _ = s;
+    }
+
     /// Wait for all outstanding work (no-op on the simulation
     /// backend).
     fn fence(&mut self);
@@ -256,6 +296,22 @@ impl<T: Scalar> Backend<T> for Box<dyn Backend<T>> {
 
     fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool) {
         (**self).apply(op, dst, src, transpose)
+    }
+
+    fn step_begin(&mut self) {
+        (**self).step_begin()
+    }
+
+    fn step_end(&mut self) -> StepOutcome {
+        (**self).step_end()
+    }
+
+    fn scalar_retain(&mut self, s: SRef) {
+        (**self).scalar_retain(s)
+    }
+
+    fn scalar_release(&mut self, s: SRef) {
+        (**self).scalar_release(s)
     }
 
     fn fence(&mut self) {

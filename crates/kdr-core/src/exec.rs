@@ -5,22 +5,46 @@
 //! canonical partition — an index launch — with subsets declared so
 //! that the runtime's dependence analysis extracts all available
 //! parallelism. Operator tiles are extracted once at registration
-//! into flat `(row, col, value)` arrays in component-local
-//! coordinates, giving a tight accumulation kernel for *every*
-//! storage format (including matrix-free operators, which are asked
-//! to enumerate their entries exactly once).
+//! into row-sorted CSR payloads in component-local coordinates,
+//! giving a per-row accumulation kernel for *every* storage format
+//! (including matrix-free operators, which are asked to enumerate
+//! their entries exactly once).
+//!
+//! ## Traced stepping
+//!
+//! Between [`Backend::step_begin`] and [`Backend::step_end`] the
+//! backend *defers* every generated task instead of submitting it.
+//! At `step_end` the collected list's shape signature (task names
+//! plus declared accesses) is looked up in a trace cache: a hit
+//! replays the recorded dependence graph — skipping analysis
+//! entirely — while a miss runs the step analyzed and (cache
+//! permitting) captures its trace for next time. Forcing operations
+//! (`scalar_get`, `fence`, component reads/writes) inside a step
+//! flush the deferred tasks and downgrade the step to analyzed
+//! submission, so tracing is never a correctness hazard.
+//!
+//! Shape stability across iterations is what makes the cache hit:
+//! scalars live in a refcounted slot arena (released slots are
+//! reused lowest-first, so a solver's per-iteration allocation
+//! pattern settles into a short cycle), and `dot` partial buffers
+//! are pooled per step position rather than freshly allocated.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use kdr_index::{IntervalSet, Partition};
-use kdr_runtime::{promise, Buffer, Runtime, RuntimeStats, TaskBuilder};
+use kdr_runtime::{promise, Buffer, Runtime, RuntimeStats, ShapeSig, TaskBuilder, TraceCache};
 use kdr_sparse::Scalar;
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
 
 use crate::backend::{
-    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
+    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop, StepOutcome,
 };
+
+/// Captured traces kept per backend; steps whose shape keeps changing
+/// after this many variants run analyzed.
+const TRACE_CACHE_CAP: usize = 8;
 
 struct ExecComp<T> {
     buf: Buffer<T>,
@@ -31,12 +55,46 @@ struct ExecVec<T> {
     comps: Vec<ExecComp<T>>,
 }
 
-/// Flat tile payload: entries in component-local coordinates, sorted
-/// in kernel order.
-struct TileData<T> {
-    rows: Vec<u64>,
+/// Tile payload in row-sorted CSR form, component-local coordinates.
+/// `row_ids` lists only rows with entries; row `r` of the tile spans
+/// `cols/vals[row_ptr[r]..row_ptr[r + 1]]`.
+struct TileCsr<T> {
+    row_ids: Vec<u64>,
+    row_ptr: Vec<usize>,
     cols: Vec<u64>,
     vals: Vec<T>,
+}
+
+impl<T> TileCsr<T> {
+    fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+}
+
+/// Build CSR from unsorted entries, preserving input order within a
+/// row (stable sort) so accumulation order is deterministic.
+fn to_csr<T: Scalar>(rows: Vec<u64>, cols: Vec<u64>, vals: Vec<T>) -> TileCsr<T> {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&k| rows[k]);
+    let mut row_ids = Vec::new();
+    let mut row_ptr = Vec::new();
+    let mut cs = Vec::with_capacity(order.len());
+    let mut vs = Vec::with_capacity(order.len());
+    for &k in &order {
+        if row_ids.last().copied() != Some(rows[k]) {
+            row_ids.push(rows[k]);
+            row_ptr.push(cs.len());
+        }
+        cs.push(cols[k]);
+        vs.push(vals[k]);
+    }
+    row_ptr.push(cs.len());
+    TileCsr {
+        row_ids,
+        row_ptr,
+        cols: cs,
+        vals: vs,
+    }
 }
 
 struct ExecTile<T> {
@@ -44,39 +102,137 @@ struct ExecTile<T> {
     sol_comp: usize,
     out_subset: IntervalSet,
     in_union: IntervalSet,
-    data: Arc<TileData<T>>,
+    csr: Arc<TileCsr<T>>,
+}
+
+impl<T> ExecTile<T> {
+    /// (output component, write subset, read subset) for a direction.
+    fn direction(&self, transpose: bool) -> (usize, &IntervalSet, &IntervalSet) {
+        if transpose {
+            (self.sol_comp, &self.in_union, &self.out_subset)
+        } else {
+            (self.rhs_comp, &self.out_subset, &self.in_union)
+        }
+    }
+}
+
+/// Zero-fill fusion plan for one apply direction: which tiles zero
+/// their write subset before accumulating, and what each destination
+/// component's fused tiles cover (the complement still needs a
+/// standalone zero task).
+struct ApplyPlan {
+    zero_first: Vec<bool>,
+    covered: Vec<(usize, IntervalSet)>,
+}
+
+fn build_apply_plan<T>(tiles: &[ExecTile<T>], transpose: bool) -> ApplyPlan {
+    let mut zero_first = vec![false; tiles.len()];
+    // Non-empty tile indices per destination component, in tile order.
+    let mut comps: Vec<usize> = Vec::new();
+    for (i, t) in tiles.iter().enumerate() {
+        let (dcomp, _, _) = t.direction(transpose);
+        if !tiles[i].csr.is_empty() && !comps.contains(&dcomp) {
+            comps.push(dcomp);
+        }
+    }
+    comps.sort_unstable();
+    let mut covered = Vec::new();
+    for &comp in &comps {
+        // Group the component's tiles by equal write subset, first
+        // appearance order.
+        let mut groups: Vec<(&IntervalSet, usize)> = Vec::new(); // (subset, first tile)
+        let mut fusable = true;
+        for (i, t) in tiles.iter().enumerate() {
+            let (dcomp, ws, _) = t.direction(transpose);
+            if dcomp != comp || t.csr.is_empty() {
+                continue;
+            }
+            if !groups.iter().any(|(g, _)| *g == ws) {
+                // A new distinct subset must be disjoint from every
+                // existing group, else zeroing one could wipe another
+                // group's partial sums.
+                fusable &= groups.iter().all(|(g, _)| g.is_disjoint(ws));
+                groups.push((ws, i));
+            }
+        }
+        if fusable {
+            let mut union = IntervalSet::default();
+            for (ws, first) in &groups {
+                zero_first[*first] = true;
+                union = union.union(ws);
+            }
+            covered.push((comp, union));
+        }
+        // Not fusable: no tile zeroes, the whole component is zeroed
+        // by the standalone task (covered entry absent).
+    }
+    ApplyPlan {
+        zero_first,
+        covered,
+    }
 }
 
 struct ExecOpSet<T> {
     tiles: Vec<ExecTile<T>>,
+    /// Fusion plans indexed by `transpose as usize`.
+    plans: [ApplyPlan; 2],
 }
 
 /// Threaded execution backend over `kdr-runtime`.
 pub struct ExecBackend<T: Scalar> {
     rt: Runtime,
     vectors: Vec<ExecVec<T>>,
-    scalars: Vec<Buffer<T>>,
     opsets: Vec<ExecOpSet<T>>,
+    /// Scalar slot arena: one single-element buffer per slot.
+    scalars: Vec<Buffer<T>>,
+    /// Live owner count per slot (handles hold the references).
+    scalar_refs: Vec<usize>,
+    /// Zero-refcount slots, reused lowest-first for determinism.
+    scalar_free: BTreeSet<usize>,
+    /// Pooled `dot` partial buffers, keyed by call position within a
+    /// deferred step.
+    dot_partials: Vec<Buffer<T>>,
+    dot_seq: usize,
+    /// Whether `step_begin` defers tasks for trace lookup.
+    tracing: bool,
+    deferring: bool,
+    step_flushed: bool,
+    pending: Vec<TaskBuilder>,
+    trace_cache: TraceCache,
+    steps_analyzed: u64,
+    steps_captured: u64,
+    steps_replayed: u64,
 }
 
 impl<T: Scalar> ExecBackend<T> {
     /// Create with `workers` runtime threads.
     pub fn new(workers: usize) -> Self {
-        ExecBackend {
-            rt: Runtime::new(workers),
-            vectors: Vec::new(),
-            scalars: Vec::new(),
-            opsets: Vec::new(),
-        }
+        Self::build(Runtime::new(workers))
     }
 
     /// Create sized to the machine.
     pub fn with_default_workers() -> Self {
+        Self::build(Runtime::with_default_workers())
+    }
+
+    fn build(rt: Runtime) -> Self {
         ExecBackend {
-            rt: Runtime::with_default_workers(),
+            rt,
             vectors: Vec::new(),
-            scalars: Vec::new(),
             opsets: Vec::new(),
+            scalars: Vec::new(),
+            scalar_refs: Vec::new(),
+            scalar_free: BTreeSet::new(),
+            dot_partials: Vec::new(),
+            dot_seq: 0,
+            tracing: true,
+            deferring: false,
+            step_flushed: false,
+            pending: Vec::new(),
+            trace_cache: TraceCache::new(TRACE_CACHE_CAP),
+            steps_analyzed: 0,
+            steps_captured: 0,
+            steps_replayed: 0,
         }
     }
 
@@ -94,9 +250,94 @@ impl<T: Scalar> ExecBackend<T> {
         &self.rt
     }
 
-    /// Submit one `(component, color)` point task for an elementwise
-    /// operation on `dst` (optionally reading `src` at the same
-    /// subset and a scalar coefficient).
+    /// Enable or disable the traced-stepping fast path (on by
+    /// default). With tracing off, `step_begin`/`step_end` are no-ops
+    /// and every task is analyzed.
+    pub fn set_tracing(&mut self, on: bool) {
+        assert!(!self.deferring, "cannot toggle tracing inside a step");
+        self.tracing = on;
+    }
+
+    /// Size of the scalar slot arena (bounded by peak simultaneous
+    /// live scalars, not by total scalars ever created).
+    pub fn scalar_slots(&self) -> usize {
+        self.scalars.len()
+    }
+
+    /// Number of distinct step shapes captured so far.
+    pub fn trace_cache_len(&self) -> usize {
+        self.trace_cache.len()
+    }
+
+    /// `(analyzed, captured, replayed)` step counts.
+    pub fn step_counters(&self) -> (u64, u64, u64) {
+        (self.steps_analyzed, self.steps_captured, self.steps_replayed)
+    }
+
+    fn dispatch(&mut self, tb: TaskBuilder) {
+        if self.deferring {
+            self.pending.push(tb);
+        } else {
+            self.rt.submit(tb);
+        }
+    }
+
+    fn dispatch_all(&mut self, tasks: Vec<TaskBuilder>) {
+        for tb in tasks {
+            self.dispatch(tb);
+        }
+    }
+
+    /// A forcing operation inside a deferred step: submit what was
+    /// collected (analyzed) and run the rest of the step direct.
+    fn flush_pending(&mut self) {
+        if self.deferring {
+            self.deferring = false;
+            self.step_flushed = true;
+            for tb in std::mem::take(&mut self.pending) {
+                self.rt.submit(tb);
+            }
+        }
+    }
+
+    /// Allocate a scalar slot with refcount 1, reusing the
+    /// lowest-numbered free slot when one exists. Reuse is safe while
+    /// old tasks still read the slot: any new write task is ordered
+    /// after them by dependence analysis (or by the recorded trace).
+    fn alloc_slot(&mut self) -> SRef {
+        if let Some(slot) = self.scalar_free.pop_first() {
+            self.scalar_refs[slot] = 1;
+            slot
+        } else {
+            self.scalars.push(Buffer::filled(1, T::ZERO));
+            self.scalar_refs.push(1);
+            self.scalars.len() - 1
+        }
+    }
+
+    /// The partials buffer for the `dot` at the current step
+    /// position: pooled under deferral (stable buffer ids keep the
+    /// step shape repeatable), fresh otherwise.
+    fn dot_partials_buffer(&mut self, total_slots: usize) -> Buffer<T> {
+        if !self.deferring {
+            return Buffer::filled(total_slots, T::ZERO);
+        }
+        let idx = self.dot_seq;
+        self.dot_seq += 1;
+        if idx < self.dot_partials.len() {
+            if self.dot_partials[idx].len() != total_slots {
+                self.dot_partials[idx] = Buffer::filled(total_slots, T::ZERO);
+            }
+        } else {
+            debug_assert_eq!(idx, self.dot_partials.len());
+            self.dot_partials.push(Buffer::filled(total_slots, T::ZERO));
+        }
+        self.dot_partials[idx].clone()
+    }
+
+    /// Build one `(component, color)` point task per piece for an
+    /// elementwise operation on `dst` (optionally reading `src` at the
+    /// same subset and a scalar coefficient).
     fn elementwise(
         &self,
         name: &'static str,
@@ -104,7 +345,8 @@ impl<T: Scalar> ExecBackend<T> {
         src: Option<BVec>,
         alpha: Option<SRef>,
         kernel: impl Fn(/*alpha*/ T, /*src*/ T, /*dst*/ T) -> T + Copy + Send + 'static,
-    ) {
+    ) -> Vec<TaskBuilder> {
+        let mut tasks = Vec::new();
         let dvec = &self.vectors[dst];
         for (ci, dcomp) in dvec.comps.iter().enumerate() {
             let scomp = src.map(|s| &self.vectors[s].comps[ci]);
@@ -129,7 +371,7 @@ impl<T: Scalar> ExecBackend<T> {
                 }
                 let idx_dst = idx_alpha.iter().count() + idx_src.iter().count();
                 tb = tb.write(&dcomp.buf, subset);
-                self.rt.submit(tb.body(move |ctx| {
+                tasks.push(tb.body(move |ctx| {
                     let a = idx_alpha.map_or(T::ZERO, |i| ctx.read::<T>(i).get(0));
                     let sview = idx_src.map(|i| ctx.read::<T>(i));
                     let d = ctx.write::<T>(idx_dst);
@@ -142,11 +384,7 @@ impl<T: Scalar> ExecBackend<T> {
                 }));
             }
         }
-    }
-
-    fn new_scalar(&mut self, v: T) -> SRef {
-        self.scalars.push(Buffer::from_vec(vec![v]));
-        self.scalars.len() - 1
+        tasks
     }
 }
 
@@ -166,17 +404,19 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     }
 
     fn fill_component(&mut self, v: BVec, comp: usize, data: &[T]) {
+        self.flush_pending();
         self.rt.fence();
         self.vectors[v].comps[comp].buf.fill_from(data);
     }
 
     fn read_component(&mut self, v: BVec, comp: usize) -> Vec<T> {
+        self.flush_pending();
         self.rt.fence();
         self.vectors[v].comps[comp].buf.snapshot()
     }
 
     fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
-        let mut tiles = Vec::new();
+        let mut tiles: Vec<ExecTile<T>> = Vec::new();
         for comp in &spec.components {
             // Map kernel point -> tile via the disjoint kernel pieces.
             let mut lookup: Vec<(u64, u64, usize)> = Vec::new(); // (lo, hi, local tile)
@@ -190,17 +430,18 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                     sol_comp: t.sol_comp,
                     out_subset: t.out_subset.clone(),
                     in_union: t.in_union.clone(),
-                    data: Arc::new(TileData {
-                        rows: Vec::new(),
-                        cols: Vec::new(),
-                        vals: Vec::new(),
-                    }),
+                    csr: Arc::new(to_csr(Vec::new(), Vec::new(), Vec::new())),
                 });
             }
             lookup.sort_unstable();
-            // Fill tile data in one pass over the operator's entries.
-            let mut bufs: Vec<TileData<T>> = (0..comp.tiles.len())
-                .map(|_| TileData {
+            // Gather entries per tile in one pass over the operator.
+            struct Triplets<T> {
+                rows: Vec<u64>,
+                cols: Vec<u64>,
+                vals: Vec<T>,
+            }
+            let mut bufs: Vec<Triplets<T>> = (0..comp.tiles.len())
+                .map(|_| Triplets {
                     rows: Vec::new(),
                     cols: Vec::new(),
                     vals: Vec::new(),
@@ -221,36 +462,54 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                     b.vals.push(v);
                 }
             });
-            for (ti, data) in bufs.into_iter().enumerate() {
-                tiles[base + ti].data = Arc::new(data);
+            for (ti, trip) in bufs.into_iter().enumerate() {
+                tiles[base + ti].csr = Arc::new(to_csr(trip.rows, trip.cols, trip.vals));
             }
         }
-        self.opsets.push(ExecOpSet { tiles });
+        let plans = [
+            build_apply_plan(&tiles, false),
+            build_apply_plan(&tiles, true),
+        ];
+        self.opsets.push(ExecOpSet { tiles, plans });
         self.opsets.len() - 1
     }
 
     fn copy(&mut self, dst: BVec, src: BVec) {
-        self.elementwise("copy", dst, Some(src), None, |_, s, _| s);
+        let tasks = self.elementwise("copy", dst, Some(src), None, |_, s, _| s);
+        self.dispatch_all(tasks);
     }
 
     fn scal(&mut self, dst: BVec, alpha: SRef) {
-        self.elementwise("scal", dst, None, Some(alpha), |a, _, d| a * d);
+        let tasks = self.elementwise("scal", dst, None, Some(alpha), |a, _, d| a * d);
+        self.dispatch_all(tasks);
     }
 
     fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec) {
-        self.elementwise("axpy", dst, Some(src), Some(alpha), |a, s, d| d + a * s);
+        let tasks = self.elementwise("axpy", dst, Some(src), Some(alpha), |a, s, d| d + a * s);
+        self.dispatch_all(tasks);
     }
 
     fn xpay(&mut self, dst: BVec, alpha: SRef, src: BVec) {
-        self.elementwise("xpay", dst, Some(src), Some(alpha), |a, s, d| s + a * d);
+        let tasks = self.elementwise("xpay", dst, Some(src), Some(alpha), |a, s, d| s + a * d);
+        self.dispatch_all(tasks);
     }
 
     fn dot(&mut self, a: BVec, b: BVec) -> SRef {
+        {
+            let av = &self.vectors[a];
+            let bv = &self.vectors[b];
+            assert_eq!(av.comps.len(), bv.comps.len(), "dot structure mismatch");
+        }
+        let total_slots: usize = self.vectors[a]
+            .comps
+            .iter()
+            .map(|c| c.part.num_colors())
+            .sum();
+        let partials = self.dot_partials_buffer(total_slots);
+        let sref = self.alloc_slot();
+        let mut tasks = Vec::new();
         let av = &self.vectors[a];
         let bv = &self.vectors[b];
-        assert_eq!(av.comps.len(), bv.comps.len(), "dot structure mismatch");
-        let total_slots: usize = av.comps.iter().map(|c| c.part.num_colors()).sum();
-        let partials = Buffer::filled(total_slots, T::ZERO);
         let mut slot = 0usize;
         for (ci, ac) in av.comps.iter().enumerate() {
             let bc = &bv.comps[ci];
@@ -262,49 +521,65 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 if subset.is_empty() {
                     continue;
                 }
-                let tb = TaskBuilder::new("dot_partial")
-                    .read(&ac.buf, subset.clone())
-                    .read(&bc.buf, subset.clone())
-                    .write(&partials, IntervalSet::from_range(my_slot as u64, my_slot as u64 + 1))
-                    .body(move |ctx| {
-                        let x = ctx.read::<T>(0);
-                        let y = ctx.read::<T>(1);
-                        let out = ctx.write::<T>(2);
-                        let mut acc = T::ZERO;
-                        for run in ctx.subset(0).runs() {
-                            for i in run.lo as usize..run.hi as usize {
-                                acc = x.get(i).mul_add(y.get(i), acc);
+                tasks.push(
+                    TaskBuilder::new("dot_partial")
+                        .read(&ac.buf, subset.clone())
+                        .read(&bc.buf, subset.clone())
+                        .write(
+                            &partials,
+                            IntervalSet::from_range(my_slot as u64, my_slot as u64 + 1),
+                        )
+                        .body(move |ctx| {
+                            let x = ctx.read::<T>(0);
+                            let y = ctx.read::<T>(1);
+                            let out = ctx.write::<T>(2);
+                            let mut acc = T::ZERO;
+                            for run in ctx.subset(0).runs() {
+                                for i in run.lo as usize..run.hi as usize {
+                                    acc = x.get(i).mul_add(y.get(i), acc);
+                                }
                             }
-                        }
-                        out.set(my_slot, acc);
-                    });
-                self.rt.submit(tb);
+                            out.set(my_slot, acc);
+                        }),
+                );
             }
         }
-        let sref = self.new_scalar(T::ZERO);
         let n = total_slots;
-        let tb = TaskBuilder::new("dot_reduce")
-            .read_all(&partials)
-            .write_all(&self.scalars[sref])
-            .body(move |ctx| {
-                let p = ctx.read::<T>(0);
-                let out = ctx.write::<T>(1);
-                let mut acc = T::ZERO;
-                for i in 0..n {
-                    acc += p.get(i);
-                }
-                out.set(0, acc);
-            });
-        self.rt.submit(tb);
+        tasks.push(
+            TaskBuilder::new("dot_reduce")
+                .read_all(&partials)
+                .write_all(&self.scalars[sref])
+                .body(move |ctx| {
+                    let p = ctx.read::<T>(0);
+                    let out = ctx.write::<T>(1);
+                    let mut acc = T::ZERO;
+                    for i in 0..n {
+                        acc += p.get(i);
+                    }
+                    out.set(0, acc);
+                }),
+        );
+        self.dispatch_all(tasks);
         sref
     }
 
     fn scalar_const(&mut self, v: T) -> SRef {
-        self.new_scalar(v)
+        let sref = self.alloc_slot();
+        // Reused slots may have in-flight readers, so the store is a
+        // task (ordered after them), not a direct buffer write. The
+        // value lives in the body, not the shape: differing constants
+        // across iterations still replay.
+        let tb = TaskBuilder::new("scalar_set")
+            .write_all(&self.scalars[sref])
+            .body(move |ctx| {
+                ctx.write::<T>(0).set(0, v);
+            });
+        self.dispatch(tb);
+        sref
     }
 
     fn scalar_binop(&mut self, op: ScalarOp, a: SRef, b: SRef) -> SRef {
-        let out = self.new_scalar(T::ZERO);
+        let out = self.alloc_slot();
         let tb = TaskBuilder::new("scalar_binop")
             .read_all(&self.scalars[a])
             .read_all(&self.scalars[b])
@@ -314,12 +589,12 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 let y = ctx.read::<T>(1).get(0);
                 ctx.write::<T>(2).set(0, op.eval(x, y));
             });
-        self.rt.submit(tb);
+        self.dispatch(tb);
         out
     }
 
     fn scalar_unop(&mut self, op: ScalarUnop, a: SRef) -> SRef {
-        let out = self.new_scalar(T::ZERO);
+        let out = self.alloc_slot();
         let tb = TaskBuilder::new("scalar_unop")
             .read_all(&self.scalars[a])
             .write_all(&self.scalars[out])
@@ -327,11 +602,12 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 let x = ctx.read::<T>(0).get(0);
                 ctx.write::<T>(1).set(0, op.eval(x));
             });
-        self.rt.submit(tb);
+        self.dispatch(tb);
         out
     }
 
     fn scalar_get(&mut self, s: SRef) -> T {
+        self.flush_pending();
         let (p, f) = promise::<T>();
         let tb = TaskBuilder::new("scalar_get")
             .read_all(&self.scalars[s])
@@ -342,54 +618,160 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
         f.get()
     }
 
+    fn scalar_retain(&mut self, s: SRef) {
+        self.scalar_refs[s] += 1;
+    }
+
+    fn scalar_release(&mut self, s: SRef) {
+        debug_assert!(self.scalar_refs[s] > 0, "double release of scalar {s}");
+        self.scalar_refs[s] -= 1;
+        if self.scalar_refs[s] == 0 {
+            self.scalar_free.insert(s);
+        }
+    }
+
     fn apply(&mut self, op: OpHandle, dst: BVec, src: BVec, transpose: bool) {
-        // Zero-fill the destination (eq. 8 treats missing components
-        // as empty sums).
-        self.elementwise("apply_zero", dst, None, None, |_, _, _| T::ZERO);
-        let opset = &self.opsets[op];
-        for tile in &opset.tiles {
-            let (dcomp, scomp, wsubset, rsubset) = if transpose {
-                (tile.sol_comp, tile.rhs_comp, &tile.in_union, &tile.out_subset)
-            } else {
-                (tile.rhs_comp, tile.sol_comp, &tile.out_subset, &tile.in_union)
-            };
-            if tile.data.vals.is_empty() {
-                continue;
+        let mut tasks = Vec::new();
+        {
+            let opset = &self.opsets[op];
+            let plan = &opset.plans[transpose as usize];
+            // Standalone zero tasks first (eq. 8 treats missing
+            // components as empty sums): whatever the fused tiles do
+            // not cover, per destination component.
+            for (ci, comp) in self.vectors[dst].comps.iter().enumerate() {
+                let full = IntervalSet::full(comp.buf.len() as u64);
+                let residual = match plan.covered.iter().find(|(c, _)| *c == ci) {
+                    Some((_, covered)) => full.difference(covered),
+                    None => full,
+                };
+                if residual.is_empty() {
+                    continue;
+                }
+                tasks.push(
+                    TaskBuilder::new("apply_zero")
+                        .write(&comp.buf, residual)
+                        .body(move |ctx| {
+                            let d = ctx.write::<T>(0);
+                            for run in ctx.subset(0).runs() {
+                                for i in run.lo as usize..run.hi as usize {
+                                    d.set(i, T::ZERO);
+                                }
+                            }
+                        }),
+                );
             }
-            let dbuf = &self.vectors[dst].comps[dcomp].buf;
-            let sbuf = &self.vectors[src].comps[scomp].buf;
-            let data = Arc::clone(&tile.data);
-            let t = transpose;
-            let tb = TaskBuilder::new(if t { "spmv_t_tile" } else { "spmv_tile" })
-                .read(sbuf, rsubset.clone())
-                .write(dbuf, wsubset.clone())
-                .body(move |ctx| {
-                    let x = ctx.read::<T>(0);
-                    let y = ctx.write::<T>(1);
-                    let n = data.vals.len();
-                    if t {
-                        for idx in 0..n {
-                            let j = data.cols[idx] as usize;
-                            y.set(
-                                j,
-                                data.vals[idx].mul_add(x.get(data.rows[idx] as usize), y.get(j)),
-                            );
-                        }
-                    } else {
-                        for idx in 0..n {
-                            let i = data.rows[idx] as usize;
-                            y.set(
-                                i,
-                                data.vals[idx].mul_add(x.get(data.cols[idx] as usize), y.get(i)),
-                            );
-                        }
-                    }
-                });
-            self.rt.submit(tb);
+            for (ti, tile) in opset.tiles.iter().enumerate() {
+                if tile.csr.is_empty() {
+                    continue;
+                }
+                let (dcomp, wsubset, rsubset) = tile.direction(transpose);
+                let scomp = if transpose { tile.rhs_comp } else { tile.sol_comp };
+                let dbuf = &self.vectors[dst].comps[dcomp].buf;
+                let sbuf = &self.vectors[src].comps[scomp].buf;
+                let data = Arc::clone(&tile.csr);
+                let zero = plan.zero_first[ti];
+                let t = transpose;
+                let name = match (t, zero) {
+                    (false, false) => "spmv_tile",
+                    (false, true) => "spmv_tile_z",
+                    (true, false) => "spmv_t_tile",
+                    (true, true) => "spmv_t_tile_z",
+                };
+                tasks.push(
+                    TaskBuilder::new(name)
+                        .read(sbuf, rsubset.clone())
+                        .write(dbuf, wsubset.clone())
+                        .body(move |ctx| {
+                            let x = ctx.read::<T>(0);
+                            let y = ctx.write::<T>(1);
+                            if zero {
+                                for run in ctx.subset(1).runs() {
+                                    for i in run.lo as usize..run.hi as usize {
+                                        y.set(i, T::ZERO);
+                                    }
+                                }
+                            }
+                            let nr = data.row_ids.len();
+                            if t {
+                                // Adjoint: scatter along each stored
+                                // row, loading x[row] once.
+                                for r in 0..nr {
+                                    let xv = x.get(data.row_ids[r] as usize);
+                                    for idx in data.row_ptr[r]..data.row_ptr[r + 1] {
+                                        let j = data.cols[idx] as usize;
+                                        y.set(j, data.vals[idx].mul_add(xv, y.get(j)));
+                                    }
+                                }
+                            } else {
+                                // Forward: accumulate each output row
+                                // in a register.
+                                for r in 0..nr {
+                                    let i = data.row_ids[r] as usize;
+                                    let mut acc = y.get(i);
+                                    for idx in data.row_ptr[r]..data.row_ptr[r + 1] {
+                                        acc = data.vals[idx]
+                                            .mul_add(x.get(data.cols[idx] as usize), acc);
+                                    }
+                                    y.set(i, acc);
+                                }
+                            }
+                        }),
+                );
+            }
+        }
+        self.dispatch_all(tasks);
+    }
+
+    fn step_begin(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        assert!(!self.deferring, "nested step_begin");
+        self.deferring = true;
+        self.step_flushed = false;
+        self.dot_seq = 0;
+        debug_assert!(self.pending.is_empty());
+    }
+
+    fn step_end(&mut self) -> StepOutcome {
+        if !self.deferring {
+            // Tracing disabled, or the step was flushed by a forcing
+            // operation.
+            self.step_flushed = false;
+            self.steps_analyzed += 1;
+            return StepOutcome::Analyzed;
+        }
+        self.deferring = false;
+        let tasks = std::mem::take(&mut self.pending);
+        if tasks.is_empty() {
+            self.steps_analyzed += 1;
+            return StepOutcome::Analyzed;
+        }
+        let sig = ShapeSig::of_tasks(&tasks);
+        if let Some(trace) = self.trace_cache.get(&sig) {
+            self.rt.replay(trace, tasks);
+            self.steps_replayed += 1;
+            StepOutcome::Replayed
+        } else if self.trace_cache.has_room() {
+            self.rt.begin_trace();
+            for tb in tasks {
+                self.rt.submit(tb);
+            }
+            let trace = self.rt.end_trace();
+            self.trace_cache.insert(sig, trace);
+            self.steps_captured += 1;
+            StepOutcome::Captured
+        } else {
+            for tb in tasks {
+                self.rt.submit(tb);
+            }
+            self.steps_analyzed += 1;
+            StepOutcome::Analyzed
         }
     }
 
     fn fence(&mut self) {
+        self.flush_pending();
         self.rt.fence();
     }
 
@@ -456,6 +838,101 @@ mod tests {
     }
 
     #[test]
+    fn scalar_slots_are_reused_lowest_first() {
+        let mut b = backend();
+        let x = b.scalar_const(1.0);
+        let y = b.scalar_const(2.0);
+        assert_eq!((x, y), (0, 1));
+        assert_eq!(b.scalar_slots(), 2);
+        b.scalar_release(x);
+        let z = b.scalar_const(3.0);
+        assert_eq!(z, x, "freed slot must be reused");
+        assert_eq!(b.scalar_slots(), 2, "arena must not grow");
+        // The reused slot's store is ordered after outstanding work.
+        assert_eq!(b.scalar_get(z), 3.0);
+        assert_eq!(b.scalar_get(y), 2.0);
+    }
+
+    #[test]
+    fn deferred_step_matches_direct_execution() {
+        let run = |traced: bool| -> Vec<f64> {
+            let mut b = backend();
+            b.set_tracing(traced);
+            let v = b.alloc_vector(&[spec(8, 2)]);
+            let w = b.alloc_vector(&[spec(8, 2)]);
+            b.fill_component(v, 0, &[1.0; 8]);
+            b.fill_component(w, 0, &[3.0; 8]);
+            for _ in 0..6 {
+                b.step_begin();
+                let d = b.dot(v, w);
+                let half = b.scalar_const(0.5);
+                let coef = b.scalar_binop(ScalarOp::Mul, d, half);
+                let denom = b.scalar_const(24.0);
+                let tiny = b.scalar_binop(ScalarOp::Div, coef, denom);
+                b.axpy(v, tiny, w);
+                b.scalar_release(d);
+                b.scalar_release(half);
+                b.scalar_release(denom);
+                b.scalar_release(coef);
+                b.scalar_release(tiny);
+                let out = b.step_end();
+                if !traced {
+                    assert_eq!(out, StepOutcome::Analyzed);
+                }
+            }
+            b.read_component(v, 0)
+        };
+        let direct = run(false);
+        let traced = run(true);
+        assert_eq!(direct, traced, "traced steps must be bitwise identical");
+    }
+
+    #[test]
+    fn repeated_steps_hit_the_trace_cache() {
+        let mut b = backend();
+        let v = b.alloc_vector(&[spec(16, 4)]);
+        let w = b.alloc_vector(&[spec(16, 4)]);
+        b.fill_component(v, 0, &[1.0; 16]);
+        b.fill_component(w, 0, &[2.0; 16]);
+        let mut outcomes = Vec::new();
+        for i in 0..8 {
+            b.step_begin();
+            let c = b.scalar_const(1.0 + i as f64);
+            b.axpy(v, c, w);
+            b.scalar_release(c);
+            outcomes.push(b.step_end());
+        }
+        assert_eq!(outcomes[0], StepOutcome::Captured);
+        assert!(
+            outcomes[1..]
+                .iter()
+                .all(|&o| o == StepOutcome::Replayed),
+            "identical shapes must replay: {outcomes:?}"
+        );
+        // Differing constants flowed through the replays.
+        let got = b.read_component(v, 0);
+        let expect = 1.0 + 2.0 * (1.0 + 2.0 + 3.0 + 4.0 + 5.0 + 6.0 + 7.0 + 8.0);
+        assert!((got[0] - expect).abs() < 1e-12, "{} vs {expect}", got[0]);
+        assert!(b.runtime_stats().tasks_replayed > 0);
+    }
+
+    #[test]
+    fn forcing_mid_step_falls_back_to_analyzed() {
+        let mut b = backend();
+        let v = b.alloc_vector(&[spec(8, 2)]);
+        b.fill_component(v, 0, &[2.0; 8]);
+        b.step_begin();
+        let d = b.dot(v, v);
+        let got = b.scalar_get(d); // forces: flushes the deferred step
+        assert_eq!(got, 32.0);
+        let c = b.scalar_const(1.0);
+        b.scal(v, c);
+        assert_eq!(b.step_end(), StepOutcome::Analyzed);
+        assert_eq!(b.trace_cache_len(), 0, "flushed step must not capture");
+        assert_eq!(b.read_component(v, 0), vec![2.0; 8]);
+    }
+
+    #[test]
     fn apply_matches_reference_spmv() {
         let s = Stencil::lap2d(6, 6);
         let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>() as Csr<f64, u64>);
@@ -490,6 +967,41 @@ mod tests {
         let got_t = b.read_component(y, 0);
         for i in 0..36 {
             assert!((got_t[i] - expect[i]).abs() < 1e-12, "t row {i}");
+        }
+    }
+
+    #[test]
+    fn apply_overwrites_stale_destination() {
+        // The fused zero must erase whatever was in dst, including
+        // points no tile writes.
+        let s = Stencil::lap2d(4, 4);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>() as Csr<f64, u64>);
+        let part = Partition::equal_blocks(16, 2);
+        let tiles = compute_tiles(m.as_ref(), &part, &part, 0, 0);
+        let mut b = backend();
+        let op = b.register_operator(OpSetSpec {
+            components: vec![OpComponentSpec {
+                matrix: Arc::clone(&m),
+                sol_comp: 0,
+                rhs_comp: 0,
+                tiles,
+            }],
+        });
+        let cs = CompSpec {
+            len: 16,
+            partition: part,
+        };
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        let xv = vec![1.0; 16];
+        b.fill_component(x, 0, &xv);
+        b.fill_component(y, 0, &[77.0; 16]); // stale garbage
+        b.apply(op, y, x, false);
+        let got = b.read_component(y, 0);
+        let mut expect = vec![0.0; 16];
+        m.spmv(&xv, &mut expect);
+        for i in 0..16 {
+            assert!((got[i] - expect[i]).abs() < 1e-12, "row {i}: {}", got[i]);
         }
     }
 }

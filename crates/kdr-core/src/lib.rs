@@ -39,7 +39,7 @@ pub mod scalar_handle;
 pub mod simbackend;
 pub mod solvers;
 
-pub use backend::{Backend, CompSpec, OpSetSpec, TileSpec};
+pub use backend::{Backend, CompSpec, OpSetSpec, StepOutcome, TileSpec};
 pub use exec::ExecBackend;
 pub use planner::{Planner, VecId, RHS, SOL};
 pub use scalar_handle::ScalarHandle;

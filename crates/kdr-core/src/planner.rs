@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use kdr_index::Partition;
 use kdr_sparse::{Scalar, SparseMatrix};
 
-use crate::backend::{Backend, BVec, CompSpec, OpComponentSpec, OpHandle, OpSetSpec};
+use crate::backend::{Backend, BVec, CompSpec, OpComponentSpec, OpHandle, OpSetSpec, StepOutcome};
 use crate::partitioning::compute_tiles;
 use crate::scalar_handle::{ScalarHandle, SharedBackend};
 
@@ -402,6 +402,21 @@ impl<T: Scalar> Planner<T> {
     pub fn fence(&mut self) {
         self.ensure_finalized();
         self.backend.lock().fence();
+    }
+
+    /// Mark the start of one solver iteration. Tracing backends defer
+    /// the iteration's tasks so a repeated shape can replay its
+    /// recorded dependence graph; see [`Backend::step_begin`].
+    pub fn step_begin(&mut self) {
+        self.ensure_finalized();
+        self.backend.lock().step_begin();
+    }
+
+    /// Mark the end of one solver iteration and report how its tasks
+    /// were executed; see [`Backend::step_end`].
+    pub fn step_end(&mut self) -> StepOutcome {
+        self.ensure_finalized();
+        self.backend.lock().step_end()
     }
 
     /// Number of solution components.

@@ -275,7 +275,7 @@ mod tests {
         let p = block_jacobi(&m, 4);
         // P * (diagonal-block part of A) restricted to one block must
         // act as identity: apply P to A's first block column sums.
-        let mut e = vec![0.0; 16];
+        let mut e = [0.0; 16];
         e[1] = 1.0;
         // z = A|_block e (block 0 holds rows 0..4).
         let mut z = vec![0.0; 16];
@@ -286,9 +286,9 @@ mod tests {
         });
         let mut back = vec![0.0; 16];
         p.spmv(&z, &mut back);
-        for i in 0..16 {
+        for (i, &bi) in back.iter().enumerate() {
             let expect = if i == 1 { 1.0 } else { 0.0 };
-            assert!((back[i] - expect).abs() < 1e-12, "row {i}: {}", back[i]);
+            assert!((bi - expect).abs() < 1e-12, "row {i}: {bi}");
         }
     }
 

@@ -26,10 +26,21 @@ pub struct ScalarHandle<T: Scalar> {
 
 impl<T: Scalar> Clone for ScalarHandle<T> {
     fn clone(&self) -> Self {
+        self.backend.lock().scalar_retain(self.sref);
         ScalarHandle {
             backend: Arc::clone(&self.backend),
             sref: self.sref,
         }
+    }
+}
+
+impl<T: Scalar> Drop for ScalarHandle<T> {
+    fn drop(&mut self) {
+        // Release our ownership share; pooling backends reuse the
+        // slot once every handle is gone (outstanding tasks reading
+        // the slot are still ordered before any reuse by dependence
+        // analysis).
+        self.backend.lock().scalar_release(self.sref);
     }
 }
 

@@ -211,8 +211,7 @@ impl<T: Scalar> SimBackend<T> {
 
     /// Dependences for writing a piece: after its last writer and all
     /// readers since (WAW + WAR); resets reader list.
-    fn write_deps(state: &mut PieceState, node_placeholder: ()) -> Vec<SimNodeId> {
-        let _ = node_placeholder;
+    fn write_deps(state: &mut PieceState, _node_placeholder: ()) -> Vec<SimNodeId> {
         let mut deps: Vec<SimNodeId> = state.readers.drain(..).collect();
         if let Some(w) = state.last_writer {
             deps.push(w);
@@ -483,14 +482,14 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
             }
             self.close_phase();
             // Pass 2: tile computes.
-            for ti in 0..ntiles {
+            for (ti, td) in tile_deps.iter_mut().enumerate().take(ntiles) {
                 let tile = &self.opsets[op].tiles[ti];
                 let (nnz, out_len, in_total) = (tile.nnz, tile.out_len, tile.in_total);
                 let (rhs_comp, sol_comp, range_color) =
                     (tile.rhs_comp, tile.sol_comp, tile.range_color);
                 let in_by_color = tile.in_by_color.clone();
                 let owner = self.vectors[dst].comps[rhs_comp].owners[range_color];
-                let mut deps = std::mem::take(&mut tile_deps[ti]);
+                let mut deps = std::mem::take(td);
                 deps.extend(self.phase_deps());
                 deps.extend(Self::write_deps(
                     &mut self.vectors[dst].comps[rhs_comp].state[range_color],

@@ -123,7 +123,13 @@ pub fn solve<T: Scalar>(
         }
     }
     while iters < control.max_iters {
+        // Bracketing each iteration lets tracing backends defer its
+        // tasks and replay the recorded dependence graph when the
+        // step shape repeats (convergence checks between steps force
+        // a scalar and simply downgrade that step to analyzed).
+        planner.step_begin();
         solver.step(planner);
+        planner.step_end();
         iters += 1;
         if control.tol > 0.0 && control.check_every > 0 && iters % control.check_every == 0 {
             if let Some(m) = solver.convergence_measure() {

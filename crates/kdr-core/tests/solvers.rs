@@ -437,7 +437,8 @@ fn related_systems_share_base_matrix() {
 #[test]
 fn solvers_are_drop_in_interchangeable() {
     // The same planner setup runs under every solver type.
-    let solvers: Vec<fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>> = vec![
+    type MakeSolver = fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>;
+    let solvers: Vec<MakeSolver> = vec![
         |p| Box::new(CgSolver::new(p)),
         |p| Box::new(BiCgStabSolver::new(p)),
         |p| Box::new(BiCgSolver::new(p)),

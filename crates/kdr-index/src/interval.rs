@@ -162,7 +162,7 @@ impl IntervalSet {
 
     /// Membership test (binary search over runs).
     pub fn contains(&self, p: u64) -> bool {
-        match self.runs.binary_search_by(|r| {
+        self.runs.binary_search_by(|r| {
             if r.hi <= p {
                 std::cmp::Ordering::Less
             } else if r.lo > p {
@@ -170,10 +170,7 @@ impl IntervalSet {
             } else {
                 std::cmp::Ordering::Equal
             }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        }).is_ok()
     }
 
     /// Iterate over the individual points of the set.

@@ -118,6 +118,7 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&
 
     // Try to start any queued work on a resource; returns scheduled
     // completions to push.
+    #[allow(clippy::too_many_arguments)]
     fn try_start_compute(
         graph: &TaskGraph,
         machine: &MachineConfig,

@@ -41,4 +41,4 @@ pub use future::{promise, Future, Promise};
 pub use mapper::{Mapper, RoundRobinMapper, TaskMeta};
 pub use runtime::{Runtime, RuntimeStats};
 pub use task::{Privilege, TaskBuilder, TaskContext, TaskId, TaskMetaLite};
-pub use trace::Trace;
+pub use trace::{ShapeSig, Trace, TraceCache};

@@ -27,6 +27,8 @@ pub struct RuntimeStats {
     pub analysis_ns: u64,
     /// Tasks submitted through trace replay (analysis skipped).
     pub tasks_replayed: u64,
+    /// Tasks that went through dependence analysis (not replayed).
+    pub tasks_analyzed: u64,
     /// Tasks executed by a worker other than their affinity target
     /// (work stealing).
     pub tasks_stolen: u64,
@@ -44,6 +46,7 @@ struct RtState {
     analysis_ns: u64,
     tasks_submitted: u64,
     tasks_replayed: u64,
+    tasks_analyzed: u64,
 }
 
 /// A task-oriented runtime instance owning a worker pool.
@@ -75,6 +78,7 @@ impl Runtime {
                 analysis_ns: 0,
                 tasks_submitted: 0,
                 tasks_replayed: 0,
+                tasks_analyzed: 0,
             }),
         }
     }
@@ -105,6 +109,7 @@ impl Runtime {
         let id = st.next_id;
         st.next_id += 1;
         st.tasks_submitted += 1;
+        st.tasks_analyzed += 1;
         let t0 = Instant::now();
         let deps = st.analyzer.analyze(id, &lites);
         st.analysis_ns += t0.elapsed().as_nanos() as u64;
@@ -236,6 +241,7 @@ impl Runtime {
             edges_created: st.analyzer.edges_created,
             analysis_ns: st.analysis_ns,
             tasks_replayed: st.tasks_replayed,
+            tasks_analyzed: st.tasks_analyzed,
             tasks_stolen: self.exec.stolen(),
         }
     }

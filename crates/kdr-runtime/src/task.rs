@@ -72,11 +72,14 @@ pub(crate) struct ReqLite {
     pub write: bool,
 }
 
+/// A task's executable payload.
+pub(crate) type TaskBody = Box<dyn FnOnce(&TaskContext) + Send>;
+
 /// Builder for a task: name, declared accesses, metadata and body.
 pub struct TaskBuilder {
     pub(crate) name: &'static str,
     pub(crate) reqs: Vec<Requirement>,
-    pub(crate) body: Option<Box<dyn FnOnce(&TaskContext) + Send>>,
+    pub(crate) body: Option<TaskBody>,
     pub(crate) meta: TaskMeta,
 }
 

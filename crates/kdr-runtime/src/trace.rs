@@ -13,7 +13,13 @@
 //! external dependences and the recorded frontier fully describes the
 //! post-trace access state.
 
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use kdr_index::IntervalSet;
+
 use crate::graph::Frontier;
+use crate::task::TaskBuilder;
 
 /// A captured task sequence: per-task dependence lists (as indices
 /// into the trace) plus the access frontier left behind.
@@ -38,5 +44,216 @@ impl Trace {
     /// Total recorded dependence edges.
     pub fn num_edges(&self) -> usize {
         self.deps.iter().map(Vec::len).sum()
+    }
+}
+
+/// The dependence-relevant shape of one task: its name plus each
+/// declared access as (buffer id, subset, writable).
+#[derive(Clone)]
+struct TaskShape {
+    name: &'static str,
+    accesses: Vec<(u64, Arc<IntervalSet>, bool)>,
+}
+
+impl PartialEq for TaskShape {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.accesses.len() == other.accesses.len()
+            && self
+                .accesses
+                .iter()
+                .zip(&other.accesses)
+                .all(|(a, b)| a.0 == b.0 && a.2 == b.2 && *a.1 == *b.1)
+    }
+}
+
+/// Shape signature of one step's task list; the key under which its
+/// captured trace is cached. Two steps with equal signatures declare
+/// identical access patterns, so dependence analysis of one is valid
+/// for the other.
+#[derive(Clone)]
+pub struct ShapeSig {
+    hash: u64,
+    shapes: Vec<TaskShape>,
+}
+
+impl ShapeSig {
+    /// Compute the signature of a task list.
+    pub fn of_tasks(tasks: &[TaskBuilder]) -> ShapeSig {
+        let shapes: Vec<TaskShape> = tasks
+            .iter()
+            .map(|t| TaskShape {
+                name: t.name,
+                accesses: t
+                    .req_lites()
+                    .into_iter()
+                    .map(|r| (r.buffer_id, r.subset, r.write))
+                    .collect(),
+            })
+            .collect();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &shapes {
+            s.name.hash(&mut h);
+            for (buf, subset, write) in &s.accesses {
+                buf.hash(&mut h);
+                subset.hash(&mut h);
+                write.hash(&mut h);
+            }
+        }
+        ShapeSig {
+            hash: h.finish(),
+            shapes,
+        }
+    }
+
+    /// Number of tasks covered by the signature.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True when the signature covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+}
+
+impl PartialEq for ShapeSig {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash first: almost every mismatch dies here without walking
+        // interval sets.
+        self.hash == other.hash && self.shapes == other.shapes
+    }
+}
+
+impl Eq for ShapeSig {}
+
+/// A small signature-keyed store of captured traces.
+///
+/// Solvers whose step shape cycles through a few variants (e.g. a
+/// carried scalar slot alternating between two pool slots, or GMRES
+/// growing its basis) get one trace per variant. The cache never
+/// evicts: once full, unknown shapes simply run analyzed, which
+/// bounds capture overhead for genuinely non-repeating workloads.
+pub struct TraceCache {
+    entries: Vec<(ShapeSig, Trace)>,
+    cap: usize,
+}
+
+impl TraceCache {
+    /// A cache holding at most `cap` traces.
+    pub fn new(cap: usize) -> Self {
+        TraceCache {
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Look up the trace captured for `sig`, if any.
+    pub fn get(&self, sig: &ShapeSig) -> Option<&Trace> {
+        self.entries
+            .iter()
+            .find(|(s, _)| s == sig)
+            .map(|(_, t)| t)
+    }
+
+    /// True while a new signature can still be captured.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.cap
+    }
+
+    /// Store the trace captured for `sig`. No-op when full or when
+    /// the signature is already present.
+    pub fn insert(&mut self, sig: ShapeSig, trace: Trace) {
+        if self.has_room() && self.get(&sig).is_none() {
+            self.entries.push((sig, trace));
+        }
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+
+    fn sig_of(subsets: &[(u64, u64)], buf: &Buffer<f64>, write: bool) -> ShapeSig {
+        let tasks: Vec<TaskBuilder> = subsets
+            .iter()
+            .map(|&(lo, hi)| {
+                let t = TaskBuilder::new("t");
+                if write {
+                    t.write(buf, IntervalSet::from_range(lo, hi))
+                } else {
+                    t.read(buf, IntervalSet::from_range(lo, hi))
+                }
+            })
+            .collect();
+        ShapeSig::of_tasks(&tasks)
+    }
+
+    #[test]
+    fn equal_shapes_equal_sigs() {
+        let b = Buffer::filled(32, 0.0f64);
+        let a = sig_of(&[(0, 8), (8, 16)], &b, true);
+        let c = sig_of(&[(0, 8), (8, 16)], &b, true);
+        assert!(a == c);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn differing_subset_name_privilege_or_buffer_changes_sig() {
+        let b = Buffer::filled(32, 0.0f64);
+        let b2 = Buffer::filled(32, 0.0f64);
+        let base = sig_of(&[(0, 8)], &b, true);
+        assert!(base != sig_of(&[(0, 9)], &b, true), "subset");
+        assert!(base != sig_of(&[(0, 8)], &b, false), "privilege");
+        assert!(base != sig_of(&[(0, 8)], &b2, true), "buffer");
+        let renamed =
+            ShapeSig::of_tasks(&[TaskBuilder::new("other").write(&b, IntervalSet::from_range(0, 8))]);
+        assert!(base != renamed, "name");
+    }
+
+    #[test]
+    fn cache_is_keyed_and_bounded() {
+        let b = Buffer::filled(64, 0.0f64);
+        let mut cache = TraceCache::new(2);
+        let s1 = sig_of(&[(0, 8)], &b, true);
+        let s2 = sig_of(&[(8, 16)], &b, true);
+        let s3 = sig_of(&[(16, 24)], &b, true);
+        cache.insert(
+            s1.clone(),
+            Trace {
+                deps: vec![vec![]],
+                frontier: Vec::new(),
+            },
+        );
+        assert!(cache.get(&s1).is_some());
+        assert!(cache.get(&s2).is_none());
+        cache.insert(
+            s2.clone(),
+            Trace {
+                deps: vec![vec![]],
+                frontier: Vec::new(),
+            },
+        );
+        assert!(!cache.has_room());
+        cache.insert(
+            s3.clone(),
+            Trace {
+                deps: vec![vec![]],
+                frontier: Vec::new(),
+            },
+        );
+        assert!(cache.get(&s3).is_none(), "full cache must not evict");
+        assert_eq!(cache.len(), 2);
     }
 }

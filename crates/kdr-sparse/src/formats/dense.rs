@@ -119,8 +119,8 @@ impl<T: Scalar> SparseMatrix<T> for Dense<T> {
                 let j1 = j0 + (row_end - k) as usize;
                 let base = i * cols;
                 let mut acc = T::ZERO;
-                for j in j0..j1 {
-                    acc = self.data[base + j].mul_add(x[j], acc);
+                for (j, &xj) in x.iter().enumerate().take(j1).skip(j0) {
+                    acc = self.data[base + j].mul_add(xj, acc);
                 }
                 y[i] += acc;
                 k = row_end;
@@ -141,8 +141,8 @@ impl<T: Scalar> SparseMatrix<T> for Dense<T> {
                 let j1 = j0 + (row_end - k) as usize;
                 let base = i * cols;
                 let xi = x[i];
-                for j in j0..j1 {
-                    y[j] += self.data[base + j] * xi;
+                for (j, yj) in y.iter_mut().enumerate().take(j1).skip(j0) {
+                    *yj += self.data[base + j] * xi;
                 }
                 k = row_end;
             }

@@ -40,7 +40,7 @@ fn run(dynamic: bool) -> Vec<f64> {
         sync_seconds: 20e-6,
     };
     let mut load = BackgroundLoad::new(NODES, 40, 50, 2024);
-    let t0 = model.iteration_time(&tiles, &vec![load.reference_speed(); NODES]);
+    let t0 = model.iteration_time(&tiles, &[load.reference_speed(); NODES]);
     let mut balancer = ThermoBalancer::new(5e-3, t0, 7);
     let mut times = Vec::new();
     for it in 0..ITERS {

@@ -52,13 +52,13 @@ fn main() {
         report.iters, report.final_residual
     );
 
-    for k in 0..NRHS {
+    for (k, rhs_k) in rhs_data.iter().enumerate().take(NRHS) {
         let x = planner.read_component(SOL, k);
         let mut ax = vec![0.0; n as usize];
         matrix.spmv(&x, &mut ax);
         let res: f64 = ax
             .iter()
-            .zip(&rhs_data[k])
+            .zip(rhs_k)
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the benchmark-harness subset its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`throughput`/`finish`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock sampler: after a short
+//! calibration, each benchmark runs `sample_size` samples and reports
+//! the median per-iteration time to stdout. There is no statistical
+//! analysis, plotting, or baseline comparison — the numbers are for
+//! relative comparison within one run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(8);
+/// Calibration budget used to size each sample's iteration count.
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+
+/// Benchmark driver; configuration plus result reporting.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group's benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark and print its median time.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the iteration count until one run of the
+        // routine takes long enough to time reliably.
+        let calibration = Instant::now();
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= SAMPLE_TARGET || calibration.elapsed() >= WARMUP_TARGET {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                16
+            } else {
+                let need = SAMPLE_TARGET.as_nanos() / bencher.elapsed.as_nanos().max(1);
+                need.clamp(2, 16) as u64
+            };
+            bencher.iters = bencher.iters.saturating_mul(grow).min(1 << 30);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.criterion.sample_size);
+        for _ in 0..self.criterion.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = samples[samples.len() / 2];
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / median / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}  time: {}{}",
+            self.name,
+            id.id,
+            format_ns(median),
+            rate
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to fill one sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(4));
+            g.bench_function(BenchmarkId::new("count", 4), |b| {
+                b.iter(|| {
+                    runs += 1;
+                    runs
+                })
+            });
+            g.finish();
+        }
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+            g.finish();
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = target
+        }
+        benches();
+    }
+}

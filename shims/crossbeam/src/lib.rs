@@ -1,0 +1,127 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the one type it uses: `crossbeam::queue::SegQueue`. The
+//! real crate's queue is lock-free; this version keeps the unbounded
+//! MPMC FIFO contract with a mutexed `VecDeque`, with an atomic
+//! length so `is_empty`/`len` probes never take the lock.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    pub struct SegQueue<T> {
+        items: Mutex<VecDeque<T>>,
+        len: AtomicUsize,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Create an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                items: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.items.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Append `value` at the back.
+        pub fn push(&self, value: T) {
+            let mut q = self.guard();
+            q.push_back(value);
+            self.len.store(q.len(), Ordering::Release);
+        }
+
+        /// Remove and return the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            if self.len.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let mut q = self.guard();
+            let v = q.pop_front();
+            self.len.store(q.len(), Ordering::Release);
+            v
+        }
+
+        /// Number of queued elements (racy snapshot, like crossbeam's).
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Acquire)
+        }
+
+        /// True if no element is queued (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            for i in 0..10 {
+                q.push(i);
+            }
+            assert_eq!(q.len(), 10);
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..500 {
+                            q.push(p * 1000 + i);
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut got = 0;
+                        while got < 500 {
+                            if q.pop().is_some() {
+                                got += 1;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 2000);
+            assert!(q.is_empty());
+        }
+    }
+}

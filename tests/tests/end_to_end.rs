@@ -45,7 +45,8 @@ fn kdr_and_spmd_agree() {
     let b = rhs_vector::<f64>(n, 11);
     let m: Csr<f64, u64> = s.to_csr();
 
-    let cases: Vec<(BaselineKsm, Box<dyn Fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>>)> = vec![
+    type MakeSolver = Box<dyn Fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>>;
+    let cases: Vec<(BaselineKsm, MakeSolver)> = vec![
         (BaselineKsm::Cg, Box::new(|p: &mut Planner<f64>| {
             Box::new(CgSolver::new(p)) as Box<dyn Solver<f64>>
         })),

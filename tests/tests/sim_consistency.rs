@@ -6,10 +6,11 @@ use std::sync::Arc;
 
 use kdr_baselines::{build_iteration_graph, per_iteration_seconds, KsmKind, LibraryProfile};
 use kdr_core::simbackend::SimBackend;
-use kdr_core::solvers::{CgSolver, Solver};
-use kdr_core::Planner;
+use kdr_core::solvers::{BiCgStabSolver, CgSolver, GmresSolver, Solver};
+use kdr_core::{solve, ExecBackend, Planner, SolveControl, StepOutcome, SOL};
 use kdr_index::Partition;
 use kdr_machine::{simulate, MachineConfig};
+use kdr_sparse::stencil::rhs_vector;
 use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
 
 /// The identical solver type runs on the simulation backend without
@@ -137,6 +138,200 @@ fn gmres_graph_structure() {
     // The second five Arnoldi steps orthogonalize against more basis
     // vectors, so the graph more than doubles.
     assert!(g10.len() > 2 * g5.len());
+}
+
+// ----- Traced-stepping consistency ----------------------------------
+//
+// The execution backend's traced fast path replays memoized
+// dependence graphs for repeated iteration shapes. These tests pin
+// the contract: replay changes *when analysis happens*, never *what
+// executes* — residual sequences must be bitwise identical.
+
+fn exec_planner(s: Stencil, pieces: usize, traced: bool) -> Planner<f64> {
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let mut backend = ExecBackend::<f64>::new(4);
+    backend.set_tracing(traced);
+    let mut planner = Planner::new(Box::new(backend));
+    let part = Partition::equal_blocks(n, pieces);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 11));
+    planner
+}
+
+/// Per-iteration residual bits plus step outcomes for a solver run
+/// driven through the step_begin/step_end bracket.
+fn residual_bits(
+    planner: &mut Planner<f64>,
+    solver: &mut dyn Solver<f64>,
+    steps: usize,
+) -> (Vec<u64>, Vec<StepOutcome>) {
+    let mut bits = Vec::new();
+    let mut outcomes = Vec::new();
+    for _ in 0..steps {
+        planner.step_begin();
+        solver.step(planner);
+        outcomes.push(planner.step_end());
+        let m = solver.convergence_measure().expect("measure");
+        bits.push(m.get().to_bits());
+    }
+    (bits, outcomes)
+}
+
+/// Replayed CG produces the *bitwise identical* residual sequence of
+/// the analyzed run: tracing memoizes analysis, not arithmetic.
+#[test]
+fn traced_cg_residuals_bitwise_match_analyzed() {
+    let s = Stencil::lap2d(24, 24);
+    let steps = 30;
+    let run = |traced: bool| {
+        let mut planner = exec_planner(s, 4, traced);
+        let mut solver = CgSolver::new(&mut planner);
+        let out = residual_bits(&mut planner, &mut solver, steps);
+        drop(solver);
+        let stats = planner.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<ExecBackend<f64>>()
+                .unwrap()
+                .runtime_stats()
+        });
+        (out, stats)
+    };
+    let ((bits_a, outcomes_a), stats_a) = run(false);
+    let ((bits_t, outcomes_t), stats_t) = run(true);
+    assert_eq!(bits_a, bits_t, "replay must not change a single bit");
+    assert!(outcomes_a.iter().all(|&o| o == StepOutcome::Analyzed));
+    // After warmup (slot-cycle variants get captured once each), every
+    // CG step replays.
+    let replayed = outcomes_t
+        .iter()
+        .filter(|&&o| o == StepOutcome::Replayed)
+        .count();
+    assert!(
+        replayed >= steps - 4,
+        "expected steady-state replay, outcomes: {outcomes_t:?}"
+    );
+    assert_eq!(stats_a.tasks_replayed, 0);
+    assert!(stats_t.tasks_replayed > 0, "no tasks replayed");
+    assert!(
+        stats_t.tasks_analyzed < stats_a.tasks_analyzed,
+        "tracing must shrink analyzed-task count: {} vs {}",
+        stats_t.tasks_analyzed,
+        stats_a.tasks_analyzed
+    );
+}
+
+/// Once the step shape stabilizes, the analyzed-task counter stays
+/// flat across iterations: traced steps skip dependence analysis
+/// entirely.
+#[test]
+fn traced_cg_analysis_count_is_flat_in_steady_state() {
+    let s = Stencil::lap2d(24, 24);
+    let mut planner = exec_planner(s, 4, true);
+    let mut solver = CgSolver::new(&mut planner);
+    let mut analyzed_after = Vec::new();
+    for _ in 0..12 {
+        planner.step_begin();
+        solver.step(&mut planner);
+        planner.step_end();
+        analyzed_after.push(planner.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<ExecBackend<f64>>()
+                .unwrap()
+                .runtime_stats()
+                .tasks_analyzed
+        }));
+    }
+    drop(solver);
+    // Steps 3.. must not add analyzed tasks (steps 1–2 capture the
+    // scalar-slot cycle's two shape variants).
+    for w in analyzed_after[2..].windows(2) {
+        assert_eq!(w[0], w[1], "analysis ran in steady state: {analyzed_after:?}");
+    }
+}
+
+/// BiCGStab (two applies, four dots, forcing-free steps) also replays
+/// bitwise identically.
+#[test]
+fn traced_bicgstab_residuals_bitwise_match_analyzed() {
+    let s = Stencil::lap2d(20, 20);
+    let steps = 25;
+    let run = |traced: bool| {
+        let mut planner = exec_planner(s, 4, traced);
+        let mut solver = BiCgStabSolver::new(&mut planner);
+        residual_bits(&mut planner, &mut solver, steps)
+    };
+    let (bits_a, _) = run(false);
+    let (bits_t, outcomes_t) = run(true);
+    assert_eq!(bits_a, bits_t, "replay must not change a single bit");
+    assert!(
+        outcomes_t.contains(&StepOutcome::Replayed),
+        "outcomes: {outcomes_t:?}"
+    );
+}
+
+/// GMRES's step shape grows within a restart cycle, so most steps
+/// cannot replay — the fallback to analyzed submission must keep the
+/// solver exactly correct.
+#[test]
+fn gmres_shape_changes_fall_back_to_analyzed_and_stay_correct() {
+    let s = Stencil::lap2d(16, 16);
+    let run = |traced: bool| {
+        let mut planner = exec_planner(s, 4, traced);
+        let mut solver = GmresSolver::with_restart(&mut planner, 10);
+        let report = solve(
+            &mut planner,
+            &mut solver,
+            SolveControl::to_tolerance(1e-10, 2_000),
+        );
+        assert!(report.converged);
+        planner.read_component(SOL, 0)
+    };
+    let x_analyzed = run(false);
+    let x_traced = run(true);
+    for (a, t) in x_analyzed.iter().zip(&x_traced) {
+        assert_eq!(a.to_bits(), t.to_bits(), "solutions must be identical");
+    }
+}
+
+/// The scalar slot arena is bounded by peak liveness, not iteration
+/// count: 1,000 CG steps must not grow it (the seed leaked one slot
+/// per scalar op forever).
+#[test]
+fn scalar_arena_stays_bounded_over_thousand_steps() {
+    let s = Stencil::lap2d(12, 12);
+    let mut planner = exec_planner(s, 2, true);
+    let mut solver = CgSolver::new(&mut planner);
+    let slots = |p: &mut Planner<f64>| {
+        p.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<ExecBackend<f64>>()
+                .unwrap()
+                .scalar_slots()
+        })
+    };
+    // Warm up, then the arena must stop growing entirely.
+    for _ in 0..10 {
+        planner.step_begin();
+        solver.step(&mut planner);
+        planner.step_end();
+    }
+    let after_warmup = slots(&mut planner);
+    for _ in 0..990 {
+        planner.step_begin();
+        solver.step(&mut planner);
+        planner.step_end();
+    }
+    planner.fence();
+    let after = slots(&mut planner);
+    assert_eq!(
+        after_warmup, after,
+        "scalar arena grew from {after_warmup} to {after} over 1,000 steps"
+    );
+    assert!(after < 32, "arena unexpectedly large: {after}");
+    drop(solver);
 }
 
 /// The Trilinos profile prices identical graphs higher than PETSc
