@@ -33,7 +33,10 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use kdr_index::{IntervalSet, Partition};
-use kdr_runtime::{promise, Buffer, Runtime, RuntimeStats, ShapeSig, TaskBuilder, TraceCache};
+use kdr_runtime::{
+    promise, Buffer, MetricsSnapshot, Runtime, RuntimeStats, ShapeSig, TaskBuilder, TaskSpan,
+    TraceCache,
+};
 use kdr_sparse::Scalar;
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
@@ -45,6 +48,53 @@ use crate::backend::{
 /// Captured traces kept per backend; steps whose shape keeps changing
 /// after this many variants run analyzed.
 const TRACE_CACHE_CAP: usize = 8;
+
+/// A [`MetricsSnapshot`] extended with the backend's own state:
+/// scalar-arena occupancy, trace-cache fill, and step-level
+/// analyzed/captured/replayed counts. Returned by
+/// [`ExecBackend::metrics`].
+#[derive(Clone, Debug)]
+pub struct ExecMetrics {
+    /// Runtime-level counters and latency histograms.
+    pub runtime: MetricsSnapshot,
+    /// Scalar slot arena size (peak simultaneous live scalars).
+    pub scalar_slots: usize,
+    /// Scalar slots currently free (zero refcount).
+    pub scalar_free: usize,
+    /// Distinct step shapes captured in the trace cache.
+    pub trace_cache_len: usize,
+    /// Trace cache capacity.
+    pub trace_cache_cap: usize,
+    /// Steps that ran through full dependence analysis.
+    pub steps_analyzed: u64,
+    /// Steps that analyzed while capturing a trace.
+    pub steps_captured: u64,
+    /// Steps replayed from the trace cache.
+    pub steps_replayed: u64,
+}
+
+impl ExecMetrics {
+    /// Fraction of traced steps served from the cache:
+    /// `replayed / (analyzed + captured + replayed)`; 0 before any
+    /// step completes.
+    pub fn trace_hit_rate(&self) -> f64 {
+        let total = self.steps_analyzed + self.steps_captured + self.steps_replayed;
+        if total == 0 {
+            0.0
+        } else {
+            self.steps_replayed as f64 / total as f64
+        }
+    }
+
+    /// Fraction of arena slots currently holding a live scalar.
+    pub fn scalar_occupancy(&self) -> f64 {
+        if self.scalar_slots == 0 {
+            0.0
+        } else {
+            (self.scalar_slots - self.scalar_free) as f64 / self.scalar_slots as f64
+        }
+    }
+}
 
 struct ExecComp<T> {
     buf: Buffer<T>,
@@ -272,6 +322,39 @@ impl<T: Scalar> ExecBackend<T> {
     /// `(analyzed, captured, replayed)` step counts.
     pub fn step_counters(&self) -> (u64, u64, u64) {
         (self.steps_analyzed, self.steps_captured, self.steps_replayed)
+    }
+
+    /// Enable or disable the runtime's structured event logging
+    /// (spans + latency histograms). Off by default; see
+    /// [`Runtime::enable_events`].
+    pub fn set_event_logging(&self, on: bool) {
+        self.rt.enable_events(on);
+    }
+
+    /// Whether event logging is on.
+    pub fn events_enabled(&self) -> bool {
+        self.rt.events_enabled()
+    }
+
+    /// Drain recorded task spans (fences first). See
+    /// [`Runtime::take_spans`].
+    pub fn take_spans(&self) -> Vec<TaskSpan> {
+        self.rt.take_spans()
+    }
+
+    /// Full observability snapshot: runtime metrics plus this
+    /// backend's scalar-arena, trace-cache, and step-outcome state.
+    pub fn metrics(&self) -> ExecMetrics {
+        ExecMetrics {
+            runtime: self.rt.metrics(),
+            scalar_slots: self.scalars.len(),
+            scalar_free: self.scalar_free.len(),
+            trace_cache_len: self.trace_cache.len(),
+            trace_cache_cap: TRACE_CACHE_CAP,
+            steps_analyzed: self.steps_analyzed,
+            steps_captured: self.steps_captured,
+            steps_replayed: self.steps_replayed,
+        }
     }
 
     fn dispatch(&mut self, tb: TaskBuilder) {

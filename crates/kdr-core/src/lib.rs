@@ -31,6 +31,7 @@
 
 pub mod backend;
 pub mod exec;
+pub mod instrument;
 pub mod loadbalance;
 pub mod partitioning;
 pub mod planner;
@@ -40,11 +41,13 @@ pub mod simbackend;
 pub mod solvers;
 
 pub use backend::{Backend, CompSpec, OpSetSpec, StepOutcome, TileSpec};
-pub use exec::ExecBackend;
+pub use exec::{ExecBackend, ExecMetrics};
+pub use instrument::{IterationRecord, PhaseSplit, SolveTrace, SolverPhase};
 pub use planner::{Planner, VecId, RHS, SOL};
 pub use scalar_handle::ScalarHandle;
 pub use simbackend::SimBackend;
 pub use solvers::{
-    solve, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, MinresSolver,
-    PBiCgStabSolver, PcgSolver, SolveControl, SolveReport, Solver, TfqmrSolver,
+    solve, solve_traced, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver,
+    GmresSolver, MinresSolver, PBiCgStabSolver, PcgSolver, SolveControl, SolveReport, Solver,
+    TfqmrSolver,
 };

@@ -27,8 +27,11 @@ pub use gmres::GmresSolver;
 pub use minres::MinresSolver;
 pub use tfqmr::TfqmrSolver;
 
+use std::time::Instant;
+
 use kdr_sparse::Scalar;
 
+use crate::instrument::{IterationRecord, SolveTrace};
 use crate::planner::Planner;
 use crate::scalar_handle::ScalarHandle;
 
@@ -99,10 +102,93 @@ pub struct SolveReport {
 }
 
 /// Drive a solver until convergence or the iteration cap.
+///
+/// Each iteration is bracketed by `step_begin`/`step_end` so tracing
+/// backends can replay the recorded dependence graph when the step
+/// shape repeats. Use [`solve_traced`] to additionally record
+/// per-iteration timing, step outcomes, and the residual history.
+///
+/// ```
+/// use std::sync::Arc;
+/// use kdr_core::{solve, CgSolver, ExecBackend, Planner, SolveControl, SOL};
+/// use kdr_index::Partition;
+/// use kdr_sparse::{stencil::rhs_vector, SparseMatrix, Stencil};
+///
+/// // An 8x8 Poisson problem, partitioned into 4 pieces.
+/// let stencil = Stencil::lap2d(8, 8);
+/// let n = stencil.unknowns();
+/// let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u32>());
+/// let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(2)));
+/// let part = Partition::equal_blocks(n, 4);
+/// let d = planner.add_sol_vector(n, Some(part.clone()));
+/// let r = planner.add_rhs_vector(n, Some(part));
+/// planner.add_operator(matrix, d, r);
+/// planner.set_rhs_data(r, &rhs_vector::<f64>(n, 7));
+///
+/// let mut solver = CgSolver::new(&mut planner);
+/// let report = solve(&mut planner, &mut solver, SolveControl::to_tolerance(1e-10, 500));
+/// assert!(report.converged);
+/// let x = planner.read_component(SOL, 0);
+/// assert_eq!(x.len(), n as usize);
+/// ```
 pub fn solve<T: Scalar>(
     planner: &mut Planner<T>,
     solver: &mut dyn Solver<T>,
     control: SolveControl,
+) -> SolveReport {
+    drive(planner, solver, control, None)
+}
+
+/// [`solve`], additionally recording a [`SolveTrace`]: one
+/// [`IterationRecord`] per iteration (submit-window wall time and the
+/// backend's analyzed/captured/replayed [`StepOutcome`](crate::StepOutcome))
+/// plus the `(iteration, residual)` history sampled at convergence
+/// checks.
+///
+/// ```
+/// use std::sync::Arc;
+/// use kdr_core::{solve_traced, CgSolver, ExecBackend, Planner, SolveControl};
+/// use kdr_index::Partition;
+/// use kdr_sparse::{stencil::rhs_vector, SparseMatrix, Stencil};
+///
+/// let stencil = Stencil::lap2d(8, 8);
+/// let n = stencil.unknowns();
+/// let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u32>());
+/// let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(2)));
+/// let part = Partition::equal_blocks(n, 4);
+/// let d = planner.add_sol_vector(n, Some(part.clone()));
+/// let r = planner.add_rhs_vector(n, Some(part));
+/// planner.add_operator(matrix, d, r);
+/// planner.set_rhs_data(r, &rhs_vector::<f64>(n, 7));
+///
+/// let mut solver = CgSolver::new(&mut planner);
+/// // Check every 10 iterations: the steps in between keep a stable
+/// // shape, so the tracing backend replays most of them.
+/// let control = SolveControl { max_iters: 500, tol: 1e-10, check_every: 10 };
+/// let (report, trace) = solve_traced(&mut planner, &mut solver, control);
+/// assert!(report.converged);
+/// assert_eq!(trace.iterations.len(), report.iters);
+/// assert!(trace.steps_replayed() > 0);
+/// // The residual history is monotone enough to have converged.
+/// assert!(trace.final_residual().unwrap() < 1e-10);
+/// ```
+pub fn solve_traced<T: Scalar>(
+    planner: &mut Planner<T>,
+    solver: &mut dyn Solver<T>,
+    control: SolveControl,
+) -> (SolveReport, SolveTrace) {
+    let mut trace = SolveTrace::new();
+    let report = drive(planner, solver, control, Some(&mut trace));
+    (report, trace)
+}
+
+/// The common solve loop; `trace`, when present, receives
+/// per-iteration records and residual samples.
+fn drive<T: Scalar>(
+    planner: &mut Planner<T>,
+    solver: &mut dyn Solver<T>,
+    control: SolveControl,
+    mut trace: Option<&mut SolveTrace>,
 ) -> SolveReport {
     let mut iters = 0;
     let mut final_residual = f64::NAN;
@@ -113,6 +199,9 @@ pub fn solve<T: Scalar>(
         if let Some(m) = solver.convergence_measure() {
             let r = m.get().to_f64().abs().sqrt();
             if r < control.tol {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.residual_history.push((0, r));
+                }
                 planner.fence();
                 return SolveReport {
                     iters: 0,
@@ -127,14 +216,25 @@ pub fn solve<T: Scalar>(
         // tasks and replay the recorded dependence graph when the
         // step shape repeats (convergence checks between steps force
         // a scalar and simply downgrade that step to analyzed).
+        let t0 = trace.as_ref().map(|_| Instant::now());
         planner.step_begin();
         solver.step(planner);
-        planner.step_end();
+        let outcome = planner.step_end();
         iters += 1;
+        if let (Some(t), Some(t0)) = (trace.as_deref_mut(), t0) {
+            t.iterations.push(IterationRecord {
+                iter: iters,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                outcome,
+            });
+        }
         if control.tol > 0.0 && control.check_every > 0 && iters % control.check_every == 0 {
             if let Some(m) = solver.convergence_measure() {
                 let r = m.get().to_f64().abs().sqrt();
                 final_residual = r;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.residual_history.push((iters, r));
+                }
                 if r < control.tol {
                     converged = true;
                     break;
@@ -147,6 +247,9 @@ pub fn solve<T: Scalar>(
         if let Some(m) = solver.convergence_measure() {
             final_residual = m.get().to_f64().abs().sqrt();
             converged = control.tol > 0.0 && final_residual < control.tol;
+            if let Some(t) = trace {
+                t.residual_history.push((iters, final_residual));
+            }
         }
     }
     planner.fence();

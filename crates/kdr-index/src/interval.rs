@@ -12,7 +12,9 @@ use std::fmt;
 /// A half-open interval `[lo, hi)` of global index points.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
 pub struct Run {
+    /// Inclusive lower bound.
     pub lo: u64,
+    /// Exclusive upper bound.
     pub hi: u64,
 }
 

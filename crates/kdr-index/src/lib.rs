@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-index
 //!
 //! Index spaces, partitions, and *dependent partitioning* for the

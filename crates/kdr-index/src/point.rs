@@ -9,50 +9,64 @@
 /// A point in a 2-D grid.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Point2 {
+    /// Grid coordinate along the slow (row) axis.
     pub x: u64,
+    /// Grid coordinate along the fast (column) axis.
     pub y: u64,
 }
 
 /// A point in a 3-D grid.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Point3 {
+    /// Grid coordinate along the slowest axis.
     pub x: u64,
+    /// Grid coordinate along the middle axis.
     pub y: u64,
+    /// Grid coordinate along the fastest axis.
     pub z: u64,
 }
 
 /// A 1-D rectangle: the half-open range `[lo, hi)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Rect1 {
+    /// Inclusive lower bound.
     pub lo: u64,
+    /// Exclusive upper bound.
     pub hi: u64,
 }
 
 /// A 2-D axis-aligned rectangle with exclusive upper bounds.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Rect2 {
+    /// Inclusive lower corner.
     pub lo: Point2,
+    /// Exclusive upper corner.
     pub hi: Point2,
 }
 
 /// A 3-D axis-aligned box with exclusive upper bounds.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Rect3 {
+    /// Inclusive lower corner.
     pub lo: Point3,
+    /// Exclusive upper corner.
     pub hi: Point3,
 }
 
 impl Rect1 {
+    /// The range `[lo, hi)`.
     pub fn new(lo: u64, hi: u64) -> Self {
         Rect1 { lo, hi }
     }
 
+    /// Number of points in the range (0 when `hi <= lo`).
     pub fn volume(&self) -> u64 {
         self.hi.saturating_sub(self.lo)
     }
 }
 
 impl Rect2 {
+    /// The rectangle `[lo, hi)` along both axes.
     pub fn new(lo: Point2, hi: Point2) -> Self {
         Rect2 { lo, hi }
     }
@@ -65,16 +79,19 @@ impl Rect2 {
         }
     }
 
+    /// Number of grid points inside (0 for inverted bounds).
     pub fn volume(&self) -> u64 {
         self.hi.x.saturating_sub(self.lo.x) * self.hi.y.saturating_sub(self.lo.y)
     }
 
+    /// Whether `p` lies inside the rectangle.
     pub fn contains(&self, p: Point2) -> bool {
         self.lo.x <= p.x && p.x < self.hi.x && self.lo.y <= p.y && p.y < self.hi.y
     }
 }
 
 impl Rect3 {
+    /// The box `[lo, hi)` along all three axes.
     pub fn new(lo: Point3, hi: Point3) -> Self {
         Rect3 { lo, hi }
     }
@@ -91,12 +108,14 @@ impl Rect3 {
         }
     }
 
+    /// Number of grid points inside (0 for inverted bounds).
     pub fn volume(&self) -> u64 {
         self.hi.x.saturating_sub(self.lo.x)
             * self.hi.y.saturating_sub(self.lo.y)
             * self.hi.z.saturating_sub(self.lo.z)
     }
 
+    /// Whether `p` lies inside the box.
     pub fn contains(&self, p: Point3) -> bool {
         self.lo.x <= p.x
             && p.x < self.hi.x

@@ -307,6 +307,9 @@ pub struct ProjectionRelation {
 }
 
 impl ProjectionRelation {
+    /// Projection of the `outer * inner`-point product space onto the
+    /// chosen `axis` — one of the `row`/`col` relations of paper
+    /// Figure 3 for dense/ELL-style kernel spaces.
     pub fn new(outer: u64, inner: u64, axis: ProjectionAxis) -> Self {
         assert!(inner > 0 && outer > 0, "degenerate product space");
         ProjectionRelation { outer, inner, axis }
@@ -454,6 +457,8 @@ pub struct IdentityRelation {
 }
 
 impl IdentityRelation {
+    /// The identity relation on the `n`-point space (e.g. `row` for a
+    /// diagonal format, where kernel space *is* row space).
     pub fn new(n: u64) -> Self {
         IdentityRelation { n }
     }
@@ -491,6 +496,8 @@ pub struct ComposedRelation {
 }
 
 impl ComposedRelation {
+    /// Compose `second ∘ first`; panics unless `first`'s target space
+    /// matches `second`'s source space.
     pub fn new(first: Box<dyn Relation>, second: Box<dyn Relation>) -> Self {
         assert_eq!(
             first.target_size(),
@@ -539,6 +546,7 @@ pub struct TransposedRelation {
 }
 
 impl TransposedRelation {
+    /// View `inner : S -> T` as the reversed relation `T -> S`.
     pub fn new(inner: Box<dyn Relation>) -> Self {
         TransposedRelation { inner }
     }
@@ -575,6 +583,8 @@ pub struct UnionRelation {
 }
 
 impl UnionRelation {
+    /// Union the given relations; panics if they disagree on source or
+    /// target space size, or if `parts` is empty.
     pub fn new(parts: Vec<Box<dyn Relation>>) -> Self {
         assert!(!parts.is_empty(), "empty union relation");
         let (s, t) = (parts[0].source_size(), parts[0].target_size());

@@ -15,13 +15,31 @@ use crate::point::{delinearize2, delinearize3, linearize2, linearize3, Point2, P
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Shape {
     /// A flat, unstructured space of `n` points.
-    Flat { n: u64 },
+    Flat {
+        /// Number of points.
+        n: u64,
+    },
     /// A 1-D grid (identical to Flat, but declared as a grid axis).
-    Grid1 { nx: u64 },
+    Grid1 {
+        /// Extent of the single axis.
+        nx: u64,
+    },
     /// A 2-D grid linearized row-major (x slow, y fast).
-    Grid2 { nx: u64, ny: u64 },
+    Grid2 {
+        /// Extent of the slow axis.
+        nx: u64,
+        /// Extent of the fast axis.
+        ny: u64,
+    },
     /// A 3-D grid linearized row-major (x slowest, z fastest).
-    Grid3 { nx: u64, ny: u64, nz: u64 },
+    Grid3 {
+        /// Extent of the slowest axis.
+        nx: u64,
+        /// Extent of the middle axis.
+        ny: u64,
+        /// Extent of the fastest axis.
+        nz: u64,
+    },
 }
 
 impl Shape {

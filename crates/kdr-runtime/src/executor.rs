@@ -21,6 +21,7 @@ use std::thread::JoinHandle;
 use crossbeam::queue::SegQueue;
 use parking_lot::{Condvar, Mutex};
 
+use crate::events::{EventSink, DEFAULT_RING_CAPACITY};
 use crate::mapper::Mapper;
 use crate::task::{Requirement, TaskContext, TaskId, TaskMetaLite};
 
@@ -33,6 +34,9 @@ pub(crate) struct Runnable {
     pub reqs: Arc<Vec<Requirement>>,
     /// Scheduling metadata (mapper input).
     pub meta: TaskMetaLite,
+    /// Event-log timestamp: when this task became ready (all
+    /// predecessors retired). Zero while event logging is off.
+    pub ready_ns: u64,
 }
 
 struct Pending {
@@ -63,6 +67,9 @@ struct ExecShared {
     stolen: AtomicU64,
     panicked: AtomicBool,
     sleepers: AtomicUsize,
+    /// Structured event log (spans + latency histograms). Checked
+    /// with one relaxed load per task when disabled.
+    events: EventSink,
 }
 
 pub(crate) struct Executor {
@@ -78,6 +85,16 @@ impl Executor {
 
     /// Create with an optional mapper routing tasks to workers.
     pub fn with_mapper(workers: usize, mapper: Option<Arc<dyn Mapper>>) -> Self {
+        Self::with_config(workers, mapper, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Create with a mapper and an explicit per-worker event-ring
+    /// capacity (records retained between event-log drains).
+    pub fn with_config(
+        workers: usize,
+        mapper: Option<Arc<dyn Mapper>>,
+        ring_capacity: usize,
+    ) -> Self {
         assert!(workers > 0, "executor needs at least one worker");
         let shared = Arc::new(ExecShared {
             state: Mutex::new(DepState::default()),
@@ -90,6 +107,7 @@ impl Executor {
             stolen: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
+            events: EventSink::new(workers, ring_capacity),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -107,7 +125,10 @@ impl Executor {
         }
     }
 
-    fn enqueue(&self, runnable: Runnable) {
+    fn enqueue(&self, mut runnable: Runnable) {
+        if self.shared.events.enabled() {
+            runnable.ready_ns = self.shared.events.now_ns();
+        }
         let nworkers = self.workers.len().max(self.shared.pinned.len());
         match &self.mapper {
             Some(m) => {
@@ -174,6 +195,11 @@ impl Executor {
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The executor's event sink (spans, histograms, enable flag).
+    pub fn events(&self) -> &EventSink {
+        &self.shared.events
     }
 }
 
@@ -247,12 +273,17 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
         let ctx = TaskContext {
             reqs: Arc::clone(&runnable.reqs),
         };
+        // One relaxed load when logging is off — the entire cost the
+        // event layer adds to the disabled execute path.
+        let logging = shared.events.enabled();
+        let start_ns = if logging { shared.events.now_ns() } else { 0 };
         let body = runnable.body;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(&ctx)));
         if result.is_err() {
             shared.panicked.store(true, Ordering::Release);
         }
         shared.executed.fetch_add(1, Ordering::Relaxed);
+        let end_ns = if logging { shared.events.now_ns() } else { 0 };
 
         // Release successors.
         let mut ready = Vec::new();
@@ -278,11 +309,23 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
             }
         }
         let n_ready = ready.len();
-        for r in ready {
+        let ready_stamp = if logging && n_ready > 0 {
+            shared.events.now_ns()
+        } else {
+            0
+        };
+        for mut r in ready {
             // Successors keep no mapper routing here; they were
             // routed at submit time only if they became ready then.
             // Route by stored meta when available.
+            r.ready_ns = ready_stamp;
             shared.injector.push(r);
+        }
+        if logging {
+            let retire_ns = shared.events.now_ns();
+            shared
+                .events
+                .record_exec(me, runnable.id, runnable.ready_ns, start_ns, end_ns, retire_ns);
         }
         if n_ready > 0 && shared.sleepers.load(Ordering::Acquire) > 0 {
             let _g = shared.sleep_lock.lock();
@@ -313,6 +356,7 @@ mod tests {
             body: Box::new(move |_| f()),
             reqs: Arc::new(Vec::new()),
             meta: TaskMetaLite::default(),
+            ready_ns: 0,
         }
     }
 
@@ -326,6 +370,7 @@ mod tests {
                 color: Some(color),
                 ..TaskMetaLite::default()
             },
+            ready_ns: 0,
         }
     }
 

@@ -1,0 +1,318 @@
+//! Exporters for the event log: Chrome `trace_event` JSON, a
+//! per-phase text summary, and a critical-path estimator.
+//!
+//! The JSON produced by [`chrome_trace_json`] follows the Trace Event
+//! Format's "X" (complete) events and loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`: each task span
+//! becomes one slice on the track of the worker that executed it,
+//! with `args` carrying the provenance and queue-wait so slices can
+//! be queried in the UI.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::events::{Provenance, TaskSpan};
+
+/// Render spans as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object form).
+///
+/// One `"X"` (complete) event per span: `ts`/`dur` are microseconds
+/// (the format's unit) with three decimal places to retain the
+/// underlying nanosecond resolution, `pid` is 0, `tid` is the worker
+/// id. `"M"` metadata events name each worker track. Events are
+/// emitted in span (task-id) order.
+pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
+    let mut workers: Vec<usize> = spans.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for w in &workers {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
+             \"args\":{{\"name\":\"worker {w}\"}}}}"
+        );
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let prov = match s.provenance {
+            Provenance::Analyzed => "analyzed",
+            Provenance::Replayed => "replayed",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+             \"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"args\":{{\"task\":{},\"provenance\":\"{}\",\"queue_wait_us\":{}.{:03}}}}}",
+            escape_json(s.name),
+            s.worker,
+            s.start_ns / 1000,
+            s.start_ns % 1000,
+            s.execute_ns() / 1000,
+            s.execute_ns() % 1000,
+            s.id,
+            prov,
+            s.queue_wait_ns() / 1000,
+            s.queue_wait_ns() % 1000,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Aggregate statistics for one task name ("phase") in a
+/// [`phase_summary`].
+#[derive(Clone, Debug, Default)]
+pub struct PhaseRow {
+    /// Task name the row aggregates.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total execute time across those spans, ns.
+    pub total_execute_ns: u64,
+    /// Total ready-queue wait across those spans, ns.
+    pub total_queue_wait_ns: u64,
+    /// Spans whose dependences were replayed from a trace.
+    pub replayed: u64,
+}
+
+/// Group spans by task name and return rows sorted by descending
+/// total execute time — the "where did the time go" table.
+pub fn phase_rows(spans: &[TaskSpan]) -> Vec<PhaseRow> {
+    let mut by_name: HashMap<&str, PhaseRow> = HashMap::new();
+    for s in spans {
+        let row = by_name.entry(s.name).or_insert_with(|| PhaseRow {
+            name: s.name.to_string(),
+            ..PhaseRow::default()
+        });
+        row.count += 1;
+        row.total_execute_ns += s.execute_ns();
+        row.total_queue_wait_ns += s.queue_wait_ns();
+        if s.provenance == Provenance::Replayed {
+            row.replayed += 1;
+        }
+    }
+    let mut rows: Vec<PhaseRow> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.total_execute_ns.cmp(&a.total_execute_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Render a human-readable per-phase summary table: one row per task
+/// name, sorted by total execute time, plus a totals line.
+pub fn phase_summary(spans: &[TaskSpan]) -> String {
+    let rows = phase_rows(spans);
+    let total_exec: u64 = rows.iter().map(|r| r.total_execute_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>12} {:>8} {:>12} {:>9}",
+        "phase", "count", "execute_us", "exec_%", "queue_us", "replayed"
+    );
+    for r in &rows {
+        let pct = if total_exec == 0 {
+            0.0
+        } else {
+            100.0 * r.total_execute_ns as f64 / total_exec as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>12.1} {:>7.1}% {:>12.1} {:>9}",
+            r.name,
+            r.count,
+            r.total_execute_ns as f64 / 1000.0,
+            pct,
+            r.total_queue_wait_ns as f64 / 1000.0,
+            r.replayed,
+        );
+    }
+    let count: u64 = rows.iter().map(|r| r.count).sum();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>12.1}",
+        "TOTAL",
+        count,
+        total_exec as f64 / 1000.0
+    );
+    out
+}
+
+/// Result of [`critical_path`]: the longest execute-time-weighted
+/// chain through the recorded task DAG.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    /// Sum of execute times along the heaviest dependence chain, ns.
+    pub length_ns: u64,
+    /// Total execute time across all spans, ns.
+    pub total_work_ns: u64,
+    /// Task ids along the critical path, in execution order.
+    pub path: Vec<u64>,
+}
+
+impl CriticalPath {
+    /// Average available parallelism, `total_work / critical_path`
+    /// (the DAG's "span law" bound on speedup). 1.0 for an empty log.
+    pub fn parallelism(&self) -> f64 {
+        if self.length_ns == 0 {
+            1.0
+        } else {
+            self.total_work_ns as f64 / self.length_ns as f64
+        }
+    }
+}
+
+/// Estimate the critical path of the recorded task DAG: the longest
+/// path where each node costs its measured execute time and edges are
+/// the recorded dependences. Spans arrive id-sorted (submission
+/// order), which is a valid topological order because dependences
+/// only point at earlier submissions.
+pub fn critical_path(spans: &[TaskSpan]) -> CriticalPath {
+    let index: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    // dist[i]: heaviest chain ending at (and including) span i.
+    let mut dist: Vec<u64> = vec![0; spans.len()];
+    let mut pred: Vec<Option<usize>> = vec![None; spans.len()];
+    let mut best = 0usize;
+    let mut total = 0u64;
+    for (i, s) in spans.iter().enumerate() {
+        let mut base = 0u64;
+        for d in &s.deps {
+            if let Some(&j) = index.get(d) {
+                if dist[j] > base {
+                    base = dist[j];
+                    pred[i] = Some(j);
+                }
+            }
+        }
+        dist[i] = base + s.execute_ns();
+        total += s.execute_ns();
+        if dist[i] > dist[best] {
+            best = i;
+        }
+    }
+    if spans.is_empty() {
+        return CriticalPath::default();
+    }
+    let mut path = Vec::new();
+    let mut cur = Some(best);
+    while let Some(i) = cur {
+        path.push(spans[i].id);
+        cur = pred[i];
+    }
+    path.reverse();
+    CriticalPath {
+        length_ns: dist[best],
+        total_work_ns: total,
+        path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, name: &'static str, start: u64, end: u64, deps: Vec<u64>) -> TaskSpan {
+        TaskSpan {
+            id,
+            name,
+            provenance: if id % 2 == 0 {
+                Provenance::Analyzed
+            } else {
+                Provenance::Replayed
+            },
+            worker: (id % 2) as usize,
+            submit_ns: 0,
+            ready_ns: start,
+            start_ns: start,
+            end_ns: end,
+            retire_ns: end,
+            deps,
+        }
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let spans = vec![
+            span(0, "spmv_tile", 1000, 3000, vec![]),
+            span(1, "dot_partial", 3000, 4000, vec![0]),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"spmv_tile\""));
+        assert!(json.contains("\"provenance\":\"replayed\""));
+        // ts is µs with ns fraction: 1000 ns -> 1.000 µs.
+        assert!(json.contains("\"ts\":1.000"), "{json}");
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn summary_orders_by_execute_time() {
+        let spans = vec![
+            span(0, "small", 0, 10, vec![]),
+            span(1, "big", 0, 1000, vec![]),
+            span(2, "big", 0, 1000, vec![]),
+        ];
+        let rows = phase_rows(&spans);
+        assert_eq!(rows[0].name, "big");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_execute_ns, 2000);
+        let text = phase_summary(&spans);
+        assert!(text.contains("big"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        // 0 -> {1, 2} -> 3; the heavier branch (2) is the path.
+        let spans = vec![
+            span(0, "a", 0, 100, vec![]),
+            span(1, "b", 100, 150, vec![0]),
+            span(2, "c", 100, 400, vec![0]),
+            span(3, "d", 400, 500, vec![1, 2]),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.length_ns, 100 + 300 + 100);
+        assert_eq!(cp.path, vec![0, 2, 3]);
+        assert_eq!(cp.total_work_ns, 100 + 50 + 300 + 100);
+        assert!(cp.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn critical_path_empty() {
+        let cp = critical_path(&[]);
+        assert_eq!(cp.length_ns, 0);
+        assert_eq!(cp.parallelism(), 1.0);
+        assert!(cp.path.is_empty());
+    }
+}

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-runtime
 //!
 //! A task-oriented runtime in the mold of Legion, built from scratch
@@ -26,19 +27,37 @@
 //! builds additionally assert that every access stays inside the
 //! subset the task declared. All `unsafe` in this crate lives in
 //! [`buffer`].
+//!
+//! ## Observability
+//!
+//! The runtime can explain where time goes: [`Runtime::enable_events`]
+//! turns on a lock-free structured event log ([`events`]) recording
+//! one [`TaskSpan`] per task (submit → ready → execute → retire, with
+//! analyzed-vs-replayed [`Provenance`]); [`Runtime::metrics`] returns
+//! a [`MetricsSnapshot`] of counters and latency histograms
+//! ([`metrics`]); and [`export`] renders spans as Chrome
+//! `trace_event` JSON (Perfetto-loadable), a per-phase summary table,
+//! and a critical-path estimate. Logging is off by default and costs
+//! one relaxed atomic load per task while off.
 
 pub mod buffer;
+pub mod events;
 pub mod executor;
+pub mod export;
 pub mod future;
 pub mod graph;
 pub mod mapper;
+pub mod metrics;
 pub mod runtime;
 pub mod task;
 pub mod trace;
 
 pub use buffer::{Buffer, ReadView, WriteView};
+pub use events::{Provenance, TaskSpan, DEFAULT_RING_CAPACITY};
+pub use export::{chrome_trace_json, critical_path, phase_rows, phase_summary, CriticalPath, PhaseRow};
 pub use future::{promise, Future, Promise};
 pub use mapper::{Mapper, RoundRobinMapper, TaskMeta};
+pub use metrics::{AtomicHistogram, HistogramSnapshot, MetricsSnapshot};
 pub use runtime::{Runtime, RuntimeStats};
 pub use task::{Privilege, TaskBuilder, TaskContext, TaskId, TaskMetaLite};
 pub use trace::{ShapeSig, Trace, TraceCache};

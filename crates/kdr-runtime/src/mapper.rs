@@ -22,6 +22,8 @@ pub struct TaskMeta {
 }
 
 impl TaskMeta {
+    /// Metadata with the given kernel name and no color or cost
+    /// estimates.
     pub fn new(name: &'static str) -> Self {
         TaskMeta {
             name,
@@ -61,6 +63,7 @@ pub struct RoundRobinMapper {
 }
 
 impl RoundRobinMapper {
+    /// A round-robin mapper over `procs` processors (must be nonzero).
     pub fn new(procs: usize) -> Self {
         assert!(procs > 0);
         RoundRobinMapper { procs }

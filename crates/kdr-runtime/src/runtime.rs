@@ -7,14 +7,21 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::events::{Provenance, SubmitRecord, TaskSpan};
 use crate::executor::{Executor, Runnable};
 use crate::graph::Analyzer;
 use crate::mapper::Mapper;
+use crate::metrics::MetricsSnapshot;
 use crate::task::{TaskBuilder, TaskId, TaskMetaLite};
 use crate::trace::Trace;
 
 /// Counters describing runtime activity; useful for the tracing
 /// ablation benchmarks.
+///
+/// Superseded by [`MetricsSnapshot`] (via [`Runtime::metrics`]),
+/// which carries these same counters plus latency distributions and
+/// event-log health. `RuntimeStats` remains for callers that only
+/// need the plain counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RuntimeStats {
     /// Tasks submitted (analyzed or replayed).
@@ -66,6 +73,15 @@ impl Runtime {
     /// steal).
     pub fn with_mapper(workers: usize, mapper: std::sync::Arc<dyn Mapper>) -> Self {
         Self::build(Executor::with_mapper(workers, Some(mapper)))
+    }
+
+    /// Create a runtime with an explicit per-worker event-ring
+    /// capacity (records retained between [`Runtime::take_spans`]
+    /// calls). Useful for tests and for bounding memory on long runs;
+    /// rings overwrite their oldest records when full, they never
+    /// block execution.
+    pub fn with_event_capacity(workers: usize, ring_capacity: usize) -> Self {
+        Self::build(Executor::with_config(workers, None, ring_capacity))
     }
 
     fn build(exec: Executor) -> Self {
@@ -122,6 +138,15 @@ impl Runtime {
             cap.id_to_local.insert(id, local);
             cap.deps.push(local_deps);
         }
+        if self.exec.events().enabled() {
+            self.exec.events().record_submit(SubmitRecord {
+                id,
+                name: task.name,
+                provenance: Provenance::Analyzed,
+                submit_ns: self.exec.events().now_ns(),
+                deps: deps.clone(),
+            });
+        }
         // Hold the state lock across executor submission so tasks
         // enter the executor in analysis order.
         self.exec.submit(
@@ -131,6 +156,7 @@ impl Runtime {
                 body,
                 reqs,
                 meta: TaskMetaLite::from_meta(&task.meta),
+                ready_ns: 0,
             },
             &deps,
         );
@@ -215,6 +241,15 @@ impl Runtime {
             let body = task.body.expect("replayed task without a body");
             let reqs = Arc::new(task.reqs);
             let deps: Vec<TaskId> = trace.deps[i].iter().map(|&l| base + l as TaskId).collect();
+            if self.exec.events().enabled() {
+                self.exec.events().record_submit(SubmitRecord {
+                    id,
+                    name: task.name,
+                    provenance: Provenance::Replayed,
+                    submit_ns: self.exec.events().now_ns(),
+                    deps: deps.clone(),
+                });
+            }
             self.exec.submit(
                 Runnable {
                     id,
@@ -222,6 +257,7 @@ impl Runtime {
                     body,
                     reqs,
                     meta: TaskMetaLite::from_meta(&task.meta),
+                    ready_ns: 0,
                 },
                 &deps,
             );
@@ -243,6 +279,50 @@ impl Runtime {
             tasks_replayed: st.tasks_replayed,
             tasks_analyzed: st.tasks_analyzed,
             tasks_stolen: self.exec.stolen(),
+        }
+    }
+
+    /// Enable or disable structured event logging. Off by default;
+    /// while off, the event layer costs one relaxed atomic load per
+    /// task on the execute path and nothing on the submit path.
+    pub fn enable_events(&self, on: bool) {
+        self.exec.events().set_enabled(on);
+    }
+
+    /// Whether event logging is currently enabled.
+    pub fn events_enabled(&self) -> bool {
+        self.exec.events().enabled()
+    }
+
+    /// Drain the event log into complete [`TaskSpan`]s, sorted by
+    /// task id. Fences first so every recorded task has retired and
+    /// no worker is concurrently writing its ring. Spans whose
+    /// execution record was overwritten by ring wraparound are
+    /// omitted (counted in
+    /// [`MetricsSnapshot::events_dropped`]).
+    pub fn take_spans(&self) -> Vec<TaskSpan> {
+        self.fence();
+        self.exec.events().drain_spans()
+    }
+
+    /// A full metrics snapshot: the [`RuntimeStats`] counters plus
+    /// queue-wait / execute latency distributions and event-log
+    /// health. Safe to call at any time (no fence).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let stats = self.stats();
+        let events = self.exec.events();
+        MetricsSnapshot {
+            tasks_submitted: stats.tasks_submitted,
+            tasks_executed: stats.tasks_executed,
+            tasks_analyzed: stats.tasks_analyzed,
+            tasks_replayed: stats.tasks_replayed,
+            tasks_stolen: stats.tasks_stolen,
+            edges_created: stats.edges_created,
+            analysis_ns: stats.analysis_ns,
+            events_recorded: events.events_recorded(),
+            events_dropped: events.events_dropped(),
+            queue_wait_ns: events.queue_wait_ns.snapshot(),
+            execute_ns: events.execute_ns.snapshot(),
         }
     }
 }

@@ -13,8 +13,12 @@ use crate::mapper::TaskMeta;
 /// name-free core of [`TaskMeta`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TaskMetaLite {
+    /// Partition color the task belongs to, if it is a point task of
+    /// an index launch (the mapper's affinity key).
     pub color: Option<usize>,
+    /// Estimated floating-point work, for cost-aware mappers.
     pub flops: u64,
+    /// Estimated bytes moved, for cost-aware mappers.
     pub bytes: u64,
 }
 

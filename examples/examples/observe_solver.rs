@@ -1,0 +1,74 @@
+//! Observability walkthrough: watch a traced BiCGStab solve through
+//! the runtime's event log.
+//!
+//! Shows the full loop: enable events, solve with [`solve_traced`],
+//! drain spans, print the per-phase table and critical path, and save
+//! a Perfetto-loadable Chrome trace.
+//!
+//! Run: `cargo run --release -p kdr-examples --example observe_solver`
+
+use std::sync::Arc;
+
+use kdr_core::{
+    solve_traced, BiCgStabSolver, ExecBackend, PhaseSplit, Planner, SolveControl,
+};
+use kdr_index::Partition;
+use kdr_runtime::{chrome_trace_json, critical_path, phase_summary};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+fn main() {
+    // A 64x64 Poisson problem in 8 pieces, like the quickstart.
+    let stencil = Stencil::lap2d(64, 64);
+    let n = stencil.unknowns();
+    let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u32>());
+
+    // Turn on event logging before the solve; it is off by default
+    // and costs one atomic load per task while off.
+    let backend = ExecBackend::<f64>::with_default_workers();
+    backend.set_event_logging(true);
+    let mut planner = Planner::new(Box::new(backend));
+    let part = Partition::equal_blocks(n, 8);
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(matrix, d, r);
+    planner.set_rhs_data(r, &rhs_vector::<f64>(n, 42));
+
+    let mut solver = BiCgStabSolver::new(&mut planner);
+    let control = SolveControl {
+        max_iters: 2000,
+        tol: 1e-10,
+        check_every: 20,
+    };
+    let (report, trace) = solve_traced(&mut planner, &mut solver, control);
+    println!(
+        "bicgstab: {} iters, converged={}, {} steps replayed from trace",
+        report.iters,
+        report.converged,
+        trace.steps_replayed()
+    );
+    for (it, res) in &trace.residual_history {
+        println!("  iter {it:>4}: residual {res:.3e}");
+    }
+
+    // Drain the spans (fences first) and read the story.
+    let spans = planner.with_backend(|b| {
+        b.as_any()
+            .downcast_mut::<ExecBackend<f64>>()
+            .expect("exec backend")
+            .take_spans()
+    });
+    println!("\n{}", phase_summary(&spans));
+    let split = PhaseSplit::from_spans(&spans);
+    println!("spmv fraction of execute time: {:.1}%", {
+        let t = split.total_ns();
+        if t == 0 { 0.0 } else { 100.0 * split.spmv_ns as f64 / t as f64 }
+    });
+    let cp = critical_path(&spans);
+    println!("parallelism bound (work / critical path): {:.1}", cp.parallelism());
+
+    let json = chrome_trace_json(&spans);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/bicgstab_trace.json", &json).expect("write trace");
+    println!("wrote results/bicgstab_trace.json — open in https://ui.perfetto.dev");
+}
