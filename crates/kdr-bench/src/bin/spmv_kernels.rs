@@ -1,0 +1,173 @@
+//! `spmv_kernels` — format-specialized tile-kernel grid.
+//!
+//! Measures every lowering of the kernel family on three structure
+//! classes and reports auto-selection's gain over the forced-CSR
+//! lowering (the PR 1 execution path, which accumulated every tile
+//! through one CSR kernel):
+//!
+//! * `stencil_lap2d` — a 5-point Laplacian slab; banded, auto-lowers
+//!   to DIA.
+//! * `block_tridiag` — dense 4×4 blocks on a block-tridiagonal
+//!   pattern; auto-lowers to BCSR.
+//! * `random_scatter` — unstructured rows with irregular lengths;
+//!   auto keeps CSR, so its ratio doubles as the no-regression check.
+//!
+//! Each measurement first asserts the candidate kernel is bitwise
+//! identical to the CSR lowering (the reproducibility contract), then
+//! times repeated applies and takes the median. Results go to stdout
+//! and `BENCH_spmv.json` at the repo root.
+
+use std::time::Instant;
+
+use kdr_sparse::{Csr, KernelChoice, KernelKind, SparseMatrix, Stencil, TileKernel, Triples};
+
+struct Workload {
+    name: &'static str,
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+    vals: Vec<f64>,
+    n: usize,
+}
+
+fn from_matrix(name: &'static str, m: &dyn SparseMatrix<f64>) -> Workload {
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    m.for_each_entry(&mut |_, i, j, v| {
+        rows.push(i);
+        cols.push(j);
+        vals.push(v);
+    });
+    let n = m.range_space().size().max(m.domain_space().size()) as usize;
+    Workload { name, rows, cols, vals, n }
+}
+
+fn stencil_workload(nx: u64) -> Workload {
+    let s = Stencil::lap2d(nx, nx);
+    let m: Csr<f64, u64> = s.to_csr();
+    from_matrix("stencil_lap2d", &m)
+}
+
+fn block_tridiag_workload(nb: u64, bs: u64) -> Workload {
+    let mut entries = Vec::new();
+    for bi in 0..nb {
+        for bj in bi.saturating_sub(1)..(bi + 2).min(nb) {
+            for i in 0..bs {
+                for j in 0..bs {
+                    let v = if bi == bj { 4.0 } else { -1.0 } + 0.0625 * (i * bs + j) as f64;
+                    entries.push((bi * bs + i, bj * bs + j, v));
+                }
+            }
+        }
+    }
+    let t = Triples::from_entries(nb * bs, nb * bs, entries);
+    let m: Csr<f64, u64> = Csr::from_triples(t);
+    from_matrix("block_tridiag", &m)
+}
+
+fn random_scatter_workload(n: u64, avg_row: u64) -> Workload {
+    // Deterministic xorshift64* scatter with irregular row lengths.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let mut entries = Vec::new();
+    for i in 0..n {
+        let len = 1 + next() % (2 * avg_row);
+        for _ in 0..len {
+            entries.push((i, next() % n, 1.0 + (next() % 8) as f64 * 0.25));
+        }
+    }
+    let t = Triples::from_entries(n, n, entries).canonicalize();
+    let m: Csr<f64, u64> = Csr::from_triples(t);
+    from_matrix("random_scatter", &m)
+}
+
+/// Median wall-clock nanoseconds for one `y = A x` per kernel, with
+/// the two kernels' samples interleaved so slow clock drift (thermal,
+/// scheduler) lands on both arms equally instead of biasing whichever
+/// ran second.
+fn time_pair(a: &TileKernel<f64>, b: &TileKernel<f64>, x: &[f64], y: &mut [f64], reps: usize) -> (f64, f64) {
+    let mut one = |k: &TileKernel<f64>| {
+        let t0 = Instant::now();
+        k.apply_slices(x, y, false);
+        t0.elapsed().as_nanos() as f64
+    };
+    for _ in 0..3 {
+        one(a);
+        one(b);
+    }
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        sa.push(one(a));
+        sb.push(one(b));
+    }
+    sa.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    sb.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    (sa[reps / 2], sb[reps / 2])
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    let workloads = [
+        stencil_workload(256),
+        block_tridiag_workload(4096, 4),
+        random_scatter_workload(1 << 14, 8),
+    ];
+    let reps = 60;
+    let mut rows_json = Vec::new();
+    println!("{:<16} {:>9} {:>6} {:>12} {:>12} {:>8}", "workload", "nnz", "kind", "csr ns", "auto ns", "speedup");
+    for w in &workloads {
+        let csr = TileKernel::lower(&w.rows, &w.cols, &w.vals, KernelChoice::Force(KernelKind::Csr));
+        let auto = TileKernel::lower(&w.rows, &w.cols, &w.vals, KernelChoice::Auto);
+        let kind = auto.kind().expect("non-empty workload").name();
+
+        // Reproducibility gate: the specialized kernel must match the
+        // CSR lowering bit for bit before its timing means anything.
+        let x: Vec<f64> = (0..w.n).map(|i| 0.5 + ((i * 13 + 7) % 32) as f64 * 0.125).collect();
+        for transpose in [false, true] {
+            let mut yc = vec![0.0625; w.n];
+            let mut ya = vec![0.0625; w.n];
+            csr.apply_slices(&x, &mut yc, transpose);
+            auto.apply_slices(&x, &mut ya, transpose);
+            assert_eq!(bits(&yc), bits(&ya), "{} transpose {transpose}: auto kernel diverges", w.name);
+        }
+
+        let mut y = vec![0.0; w.n];
+        let (csr_ns, auto_ns) = time_pair(&csr, &auto, &x, &mut y, reps);
+        let speedup = csr_ns / auto_ns;
+        println!(
+            "{:<16} {:>9} {:>6} {:>12.0} {:>12.0} {:>7.2}x",
+            w.name,
+            w.vals.len(),
+            kind,
+            csr_ns,
+            auto_ns,
+            speedup
+        );
+        rows_json.push(format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"nnz\": {}, \"auto_kind\": \"{}\", \"csr_ns\": {:.0}, \"auto_ns\": {:.0}, \"speedup\": {:.3}}}",
+            w.name,
+            w.n,
+            w.vals.len(),
+            kind,
+            csr_ns,
+            auto_ns,
+            speedup
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"spmv_kernels\",\n  \"baseline\": \"forced_csr (PR 1 accumulation kernel)\",\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spmv.json");
+    std::fs::write(path, json).expect("write BENCH_spmv.json");
+    println!("wrote {path}");
+}

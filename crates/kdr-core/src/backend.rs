@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use kdr_index::{IntervalSet, Partition};
-use kdr_sparse::{Scalar, SparseMatrix};
+use kdr_sparse::{KernelChoice, Scalar, SparseMatrix};
 
 /// Backend vector handle (a multi-component vector instance).
 pub type BVec = usize;
@@ -156,6 +156,13 @@ pub struct OpComponentSpec<T> {
 /// A full operator set (all components of `A_total` or `P_total`).
 pub struct OpSetSpec<T> {
     pub components: Vec<OpComponentSpec<T>>,
+    /// How execution backends pick each tile's specialized kernel
+    /// (banded/DIA, padded-lane ELL, register-blocked BCSR, or CSR):
+    /// [`KernelChoice::Auto`] lets per-tile structure analysis decide;
+    /// [`KernelChoice::Force`] overrides it for every tile of the
+    /// opset (falling back to CSR where unrepresentable). Ignored by
+    /// backends that do not execute kernels (e.g. the simulator).
+    pub kernel_choice: KernelChoice,
 }
 
 /// The execution backend interface the planner lowers onto.

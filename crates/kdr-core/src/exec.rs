@@ -5,10 +5,22 @@
 //! canonical partition — an index launch — with subsets declared so
 //! that the runtime's dependence analysis extracts all available
 //! parallelism. Operator tiles are extracted once at registration
-//! into row-sorted CSR payloads in component-local coordinates,
-//! giving a per-row accumulation kernel for *every* storage format
-//! (including matrix-free operators, which are asked to enumerate
-//! their entries exactly once).
+//! (matrix-free operators are asked to enumerate their entries
+//! exactly once) and *lowered* into format-specialized kernels:
+//! per-tile structure analysis picks banded/DIA, padded-lane ELL,
+//! register-blocked BCSR, or the row-sorted CSR fallback (see
+//! [`kdr_sparse::tile`]), overridable per opset through
+//! [`OpSetSpec::kernel_choice`]. Structurally empty tiles are dropped
+//! at registration — they launch no tasks, and the zero-fill plan
+//! covers their output rows. Every kernel accumulates in the CSR
+//! reference order, so kernel selection never changes a bit of any
+//! solve.
+//!
+//! Task placement uses the runtime's
+//! [`ColorAffinityMapper`](kdr_runtime::ColorAffinityMapper): tile
+//! tasks and the vector tasks touching the same piece carry one piece
+//! color, so a tile's kernel payload and its vector piece stay hot in
+//! a single worker's cache across traced iterations.
 //!
 //! ## Traced stepping
 //!
@@ -29,21 +41,60 @@
 //! pattern settles into a short cycle), and `dot` partial buffers
 //! are pooled per step position rather than freshly allocated.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use kdr_index::{IntervalSet, Partition};
 use kdr_runtime::{
-    promise, Buffer, MetricsSnapshot, Runtime, RuntimeStats, ShapeSig, TaskBuilder, TaskSpan,
-    TraceCache,
+    promise, Buffer, ColorAffinityMapper, MetricsSnapshot, ReadView, Runtime, ShapeSig,
+    TaskBuilder, TaskMeta, TaskSpan, TraceCache, WriteView,
 };
-use kdr_sparse::Scalar;
+use kdr_sparse::{KernelKind, Scalar, TileKernel, VecIn, VecOut};
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
 
 use crate::backend::{
     Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop, StepOutcome,
 };
+use crate::partitioning::extract_tile_triplets;
+
+/// Stride separating component indices in piece-affinity color keys:
+/// piece `(comp, color)` maps to affinity color `comp · STRIDE +
+/// color`, so pieces of different components never collide below
+/// 4096 colors per component (collisions would only blur locality,
+/// never correctness).
+const COLOR_STRIDE: usize = 4096;
+
+/// Affinity color key of one `(component, partition color)` piece.
+#[inline]
+fn piece_color(comp: usize, color: usize) -> usize {
+    comp * COLOR_STRIDE + color
+}
+
+/// Static task name for one `(kernel kind, transpose, fused zero)`
+/// combination — kind so metrics can count specialized-kernel
+/// launches, transpose/zero because both change what the task body
+/// does and must be part of the traced step's shape signature.
+fn kernel_task_name(kind: KernelKind, transpose: bool, zero: bool) -> &'static str {
+    match (kind, transpose, zero) {
+        (KernelKind::Csr, false, false) => "spmv_csr",
+        (KernelKind::Csr, false, true) => "spmv_csr_z",
+        (KernelKind::Csr, true, false) => "spmv_t_csr",
+        (KernelKind::Csr, true, true) => "spmv_t_csr_z",
+        (KernelKind::Dia, false, false) => "spmv_dia",
+        (KernelKind::Dia, false, true) => "spmv_dia_z",
+        (KernelKind::Dia, true, false) => "spmv_t_dia",
+        (KernelKind::Dia, true, true) => "spmv_t_dia_z",
+        (KernelKind::Ell, false, false) => "spmv_ell",
+        (KernelKind::Ell, false, true) => "spmv_ell_z",
+        (KernelKind::Ell, true, false) => "spmv_t_ell",
+        (KernelKind::Ell, true, true) => "spmv_t_ell_z",
+        (KernelKind::Bcsr, false, false) => "spmv_bcsr",
+        (KernelKind::Bcsr, false, true) => "spmv_bcsr_z",
+        (KernelKind::Bcsr, true, false) => "spmv_t_bcsr",
+        (KernelKind::Bcsr, true, true) => "spmv_t_bcsr_z",
+    }
+}
 
 /// Captured traces kept per backend; steps whose shape keeps changing
 /// after this many variants run analyzed.
@@ -71,6 +122,10 @@ pub struct ExecMetrics {
     pub steps_captured: u64,
     /// Steps replayed from the trace cache.
     pub steps_replayed: u64,
+    /// Registered tiles per lowered kernel kind (`"csr"`, `"dia"`,
+    /// `"ell"`, `"bcsr"`), across all opsets. Empty tiles are dropped
+    /// at registration and not counted.
+    pub tiles_by_kernel: BTreeMap<&'static str, usize>,
 }
 
 impl ExecMetrics {
@@ -105,54 +160,42 @@ struct ExecVec<T> {
     comps: Vec<ExecComp<T>>,
 }
 
-/// Tile payload in row-sorted CSR form, component-local coordinates.
-/// `row_ids` lists only rows with entries; row `r` of the tile spans
-/// `cols/vals[row_ptr[r]..row_ptr[r + 1]]`.
-struct TileCsr<T> {
-    row_ids: Vec<u64>,
-    row_ptr: Vec<usize>,
-    cols: Vec<u64>,
-    vals: Vec<T>,
-}
+/// Adapter giving tile kernels read access to a runtime buffer view.
+struct RV<T>(ReadView<T>);
 
-impl<T> TileCsr<T> {
-    fn is_empty(&self) -> bool {
-        self.vals.is_empty()
+impl<T: Scalar> VecIn<T> for RV<T> {
+    #[inline(always)]
+    fn load(&self, i: usize) -> T {
+        self.0.get(i)
     }
 }
 
-/// Build CSR from unsorted entries, preserving input order within a
-/// row (stable sort) so accumulation order is deterministic.
-fn to_csr<T: Scalar>(rows: Vec<u64>, cols: Vec<u64>, vals: Vec<T>) -> TileCsr<T> {
-    let mut order: Vec<usize> = (0..rows.len()).collect();
-    order.sort_by_key(|&k| rows[k]);
-    let mut row_ids = Vec::new();
-    let mut row_ptr = Vec::new();
-    let mut cs = Vec::with_capacity(order.len());
-    let mut vs = Vec::with_capacity(order.len());
-    for &k in &order {
-        if row_ids.last().copied() != Some(rows[k]) {
-            row_ids.push(rows[k]);
-            row_ptr.push(cs.len());
-        }
-        cs.push(cols[k]);
-        vs.push(vals[k]);
+/// Adapter giving tile kernels read-modify-write access to a runtime
+/// buffer view.
+struct WV<T>(WriteView<T>);
+
+impl<T: Scalar> VecOut<T> for WV<T> {
+    #[inline(always)]
+    fn load(&self, i: usize) -> T {
+        self.0.get(i)
     }
-    row_ptr.push(cs.len());
-    TileCsr {
-        row_ids,
-        row_ptr,
-        cols: cs,
-        vals: vs,
+    #[inline(always)]
+    fn store(&mut self, i: usize, v: T) {
+        self.0.set(i, v);
     }
 }
 
+/// One registered (non-empty) tile: footprints, the lowered kernel
+/// payload, and the piece-affinity color shared with vector tasks on
+/// the same range piece.
 struct ExecTile<T> {
     rhs_comp: usize,
     sol_comp: usize,
     out_subset: IntervalSet,
     in_union: IntervalSet,
-    csr: Arc<TileCsr<T>>,
+    /// Affinity color: `piece_color(rhs_comp, range_color)`.
+    color: usize,
+    kernel: Arc<TileKernel<T>>,
 }
 
 impl<T> ExecTile<T> {
@@ -176,12 +219,15 @@ struct ApplyPlan {
 }
 
 fn build_apply_plan<T>(tiles: &[ExecTile<T>], transpose: bool) -> ApplyPlan {
+    // Registration drops structurally empty tiles, so every tile here
+    // stores entries; the plan's residual zeroing covers whatever the
+    // dropped tiles would have written.
     let mut zero_first = vec![false; tiles.len()];
-    // Non-empty tile indices per destination component, in tile order.
+    // Destination components with tiles, in tile order.
     let mut comps: Vec<usize> = Vec::new();
-    for (i, t) in tiles.iter().enumerate() {
+    for t in tiles.iter() {
         let (dcomp, _, _) = t.direction(transpose);
-        if !tiles[i].csr.is_empty() && !comps.contains(&dcomp) {
+        if !comps.contains(&dcomp) {
             comps.push(dcomp);
         }
     }
@@ -194,7 +240,7 @@ fn build_apply_plan<T>(tiles: &[ExecTile<T>], transpose: bool) -> ApplyPlan {
         let mut fusable = true;
         for (i, t) in tiles.iter().enumerate() {
             let (dcomp, ws, _) = t.direction(transpose);
-            if dcomp != comp || t.csr.is_empty() {
+            if dcomp != comp {
                 continue;
             }
             if !groups.iter().any(|(g, _)| *g == ws) {
@@ -255,14 +301,23 @@ pub struct ExecBackend<T: Scalar> {
 }
 
 impl<T: Scalar> ExecBackend<T> {
-    /// Create with `workers` runtime threads.
+    /// Create with `workers` runtime threads, routed by a
+    /// [`ColorAffinityMapper`] so each partition color's tile and
+    /// vector tasks stay on a stable worker (idle workers still
+    /// steal).
     pub fn new(workers: usize) -> Self {
-        Self::build(Runtime::new(workers))
+        Self::build(Runtime::with_mapper(
+            workers,
+            Arc::new(ColorAffinityMapper::new(workers)),
+        ))
     }
 
     /// Create sized to the machine.
     pub fn with_default_workers() -> Self {
-        Self::build(Runtime::with_default_workers())
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
     }
 
     fn build(rt: Runtime) -> Self {
@@ -288,7 +343,13 @@ impl<T: Scalar> ExecBackend<T> {
 
     /// Runtime activity counters (dependence-analysis cost, task
     /// counts) for benchmarking.
-    pub fn runtime_stats(&self) -> RuntimeStats {
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ExecBackend::metrics` — `ExecMetrics::runtime` carries the \
+                same counters plus latency distributions and per-kernel tallies"
+    )]
+    #[allow(deprecated)]
+    pub fn runtime_stats(&self) -> kdr_runtime::RuntimeStats {
         self.rt.stats()
     }
 
@@ -345,6 +406,14 @@ impl<T: Scalar> ExecBackend<T> {
     /// Full observability snapshot: runtime metrics plus this
     /// backend's scalar-arena, trace-cache, and step-outcome state.
     pub fn metrics(&self) -> ExecMetrics {
+        let mut tiles_by_kernel = BTreeMap::new();
+        for opset in &self.opsets {
+            for tile in &opset.tiles {
+                if let Some(kind) = tile.kernel.kind() {
+                    *tiles_by_kernel.entry(kind.name()).or_insert(0) += 1;
+                }
+            }
+        }
         ExecMetrics {
             runtime: self.rt.metrics(),
             scalar_slots: self.scalars.len(),
@@ -354,6 +423,7 @@ impl<T: Scalar> ExecBackend<T> {
             steps_analyzed: self.steps_analyzed,
             steps_captured: self.steps_captured,
             steps_replayed: self.steps_replayed,
+            tiles_by_kernel,
         }
     }
 
@@ -441,7 +511,10 @@ impl<T: Scalar> ExecBackend<T> {
                 if subset.is_empty() {
                     continue;
                 }
-                let mut tb = TaskBuilder::new(name);
+                // Same affinity color as tile tasks writing this
+                // piece, so the piece stays on one worker's cache.
+                let mut tb = TaskBuilder::new(name)
+                    .meta(TaskMeta::new(name).with_color(piece_color(ci, color)));
                 let mut idx_alpha = None;
                 let mut idx_src = None;
                 if let Some(a) = alpha {
@@ -501,52 +574,25 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
         let mut tiles: Vec<ExecTile<T>> = Vec::new();
         for comp in &spec.components {
-            // Map kernel point -> tile via the disjoint kernel pieces.
-            let mut lookup: Vec<(u64, u64, usize)> = Vec::new(); // (lo, hi, local tile)
-            let base = tiles.len();
-            for (ti, t) in comp.tiles.iter().enumerate() {
-                for r in t.kernel_piece.runs() {
-                    lookup.push((r.lo, r.hi, ti));
+            // One format-independent pass gathers each tile's
+            // triplets; lowering then picks the specialized kernel.
+            let trips = extract_tile_triplets(comp.matrix.as_ref(), &comp.tiles);
+            for (t, (rows, cols, vals)) in comp.tiles.iter().zip(trips) {
+                let kernel = TileKernel::lower(&rows, &cols, &vals, spec.kernel_choice);
+                if kernel.is_empty() {
+                    // Structurally empty tile: launch nothing, ever.
+                    // Its output rows fall to the apply plan's
+                    // residual zero task.
+                    continue;
                 }
                 tiles.push(ExecTile {
                     rhs_comp: t.rhs_comp,
                     sol_comp: t.sol_comp,
                     out_subset: t.out_subset.clone(),
                     in_union: t.in_union.clone(),
-                    csr: Arc::new(to_csr(Vec::new(), Vec::new(), Vec::new())),
+                    color: piece_color(t.rhs_comp, t.range_color),
+                    kernel: Arc::new(kernel),
                 });
-            }
-            lookup.sort_unstable();
-            // Gather entries per tile in one pass over the operator.
-            struct Triplets<T> {
-                rows: Vec<u64>,
-                cols: Vec<u64>,
-                vals: Vec<T>,
-            }
-            let mut bufs: Vec<Triplets<T>> = (0..comp.tiles.len())
-                .map(|_| Triplets {
-                    rows: Vec::new(),
-                    cols: Vec::new(),
-                    vals: Vec::new(),
-                })
-                .collect();
-            comp.matrix.for_each_entry(&mut |k, i, j, v| {
-                // Binary search the owning kernel run.
-                let idx = lookup.partition_point(|&(lo, _, _)| lo <= k);
-                if idx == 0 {
-                    return; // padding point before first piece
-                }
-                let (lo, hi, ti) = lookup[idx - 1];
-                debug_assert!(k >= lo);
-                if k < hi {
-                    let b = &mut bufs[ti];
-                    b.rows.push(i);
-                    b.cols.push(j);
-                    b.vals.push(v);
-                }
-            });
-            for (ti, trip) in bufs.into_iter().enumerate() {
-                tiles[base + ti].csr = Arc::new(to_csr(trip.rows, trip.cols, trip.vals));
             }
         }
         let plans = [
@@ -606,6 +652,10 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 }
                 tasks.push(
                     TaskBuilder::new("dot_partial")
+                        .meta(
+                            TaskMeta::new("dot_partial")
+                                .with_color(piece_color(ci, color)),
+                        )
                         .read(&ac.buf, subset.clone())
                         .read(&bc.buf, subset.clone())
                         .write(
@@ -744,60 +794,40 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 );
             }
             for (ti, tile) in opset.tiles.iter().enumerate() {
-                if tile.csr.is_empty() {
-                    continue;
-                }
                 let (dcomp, wsubset, rsubset) = tile.direction(transpose);
                 let scomp = if transpose { tile.rhs_comp } else { tile.sol_comp };
                 let dbuf = &self.vectors[dst].comps[dcomp].buf;
                 let sbuf = &self.vectors[src].comps[scomp].buf;
-                let data = Arc::clone(&tile.csr);
+                let data = Arc::clone(&tile.kernel);
                 let zero = plan.zero_first[ti];
                 let t = transpose;
-                let name = match (t, zero) {
-                    (false, false) => "spmv_tile",
-                    (false, true) => "spmv_tile_z",
-                    (true, false) => "spmv_t_tile",
-                    (true, true) => "spmv_t_tile_z",
-                };
+                // Task names carry the lowered kind (metrics report
+                // which kernels actually ran) and the zero/transpose
+                // flags (part of the step's shape signature).
+                let name = kernel_task_name(
+                    data.kind().expect("registered tiles are non-empty"),
+                    t,
+                    zero,
+                );
                 tasks.push(
                     TaskBuilder::new(name)
                         .read(sbuf, rsubset.clone())
                         .write(dbuf, wsubset.clone())
+                        .meta(TaskMeta::new(name).with_color(tile.color).with_cost(
+                            2 * data.nnz() as u64,
+                            (data.nnz() * std::mem::size_of::<T>()) as u64,
+                        ))
                         .body(move |ctx| {
-                            let x = ctx.read::<T>(0);
-                            let y = ctx.write::<T>(1);
+                            let x = RV(ctx.read::<T>(0));
+                            let mut y = WV(ctx.write::<T>(1));
                             if zero {
                                 for run in ctx.subset(1).runs() {
                                     for i in run.lo as usize..run.hi as usize {
-                                        y.set(i, T::ZERO);
+                                        y.store(i, T::ZERO);
                                     }
                                 }
                             }
-                            let nr = data.row_ids.len();
-                            if t {
-                                // Adjoint: scatter along each stored
-                                // row, loading x[row] once.
-                                for r in 0..nr {
-                                    let xv = x.get(data.row_ids[r] as usize);
-                                    for idx in data.row_ptr[r]..data.row_ptr[r + 1] {
-                                        let j = data.cols[idx] as usize;
-                                        y.set(j, data.vals[idx].mul_add(xv, y.get(j)));
-                                    }
-                                }
-                            } else {
-                                // Forward: accumulate each output row
-                                // in a register.
-                                for r in 0..nr {
-                                    let i = data.row_ids[r] as usize;
-                                    let mut acc = y.get(i);
-                                    for idx in data.row_ptr[r]..data.row_ptr[r + 1] {
-                                        acc = data.vals[idx]
-                                            .mul_add(x.get(data.cols[idx] as usize), acc);
-                                    }
-                                    y.set(i, acc);
-                                }
-                            }
+                            data.apply(&x, &mut y, t);
                         }),
                 );
             }
@@ -868,7 +898,7 @@ mod tests {
     use super::*;
     use crate::backend::OpComponentSpec;
     use crate::partitioning::compute_tiles;
-    use kdr_sparse::{Csr, Stencil};
+    use kdr_sparse::{Csr, KernelChoice, Stencil};
 
     fn backend() -> ExecBackend<f64> {
         ExecBackend::new(4)
@@ -996,7 +1026,7 @@ mod tests {
         let got = b.read_component(v, 0);
         let expect = 1.0 + 2.0 * (1.0 + 2.0 + 3.0 + 4.0 + 5.0 + 6.0 + 7.0 + 8.0);
         assert!((got[0] - expect).abs() < 1e-12, "{} vs {expect}", got[0]);
-        assert!(b.runtime_stats().tasks_replayed > 0);
+        assert!(b.metrics().runtime.tasks_replayed > 0);
     }
 
     #[test]
@@ -1029,6 +1059,7 @@ mod tests {
                 rhs_comp: 0,
                 tiles,
             }],
+            kernel_choice: KernelChoice::Auto,
         });
         let cs = CompSpec {
             len: 36,
@@ -1054,6 +1085,110 @@ mod tests {
     }
 
     #[test]
+    fn forced_kernel_kinds_are_bitwise_identical() {
+        // Apply the same operator lowered to every kernel kind; every
+        // result must match the forced-CSR reference bit for bit, in
+        // both directions.
+        let s = Stencil::lap2d(8, 8);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>() as Csr<f64, u64>);
+        let part = Partition::equal_blocks(64, 4);
+        let xv = kdr_sparse::stencil::rhs_vector::<f64>(64, 5);
+        let run = |choice: KernelChoice, transpose: bool| -> Vec<u64> {
+            let tiles = compute_tiles(m.as_ref(), &part, &part, 0, 0);
+            let mut b = backend();
+            let op = b.register_operator(OpSetSpec {
+                components: vec![OpComponentSpec {
+                    matrix: Arc::clone(&m),
+                    sol_comp: 0,
+                    rhs_comp: 0,
+                    tiles,
+                }],
+                kernel_choice: choice,
+            });
+            let cs = CompSpec {
+                len: 64,
+                partition: part.clone(),
+            };
+            let x = b.alloc_vector(std::slice::from_ref(&cs));
+            let y = b.alloc_vector(std::slice::from_ref(&cs));
+            b.fill_component(x, 0, &xv);
+            b.apply(op, y, x, transpose);
+            b.read_component(y, 0)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect()
+        };
+        for transpose in [false, true] {
+            let want = run(KernelChoice::Force(kdr_sparse::KernelKind::Csr), transpose);
+            for kind in kdr_sparse::KernelKind::ALL {
+                assert_eq!(
+                    run(KernelChoice::Force(kind), transpose),
+                    want,
+                    "{kind:?} transpose {transpose}"
+                );
+            }
+            assert_eq!(run(KernelChoice::Auto, transpose), want, "auto {transpose}");
+        }
+    }
+
+    #[test]
+    fn stencil_tiles_lower_to_dia_and_report_in_metrics() {
+        let s = Stencil::lap2d(8, 8);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>() as Csr<f64, u64>);
+        let part = Partition::equal_blocks(64, 4);
+        let tiles = compute_tiles(m.as_ref(), &part, &part, 0, 0);
+        let mut b = backend();
+        b.register_operator(OpSetSpec {
+            components: vec![OpComponentSpec {
+                matrix: Arc::clone(&m),
+                sol_comp: 0,
+                rhs_comp: 0,
+                tiles,
+            }],
+            kernel_choice: KernelChoice::Auto,
+        });
+        let tiles_by_kernel = b.metrics().tiles_by_kernel;
+        // A 2D Laplacian slab is banded: every tile must lower to DIA.
+        assert_eq!(tiles_by_kernel.get("dia"), Some(&4), "{tiles_by_kernel:?}");
+    }
+
+    #[test]
+    fn empty_tiles_launch_no_tasks() {
+        // A matrix whose only entry sits in the first of four range
+        // pieces: one tile registers, and apply launches exactly one
+        // SpMV task plus the residual zero task.
+        let t = kdr_sparse::Triples::from_entries(16, 16, vec![(0, 3, 2.0)]);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(Csr::<f64, u64>::from_triples(t));
+        let part = Partition::equal_blocks(16, 4);
+        let tiles = compute_tiles(m.as_ref(), &part, &part, 0, 0);
+        let mut b = backend();
+        let op = b.register_operator(OpSetSpec {
+            components: vec![OpComponentSpec {
+                matrix: Arc::clone(&m),
+                sol_comp: 0,
+                rhs_comp: 0,
+                tiles,
+            }],
+            kernel_choice: KernelChoice::Auto,
+        });
+        let cs = CompSpec {
+            len: 16,
+            partition: part,
+        };
+        let x = b.alloc_vector(std::slice::from_ref(&cs));
+        let y = b.alloc_vector(std::slice::from_ref(&cs));
+        b.fill_component(x, 0, &[1.0; 16]);
+        let before = b.metrics().runtime.tasks_submitted;
+        b.apply(op, y, x, false);
+        b.fence();
+        let spmv_tasks = b.metrics().runtime.tasks_submitted - before;
+        assert_eq!(spmv_tasks, 2, "one kernel task + one zero task");
+        let got = b.read_component(y, 0);
+        assert_eq!(got[0], 2.0);
+        assert!(got[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn apply_overwrites_stale_destination() {
         // The fused zero must erase whatever was in dst, including
         // points no tile writes.
@@ -1069,6 +1204,7 @@ mod tests {
                 rhs_comp: 0,
                 tiles,
             }],
+            kernel_choice: KernelChoice::Auto,
         });
         let cs = CompSpec {
             len: 16,

@@ -18,8 +18,8 @@ use crate::backend::StepOutcome;
 /// task name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SolverPhase {
-    /// Operator application: `spmv_tile*` and the fused/standalone
-    /// zero-fill (`apply_zero`).
+    /// Operator application: the per-format `spmv_*` tile kernels and
+    /// the fused/standalone zero-fill (`apply_zero`).
     SpMV,
     /// Inner products: `dot_partial` / `dot_reduce`.
     Dot,
@@ -36,9 +36,8 @@ impl SolverPhase {
     /// [`ExecBackend`](crate::ExecBackend)) into its phase.
     pub fn of_task(name: &str) -> SolverPhase {
         match name {
-            "spmv_tile" | "spmv_tile_z" | "spmv_t_tile" | "spmv_t_tile_z" | "apply_zero" => {
-                SolverPhase::SpMV
-            }
+            "apply_zero" => SolverPhase::SpMV,
+            n if n.starts_with("spmv_") => SolverPhase::SpMV,
             "dot_partial" | "dot_reduce" => SolverPhase::Dot,
             "axpy" | "xpay" | "scal" | "copy" => SolverPhase::VectorUpdate,
             n if n.starts_with("scalar_") => SolverPhase::Scalar,
@@ -180,7 +179,10 @@ mod tests {
 
     #[test]
     fn classifier_covers_backend_task_names() {
-        for n in ["spmv_tile", "spmv_tile_z", "spmv_t_tile", "spmv_t_tile_z", "apply_zero"] {
+        for n in [
+            "spmv_csr", "spmv_csr_z", "spmv_t_csr", "spmv_t_csr_z", "spmv_dia", "spmv_ell_z",
+            "spmv_t_bcsr", "apply_zero",
+        ] {
             assert_eq!(SolverPhase::of_task(n), SolverPhase::SpMV, "{n}");
         }
         assert_eq!(SolverPhase::of_task("dot_partial"), SolverPhase::Dot);
@@ -197,7 +199,7 @@ mod tests {
     #[test]
     fn phase_split_sums_and_fractions() {
         let spans = vec![
-            span("spmv_tile", 600),
+            span("spmv_dia", 600),
             span("dot_partial", 200),
             span("dot_reduce", 100),
             span("axpy", 50),

@@ -41,6 +41,7 @@ pub mod simbackend;
 pub mod solvers;
 
 pub use backend::{Backend, CompSpec, OpSetSpec, StepOutcome, TileSpec};
+pub use kdr_sparse::{KernelChoice, KernelKind};
 pub use exec::{ExecBackend, ExecMetrics};
 pub use instrument::{IterationRecord, PhaseSplit, SolveTrace, SolverPhase};
 pub use planner::{Planner, VecId, RHS, SOL};

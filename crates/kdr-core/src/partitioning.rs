@@ -87,6 +87,54 @@ pub fn compute_tiles<T: Scalar>(
     tiles
 }
 
+/// One tile's extracted entries in component-local coordinates:
+/// `(rows, cols, vals)` parallel arrays, unsorted.
+pub type TileTriplets<T> = (Vec<u64>, Vec<u64>, Vec<T>);
+
+/// Extract every tile's entries from one operator component in a
+/// single pass over the matrix.
+///
+/// `tiles[i].kernel_piece` sets are disjoint (they come from a
+/// partition of `K`), so each stored entry lands in at most one tile;
+/// entries on kernel points outside every piece (format padding the
+/// matrix skips or points of empty range colors) are dropped. The
+/// result is the raw input to per-tile kernel lowering
+/// ([`kdr_sparse::TileKernel::lower`]) — extraction is still fully
+/// format-independent, only the *lowering* that follows is
+/// format-specialized.
+pub fn extract_tile_triplets<T: Scalar>(
+    matrix: &dyn SparseMatrix<T>,
+    tiles: &[TileSpec],
+) -> Vec<TileTriplets<T>> {
+    // Map kernel point -> tile via the disjoint kernel-piece runs.
+    let mut lookup: Vec<(u64, u64, usize)> = Vec::new(); // (lo, hi, tile)
+    for (ti, t) in tiles.iter().enumerate() {
+        for r in t.kernel_piece.runs() {
+            lookup.push((r.lo, r.hi, ti));
+        }
+    }
+    lookup.sort_unstable();
+    let mut out: Vec<TileTriplets<T>> = (0..tiles.len())
+        .map(|_| (Vec::new(), Vec::new(), Vec::new()))
+        .collect();
+    matrix.for_each_entry(&mut |k, i, j, v| {
+        // Binary search the owning kernel run.
+        let idx = lookup.partition_point(|&(lo, _, _)| lo <= k);
+        if idx == 0 {
+            return; // point before the first piece
+        }
+        let (lo, hi, ti) = lookup[idx - 1];
+        debug_assert!(k >= lo);
+        if k < hi {
+            let (rows, cols, vals) = &mut out[ti];
+            rows.push(i);
+            cols.push(j);
+            vals.push(v);
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +202,21 @@ mod tests {
         // Tile 1 covers rows 2..4, reading domain points 2, 7, 0:
         // colors 0 (points 0, 2) and 1 (point 7).
         assert_eq!(tiles[1].in_by_color.len(), 2);
+    }
+
+    #[test]
+    fn extracted_triplets_cover_every_entry_once() {
+        let s = Stencil::lap2d(6, 6);
+        let m: Csr<f64> = s.to_csr();
+        let part = Partition::equal_blocks(36, 3);
+        let tiles = compute_tiles(&m, &part, &part, 0, 0);
+        let trips = extract_tile_triplets(&m, &tiles);
+        let total: usize = trips.iter().map(|(r, _, _)| r.len()).sum();
+        assert_eq!(total as u64, s.nnz());
+        for (t, (rows, _, _)) in tiles.iter().zip(&trips) {
+            // Every extracted row lies in the tile's output footprint.
+            assert!(rows.iter().all(|&r| t.out_subset.contains(r)));
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use kdr_index::Partition;
-use kdr_sparse::{Scalar, SparseMatrix};
+use kdr_sparse::{KernelChoice, Scalar, SparseMatrix};
 
 use crate::backend::{Backend, BVec, CompSpec, OpComponentSpec, OpHandle, OpSetSpec, StepOutcome};
 use crate::partitioning::compute_tiles;
@@ -65,6 +65,7 @@ pub struct Planner<T: Scalar> {
     /// Data supplied before finalization, applied when `SOL`/`RHS`
     /// are allocated: `(is_sol, component, data)`.
     pending_data: Vec<(bool, usize, Vec<T>)>,
+    kernel_choice: KernelChoice,
     finalized: bool,
 }
 
@@ -81,8 +82,19 @@ impl<T: Scalar> Planner<T> {
             op_handle: None,
             prec_handle: None,
             pending_data: Vec::new(),
+            kernel_choice: KernelChoice::default(),
             finalized: false,
         }
+    }
+
+    /// Override how the execution backend picks per-tile SpMV kernels
+    /// (default: [`KernelChoice::Auto`], structure-driven selection).
+    /// Must be called before the first solver-facing operation
+    /// finalizes the planner. Applies to the operator set and the
+    /// preconditioner set alike.
+    pub fn set_kernel_choice(&mut self, choice: KernelChoice) {
+        assert!(!self.finalized, "planner already finalized");
+        self.kernel_choice = choice;
     }
 
     // ----- Setup API (paper Figure 5) -------------------------------
@@ -199,6 +211,7 @@ impl<T: Scalar> Planner<T> {
                     ),
                 })
                 .collect(),
+            kernel_choice: self.kernel_choice,
         };
         let prec_spec = (!self.precs.is_empty()).then(|| OpSetSpec {
             components: self
@@ -219,6 +232,7 @@ impl<T: Scalar> Planner<T> {
                     ),
                 })
                 .collect(),
+            kernel_choice: self.kernel_choice,
         });
         let mut b = self.backend.lock();
         self.op_handle = Some(b.register_operator(op_spec));

@@ -648,6 +648,7 @@ mod tests {
                 rhs_comp: 0,
                 tiles,
             }],
+            kernel_choice: kdr_sparse::KernelChoice::Auto,
         });
         let cs = CompSpec {
             len: n,

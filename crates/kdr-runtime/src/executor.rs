@@ -13,7 +13,7 @@
 //! [`Future`](crate::Future) from the application thread always makes
 //! progress.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,8 +27,7 @@ use crate::task::{Requirement, TaskContext, TaskId, TaskMetaLite};
 
 pub(crate) struct Runnable {
     pub id: TaskId,
-    /// Kernel name, retained for diagnostics and profiling hooks.
-    #[allow(dead_code)]
+    /// Kernel name; keys the per-kernel execution counts.
     pub name: &'static str,
     pub body: Box<dyn FnOnce(&TaskContext) + Send>,
     pub reqs: Arc<Vec<Requirement>>,
@@ -51,10 +50,17 @@ struct DepState {
     live: HashSet<TaskId>,
     outstanding: usize,
     shutdown: bool,
+    /// Executed-task tallies keyed by kernel name, bumped under this
+    /// lock on the completion path (which already holds it).
+    counts: BTreeMap<&'static str, u64>,
 }
 
 struct ExecShared {
     state: Mutex<DepState>,
+    /// Routing policy; consulted at submit time *and* when a
+    /// completion releases successors, so affinity survives into
+    /// steady state instead of decaying to the injector.
+    mapper: Option<Arc<dyn Mapper>>,
     /// Unpinned ready tasks.
     injector: SegQueue<Runnable>,
     /// Per-worker affinity queues.
@@ -75,7 +81,6 @@ struct ExecShared {
 pub(crate) struct Executor {
     shared: Arc<ExecShared>,
     workers: Vec<JoinHandle<()>>,
-    mapper: Option<Arc<dyn Mapper>>,
 }
 
 impl Executor {
@@ -98,6 +103,7 @@ impl Executor {
         assert!(workers > 0, "executor needs at least one worker");
         let shared = Arc::new(ExecShared {
             state: Mutex::new(DepState::default()),
+            mapper,
             injector: SegQueue::new(),
             pinned: (0..workers).map(|_| SegQueue::new()).collect(),
             sleep_lock: Mutex::new(()),
@@ -121,7 +127,6 @@ impl Executor {
         Executor {
             shared,
             workers: handles,
-            mapper,
         }
     }
 
@@ -129,14 +134,7 @@ impl Executor {
         if self.shared.events.enabled() {
             runnable.ready_ns = self.shared.events.now_ns();
         }
-        let nworkers = self.workers.len().max(self.shared.pinned.len());
-        match &self.mapper {
-            Some(m) => {
-                let w = m.map_task(&runnable.meta.to_meta()) % nworkers;
-                self.shared.pinned[w].push(runnable);
-            }
-            None => self.shared.injector.push(runnable),
-        }
+        route(&self.shared, runnable);
         // Wake one parked worker if any.
         if self.shared.sleepers.load(Ordering::Acquire) > 0 {
             let _g = self.shared.sleep_lock.lock();
@@ -197,6 +195,11 @@ impl Executor {
         self.workers.len()
     }
 
+    /// Executed-task tallies keyed by kernel name.
+    pub fn task_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.shared.state.lock().counts.clone()
+    }
+
     /// The executor's event sink (spans, histograms, enable flag).
     pub fn events(&self) -> &EventSink {
         &self.shared.events
@@ -216,6 +219,18 @@ impl Drop for Executor {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// Push a ready runnable to its mapped worker's affinity queue, or to
+/// the injector when no mapper is installed.
+fn route(shared: &ExecShared, runnable: Runnable) {
+    match &shared.mapper {
+        Some(m) => {
+            let w = m.map_task(&runnable.meta.to_meta()) % shared.pinned.len();
+            shared.pinned[w].push(runnable);
+        }
+        None => shared.injector.push(runnable),
     }
 }
 
@@ -303,6 +318,18 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
                 }
             }
             st.live.remove(&runnable.id);
+            *st.counts.entry(runnable.name).or_insert(0) += 1;
+            // Record the span while the task still counts as
+            // outstanding: a fence observing `outstanding == 0` then
+            // implies every executed task's span has landed, so
+            // fence-then-snapshot sequences (take_spans, metrics)
+            // never see a straggler.
+            if logging {
+                let retire_ns = shared.events.now_ns();
+                shared
+                    .events
+                    .record_exec(me, runnable.id, runnable.ready_ns, start_ns, end_ns, retire_ns);
+            }
             st.outstanding -= 1;
             if st.outstanding == 0 {
                 shared.idle_cv.notify_all();
@@ -315,17 +342,12 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
             0
         };
         for mut r in ready {
-            // Successors keep no mapper routing here; they were
-            // routed at submit time only if they became ready then.
-            // Route by stored meta when available.
+            // Successors route through the mapper too — otherwise
+            // affinity only applies to tasks that were ready at
+            // submit time, and steady-state iterations (where almost
+            // every task waits on a predecessor) lose all locality.
             r.ready_ns = ready_stamp;
-            shared.injector.push(r);
-        }
-        if logging {
-            let retire_ns = shared.events.now_ns();
-            shared
-                .events
-                .record_exec(me, runnable.id, runnable.ready_ns, start_ns, end_ns, retire_ns);
+            route(&shared, r);
         }
         if n_ready > 0 && shared.sleepers.load(Ordering::Acquire) > 0 {
             let _g = shared.sleep_lock.lock();

@@ -56,8 +56,10 @@ pub use buffer::{Buffer, ReadView, WriteView};
 pub use events::{Provenance, TaskSpan, DEFAULT_RING_CAPACITY};
 pub use export::{chrome_trace_json, critical_path, phase_rows, phase_summary, CriticalPath, PhaseRow};
 pub use future::{promise, Future, Promise};
-pub use mapper::{Mapper, RoundRobinMapper, TaskMeta};
+pub use mapper::{ColorAffinityMapper, Mapper, RoundRobinMapper, TaskMeta};
 pub use metrics::{AtomicHistogram, HistogramSnapshot, MetricsSnapshot};
-pub use runtime::{Runtime, RuntimeStats};
+pub use runtime::Runtime;
+#[allow(deprecated)]
+pub use runtime::RuntimeStats;
 pub use task::{Privilege, TaskBuilder, TaskContext, TaskId, TaskMetaLite};
 pub use trace::{ShapeSig, Trace, TraceCache};

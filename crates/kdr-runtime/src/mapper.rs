@@ -80,6 +80,58 @@ impl Mapper for RoundRobinMapper {
     }
 }
 
+/// Pins every task of a partition color to one stable worker, so a
+/// tile's kernel payload (CSR/DIA/ELL/BCSR arrays) and the vector
+/// piece it touches stay hot in a single worker's cache across traced
+/// iterations instead of migrating via steals.
+///
+/// The contract an execution backend relies on:
+///
+/// 1. **Stability** — `map_task` is a pure function of the color:
+///    color `c` always maps to worker `c % num_procs`, across the
+///    whole lifetime of the mapper. Tile tasks *and* elementwise /
+///    dot-partial tasks over the same piece carry the same color, so
+///    everything touching one piece lands on one worker.
+/// 2. **Colorless spread** — tasks without a color (scalar
+///    reductions, bookkeeping) are dealt round-robin from an atomic
+///    cursor rather than piling onto worker 0.
+/// 3. **Advisory only** — idle workers still steal, so a pinned
+///    queue never becomes a throughput bottleneck; affinity is a
+///    locality hint, not a placement constraint.
+pub struct ColorAffinityMapper {
+    procs: usize,
+    /// Cursor for dealing colorless tasks.
+    next_uncolored: std::sync::atomic::AtomicUsize,
+}
+
+impl ColorAffinityMapper {
+    /// A color-affinity mapper over `procs` workers (must be nonzero).
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0);
+        ColorAffinityMapper {
+            procs,
+            next_uncolored: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Mapper for ColorAffinityMapper {
+    fn num_procs(&self) -> usize {
+        self.procs
+    }
+
+    fn map_task(&self, meta: &TaskMeta) -> usize {
+        match meta.color {
+            Some(c) => c % self.procs,
+            None => {
+                self.next_uncolored
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    % self.procs
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +144,20 @@ mod tests {
         assert_eq!(m.map_task(&mk(0)), 0);
         assert_eq!(m.map_task(&mk(5)), 1);
         assert_eq!(m.map_task(&TaskMeta::new("t")), 0);
+    }
+
+    #[test]
+    fn color_affinity_is_stable_and_spreads_uncolored() {
+        let m = ColorAffinityMapper::new(3);
+        let mk = |c| TaskMeta::new("t").with_color(c);
+        // Same color → same worker, every time.
+        for _ in 0..4 {
+            assert_eq!(m.map_task(&mk(7)), 1);
+            assert_eq!(m.map_task(&mk(2)), 2);
+        }
+        // Colorless tasks are dealt round-robin, not piled on 0.
+        let picks: Vec<usize> = (0..6).map(|_| m.map_task(&TaskMeta::new("t"))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]

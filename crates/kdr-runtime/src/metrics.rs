@@ -13,6 +13,7 @@
 //! ~2× resolution over the full range from 1 ns to ~584 years with a
 //! fixed 64-slot footprint.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets in a histogram (one per possible
@@ -174,6 +175,10 @@ pub struct MetricsSnapshot {
     pub queue_wait_ns: HistogramSnapshot,
     /// Distribution of task execution times (start → end), ns.
     pub execute_ns: HistogramSnapshot,
+    /// Executed-task tallies keyed by kernel name (e.g.
+    /// `spmv_dia` vs `spmv_csr`), so backends can report which
+    /// specialized kernels actually ran.
+    pub task_counts: BTreeMap<&'static str, u64>,
 }
 
 impl MetricsSnapshot {

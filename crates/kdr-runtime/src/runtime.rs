@@ -19,9 +19,13 @@ use crate::trace::Trace;
 /// ablation benchmarks.
 ///
 /// Superseded by [`MetricsSnapshot`] (via [`Runtime::metrics`]),
-/// which carries these same counters plus latency distributions and
-/// event-log health. `RuntimeStats` remains for callers that only
-/// need the plain counters.
+/// which carries these same counters plus latency distributions,
+/// per-kernel execution tallies, and event-log health.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Runtime::metrics` / `MetricsSnapshot`, which carries the same \
+            counters plus latency distributions and per-kernel tallies"
+)]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RuntimeStats {
     /// Tasks submitted (analyzed or replayed).
@@ -269,6 +273,8 @@ impl Runtime {
     }
 
     /// Current activity counters.
+    #[deprecated(since = "0.2.0", note = "use `Runtime::metrics` instead")]
+    #[allow(deprecated)]
     pub fn stats(&self) -> RuntimeStats {
         let st = self.state.lock();
         RuntimeStats {
@@ -305,24 +311,25 @@ impl Runtime {
         self.exec.events().drain_spans()
     }
 
-    /// A full metrics snapshot: the [`RuntimeStats`] counters plus
-    /// queue-wait / execute latency distributions and event-log
-    /// health. Safe to call at any time (no fence).
+    /// A full metrics snapshot: activity counters plus queue-wait /
+    /// execute latency distributions, per-kernel execution tallies,
+    /// and event-log health. Safe to call at any time (no fence).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let stats = self.stats();
+        let st = self.state.lock();
         let events = self.exec.events();
         MetricsSnapshot {
-            tasks_submitted: stats.tasks_submitted,
-            tasks_executed: stats.tasks_executed,
-            tasks_analyzed: stats.tasks_analyzed,
-            tasks_replayed: stats.tasks_replayed,
-            tasks_stolen: stats.tasks_stolen,
-            edges_created: stats.edges_created,
-            analysis_ns: stats.analysis_ns,
+            tasks_submitted: st.tasks_submitted,
+            tasks_executed: self.exec.executed(),
+            tasks_analyzed: st.tasks_analyzed,
+            tasks_replayed: st.tasks_replayed,
+            tasks_stolen: self.exec.stolen(),
+            edges_created: st.analyzer.edges_created,
+            analysis_ns: st.analysis_ns,
             events_recorded: events.events_recorded(),
             events_dropped: events.events_dropped(),
             queue_wait_ns: events.queue_wait_ns.snapshot(),
             execute_ns: events.execute_ns.snapshot(),
+            task_counts: self.exec.task_counts(),
         }
     }
 }
@@ -367,7 +374,7 @@ mod tests {
         rt.fence();
         assert_eq!(a.snapshot(), vec![3.0; 8]);
         assert_eq!(b.snapshot(), vec![2.0; 8]);
-        let s = rt.stats();
+        let s = rt.metrics();
         assert_eq!(s.tasks_submitted, 2);
         assert_eq!(s.tasks_executed, 2);
         assert!(s.edges_created >= 1);
@@ -450,7 +457,7 @@ mod tests {
         }
         rt.fence();
         assert_eq!(v.snapshot(), vec![8.0; 4]);
-        let s = rt.stats();
+        let s = rt.metrics();
         assert_eq!(s.tasks_replayed, 6);
         assert_eq!(s.tasks_executed, 8);
     }
@@ -493,11 +500,11 @@ mod tests {
             rt.submit(mk(&v, c));
         }
         let trace = rt.end_trace();
-        let before = rt.stats().analysis_ns;
+        let before = rt.metrics().analysis_ns;
         rt.replay(&trace, (0..8).map(|c| mk(&v, c)).collect());
         rt.fence();
         assert_eq!(
-            rt.stats().analysis_ns,
+            rt.metrics().analysis_ns,
             before,
             "replay must not spend analysis time"
         );

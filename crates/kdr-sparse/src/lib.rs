@@ -35,6 +35,7 @@ pub mod io;
 pub mod matrix;
 pub mod scalar;
 pub mod stencil;
+pub mod tile;
 pub mod triples;
 
 pub use formats::bcsr::{Bcsc, Bcsr};
@@ -48,4 +49,5 @@ pub use formats::hyb::Hyb;
 pub use matrix::SparseMatrix;
 pub use scalar::{IndexInt, Scalar};
 pub use stencil::{Stencil, StencilKind, StencilOperator, VirtualBanded};
+pub use tile::{KernelChoice, KernelKind, TileKernel, TileStructure, VecIn, VecOut};
 pub use triples::Triples;

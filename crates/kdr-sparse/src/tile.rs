@@ -1,0 +1,993 @@
+//! Format-specialized tile kernels and structure-driven lowering.
+//!
+//! Co-partitioning (the K/D/R machinery) is format-independent, but
+//! *execution* should not be: a banded tile wants a padded
+//! diagonal-major layout with stride-1 inner loops, a block-structured
+//! tile wants register-blocked dense micro-kernels, and a tile with
+//! uniform row lengths wants ELL-style padded lanes. This module is
+//! the lowering stage between the two worlds. An execution backend
+//! hands each tile's extracted triplets (in component-local
+//! coordinates) to [`TileKernel::lower`]; the structure analysis in
+//! [`TileStructure`] picks the best member of a small kernel family —
+//! or the caller forces one via [`KernelChoice`] — and the returned
+//! payload executes `y += A x` / `y += Aᵀ x` through the
+//! [`VecIn`]/[`VecOut`] accessor traits, so the same kernels run over
+//! plain slices (tests, benchmarks) and over runtime buffer views.
+//!
+//! # Bitwise-reproducibility contract
+//!
+//! Every kernel in the family accumulates each output element's
+//! contributions in **exactly the same order** as the CSR reference
+//! kernel: ascending column within a row for the forward product, and
+//! ascending row per output column for the transpose. Padding slots
+//! introduced by a layout (DIA diagonal gaps, ELL lane tails) are
+//! skipped *structurally* — never by multiplying an explicit zero,
+//! which could flip a `-0.0` partial sum to `+0.0`. Lowering falls
+//! back to CSR whenever a specialized layout cannot honor the
+//! contract (duplicate coordinates, imperfect blocks, excessive
+//! padding), so switching kernels can never change a single bit of a
+//! solve. Property tests in `tests/kernel_prop.rs` enforce this for
+//! every kind, both directions, and degenerate shapes.
+
+use std::collections::HashMap;
+
+use crate::scalar::Scalar;
+
+/// The kernel family a tile can be lowered into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum KernelKind {
+    /// Row-sorted compressed sparse rows; handles any structure
+    /// (including duplicate coordinates) and is the reference for the
+    /// bitwise contract.
+    Csr,
+    /// Diagonal-major banded layout with per-diagonal valid-row runs;
+    /// stride-1, gather-free inner loops.
+    Dia,
+    /// Padded row-major lanes (ELLPACK) with per-row entry counts;
+    /// uniform trip counts and a dense layout.
+    Ell,
+    /// Register-blocked compressed block rows over fully dense
+    /// `b × b` blocks; the block's input slice is loaded once per
+    /// block and reused across its rows.
+    Bcsr,
+}
+
+impl KernelKind {
+    /// Short lower-case name, used for task names and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Csr => "csr",
+            KernelKind::Dia => "dia",
+            KernelKind::Ell => "ell",
+            KernelKind::Bcsr => "bcsr",
+        }
+    }
+
+    /// All kinds, in lowering-preference order.
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Bcsr,
+        KernelKind::Dia,
+        KernelKind::Ell,
+        KernelKind::Csr,
+    ];
+}
+
+/// How a tile chooses its kernel at lowering time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KernelChoice {
+    /// Let the structure analysis pick (the default).
+    #[default]
+    Auto,
+    /// Use the given kind when the tile is representable in it;
+    /// tiles that would violate the bitwise contract (duplicates,
+    /// imperfect blocks) or blow up memory fall back to CSR.
+    Force(KernelKind),
+}
+
+/// Block sizes the BCSR lowering tries, largest first.
+const BCSR_BLOCK_SIZES: [usize; 3] = [8, 4, 2];
+
+/// DIA is rejected when the padded diagonal storage would exceed this
+/// multiple of the actual entry count (guards `Force(Dia)` on
+/// unstructured tiles).
+const DIA_MAX_EXPANSION: usize = 16;
+
+/// Auto-selection: maximum distinct diagonals for DIA.
+const AUTO_DIA_MAX_DIAGS: usize = 64;
+
+/// Auto-selection: minimum fill of the diagonal-major storage.
+const AUTO_DIA_MIN_FILL: f64 = 0.5;
+
+/// Auto-selection: minimum average entries per diagonal (rejects
+/// degenerate one-entry diagonals from near-random tiles).
+const AUTO_DIA_MIN_DIAG_LEN: f64 = 4.0;
+
+/// Auto-selection: minimum fill of the padded ELL lanes.
+const AUTO_ELL_MIN_FILL: f64 = 0.8;
+
+/// Read access to a conceptual `T`-vector (the SpMV input side).
+///
+/// Implemented for slices here and for runtime buffer views by the
+/// execution backend, so one monomorphized kernel serves both.
+pub trait VecIn<T> {
+    /// Element `i`.
+    fn load(&self, i: usize) -> T;
+}
+
+/// Read-write access to a conceptual `T`-vector (the SpMV output
+/// side). Kernels only ever read-modify-write their declared rows.
+pub trait VecOut<T> {
+    /// Element `i`.
+    fn load(&self, i: usize) -> T;
+    /// Overwrite element `i`.
+    fn store(&mut self, i: usize, v: T);
+}
+
+impl<T: Scalar> VecIn<T> for &[T] {
+    #[inline(always)]
+    fn load(&self, i: usize) -> T {
+        self[i]
+    }
+}
+
+impl<T: Scalar> VecOut<T> for &mut [T] {
+    #[inline(always)]
+    fn load(&self, i: usize) -> T {
+        self[i]
+    }
+    #[inline(always)]
+    fn store(&mut self, i: usize, v: T) {
+        self[i] = v;
+    }
+}
+
+/// Structural summary of one tile's triplets, the input to kernel
+/// auto-selection. All coordinates are component-local.
+#[derive(Clone, Debug, Default)]
+pub struct TileStructure {
+    /// Stored entries (including explicit zeros).
+    pub nnz: usize,
+    /// `max row − min row + 1` (0 when empty).
+    pub row_span: usize,
+    /// Rows that hold at least one entry.
+    pub nonempty_rows: usize,
+    /// Distinct `col − row` diagonals.
+    pub diag_count: usize,
+    /// Longest row (entry count).
+    pub max_row_len: usize,
+    /// Population variance of the per-nonempty-row entry counts.
+    pub row_len_variance: f64,
+    /// Whether any `(row, col)` coordinate appears more than once.
+    pub has_duplicates: bool,
+    /// Largest block size in `{8, 4, 2}` for which every touched
+    /// grid-aligned block is fully dense; `None` otherwise.
+    pub dense_block: Option<usize>,
+}
+
+impl TileStructure {
+    /// Fill ratio of the diagonal-major DIA storage
+    /// (`nnz / (diag_count · row_span)`); 0 when empty.
+    pub fn dia_fill(&self) -> f64 {
+        let slots = self.diag_count * self.row_span;
+        if slots == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / slots as f64
+        }
+    }
+
+    /// Fill ratio of the padded ELL lanes
+    /// (`nnz / (nonempty_rows · max_row_len)`); 0 when empty.
+    pub fn ell_fill(&self) -> f64 {
+        let slots = self.nonempty_rows * self.max_row_len;
+        if slots == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / slots as f64
+        }
+    }
+
+    /// Analyze raw triplets (any order).
+    pub fn analyze<T>(rows: &[u64], cols: &[u64], _vals: &[T]) -> Self {
+        let nnz = rows.len();
+        if nnz == 0 {
+            return TileStructure::default();
+        }
+        let row_lo = rows.iter().copied().min().unwrap();
+        let row_hi = rows.iter().copied().max().unwrap();
+
+        // Per-row entry counts and duplicate detection via a sorted
+        // coordinate pass.
+        let mut coords: Vec<(u64, u64)> = rows.iter().zip(cols).map(|(&r, &c)| (r, c)).collect();
+        coords.sort_unstable();
+        let has_duplicates = coords.windows(2).any(|w| w[0] == w[1]);
+        let mut nonempty_rows = 0usize;
+        let mut max_row_len = 0usize;
+        let mut row_lens: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < coords.len() {
+            let r = coords[i].0;
+            let mut j = i;
+            while j < coords.len() && coords[j].0 == r {
+                j += 1;
+            }
+            nonempty_rows += 1;
+            max_row_len = max_row_len.max(j - i);
+            row_lens.push(j - i);
+            i = j;
+        }
+        let mean = nnz as f64 / nonempty_rows as f64;
+        let row_len_variance = row_lens
+            .iter()
+            .map(|&l| (l as f64 - mean) * (l as f64 - mean))
+            .sum::<f64>()
+            / nonempty_rows as f64;
+
+        // Distinct diagonals.
+        let mut diags: Vec<i64> = rows
+            .iter()
+            .zip(cols)
+            .map(|(&r, &c)| c as i64 - r as i64)
+            .collect();
+        diags.sort_unstable();
+        diags.dedup();
+
+        // Dense-block coverage: largest b where every touched aligned
+        // b×b block holds exactly b² (distinct) entries.
+        let mut dense_block = None;
+        if !has_duplicates {
+            for &bs in &BCSR_BLOCK_SIZES {
+                if nnz % (bs * bs) != 0 {
+                    continue;
+                }
+                let mut blocks: HashMap<(u64, u64), usize> = HashMap::new();
+                for (&r, &c) in rows.iter().zip(cols) {
+                    *blocks.entry((r / bs as u64, c / bs as u64)).or_insert(0) += 1;
+                }
+                if blocks.values().all(|&n| n == bs * bs) {
+                    dense_block = Some(bs);
+                    break;
+                }
+            }
+        }
+
+        TileStructure {
+            nnz,
+            row_span: (row_hi - row_lo + 1) as usize,
+            nonempty_rows,
+            diag_count: diags.len(),
+            max_row_len,
+            row_len_variance,
+            has_duplicates,
+            dense_block,
+        }
+    }
+
+    /// The kernel the auto heuristic selects for this structure.
+    ///
+    /// Preference order: register-blocked BCSR when the tile is a
+    /// union of fully dense aligned blocks; DIA when the tile is
+    /// banded (few, well-filled diagonals); ELL when row lengths are
+    /// uniform enough that padding stays under 25%; CSR otherwise.
+    /// Tiles with duplicate coordinates always take CSR (the only
+    /// layout that preserves their accumulation order).
+    pub fn select(&self) -> KernelKind {
+        if self.nnz == 0 || self.has_duplicates {
+            return KernelKind::Csr;
+        }
+        if self.dense_block.is_some() {
+            return KernelKind::Bcsr;
+        }
+        if self.diag_count <= AUTO_DIA_MAX_DIAGS
+            && self.dia_fill() >= AUTO_DIA_MIN_FILL
+            && self.nnz as f64 / self.diag_count as f64 >= AUTO_DIA_MIN_DIAG_LEN
+        {
+            return KernelKind::Dia;
+        }
+        if self.ell_fill() >= AUTO_ELL_MIN_FILL {
+            return KernelKind::Ell;
+        }
+        KernelKind::Csr
+    }
+}
+
+/// Row-sorted CSR payload (the reference kernel). `row_ids` lists
+/// only rows with entries; row `r` spans
+/// `cols/vals[row_ptr[r]..row_ptr[r+1]]`, sorted by column (stable
+/// for duplicates).
+#[derive(Clone, Debug)]
+pub struct CsrTile<T> {
+    /// Component-local row coordinates, ascending, nonempty rows only.
+    pub row_ids: Vec<u64>,
+    /// Entry ranges per stored row (`row_ids.len() + 1` offsets).
+    pub row_ptr: Vec<usize>,
+    /// Column coordinates, ascending within each row.
+    pub cols: Vec<u64>,
+    /// Entry values, aligned with `cols`.
+    pub vals: Vec<T>,
+}
+
+/// Diagonal-major banded payload. Values are stored dense per
+/// diagonal (`vals[d · nrows + local_row]`); `runs` lists, per
+/// diagonal, the local-row ranges actually holding entries, so
+/// padding is skipped structurally.
+#[derive(Clone, Debug)]
+pub struct DiaTile<T> {
+    /// First (lowest) row of the tile's row span.
+    pub row_lo: u64,
+    /// Rows in the span (dense extent of every diagonal).
+    pub nrows: usize,
+    /// Stored diagonal offsets (`col − row`), ascending.
+    pub offsets: Vec<i64>,
+    /// `runs[run_ptr[d]..run_ptr[d+1]]` are diagonal `d`'s valid
+    /// local-row ranges `(lo, hi)`, ascending.
+    pub run_ptr: Vec<usize>,
+    /// Valid local-row ranges, concatenated per diagonal.
+    pub runs: Vec<(u32, u32)>,
+    /// Dense diagonal-major values (`offsets.len() · nrows`), zero
+    /// in padding slots.
+    pub vals: Vec<T>,
+}
+
+/// Padded-lane (ELLPACK) payload: `width` slots per stored row,
+/// row-major; slots past `row_len[r]` are padding and never read.
+#[derive(Clone, Debug)]
+pub struct EllTile<T> {
+    /// Component-local row coordinates, ascending, nonempty rows only.
+    pub row_ids: Vec<u64>,
+    /// Lane width (longest row).
+    pub width: usize,
+    /// Valid entries per stored row.
+    pub row_len: Vec<u32>,
+    /// Column coordinates, `row_ids.len() · width`, ascending within
+    /// each row's valid prefix (padding repeats the last valid
+    /// column).
+    pub cols: Vec<u64>,
+    /// Values, same shape as `cols`, zero in padding slots.
+    pub vals: Vec<T>,
+}
+
+/// Register-blocked BCSR payload over fully dense aligned `bs × bs`
+/// blocks.
+#[derive(Clone, Debug)]
+pub struct BcsrTile<T> {
+    /// Block edge length.
+    pub bs: usize,
+    /// Global block-row indices (`row / bs`), ascending, nonempty
+    /// block rows only.
+    pub brow_ids: Vec<u64>,
+    /// Block ranges per stored block row.
+    pub bptr: Vec<usize>,
+    /// Global block-column indices, ascending within each block row.
+    pub bcols: Vec<u64>,
+    /// Block values, `bs · bs` per block, row-major within the block.
+    pub vals: Vec<T>,
+}
+
+/// One tile lowered into its selected kernel payload.
+#[derive(Clone, Debug)]
+pub enum TileKernel<T> {
+    /// No stored entries; executing it is a no-op and backends skip
+    /// the task launch entirely.
+    Empty,
+    /// See [`CsrTile`].
+    Csr(CsrTile<T>),
+    /// See [`DiaTile`].
+    Dia(DiaTile<T>),
+    /// See [`EllTile`].
+    Ell(EllTile<T>),
+    /// See [`BcsrTile`].
+    Bcsr(BcsrTile<T>),
+}
+
+/// Order triplet indices by `(row, col)`, stable in input order for
+/// duplicates — the canonical accumulation order of the whole family.
+fn sorted_order(rows: &[u64], cols: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&k| (rows[k], cols[k]));
+    order
+}
+
+impl<T: Scalar> TileKernel<T> {
+    /// Lower one tile's triplets (any order, component-local
+    /// coordinates) into a kernel payload.
+    ///
+    /// With [`KernelChoice::Auto`] the structure analysis picks; with
+    /// [`KernelChoice::Force`] the given kind is used when
+    /// representable (falling back to CSR otherwise, so forcing can
+    /// never change results or lose entries).
+    pub fn lower(rows: &[u64], cols: &[u64], vals: &[T], choice: KernelChoice) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        if rows.is_empty() {
+            return TileKernel::Empty;
+        }
+        let structure = TileStructure::analyze(rows, cols, vals);
+        let kind = match choice {
+            KernelChoice::Auto => structure.select(),
+            KernelChoice::Force(k) => k,
+        };
+        match kind {
+            KernelKind::Bcsr => Self::lower_bcsr(rows, cols, vals, &structure)
+                .unwrap_or_else(|| TileKernel::Csr(Self::lower_csr(rows, cols, vals))),
+            KernelKind::Dia => Self::lower_dia(rows, cols, vals, &structure)
+                .unwrap_or_else(|| TileKernel::Csr(Self::lower_csr(rows, cols, vals))),
+            KernelKind::Ell => Self::lower_ell(rows, cols, vals, &structure)
+                .unwrap_or_else(|| TileKernel::Csr(Self::lower_csr(rows, cols, vals))),
+            KernelKind::Csr => TileKernel::Csr(Self::lower_csr(rows, cols, vals)),
+        }
+    }
+
+    fn lower_csr(rows: &[u64], cols: &[u64], vals: &[T]) -> CsrTile<T> {
+        let order = sorted_order(rows, cols);
+        let mut row_ids = Vec::new();
+        let mut row_ptr = Vec::new();
+        let mut cs = Vec::with_capacity(order.len());
+        let mut vs = Vec::with_capacity(order.len());
+        for &k in &order {
+            if row_ids.last().copied() != Some(rows[k]) {
+                row_ids.push(rows[k]);
+                row_ptr.push(cs.len());
+            }
+            cs.push(cols[k]);
+            vs.push(vals[k]);
+        }
+        row_ptr.push(cs.len());
+        CsrTile {
+            row_ids,
+            row_ptr,
+            cols: cs,
+            vals: vs,
+        }
+    }
+
+    fn lower_dia(rows: &[u64], cols: &[u64], vals: &[T], s: &TileStructure) -> Option<Self> {
+        if s.has_duplicates {
+            return None;
+        }
+        let slots = s.diag_count.checked_mul(s.row_span)?;
+        if slots > DIA_MAX_EXPANSION * s.nnz + 1024 {
+            return None; // forced-DIA memory guard
+        }
+        let row_lo = rows.iter().copied().min().unwrap();
+        let nrows = s.row_span;
+        let mut offsets: Vec<i64> = rows
+            .iter()
+            .zip(cols)
+            .map(|(&r, &c)| c as i64 - r as i64)
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut dense = vec![T::ZERO; offsets.len() * nrows];
+        let mut present = vec![false; offsets.len() * nrows];
+        for ((&r, &c), &v) in rows.iter().zip(cols).zip(vals) {
+            let d = offsets.binary_search(&(c as i64 - r as i64)).unwrap();
+            let lr = (r - row_lo) as usize;
+            dense[d * nrows + lr] = v;
+            present[d * nrows + lr] = true;
+        }
+        let mut run_ptr = Vec::with_capacity(offsets.len() + 1);
+        let mut runs = Vec::new();
+        for d in 0..offsets.len() {
+            run_ptr.push(runs.len());
+            let base = d * nrows;
+            let mut lr = 0usize;
+            while lr < nrows {
+                if present[base + lr] {
+                    let lo = lr;
+                    while lr < nrows && present[base + lr] {
+                        lr += 1;
+                    }
+                    runs.push((lo as u32, lr as u32));
+                } else {
+                    lr += 1;
+                }
+            }
+        }
+        run_ptr.push(runs.len());
+        Some(TileKernel::Dia(DiaTile {
+            row_lo,
+            nrows,
+            offsets,
+            run_ptr,
+            runs,
+            vals: dense,
+        }))
+    }
+
+    fn lower_ell(rows: &[u64], cols: &[u64], vals: &[T], s: &TileStructure) -> Option<Self> {
+        if s.has_duplicates {
+            return None;
+        }
+        let csr = Self::lower_csr(rows, cols, vals);
+        let nrows = csr.row_ids.len();
+        let width = s.max_row_len;
+        let mut pcols = vec![0u64; nrows * width];
+        let mut pvals = vec![T::ZERO; nrows * width];
+        let mut row_len = Vec::with_capacity(nrows);
+        for r in 0..nrows {
+            let span = csr.row_ptr[r]..csr.row_ptr[r + 1];
+            let len = span.len();
+            row_len.push(len as u32);
+            let base = r * width;
+            pcols[base..base + len].copy_from_slice(&csr.cols[span.clone()]);
+            pvals[base..base + len].copy_from_slice(&csr.vals[span]);
+            // Pad lane columns with the last valid column so even an
+            // (unreached) padded load would stay in bounds.
+            let last = pcols[base + len - 1];
+            for slot in pcols[base + len..base + width].iter_mut() {
+                *slot = last;
+            }
+        }
+        Some(TileKernel::Ell(EllTile {
+            row_ids: csr.row_ids,
+            width,
+            row_len,
+            cols: pcols,
+            vals: pvals,
+        }))
+    }
+
+    fn lower_bcsr(rows: &[u64], cols: &[u64], vals: &[T], s: &TileStructure) -> Option<Self> {
+        let bs = s.dense_block.or_else(|| {
+            // Forced BCSR on a structure the analysis did not flag:
+            // retry the coverage check directly.
+            if s.has_duplicates {
+                return None;
+            }
+            BCSR_BLOCK_SIZES
+                .iter()
+                .copied()
+                .find(|&bs| Self::bcsr_blocks_dense(rows, cols, bs))
+        })?;
+        let b64 = bs as u64;
+        // Sort entries by (block row, block col, local row, local col)
+        // — identical per-row column order to CSR.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_unstable_by_key(|&k| (rows[k] / b64, cols[k] / b64, rows[k] % b64, cols[k] % b64));
+        let mut brow_ids = Vec::new();
+        let mut bptr = Vec::new();
+        let mut bcols = Vec::new();
+        let mut bvals = Vec::with_capacity(rows.len());
+        for chunk in order.chunks(bs * bs) {
+            let br = rows[chunk[0]] / b64;
+            let bc = cols[chunk[0]] / b64;
+            if brow_ids.last().copied() != Some(br) {
+                brow_ids.push(br);
+                bptr.push(bcols.len());
+            }
+            bcols.push(bc);
+            for &k in chunk {
+                debug_assert_eq!(rows[k] / b64, br);
+                debug_assert_eq!(cols[k] / b64, bc);
+                bvals.push(vals[k]);
+            }
+        }
+        bptr.push(bcols.len());
+        Some(TileKernel::Bcsr(BcsrTile {
+            bs,
+            brow_ids,
+            bptr,
+            bcols,
+            vals: bvals,
+        }))
+    }
+
+    fn bcsr_blocks_dense(rows: &[u64], cols: &[u64], bs: usize) -> bool {
+        if rows.len() % (bs * bs) != 0 {
+            return false;
+        }
+        let mut blocks: HashMap<(u64, u64), usize> = HashMap::new();
+        for (&r, &c) in rows.iter().zip(cols) {
+            *blocks.entry((r / bs as u64, c / bs as u64)).or_insert(0) += 1;
+        }
+        blocks.values().all(|&n| n == bs * bs)
+    }
+
+    /// The lowered kind (`None` for [`TileKernel::Empty`]).
+    pub fn kind(&self) -> Option<KernelKind> {
+        match self {
+            TileKernel::Empty => None,
+            TileKernel::Csr(_) => Some(KernelKind::Csr),
+            TileKernel::Dia(_) => Some(KernelKind::Dia),
+            TileKernel::Ell(_) => Some(KernelKind::Ell),
+            TileKernel::Bcsr(_) => Some(KernelKind::Bcsr),
+        }
+    }
+
+    /// Stored entries (padding excluded).
+    pub fn nnz(&self) -> usize {
+        match self {
+            TileKernel::Empty => 0,
+            TileKernel::Csr(t) => t.vals.len(),
+            TileKernel::Dia(t) => t
+                .runs
+                .iter()
+                .map(|&(lo, hi)| (hi - lo) as usize)
+                .sum(),
+            TileKernel::Ell(t) => t.row_len.iter().map(|&l| l as usize).sum(),
+            TileKernel::Bcsr(t) => t.vals.len(),
+        }
+    }
+
+    /// True when the tile stores nothing (its task launch can be
+    /// skipped; the zero-fill plan owns its output rows).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, TileKernel::Empty)
+    }
+
+    /// Execute `y += A x` (or `y += Aᵀ x` when `transpose`) through
+    /// the accessor traits.
+    #[inline]
+    pub fn apply<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y, transpose: bool) {
+        match self {
+            TileKernel::Empty => {}
+            TileKernel::Csr(t) => {
+                if transpose {
+                    t.apply_t(x, y)
+                } else {
+                    t.apply(x, y)
+                }
+            }
+            TileKernel::Dia(t) => {
+                if transpose {
+                    t.apply_t(x, y)
+                } else {
+                    t.apply(x, y)
+                }
+            }
+            TileKernel::Ell(t) => {
+                if transpose {
+                    t.apply_t(x, y)
+                } else {
+                    t.apply(x, y)
+                }
+            }
+            TileKernel::Bcsr(t) => {
+                if transpose {
+                    t.apply_t(x, y)
+                } else {
+                    t.apply(x, y)
+                }
+            }
+        }
+    }
+
+    /// Slice convenience wrapper over [`TileKernel::apply`] (tests,
+    /// benchmarks, reference checks).
+    pub fn apply_slices(&self, x: &[T], y: &mut [T], transpose: bool) {
+        let mut yy = y;
+        self.apply(&x, &mut yy, transpose);
+    }
+}
+
+impl<T: Scalar> CsrTile<T> {
+    /// `y += A x`: per-row register accumulation, columns ascending.
+    #[inline]
+    pub fn apply<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for (r, &row) in self.row_ids.iter().enumerate() {
+            let i = row as usize;
+            let mut acc = y.load(i);
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc = self.vals[idx].mul_add(x.load(self.cols[idx] as usize), acc);
+            }
+            y.store(i, acc);
+        }
+    }
+
+    /// `y += Aᵀ x`: rows ascending, scatter along each stored row
+    /// with `x[row]` loaded once.
+    #[inline]
+    pub fn apply_t<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for (r, &row) in self.row_ids.iter().enumerate() {
+            let xv = x.load(row as usize);
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let j = self.cols[idx] as usize;
+                y.store(j, self.vals[idx].mul_add(xv, y.load(j)));
+            }
+        }
+    }
+}
+
+impl<T: Scalar> DiaTile<T> {
+    /// `y += A x`: diagonals ascending; every run is a stride-1,
+    /// gather-free `mul_add` loop over contiguous rows. Per output
+    /// row, ascending diagonal offset equals ascending column — the
+    /// CSR order.
+    #[inline]
+    pub fn apply<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for d in 0..self.offsets.len() {
+            let off = self.offsets[d];
+            let base = d * self.nrows;
+            for &(lo, hi) in &self.runs[self.run_ptr[d]..self.run_ptr[d + 1]] {
+                let row0 = self.row_lo + lo as u64;
+                let col0 = (row0 as i64 + off) as u64;
+                for k in 0..(hi - lo) as usize {
+                    let i = row0 as usize + k;
+                    let v = self.vals[base + lo as usize + k];
+                    y.store(i, v.mul_add(x.load(col0 as usize + k), y.load(i)));
+                }
+            }
+        }
+    }
+
+    /// `y += Aᵀ x`: diagonals **descending** so each output column
+    /// receives its contributions in ascending-row (CSR) order; the
+    /// inner loops stay stride-1.
+    #[inline]
+    pub fn apply_t<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for d in (0..self.offsets.len()).rev() {
+            let off = self.offsets[d];
+            let base = d * self.nrows;
+            for &(lo, hi) in &self.runs[self.run_ptr[d]..self.run_ptr[d + 1]] {
+                let row0 = self.row_lo + lo as u64;
+                let col0 = (row0 as i64 + off) as u64;
+                for k in 0..(hi - lo) as usize {
+                    let j = col0 as usize + k;
+                    let v = self.vals[base + lo as usize + k];
+                    y.store(j, v.mul_add(x.load(row0 as usize + k), y.load(j)));
+                }
+            }
+        }
+    }
+}
+
+impl<T: Scalar> EllTile<T> {
+    /// `y += A x`: fixed-stride lanes, per-row register accumulation
+    /// over the valid prefix.
+    #[inline]
+    pub fn apply<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for (r, &row) in self.row_ids.iter().enumerate() {
+            let i = row as usize;
+            let base = r * self.width;
+            let mut acc = y.load(i);
+            for k in base..base + self.row_len[r] as usize {
+                acc = self.vals[k].mul_add(x.load(self.cols[k] as usize), acc);
+            }
+            y.store(i, acc);
+        }
+    }
+
+    /// `y += Aᵀ x`: rows ascending, scatter over the valid prefix.
+    #[inline]
+    pub fn apply_t<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        for (r, &row) in self.row_ids.iter().enumerate() {
+            let xv = x.load(row as usize);
+            let base = r * self.width;
+            for k in base..base + self.row_len[r] as usize {
+                let j = self.cols[k] as usize;
+                y.store(j, self.vals[k].mul_add(xv, y.load(j)));
+            }
+        }
+    }
+}
+
+impl<T: Scalar> BcsrTile<T> {
+    /// `y += A x` with the block size monomorphized so the `BS`-wide
+    /// register accumulators unroll.
+    #[inline]
+    pub fn apply<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        match self.bs {
+            2 => self.fwd::<X, Y, 2>(x, y),
+            4 => self.fwd::<X, Y, 4>(x, y),
+            8 => self.fwd::<X, Y, 8>(x, y),
+            _ => unreachable!("unsupported block size {}", self.bs),
+        }
+    }
+
+    /// `y += Aᵀ x`, block size monomorphized.
+    #[inline]
+    pub fn apply_t<X: VecIn<T>, Y: VecOut<T>>(&self, x: &X, y: &mut Y) {
+        match self.bs {
+            2 => self.bwd::<X, Y, 2>(x, y),
+            4 => self.bwd::<X, Y, 4>(x, y),
+            8 => self.bwd::<X, Y, 8>(x, y),
+            _ => unreachable!("unsupported block size {}", self.bs),
+        }
+    }
+
+    /// Forward: per block row, `BS` output accumulators live in
+    /// registers while each block's `BS` inputs are loaded once and
+    /// reused by every row of the block.
+    fn fwd<X: VecIn<T>, Y: VecOut<T>, const BS: usize>(&self, x: &X, y: &mut Y) {
+        for (br, &brow) in self.brow_ids.iter().enumerate() {
+            let row0 = brow as usize * BS;
+            let mut acc = [T::ZERO; BS];
+            for (lr, a) in acc.iter_mut().enumerate() {
+                *a = y.load(row0 + lr);
+            }
+            for b in self.bptr[br]..self.bptr[br + 1] {
+                let col0 = self.bcols[b] as usize * BS;
+                let mut xs = [T::ZERO; BS];
+                for (lc, xv) in xs.iter_mut().enumerate() {
+                    *xv = x.load(col0 + lc);
+                }
+                let vbase = b * BS * BS;
+                for (lr, a) in acc.iter_mut().enumerate() {
+                    for (lc, &xv) in xs.iter().enumerate() {
+                        *a = self.vals[vbase + lr * BS + lc].mul_add(xv, *a);
+                    }
+                }
+            }
+            for (lr, &a) in acc.iter().enumerate() {
+                y.store(row0 + lr, a);
+            }
+        }
+    }
+
+    /// Transpose: per block row, the `BS` inputs are loaded once and
+    /// each block scatters `BS` column accumulations. Local rows
+    /// ascend inside each block, so every output column sees
+    /// ascending global rows — the CSR-transpose order.
+    fn bwd<X: VecIn<T>, Y: VecOut<T>, const BS: usize>(&self, x: &X, y: &mut Y) {
+        for (br, &brow) in self.brow_ids.iter().enumerate() {
+            let row0 = brow as usize * BS;
+            let mut xs = [T::ZERO; BS];
+            for (lr, xv) in xs.iter_mut().enumerate() {
+                *xv = x.load(row0 + lr);
+            }
+            for b in self.bptr[br]..self.bptr[br + 1] {
+                let col0 = self.bcols[b] as usize * BS;
+                let vbase = b * BS * BS;
+                let mut acc = [T::ZERO; BS];
+                for (lc, a) in acc.iter_mut().enumerate() {
+                    *a = y.load(col0 + lc);
+                }
+                for (lr, &xv) in xs.iter().enumerate() {
+                    for (lc, a) in acc.iter_mut().enumerate() {
+                        *a = self.vals[vbase + lr * BS + lc].mul_add(xv, *a);
+                    }
+                }
+                for (lc, &a) in acc.iter().enumerate() {
+                    y.store(col0 + lc, a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference `y += A x` straight from triplets in (row, col,
+    /// input-order) sequence — the bitwise ground truth.
+    fn reference(
+        rows: &[u64],
+        cols: &[u64],
+        vals: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+        transpose: bool,
+    ) {
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&k| (rows[k], cols[k]));
+        for &k in &order {
+            let (i, j) = if transpose {
+                (cols[k] as usize, rows[k] as usize)
+            } else {
+                (rows[k] as usize, cols[k] as usize)
+            };
+            y[i] = vals[k].mul_add(x[j], y[i]);
+        }
+    }
+
+    fn tridiag(n: u64) -> (Vec<u64>, Vec<u64>, Vec<f64>) {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..n {
+            for (dj, val) in [(-1i64, -1.0), (0, 2.0), (1, -1.0)] {
+                let j = i as i64 + dj;
+                if j >= 0 && (j as u64) < n {
+                    r.push(i);
+                    c.push(j as u64);
+                    v.push(val + 0.01 * i as f64);
+                }
+            }
+        }
+        (r, c, v)
+    }
+
+    fn check_all_kinds(rows: &[u64], cols: &[u64], vals: &[f64], n: usize) {
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.7 * i as f64).collect();
+        for transpose in [false, true] {
+            let mut want = vec![0.1; n];
+            reference(rows, cols, vals, &x, &mut want, transpose);
+            for kind in KernelKind::ALL {
+                let k = TileKernel::lower(rows, cols, vals, KernelChoice::Force(kind));
+                let mut got = vec![0.1; n];
+                k.apply_slices(&x, &mut got, transpose);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "kind {kind:?} transpose {transpose} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_selects_dia_and_matches() {
+        let (r, c, v) = tridiag(32);
+        let s = TileStructure::analyze(&r, &c, &v);
+        assert_eq!(s.diag_count, 3);
+        assert_eq!(s.select(), KernelKind::Dia);
+        check_all_kinds(&r, &c, &v, 32);
+    }
+
+    #[test]
+    fn dense_blocks_select_bcsr() {
+        // Two dense 4x4 blocks on the block diagonal.
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for b in 0..2u64 {
+            for i in 0..4u64 {
+                for j in 0..4u64 {
+                    r.push(b * 4 + i);
+                    c.push(b * 4 + j);
+                    v.push((1 + i + 2 * j + b) as f64);
+                }
+            }
+        }
+        let s = TileStructure::analyze(&r, &c, &v);
+        assert_eq!(s.dense_block, Some(4));
+        assert_eq!(s.select(), KernelKind::Bcsr);
+        check_all_kinds(&r, &c, &v, 8);
+    }
+
+    #[test]
+    fn duplicates_force_csr_everywhere() {
+        let r = vec![1, 1, 1, 2];
+        let c = vec![3, 3, 0, 2];
+        let v = vec![0.1, 0.2, 0.3, 0.4];
+        let s = TileStructure::analyze(&r, &c, &v);
+        assert!(s.has_duplicates);
+        assert_eq!(s.select(), KernelKind::Csr);
+        // Forcing any kind must fall back without changing bits.
+        for kind in KernelKind::ALL {
+            let k = TileKernel::lower(&r, &c, &v, KernelChoice::Force(kind));
+            assert_eq!(k.kind(), Some(KernelKind::Csr));
+        }
+        check_all_kinds(&r, &c, &v, 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_tiles() {
+        let k = TileKernel::<f64>::lower(&[], &[], &[], KernelChoice::Auto);
+        assert!(k.is_empty());
+        assert_eq!(k.nnz(), 0);
+        let r = vec![5u64];
+        let c = vec![2u64];
+        let v = vec![-3.25];
+        check_all_kinds(&r, &c, &v, 8);
+    }
+
+    #[test]
+    fn uniform_rows_select_ell() {
+        // 8 rows x 3 scattered (non-banded) entries each.
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..8u64 {
+            for (s, j) in [(3u64, 0u64), (11, 1), (23, 2)] {
+                r.push(i);
+                c.push((i * 7 + s) % 31);
+                v.push((i + j + 1) as f64 * 0.5);
+            }
+        }
+        let s = TileStructure::analyze(&r, &c, &v);
+        assert_eq!(s.select(), KernelKind::Ell);
+        check_all_kinds(&r, &c, &v, 31);
+    }
+
+    #[test]
+    fn nnz_survives_every_lowering() {
+        let (r, c, v) = tridiag(16);
+        for kind in KernelKind::ALL {
+            let k = TileKernel::lower(&r, &c, &v, KernelChoice::Force(kind));
+            assert_eq!(k.nnz(), v.len(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests for the specialized tile-kernel family.
+//!
+//! The contract under test is the bitwise-reproducibility invariant
+//! from DESIGN.md: every lowering (CSR, DIA, ELL, BCSR) of the same
+//! triplets applies each output element's contributions in exactly
+//! the reference order — entries sorted by `(row, col)`, accumulated
+//! with `mul_add` — in both transpose directions. So all kernels must
+//! agree with the reference *to the bit*, not merely to a tolerance,
+//! on every structure the generators can produce: random scatter
+//! (with duplicates), banded, blocked, uniform-row, empty, singleton.
+
+use kdr_sparse::{KernelChoice, KernelKind, TileKernel, TileStructure};
+use proptest::prelude::*;
+
+/// The accumulation-order reference every kernel must reproduce
+/// bitwise: entries sorted by `(row, col)` (stable), each applied via
+/// one `mul_add` into its output slot.
+fn reference(rows: &[u64], cols: &[u64], vals: &[f64], x: &[f64], y: &mut [f64], transpose: bool) {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by_key(|&k| (rows[k], cols[k]));
+    for &k in &order {
+        let (i, j) = if transpose {
+            (cols[k] as usize, rows[k] as usize)
+        } else {
+            (rows[k] as usize, cols[k] as usize)
+        };
+        y[i] = vals[k].mul_add(x[j], y[i]);
+    }
+}
+
+/// Lower `(rows, cols, vals)` under every forced kind plus `Auto` and
+/// check each against the reference, both directions, bitwise. The
+/// destination starts non-zero so kernels that scribbled on rows they
+/// do not own would be caught too.
+fn check_all_lowerings(rows: &[u64], cols: &[u64], vals: &[f64]) {
+    let span = rows
+        .iter()
+        .chain(cols.iter())
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 2);
+    let x: Vec<f64> = (0..span).map(|i| 0.25 + 0.5 * i as f64).collect();
+    let choices = [
+        KernelChoice::Auto,
+        KernelChoice::Force(KernelKind::Csr),
+        KernelChoice::Force(KernelKind::Dia),
+        KernelChoice::Force(KernelKind::Ell),
+        KernelChoice::Force(KernelKind::Bcsr),
+    ];
+    for transpose in [false, true] {
+        let mut want = vec![0.125; span];
+        reference(rows, cols, vals, &x, &mut want, transpose);
+        let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        for choice in choices {
+            let k = TileKernel::lower(rows, cols, vals, choice);
+            assert_eq!(k.nnz(), vals.len(), "{choice:?} lost entries");
+            assert_eq!(k.is_empty(), vals.is_empty());
+            let mut got = vec![0.125; span];
+            k.apply_slices(&x, &mut got, transpose);
+            let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got_bits,
+                want_bits,
+                "{:?} (lowered to {:?}) transpose {} diverges from reference order",
+                choice,
+                k.kind(),
+                transpose
+            );
+        }
+    }
+}
+
+type Trip = (Vec<u64>, Vec<u64>, Vec<f64>);
+
+/// Random scatter, duplicates allowed (which must force CSR fallback
+/// in every lowering).
+fn arb_scatter() -> impl Strategy<Value = Trip> {
+    (2u64..24, 2u64..24).prop_flat_map(|(nr, nc)| {
+        prop::collection::vec((0..nr, 0..nc, -8i32..8), 0..96).prop_map(|es| {
+            let mut r = Vec::new();
+            let mut c = Vec::new();
+            let mut v = Vec::new();
+            for (i, j, q) in es {
+                r.push(i);
+                c.push(j);
+                v.push(q as f64 * 0.375 + 0.0625);
+            }
+            (r, c, v)
+        })
+    })
+}
+
+/// Banded structure: a few diagonals of a (possibly offset) square
+/// tile, each diagonal fully or partially populated. Auto-selection
+/// should usually pick DIA here.
+fn arb_banded() -> impl Strategy<Value = Trip> {
+    (4u64..32, 0u64..64, prop::collection::vec(-6i64..6, 1..5), 0u64..4).prop_map(
+        |(n, base, offsets, skip)| {
+            let mut offs = offsets;
+            offs.sort_unstable();
+            offs.dedup();
+            let mut r = Vec::new();
+            let mut c = Vec::new();
+            let mut v = Vec::new();
+            for (oi, &d) in offs.iter().enumerate() {
+                for i in 0..n {
+                    let j = i as i64 + d;
+                    if j < 0 || j as u64 >= n {
+                        continue;
+                    }
+                    // Punch a periodic hole in one diagonal so partial
+                    // fills and short runs get exercised.
+                    if oi == 0 && skip > 0 && i % (skip + 3) == 0 {
+                        continue;
+                    }
+                    r.push(base + i);
+                    c.push(base + j as u64);
+                    v.push(1.0 + 0.125 * i as f64 + d as f64);
+                }
+            }
+            (r, c, v)
+        },
+    )
+}
+
+/// Block structure: a random subset of an aligned block grid, every
+/// chosen block fully dense. Auto-selection should pick BCSR.
+fn arb_blocked() -> impl Strategy<Value = Trip> {
+    let block_size = prop_oneof![Just(2u64), Just(4u64), Just(8u64)];
+    (block_size, 1u64..5, 1u64..5).prop_flat_map(|(bs, gr, gc)| {
+        prop::collection::vec((0..gr, 0..gc), 1..6).prop_map(move |blocks| {
+            let mut picked = blocks;
+            picked.sort_unstable();
+            picked.dedup();
+            let mut r = Vec::new();
+            let mut c = Vec::new();
+            let mut v = Vec::new();
+            for &(bi, bj) in &picked {
+                for i in 0..bs {
+                    for j in 0..bs {
+                        r.push(bi * bs + i);
+                        c.push(bj * bs + j);
+                        v.push(0.5 + (i * bs + j + bi + 2 * bj) as f64 * 0.25);
+                    }
+                }
+            }
+            (r, c, v)
+        })
+    })
+}
+
+/// Uniform short rows over a wide column space: ELL territory.
+fn arb_uniform_rows() -> impl Strategy<Value = Trip> {
+    (2u64..24, 1u64..6, 24u64..64).prop_map(|(nr, w, nc)| {
+        let mut r = Vec::new();
+        let mut c = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..nr {
+            for k in 0..w {
+                r.push(i);
+                c.push((i * 7 + k * 11) % nc);
+                v.push(1.0 + (i + k) as f64 * 0.5);
+            }
+        }
+        (r, c, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_scatter_all_lowerings_bitwise_match((r, c, v) in arb_scatter()) {
+        check_all_lowerings(&r, &c, &v);
+    }
+
+    #[test]
+    fn banded_all_lowerings_bitwise_match((r, c, v) in arb_banded()) {
+        check_all_lowerings(&r, &c, &v);
+        let s = TileStructure::analyze(&r, &c, &v);
+        prop_assert!(!s.has_duplicates);
+        // The generator emits at most 5 distinct diagonals.
+        prop_assert!(s.diag_count <= 5, "diag_count {}", s.diag_count);
+    }
+
+    #[test]
+    fn blocked_all_lowerings_bitwise_match((r, c, v) in arb_blocked()) {
+        check_all_lowerings(&r, &c, &v);
+        let s = TileStructure::analyze(&r, &c, &v);
+        prop_assert!(s.dense_block.is_some(), "dense blocks not detected");
+        prop_assert_eq!(s.select(), KernelKind::Bcsr);
+    }
+
+    #[test]
+    fn uniform_rows_all_lowerings_bitwise_match((r, c, v) in arb_uniform_rows()) {
+        check_all_lowerings(&r, &c, &v);
+        let s = TileStructure::analyze(&r, &c, &v);
+        prop_assert_eq!(s.row_len_variance, 0.0);
+    }
+
+    #[test]
+    fn auto_agrees_with_structure_selection((r, c, v) in arb_scatter()) {
+        let k = TileKernel::lower(&r, &c, &v, KernelChoice::Auto);
+        if v.is_empty() {
+            prop_assert!(k.is_empty());
+        } else {
+            prop_assert_eq!(k.kind(), Some(TileStructure::analyze(&r, &c, &v).select()));
+        }
+    }
+}
+
+// ----- deterministic edge cases -------------------------------------
+
+#[test]
+fn empty_tile_is_empty_under_every_choice() {
+    for choice in [
+        KernelChoice::Auto,
+        KernelChoice::Force(KernelKind::Csr),
+        KernelChoice::Force(KernelKind::Dia),
+        KernelChoice::Force(KernelKind::Ell),
+        KernelChoice::Force(KernelKind::Bcsr),
+    ] {
+        let k = TileKernel::<f64>::lower(&[], &[], &[], choice);
+        assert!(k.is_empty());
+        assert_eq!(k.kind(), None);
+        // Applying an empty kernel must not touch the destination.
+        let x = [1.0, 2.0];
+        let mut y = [3.0, 4.0];
+        k.apply_slices(&x, &mut y, false);
+        k.apply_slices(&x, &mut y, true);
+        assert_eq!(y, [3.0, 4.0]);
+    }
+}
+
+#[test]
+fn singleton_tile_matches_everywhere() {
+    // One entry far from the origin: exercises row-offset handling in
+    // every format (DIA gets a single one-element diagonal, BCSR a
+    // padded-fallback, ELL width 1).
+    check_all_lowerings(&[41], &[37], &[2.5]);
+}
+
+#[test]
+fn full_dense_band_matches_everywhere() {
+    // A single completely dense diagonal: the DIA fast path with one
+    // run covering the whole tile.
+    let n = 48u64;
+    let r: Vec<u64> = (0..n).collect();
+    let c: Vec<u64> = (0..n).collect();
+    let v: Vec<f64> = (0..n).map(|i| 1.0 + 0.5 * i as f64).collect();
+    let s = TileStructure::analyze(&r, &c, &v);
+    assert_eq!(s.diag_count, 1);
+    assert_eq!(s.select(), KernelKind::Dia);
+    check_all_lowerings(&r, &c, &v);
+}
+
+#[test]
+fn signed_zero_products_stay_bitwise_identical() {
+    // -0.0 entries and cancellations: any kernel that multiplied its
+    // structural padding (instead of skipping it) would flip a -0.0
+    // to +0.0 somewhere in here.
+    let r = vec![0, 0, 1, 2, 2];
+    let c = vec![0, 2, 1, 0, 2];
+    let v = vec![-0.0, 1.0, -0.0, -1.0, 1.0];
+    check_all_lowerings(&r, &c, &v);
+}

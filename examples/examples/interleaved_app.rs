@@ -96,7 +96,8 @@ fn main() {
         be.as_any()
             .downcast_mut::<ExecBackend<f64>>()
             .unwrap()
-            .runtime_stats()
+            .metrics()
+            .runtime
     });
     let field_now = field.snapshot();
     let smoothness: f64 = field_now

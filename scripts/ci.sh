@@ -7,3 +7,8 @@ cargo build --release
 cargo test -q
 cargo test --doc -q
 cargo clippy --all-targets -- -D warnings
+
+# Kernel-dispatch benchmark: regenerates BENCH_spmv.json (kernel x
+# structure grid vs. the forced-CSR baseline) and asserts bitwise
+# agreement between every specialized kernel and the CSR lowering.
+cargo run --release -p kdr-bench --bin spmv_kernels

@@ -195,7 +195,8 @@ fn traced_cg_residuals_bitwise_match_analyzed() {
             b.as_any()
                 .downcast_mut::<ExecBackend<f64>>()
                 .unwrap()
-                .runtime_stats()
+                .metrics()
+                .runtime
         });
         (out, stats)
     };
@@ -240,7 +241,8 @@ fn traced_cg_analysis_count_is_flat_in_steady_state() {
             b.as_any()
                 .downcast_mut::<ExecBackend<f64>>()
                 .unwrap()
-                .runtime_stats()
+                .metrics()
+                .runtime
                 .tasks_analyzed
         }));
     }
