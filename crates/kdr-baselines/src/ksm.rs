@@ -78,8 +78,7 @@ impl<T: Scalar> LocalSlab<T> {
         for (r, yr) in y.iter_mut().enumerate().take(self.rows()) {
             let mut acc = T::ZERO;
             for k in self.rowptr[r] as usize..self.rowptr[r + 1] as usize {
-                acc = self.values[k]
-                    .mul_add(xw[(self.colidx[k] - self.win_lo) as usize], acc);
+                acc = self.values[k].mul_add(xw[(self.colidx[k] - self.win_lo) as usize], acc);
             }
             *yr = acc;
         }
@@ -275,9 +274,7 @@ pub fn solve_spmd<T: Scalar>(
                                 w[idx] -= hi_val * vloc[i][idx];
                             }
                         }
-                        let hk1 = ctx
-                            .allreduce_sum(rank, local_dot(&w, &w))
-                            .sqrt();
+                        let hk1 = ctx.allreduce_sum(rank, local_dot(&w, &w)).sqrt();
                         h[k + 1] = hk1;
                         let invk = T::ONE / hk1;
                         for idx in 0..rows {

@@ -25,5 +25,7 @@ pub mod simsetup;
 pub mod spmd;
 
 pub use ksm::{solve_spmd, BaselineKsm, SpmdSolveResult};
-pub use simsetup::{build_iteration_graph, per_iteration_seconds, sim_planner, KsmKind, LibraryProfile};
+pub use simsetup::{
+    build_iteration_graph, per_iteration_seconds, sim_planner, KsmKind, LibraryProfile,
+};
 pub use spmd::{run_spmd, SharedVec, SpmdContext};

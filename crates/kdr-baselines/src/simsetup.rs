@@ -76,7 +76,12 @@ impl KsmKind {
 /// Build a simulated single-operator planner for a stencil problem:
 /// matrix-free stencil operator (priced as CSR), row-based partition
 /// with `pieces` pieces.
-pub fn sim_planner(stencil: Stencil, pieces: usize, profile: LibraryProfile, nodes: usize) -> Planner<f64> {
+pub fn sim_planner(
+    stencil: Stencil,
+    pieces: usize,
+    profile: LibraryProfile,
+    nodes: usize,
+) -> Planner<f64> {
     let mut backend = SimBackend::<f64>::new(profile.machine(nodes))
         // PETSc config in the paper uses 32-bit indices
         // (`--with-64-bit-indices=0`); all libraries store CSR.
@@ -179,16 +184,48 @@ mod tests {
         let nodes = 16;
         let pieces = 64;
         let big = Stencil::lap2d(1 << 14, 1 << 14); // 2^28 unknowns
-        let t_leg = per_iteration_seconds(big, KsmKind::BiCgStab, pieces, LibraryProfile::LegionSolvers, nodes, 2, 3);
-        let t_pet = per_iteration_seconds(big, KsmKind::BiCgStab, pieces, LibraryProfile::Petsc, nodes, 2, 3);
+        let t_leg = per_iteration_seconds(
+            big,
+            KsmKind::BiCgStab,
+            pieces,
+            LibraryProfile::LegionSolvers,
+            nodes,
+            2,
+            3,
+        );
+        let t_pet = per_iteration_seconds(
+            big,
+            KsmKind::BiCgStab,
+            pieces,
+            LibraryProfile::Petsc,
+            nodes,
+            2,
+            3,
+        );
         assert!(
             t_leg < t_pet,
             "large problem: legion {t_leg} must beat petsc {t_pet}"
         );
 
         let tiny = Stencil::lap2d(1 << 7, 1 << 7); // 2^14 unknowns
-        let t_leg_s = per_iteration_seconds(tiny, KsmKind::Cg, pieces, LibraryProfile::LegionSolvers, nodes, 2, 3);
-        let t_pet_s = per_iteration_seconds(tiny, KsmKind::Cg, pieces, LibraryProfile::Petsc, nodes, 2, 3);
+        let t_leg_s = per_iteration_seconds(
+            tiny,
+            KsmKind::Cg,
+            pieces,
+            LibraryProfile::LegionSolvers,
+            nodes,
+            2,
+            3,
+        );
+        let t_pet_s = per_iteration_seconds(
+            tiny,
+            KsmKind::Cg,
+            pieces,
+            LibraryProfile::Petsc,
+            nodes,
+            2,
+            3,
+        );
         assert!(
             t_leg_s > t_pet_s,
             "small problem: legion {t_leg_s} must trail petsc {t_pet_s}"
@@ -199,8 +236,12 @@ mod tests {
     fn trilinos_trails_petsc_slightly() {
         let s = Stencil::lap2d(1 << 12, 1 << 12);
         let t_pet = per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Petsc, 4, 2, 3);
-        let t_tri = per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Trilinos, 4, 2, 3);
+        let t_tri =
+            per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Trilinos, 4, 2, 3);
         assert!(t_tri > t_pet);
-        assert!(t_tri < 1.3 * t_pet, "gap should be modest: {t_pet} vs {t_tri}");
+        assert!(
+            t_tri < 1.3 * t_pet,
+            "gap should be modest: {t_pet} vs {t_tri}"
+        );
     }
 }

@@ -106,7 +106,9 @@ impl<T: Scalar> SharedVec<T> {
         out.clear();
         let view = self
             .buf
-            .read_view(std::sync::Arc::new(kdr_index::IntervalSet::from_range(lo, hi)));
+            .read_view(std::sync::Arc::new(kdr_index::IntervalSet::from_range(
+                lo, hi,
+            )));
         out.reserve((hi - lo) as usize);
         for i in lo..hi {
             out.push(view.get(i as usize));

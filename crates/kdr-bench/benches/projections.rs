@@ -21,9 +21,12 @@ fn bench_projections(c: &mut Criterion) {
         let col_impl = op.col_relation();
 
         let part = Partition::equal_blocks(n, 64);
-        g.bench_function(BenchmarkId::new("preimage_row_stored", format!("2^{e}")), |b| {
-            b.iter(|| project_back(row_stored.as_ref(), std::hint::black_box(&part)));
-        });
+        g.bench_function(
+            BenchmarkId::new("preimage_row_stored", format!("2^{e}")),
+            |b| {
+                b.iter(|| project_back(row_stored.as_ref(), std::hint::black_box(&part)));
+            },
+        );
         g.bench_function(
             BenchmarkId::new("preimage_row_implicit", format!("2^{e}")),
             |b| {
@@ -31,9 +34,12 @@ fn bench_projections(c: &mut Criterion) {
             },
         );
         let kp = project_back(row_stored.as_ref(), &part);
-        g.bench_function(BenchmarkId::new("image_col_stored", format!("2^{e}")), |b| {
-            b.iter(|| project(col_stored.as_ref(), std::hint::black_box(&kp)));
-        });
+        g.bench_function(
+            BenchmarkId::new("image_col_stored", format!("2^{e}")),
+            |b| {
+                b.iter(|| project(col_stored.as_ref(), std::hint::black_box(&kp)));
+            },
+        );
         let kp_impl = project_back(row_impl.as_ref(), &part);
         g.bench_function(
             BenchmarkId::new("image_col_implicit", format!("2^{e}")),

@@ -15,11 +15,7 @@ use kdr_sparse::{stencil::rhs_vector, SparseMatrix, Stencil};
 
 /// One CG-like "iteration": per-piece vector ops with a reduction
 /// pattern over `pieces` pieces of three vectors.
-fn iteration_tasks(
-    bufs: &[Buffer<f64>; 3],
-    pieces: usize,
-    len: usize,
-) -> Vec<TaskBuilder> {
+fn iteration_tasks(bufs: &[Buffer<f64>; 3], pieces: usize, len: usize) -> Vec<TaskBuilder> {
     let plen = (len / pieces) as u64;
     let mut out = Vec::new();
     for stage in 0..3 {
@@ -64,9 +60,9 @@ fn bench_tracing(c: &mut Criterion) {
             ];
             b.iter(|| {
                 for t in iteration_tasks(&bufs, pieces, len) {
-                    rt.submit(t);
+                    rt.submit(t).unwrap();
                 }
-                rt.fence();
+                rt.fence().unwrap();
             });
         });
         // Trace replay: analysis memoized, only graph instantiation.
@@ -77,14 +73,15 @@ fn bench_tracing(c: &mut Criterion) {
                 Buffer::filled(len, 2.0f64),
                 Buffer::filled(len, 3.0f64),
             ];
-            rt.begin_trace();
+            rt.begin_trace().unwrap();
             for t in iteration_tasks(&bufs, pieces, len) {
-                rt.submit(t);
+                rt.submit(t).unwrap();
             }
-            let trace = rt.end_trace();
+            let trace = rt.end_trace().unwrap();
             b.iter(|| {
-                rt.replay(&trace, iteration_tasks(&bufs, pieces, len));
-                rt.fence();
+                rt.replay(&trace, iteration_tasks(&bufs, pieces, len))
+                    .unwrap();
+                rt.fence().unwrap();
             });
         });
     }
@@ -102,9 +99,10 @@ fn bench_tracing(c: &mut Criterion) {
                         TaskBuilder::new("empty")
                             .write(&buf, IntervalSet::from_range(i as u64, i as u64 + 1))
                             .body(|_| {}),
-                    );
+                    )
+                    .unwrap();
                 }
-                rt.fence();
+                rt.fence().unwrap();
             });
         });
     }

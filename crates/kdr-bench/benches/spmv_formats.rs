@@ -18,8 +18,14 @@ fn bench_formats(c: &mut Criterion) {
         ("ell", Box::new(convert::to_ell::<f64, u32>(&base))),
         ("ellt", Box::new(convert::to_ellt::<f64, u32>(&base))),
         ("dia", Box::new(convert::to_dia::<f64>(&base))),
-        ("bcsr4x4", Box::new(convert::to_bcsr::<f64, u32>(&base, 4, 4))),
-        ("stencil_matrix_free", Box::new(StencilOperator::<f64>::new(s))),
+        (
+            "bcsr4x4",
+            Box::new(convert::to_bcsr::<f64, u32>(&base, 4, 4)),
+        ),
+        (
+            "stencil_matrix_free",
+            Box::new(StencilOperator::<f64>::new(s)),
+        ),
     ];
 
     let mut g = c.benchmark_group("spmv");

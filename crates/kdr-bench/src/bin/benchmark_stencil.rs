@@ -52,7 +52,9 @@ fn parse_args() -> Args {
         it: 500,
         vp: 8,
         sim: None,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -72,11 +74,7 @@ fn parse_args() -> Args {
             "-vp" => a.vp = grab(&argv, i, "-vp").parse().unwrap(),
             "--workers" => a.workers = grab(&argv, i, "--workers").parse().unwrap(),
             "--sim" => {
-                a.sim = Some(
-                    argv.get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(16),
-                );
+                a.sim = Some(argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(16));
                 if argv.get(i + 1).map(|v| v.parse::<usize>().is_ok()) == Some(true) {
                     i += 1;
                 }

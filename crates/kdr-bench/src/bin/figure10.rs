@@ -67,9 +67,17 @@ fn build_tiles(stencil: &Stencil, relaxed: bool) -> Vec<Tile> {
         tiles.push(Tile::new(assign(p), diag_partner, 2.0 * diag_nnz as f64));
         if p > 0 {
             // A_{p, p-1}: output piece p, input piece p-1.
-            tiles.push(Tile::new(assign(p), assign(p - 1), 2.0 * coupling_prev as f64));
+            tiles.push(Tile::new(
+                assign(p),
+                assign(p - 1),
+                2.0 * coupling_prev as f64,
+            ));
             // A_{p-1, p}: output piece p-1, input piece p.
-            tiles.push(Tile::new(assign(p - 1), assign(p), 2.0 * coupling_next as f64));
+            tiles.push(Tile::new(
+                assign(p - 1),
+                assign(p),
+                2.0 * coupling_next as f64,
+            ));
         }
     }
     tiles
@@ -80,7 +88,14 @@ struct RunResult {
     total: f64,
 }
 
-fn run_beta(dynamic: bool, iters: u64, relaxed: bool, seed: u64, beta: f64, literal: bool) -> RunResult {
+fn run_beta(
+    dynamic: bool,
+    iters: u64,
+    relaxed: bool,
+    seed: u64,
+    beta: f64,
+    literal: bool,
+) -> RunResult {
     let stencil = Stencil::lap2d(1 << 16, 1 << 16);
     let machine = MachineConfig::lassen_cpu(NODES);
     let mut tiles = build_tiles(&stencil, relaxed);

@@ -58,8 +58,7 @@ fn main() {
                     } else {
                         (warmup, timed)
                     };
-                    let mut secs =
-                        per_iteration_seconds(stencil, ksm, pieces, lib, nodes, w, t);
+                    let mut secs = per_iteration_seconds(stencil, ksm, pieces, lib, nodes, w, t);
                     if no_overlap && lib == LibraryProfile::LegionSolvers {
                         // Ablation: forbid overlap by running the
                         // Legion profile bulk-synchronously.
@@ -99,7 +98,9 @@ fn main() {
                             .find(|r| r.0 == kind && r.1 == ksm && r.2 == lib && r.3 == e)
                             .map(|r| r.4)
                     };
-                    if let (Some(leg), Some(base)) = (find(LibraryProfile::LegionSolvers), find(baseline)) {
+                    if let (Some(leg), Some(base)) =
+                        (find(LibraryProfile::LegionSolvers), find(baseline))
+                    {
                         ratios.push(base / leg);
                     }
                 }

@@ -43,8 +43,10 @@ fn main() {
         max_iters: 2000,
         tol: 1e-10,
         check_every: 25,
+        ..SolveControl::default()
     };
-    let (report, trace) = solve_traced(&mut planner, &mut solver, control);
+    let (outcome, trace) = solve_traced(&mut planner, &mut solver, control);
+    let report = outcome.expect("solve failed");
 
     let (spans, metrics): (Vec<TaskSpan>, ExecMetrics) = planner.with_backend(|b| {
         let exec = b

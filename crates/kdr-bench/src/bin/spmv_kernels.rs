@@ -39,7 +39,13 @@ fn from_matrix(name: &'static str, m: &dyn SparseMatrix<f64>) -> Workload {
         vals.push(v);
     });
     let n = m.range_space().size().max(m.domain_space().size()) as usize;
-    Workload { name, rows, cols, vals, n }
+    Workload {
+        name,
+        rows,
+        cols,
+        vals,
+        n,
+    }
 }
 
 fn stencil_workload(nx: u64) -> Workload {
@@ -90,7 +96,13 @@ fn random_scatter_workload(n: u64, avg_row: u64) -> Workload {
 /// the two kernels' samples interleaved so slow clock drift (thermal,
 /// scheduler) lands on both arms equally instead of biasing whichever
 /// ran second.
-fn time_pair(a: &TileKernel<f64>, b: &TileKernel<f64>, x: &[f64], y: &mut [f64], reps: usize) -> (f64, f64) {
+fn time_pair(
+    a: &TileKernel<f64>,
+    b: &TileKernel<f64>,
+    x: &[f64],
+    y: &mut [f64],
+    reps: usize,
+) -> (f64, f64) {
     let mut one = |k: &TileKernel<f64>| {
         let t0 = Instant::now();
         k.apply_slices(x, y, false);
@@ -123,21 +135,36 @@ fn main() {
     ];
     let reps = 60;
     let mut rows_json = Vec::new();
-    println!("{:<16} {:>9} {:>6} {:>12} {:>12} {:>8}", "workload", "nnz", "kind", "csr ns", "auto ns", "speedup");
+    println!(
+        "{:<16} {:>9} {:>6} {:>12} {:>12} {:>8}",
+        "workload", "nnz", "kind", "csr ns", "auto ns", "speedup"
+    );
     for w in &workloads {
-        let csr = TileKernel::lower(&w.rows, &w.cols, &w.vals, KernelChoice::Force(KernelKind::Csr));
+        let csr = TileKernel::lower(
+            &w.rows,
+            &w.cols,
+            &w.vals,
+            KernelChoice::Force(KernelKind::Csr),
+        );
         let auto = TileKernel::lower(&w.rows, &w.cols, &w.vals, KernelChoice::Auto);
         let kind = auto.kind().expect("non-empty workload").name();
 
         // Reproducibility gate: the specialized kernel must match the
         // CSR lowering bit for bit before its timing means anything.
-        let x: Vec<f64> = (0..w.n).map(|i| 0.5 + ((i * 13 + 7) % 32) as f64 * 0.125).collect();
+        let x: Vec<f64> = (0..w.n)
+            .map(|i| 0.5 + ((i * 13 + 7) % 32) as f64 * 0.125)
+            .collect();
         for transpose in [false, true] {
             let mut yc = vec![0.0625; w.n];
             let mut ya = vec![0.0625; w.n];
             csr.apply_slices(&x, &mut yc, transpose);
             auto.apply_slices(&x, &mut ya, transpose);
-            assert_eq!(bits(&yc), bits(&ya), "{} transpose {transpose}: auto kernel diverges", w.name);
+            assert_eq!(
+                bits(&yc),
+                bits(&ya),
+                "{} transpose {transpose}: auto kernel diverges",
+                w.name
+            );
         }
 
         let mut y = vec![0.0; w.n];

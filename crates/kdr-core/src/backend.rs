@@ -165,6 +165,19 @@ pub struct OpSetSpec<T> {
     pub kernel_choice: KernelChoice,
 }
 
+/// A task-level failure the backend absorbed: some runtime task
+/// panicked (or was fault-injected) and the backend substituted
+/// placeholder values (NaN scalars) instead of aborting. Drained by
+/// [`Backend::take_fault`]; solver drivers turn it into
+/// [`SolveError::TaskFailed`](crate::SolveError::TaskFailed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendFault {
+    /// Kernel name of the first failed task.
+    pub task: String,
+    /// Panic message (or injected-fault description).
+    pub message: String,
+}
+
 /// The execution backend interface the planner lowers onto.
 pub trait Backend<T: Scalar>: Send {
     /// Allocate a zero-initialized multi-component vector.
@@ -241,6 +254,21 @@ pub trait Backend<T: Scalar>: Send {
     /// Wait for all outstanding work (no-op on the simulation
     /// backend).
     fn fence(&mut self);
+
+    /// Remove and return the first task failure absorbed since the
+    /// last call, re-arming the backend for further work. Backends
+    /// without a fault path (e.g. the simulator) return `None`.
+    fn take_fault(&mut self) -> Option<BackendFault> {
+        None
+    }
+
+    /// Enable or disable per-iteration step tracing (trace-replay of
+    /// repeated iteration shapes). Recovery drivers turn this off
+    /// when retrying after a fault to rule the replay path out.
+    /// Default: no-op for backends that do not trace.
+    fn set_step_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
 
     /// Downcasting hook so callers holding a `dyn Backend` can reach
     /// backend-specific functionality (graph extraction, runtime
@@ -323,6 +351,14 @@ impl<T: Scalar> Backend<T> for Box<dyn Backend<T>> {
 
     fn fence(&mut self) {
         (**self).fence()
+    }
+
+    fn take_fault(&mut self) -> Option<BackendFault> {
+        (**self).take_fault()
+    }
+
+    fn set_step_tracing(&mut self, on: bool) {
+        (**self).set_step_tracing(on)
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {

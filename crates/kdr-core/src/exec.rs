@@ -49,12 +49,13 @@ use kdr_runtime::{
     promise, Buffer, ColorAffinityMapper, MetricsSnapshot, ReadView, Runtime, ShapeSig,
     TaskBuilder, TaskMeta, TaskSpan, TraceCache, WriteView,
 };
-use kdr_sparse::{KernelKind, Scalar, TileKernel, VecIn, VecOut};
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
+use kdr_sparse::{KernelKind, Scalar, TileKernel, VecIn, VecOut};
 
 use crate::backend::{
-    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop, StepOutcome,
+    BVec, Backend, BackendFault, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
+    StepOutcome,
 };
 use crate::partitioning::extract_tile_triplets;
 
@@ -298,6 +299,10 @@ pub struct ExecBackend<T: Scalar> {
     steps_analyzed: u64,
     steps_captured: u64,
     steps_replayed: u64,
+    /// First task failure absorbed since the last
+    /// [`Backend::take_fault`]. Task panics never abort the backend;
+    /// they surface here (and as NaN placeholder scalars).
+    fault: Option<BackendFault>,
 }
 
 impl<T: Scalar> ExecBackend<T> {
@@ -338,19 +343,32 @@ impl<T: Scalar> ExecBackend<T> {
             steps_analyzed: 0,
             steps_captured: 0,
             steps_replayed: 0,
+            fault: None,
         }
     }
 
-    /// Runtime activity counters (dependence-analysis cost, task
-    /// counts) for benchmarking.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ExecBackend::metrics` — `ExecMetrics::runtime` carries the \
-                same counters plus latency distributions and per-kernel tallies"
-    )]
-    #[allow(deprecated)]
-    pub fn runtime_stats(&self) -> kdr_runtime::RuntimeStats {
-        self.rt.stats()
+    /// Drain the runtime's recorded task failure (if any) into this
+    /// backend's fault slot, keeping the first.
+    fn record_rt_failure(&mut self) {
+        if let Some(e) = self.rt.take_failure() {
+            if self.fault.is_none() {
+                self.fault = Some(BackendFault {
+                    task: e.name.to_string(),
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Arm (or disarm, with `None`) the runtime's deterministic fault
+    /// injector. See [`kdr_runtime::FaultPlan`].
+    pub fn set_fault_plan(&self, plan: Option<kdr_runtime::FaultPlan>) {
+        self.rt.set_fault_plan(plan);
+    }
+
+    /// Set (or clear) the runtime watchdog's stall budget.
+    pub fn set_stall_budget(&self, budget: Option<std::time::Duration>) {
+        self.rt.set_stall_budget(budget);
     }
 
     /// The underlying task runtime. Applications may submit their own
@@ -382,7 +400,11 @@ impl<T: Scalar> ExecBackend<T> {
 
     /// `(analyzed, captured, replayed)` step counts.
     pub fn step_counters(&self) -> (u64, u64, u64) {
-        (self.steps_analyzed, self.steps_captured, self.steps_replayed)
+        (
+            self.steps_analyzed,
+            self.steps_captured,
+            self.steps_replayed,
+        )
     }
 
     /// Enable or disable the runtime's structured event logging
@@ -431,7 +453,9 @@ impl<T: Scalar> ExecBackend<T> {
         if self.deferring {
             self.pending.push(tb);
         } else {
-            self.rt.submit(tb);
+            self.rt
+                .submit(tb)
+                .expect("backend tasks always carry a body");
         }
     }
 
@@ -448,7 +472,9 @@ impl<T: Scalar> ExecBackend<T> {
             self.deferring = false;
             self.step_flushed = true;
             for tb in std::mem::take(&mut self.pending) {
-                self.rt.submit(tb);
+                self.rt
+                    .submit(tb)
+                    .expect("backend tasks always carry a body");
             }
         }
     }
@@ -504,7 +530,11 @@ impl<T: Scalar> ExecBackend<T> {
         for (ci, dcomp) in dvec.comps.iter().enumerate() {
             let scomp = src.map(|s| &self.vectors[s].comps[ci]);
             if let Some(sc) = scomp {
-                assert_eq!(sc.buf.len(), dcomp.buf.len(), "component {ci} length mismatch");
+                assert_eq!(
+                    sc.buf.len(),
+                    dcomp.buf.len(),
+                    "component {ci} length mismatch"
+                );
             }
             for color in 0..dcomp.part.num_colors() {
                 let subset = dcomp.part.piece(color).clone();
@@ -561,13 +591,17 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
 
     fn fill_component(&mut self, v: BVec, comp: usize, data: &[T]) {
         self.flush_pending();
-        self.rt.fence();
+        if self.rt.fence().is_err() {
+            self.record_rt_failure();
+        }
         self.vectors[v].comps[comp].buf.fill_from(data);
     }
 
     fn read_component(&mut self, v: BVec, comp: usize) -> Vec<T> {
         self.flush_pending();
-        self.rt.fence();
+        if self.rt.fence().is_err() {
+            self.record_rt_failure();
+        }
         self.vectors[v].comps[comp].buf.snapshot()
     }
 
@@ -652,10 +686,7 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 }
                 tasks.push(
                     TaskBuilder::new("dot_partial")
-                        .meta(
-                            TaskMeta::new("dot_partial")
-                                .with_color(piece_color(ci, color)),
-                        )
+                        .meta(TaskMeta::new("dot_partial").with_color(piece_color(ci, color)))
                         .read(&ac.buf, subset.clone())
                         .read(&bc.buf, subset.clone())
                         .write(
@@ -747,8 +778,20 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
             .body(move |ctx| {
                 p.set(ctx.read::<T>(0).get(0));
             });
-        self.rt.submit(tb);
-        f.get()
+        self.rt
+            .submit(tb)
+            .expect("backend tasks always carry a body");
+        match f.wait() {
+            Ok(v) => v,
+            Err(_) => {
+                // The read task (or a predecessor) failed: record the
+                // failure and hand the driver a NaN placeholder — its
+                // health checks turn that into a structured error.
+                let _ = self.rt.fence();
+                self.record_rt_failure();
+                T::from_f64(f64::NAN)
+            }
+        }
     }
 
     fn scalar_retain(&mut self, s: SRef) {
@@ -795,7 +838,11 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
             }
             for (ti, tile) in opset.tiles.iter().enumerate() {
                 let (dcomp, wsubset, rsubset) = tile.direction(transpose);
-                let scomp = if transpose { tile.rhs_comp } else { tile.sol_comp };
+                let scomp = if transpose {
+                    tile.rhs_comp
+                } else {
+                    tile.sol_comp
+                };
                 let dbuf = &self.vectors[dst].comps[dcomp].buf;
                 let sbuf = &self.vectors[src].comps[scomp].buf;
                 let data = Arc::clone(&tile.kernel);
@@ -862,21 +909,48 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
         }
         let sig = ShapeSig::of_tasks(&tasks);
         if let Some(trace) = self.trace_cache.get(&sig) {
-            self.rt.replay(trace, tasks);
-            self.steps_replayed += 1;
-            StepOutcome::Replayed
-        } else if self.trace_cache.has_room() {
-            self.rt.begin_trace();
-            for tb in tasks {
-                self.rt.submit(tb);
+            // Shape-signature equality guarantees the length matches
+            // and backend tasks always carry bodies, so the only
+            // reachable replay error is a pending task failure from
+            // the pre-replay fence.
+            match self.rt.replay(trace, tasks) {
+                Ok(_) => {
+                    self.steps_replayed += 1;
+                    StepOutcome::Replayed
+                }
+                Err(_) => {
+                    self.record_rt_failure();
+                    self.steps_analyzed += 1;
+                    StepOutcome::Analyzed
+                }
             }
-            let trace = self.rt.end_trace();
-            self.trace_cache.insert(sig, trace);
-            self.steps_captured += 1;
-            StepOutcome::Captured
-        } else {
+        } else if self.trace_cache.has_room() && self.rt.begin_trace().is_ok() {
             for tb in tasks {
-                self.rt.submit(tb);
+                self.rt
+                    .submit(tb)
+                    .expect("backend tasks always carry a body");
+            }
+            match self.rt.end_trace() {
+                Ok(trace) => {
+                    self.trace_cache.insert(sig, trace);
+                    self.steps_captured += 1;
+                    StepOutcome::Captured
+                }
+                Err(_) => {
+                    // A task of the step failed: the tasks ran, but
+                    // the capture is void.
+                    self.record_rt_failure();
+                    self.steps_analyzed += 1;
+                    StepOutcome::Analyzed
+                }
+            }
+        } else {
+            // Cache full, or begin_trace refused (pending failure).
+            self.record_rt_failure();
+            for tb in tasks {
+                self.rt
+                    .submit(tb)
+                    .expect("backend tasks always carry a body");
             }
             self.steps_analyzed += 1;
             StepOutcome::Analyzed
@@ -885,7 +959,20 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
 
     fn fence(&mut self) {
         self.flush_pending();
-        self.rt.fence();
+        if self.rt.fence().is_err() {
+            self.record_rt_failure();
+        }
+    }
+
+    fn take_fault(&mut self) -> Option<BackendFault> {
+        // Pick up failures whose tasks retired without passing
+        // through a fencing operation since.
+        self.record_rt_failure();
+        self.fault.take()
+    }
+
+    fn set_step_tracing(&mut self, on: bool) {
+        self.set_tracing(on);
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {
@@ -1017,9 +1104,7 @@ mod tests {
         }
         assert_eq!(outcomes[0], StepOutcome::Captured);
         assert!(
-            outcomes[1..]
-                .iter()
-                .all(|&o| o == StepOutcome::Replayed),
+            outcomes[1..].iter().all(|&o| o == StepOutcome::Replayed),
             "identical shapes must replay: {outcomes:?}"
         );
         // Differing constants flowed through the replays.

@@ -173,6 +173,7 @@ mod tests {
             start_ns: 0,
             end_ns: exec_ns,
             retire_ns: exec_ns,
+            outcome: kdr_runtime::TaskOutcome::Completed,
             deps: Vec::new(),
         }
     }
@@ -180,8 +181,14 @@ mod tests {
     #[test]
     fn classifier_covers_backend_task_names() {
         for n in [
-            "spmv_csr", "spmv_csr_z", "spmv_t_csr", "spmv_t_csr_z", "spmv_dia", "spmv_ell_z",
-            "spmv_t_bcsr", "apply_zero",
+            "spmv_csr",
+            "spmv_csr_z",
+            "spmv_t_csr",
+            "spmv_t_csr_z",
+            "spmv_dia",
+            "spmv_ell_z",
+            "spmv_t_bcsr",
+            "apply_zero",
         ] {
             assert_eq!(SolverPhase::of_task(n), SolverPhase::SpMV, "{n}");
         }

@@ -40,15 +40,16 @@ pub mod scalar_handle;
 pub mod simbackend;
 pub mod solvers;
 
-pub use backend::{Backend, CompSpec, OpSetSpec, StepOutcome, TileSpec};
-pub use kdr_sparse::{KernelChoice, KernelKind};
+pub use backend::{Backend, BackendFault, CompSpec, OpSetSpec, StepOutcome, TileSpec};
 pub use exec::{ExecBackend, ExecMetrics};
 pub use instrument::{IterationRecord, PhaseSplit, SolveTrace, SolverPhase};
+pub use kdr_sparse::{KernelChoice, KernelKind};
 pub use planner::{Planner, VecId, RHS, SOL};
 pub use scalar_handle::ScalarHandle;
 pub use simbackend::SimBackend;
 pub use solvers::{
-    solve, solve_traced, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver,
-    GmresSolver, MinresSolver, PBiCgStabSolver, PcgSolver, SolveControl, SolveReport, Solver,
-    TfqmrSolver,
+    solve, solve_recoverable, solve_traced, BiCgSolver, BiCgStabSolver, BreakdownGuard,
+    BreakdownKind, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, GuardTrigger, MinresSolver,
+    PBiCgStabSolver, PcgSolver, RecoveryPolicy, SolveControl, SolveError, SolveOutcome,
+    SolveReport, Solver, TfqmrSolver,
 };

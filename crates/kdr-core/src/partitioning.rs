@@ -190,7 +190,13 @@ mod tests {
         let t = kdr_sparse::Triples::from_entries(
             4,
             8,
-            vec![(0, 0, 1.0), (1, 5, 1.0), (2, 2, 1.0), (3, 7, 1.0), (3, 0, 1.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 5, 1.0),
+                (2, 2, 1.0),
+                (3, 7, 1.0),
+                (3, 0, 1.0),
+            ],
         );
         let m: Csr<f64> = Csr::from_triples(t);
         let dp = Partition::equal_blocks(8, 2);

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use kdr_index::Partition;
 use kdr_sparse::{KernelChoice, Scalar, SparseMatrix};
 
-use crate::backend::{Backend, BVec, CompSpec, OpComponentSpec, OpHandle, OpSetSpec, StepOutcome};
+use crate::backend::{BVec, Backend, CompSpec, OpComponentSpec, OpHandle, OpSetSpec, StepOutcome};
 use crate::partitioning::compute_tiles;
 use crate::scalar_handle::{ScalarHandle, SharedBackend};
 
@@ -131,12 +131,7 @@ impl<T: Scalar> Planner<T> {
     /// solution component `sol_id` to right-hand-side component
     /// `rhs_id`. The same `Arc` may be added many times (aliasing,
     /// §4.2) — its storage is shared, never duplicated.
-    pub fn add_operator(
-        &mut self,
-        matrix: Arc<dyn SparseMatrix<T>>,
-        sol_id: usize,
-        rhs_id: usize,
-    ) {
+    pub fn add_operator(&mut self, matrix: Arc<dyn SparseMatrix<T>>, sol_id: usize, rhs_id: usize) {
         assert!(!self.finalized, "planner already finalized");
         assert_eq!(
             matrix.domain_space().size(),
@@ -451,6 +446,20 @@ impl<T: Scalar> Planner<T> {
     /// The canonical partition of a right-hand-side component.
     pub fn rhs_partition(&self, comp: usize) -> &Partition {
         &self.rhs_comps[comp].partition
+    }
+
+    /// Remove and return the first task failure the backend absorbed
+    /// since the last call; see [`Backend::take_fault`]. Solver
+    /// drivers poll this at convergence-check cadence.
+    pub fn take_fault(&mut self) -> Option<crate::backend::BackendFault> {
+        self.backend.lock().take_fault()
+    }
+
+    /// Enable or disable the backend's per-iteration trace replay;
+    /// see [`Backend::set_step_tracing`]. Recovery drivers turn it
+    /// off when retrying a faulted segment.
+    pub fn set_step_tracing(&mut self, on: bool) {
+        self.backend.lock().set_step_tracing(on);
     }
 
     /// Reach the concrete backend (for graph extraction or runtime

@@ -46,9 +46,7 @@ pub fn jacobi_components<T: Scalar>(
             continue;
         }
         let d = m.diagonal();
-        let slot = acc
-            .entry(*sol)
-            .or_insert_with(|| vec![T::ZERO; d.len()]);
+        let slot = acc.entry(*sol).or_insert_with(|| vec![T::ZERO; d.len()]);
         assert_eq!(slot.len(), d.len(), "component {sol} size mismatch");
         for (a, b) in slot.iter_mut().zip(d) {
             *a += b;
@@ -116,10 +114,7 @@ pub fn invert_dense<T: Scalar>(a: &mut [T], out: &mut [T], n: usize) -> Option<(
     for i in 0..n {
         out[i * n + i] = T::ONE;
     }
-    let maxabs = a
-        .iter()
-        .map(|v| v.abs().to_f64())
-        .fold(0.0f64, f64::max);
+    let maxabs = a.iter().map(|v| v.abs().to_f64()).fold(0.0f64, f64::max);
     let tol = T::from_f64(maxabs * n as f64 * T::epsilon().to_f64());
     for col in 0..n {
         // Partial pivot.

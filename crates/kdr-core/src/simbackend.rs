@@ -23,9 +23,7 @@ use std::marker::PhantomData;
 use kdr_machine::{MachineConfig, ProcId, SimNodeId, TaskGraph};
 use kdr_sparse::Scalar;
 
-use crate::backend::{
-    Backend, BVec, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
-};
+use crate::backend::{BVec, Backend, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop};
 
 #[derive(Default, Clone)]
 struct PieceState {
@@ -236,10 +234,7 @@ impl<T: Scalar> SimBackend<T> {
         traffic: f64,
     ) {
         let eb = self.elem_bytes();
-        let alpha_dep: Vec<SimNodeId> = alpha
-            .and_then(|a| self.scalars[a])
-            .into_iter()
-            .collect();
+        let alpha_dep: Vec<SimNodeId> = alpha.and_then(|a| self.scalars[a]).into_iter().collect();
         let ncomps = self.vectors[dst].comps.len();
         if let Some(s) = src {
             // Elementwise ops pair pieces positionally; mixing vectors
@@ -252,8 +247,7 @@ impl<T: Scalar> SimBackend<T> {
             );
             for ci in 0..ncomps {
                 assert_eq!(
-                    self.vectors[s].comps[ci].piece_lens,
-                    self.vectors[dst].comps[ci].piece_lens,
+                    self.vectors[s].comps[ci].piece_lens, self.vectors[dst].comps[ci].piece_lens,
                     "elementwise op across mismatched partitions (component {ci})"
                 );
             }
@@ -460,8 +454,7 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
                 let mut deps = self.phase_deps();
                 for &(c, len) in &in_by_color {
                     let src_owner = self.vectors[src].comps[sol_comp].owners[c];
-                    let mut rdeps =
-                        Self::read_deps(&self.vectors[src].comps[sol_comp].state[c]);
+                    let mut rdeps = Self::read_deps(&self.vectors[src].comps[sol_comp].state[c]);
                     rdeps.extend(self.phase_deps());
                     if src_owner.node != owner.node {
                         let cp = self.graph.copy(
@@ -515,7 +508,9 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
                 self.vectors[dst].comps[rhs_comp].state[range_color].last_writer = Some(node);
                 for &(c, _) in &in_by_color {
                     if self.vectors[src].comps[sol_comp].owners[c].node == owner.node {
-                        self.vectors[src].comps[sol_comp].state[c].readers.push(node);
+                        self.vectors[src].comps[sol_comp].state[c]
+                            .readers
+                            .push(node);
                     }
                 }
             }
@@ -538,9 +533,9 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
                         &mut self.vectors[dst].comps[ci].state[color],
                         (),
                     ));
-                    let node =
-                        self.graph
-                            .compute(owner, 0.0, eb * len as f64, "apply_zero", deps);
+                    let node = self
+                        .graph
+                        .compute(owner, 0.0, eb * len as f64, "apply_zero", deps);
                     self.phase_node(node);
                     self.vectors[dst].comps[ci].state[color].last_writer = Some(node);
                 }
@@ -667,11 +662,7 @@ mod tests {
         assert_eq!(ntiles, 16);
         // 16 zero nodes + 16 tiles + ghost copies (interior pieces
         // have 2 neighbors; same-node neighbors don't copy).
-        let copies = g
-            .nodes()
-            .iter()
-            .filter(|n| n.label == "ghost_copy")
-            .count();
+        let copies = g.nodes().iter().filter(|n| n.label == "ghost_copy").count();
         assert!(copies > 0 && copies < 32, "copies = {copies}");
         let r = simulate(&g, &machine(), None);
         assert!(r.makespan > 0.0);
@@ -702,11 +693,17 @@ mod tests {
         assert!(b.scalars[d].is_some());
         let g = b.graph();
         assert_eq!(
-            g.nodes().iter().filter(|n| n.label == "dot_allreduce").count(),
+            g.nodes()
+                .iter()
+                .filter(|n| n.label == "dot_allreduce")
+                .count(),
             1
         );
         assert_eq!(
-            g.nodes().iter().filter(|n| n.label == "dot_partial").count(),
+            g.nodes()
+                .iter()
+                .filter(|n| n.label == "dot_partial")
+                .count(),
             16
         );
     }
@@ -722,11 +719,7 @@ mod tests {
         b.axpy(y, one, x); // reads x
         b.scal(x, one); // writes x -> must depend on the axpy reads
         let g = b.graph();
-        let scal_nodes: Vec<_> = g
-            .nodes()
-            .iter()
-            .filter(|n| n.label == "scal")
-            .collect();
+        let scal_nodes: Vec<_> = g.nodes().iter().filter(|n| n.label == "scal").collect();
         assert_eq!(scal_nodes.len(), 2);
         for n in scal_nodes {
             assert!(!n.deps.is_empty(), "WAR edge missing");

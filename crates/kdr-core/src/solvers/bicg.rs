@@ -8,7 +8,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct BiCgSolver<T: Scalar> {
     r: usize,
@@ -19,6 +19,8 @@ pub struct BiCgSolver<T: Scalar> {
     qt: usize,
     rho: ScalarHandle<T>,
     res: ScalarHandle<T>,
+    /// `(p̃, Ap)` from the latest step.
+    last_ptq: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> BiCgSolver<T> {
@@ -50,6 +52,7 @@ impl<T: Scalar> BiCgSolver<T> {
             qt,
             rho,
             res,
+            last_ptq: None,
         }
     }
 }
@@ -59,6 +62,7 @@ impl<T: Scalar> Solver<T> for BiCgSolver<T> {
         planner.matmul(self.q, self.p);
         planner.matmul_transpose(self.qt, self.pt);
         let ptq = planner.dot(self.pt, self.q);
+        self.last_ptq = Some(ptq.clone());
         let alpha = self.rho.clone() / ptq;
         planner.axpy(SOL, &alpha, self.p);
         planner.axpy(self.r, &(-&alpha), self.q);
@@ -77,5 +81,23 @@ impl<T: Scalar> Solver<T> for BiCgSolver<T> {
 
     fn name(&self) -> &'static str {
         "bicg"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_ptq {
+            Some(ptq) => vec![
+                BreakdownGuard {
+                    kind: BreakdownKind::RhoZero,
+                    value: self.rho.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+                BreakdownGuard {
+                    kind: BreakdownKind::AlphaZero,
+                    value: ptq.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+            ],
+            None => Vec::new(),
+        }
     }
 }

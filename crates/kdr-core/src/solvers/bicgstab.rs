@@ -7,7 +7,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct BiCgStabSolver<T: Scalar> {
     r0hat: usize,
@@ -18,6 +18,44 @@ pub struct BiCgStabSolver<T: Scalar> {
     t: usize,
     rho: ScalarHandle<T>,
     res: ScalarHandle<T>,
+    /// `(r̂₀, v)` and `ω` from the latest step.
+    last_r0v: Option<ScalarHandle<T>>,
+    last_omega: Option<ScalarHandle<T>>,
+}
+
+/// Guards shared by the plain and preconditioned BiCGStab variants:
+/// Lanczos breakdown (`ρ ≈ 0`), a vanishing step denominator
+/// (`(r̂₀, v) ≈ 0`), and a vanishing stabilization parameter
+/// (`ω ≈ 0`).
+fn bicgstab_guards<T: Scalar>(
+    rho: &ScalarHandle<T>,
+    r0v: &Option<ScalarHandle<T>>,
+    omega: &Option<ScalarHandle<T>>,
+) -> Vec<BreakdownGuard<T>> {
+    let mut guards = Vec::new();
+    if r0v.is_none() {
+        return guards;
+    }
+    guards.push(BreakdownGuard {
+        kind: BreakdownKind::RhoZero,
+        value: rho.clone(),
+        trigger: GuardTrigger::NearZero,
+    });
+    if let Some(r0v) = r0v {
+        guards.push(BreakdownGuard {
+            kind: BreakdownKind::AlphaZero,
+            value: r0v.clone(),
+            trigger: GuardTrigger::NearZero,
+        });
+    }
+    if let Some(omega) = omega {
+        guards.push(BreakdownGuard {
+            kind: BreakdownKind::OmegaZero,
+            value: omega.clone(),
+            trigger: GuardTrigger::NearZero,
+        });
+    }
+    guards
 }
 
 impl<T: Scalar> BiCgStabSolver<T> {
@@ -48,6 +86,8 @@ impl<T: Scalar> BiCgStabSolver<T> {
             t,
             rho,
             res,
+            last_r0v: None,
+            last_omega: None,
         }
     }
 }
@@ -57,6 +97,7 @@ impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
         // v = A p ; alpha = rho / (r0hat · v).
         planner.matmul(self.v, self.p);
         let r0v = planner.dot(self.r0hat, self.v);
+        self.last_r0v = Some(r0v.clone());
         let alpha = self.rho.clone() / r0v;
         // s = r - alpha v.
         planner.copy(self.s, self.r);
@@ -69,6 +110,7 @@ impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
         // after the first half-step) into omega = 0 instead of NaN.
         let tiny = planner.scalar(T::tiny());
         let omega = ts / (tt + tiny);
+        self.last_omega = Some(omega.clone());
         // x += alpha p + omega s.
         planner.axpy(SOL, &alpha, self.p);
         planner.axpy(SOL, &omega, self.s);
@@ -91,6 +133,10 @@ impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
     fn name(&self) -> &'static str {
         "bicgstab"
     }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        bicgstab_guards(&self.rho, &self.last_r0v, &self.last_omega)
+    }
 }
 
 /// Right-preconditioned BiCGStab: identical recurrence with
@@ -108,6 +154,8 @@ pub struct PBiCgStabSolver<T: Scalar> {
     t: usize,
     rho: ScalarHandle<T>,
     res: ScalarHandle<T>,
+    last_r0v: Option<ScalarHandle<T>>,
+    last_omega: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> PBiCgStabSolver<T> {
@@ -145,6 +193,8 @@ impl<T: Scalar> PBiCgStabSolver<T> {
             t,
             rho,
             res,
+            last_r0v: None,
+            last_omega: None,
         }
     }
 }
@@ -155,6 +205,7 @@ impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
         planner.psolve(self.phat, self.p);
         planner.matmul(self.v, self.phat);
         let r0v = planner.dot(self.r0hat, self.v);
+        self.last_r0v = Some(r0v.clone());
         let alpha = self.rho.clone() / r0v;
         // s = r − α v ; ŝ = P s ; t = A ŝ.
         planner.copy(self.s, self.r);
@@ -165,6 +216,7 @@ impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
         let tt = planner.dot(self.t, self.t);
         let tiny = planner.scalar(T::tiny());
         let omega = ts / (tt + tiny);
+        self.last_omega = Some(omega.clone());
         // x += α p̂ + ω ŝ ; r = s − ω t.
         planner.axpy(SOL, &alpha, self.phat);
         planner.axpy(SOL, &omega, self.shat);
@@ -184,5 +236,9 @@ impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
 
     fn name(&self) -> &'static str {
         "pbicgstab"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        bicgstab_guards(&self.rho, &self.last_r0v, &self.last_omega)
     }
 }

@@ -9,7 +9,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 /// Unpreconditioned CG. Requires a square system without a
 /// preconditioner (use [`PcgSolver`] otherwise).
@@ -19,6 +19,9 @@ pub struct CgSolver<T: Scalar> {
     r: usize,
     /// Squared residual norm (deferred).
     res: ScalarHandle<T>,
+    /// `(p, Ap)` from the latest step: must stay positive on an SPD
+    /// operator.
+    last_pq: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> CgSolver<T> {
@@ -39,7 +42,13 @@ impl<T: Scalar> CgSolver<T> {
         planner.axpy(r, &minus_one, q);
         planner.copy(p, r);
         let res = planner.dot(r, r);
-        CgSolver { p, q, r, res }
+        CgSolver {
+            p,
+            q,
+            r,
+            res,
+            last_pq: None,
+        }
     }
 }
 
@@ -47,6 +56,7 @@ impl<T: Scalar> Solver<T> for CgSolver<T> {
     fn step(&mut self, planner: &mut Planner<T>) {
         planner.matmul(self.q, self.p);
         let p_norm = planner.dot(self.p, self.q);
+        self.last_pq = Some(p_norm.clone());
         let alpha = self.res.clone() / p_norm;
         planner.axpy(SOL, &alpha, self.p);
         planner.axpy(self.r, &(-&alpha), self.q);
@@ -63,6 +73,17 @@ impl<T: Scalar> Solver<T> for CgSolver<T> {
     fn name(&self) -> &'static str {
         "cg"
     }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_pq {
+            Some(pq) => vec![BreakdownGuard {
+                kind: BreakdownKind::IndefiniteOperator,
+                value: pq.clone(),
+                trigger: GuardTrigger::NonPositive,
+            }],
+            None => Vec::new(),
+        }
+    }
 }
 
 /// Preconditioned CG: identical structure with `z = P r` inserted.
@@ -75,6 +96,8 @@ pub struct PcgSolver<T: Scalar> {
     rz: ScalarHandle<T>,
     /// Squared residual norm (deferred).
     res: ScalarHandle<T>,
+    /// `(p, Ap)` from the latest step.
+    last_pq: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> PcgSolver<T> {
@@ -104,6 +127,7 @@ impl<T: Scalar> PcgSolver<T> {
             z,
             rz,
             res,
+            last_pq: None,
         }
     }
 }
@@ -112,6 +136,7 @@ impl<T: Scalar> Solver<T> for PcgSolver<T> {
     fn step(&mut self, planner: &mut Planner<T>) {
         planner.matmul(self.q, self.p);
         let pq = planner.dot(self.p, self.q);
+        self.last_pq = Some(pq.clone());
         let alpha = self.rz.clone() / pq;
         planner.axpy(SOL, &alpha, self.p);
         planner.axpy(self.r, &(-&alpha), self.q);
@@ -129,5 +154,22 @@ impl<T: Scalar> Solver<T> for PcgSolver<T> {
 
     fn name(&self) -> &'static str {
         "pcg"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        let mut guards = Vec::new();
+        if let Some(pq) = &self.last_pq {
+            guards.push(BreakdownGuard {
+                kind: BreakdownKind::IndefiniteOperator,
+                value: pq.clone(),
+                trigger: GuardTrigger::NonPositive,
+            });
+            guards.push(BreakdownGuard {
+                kind: BreakdownKind::RhoZero,
+                value: self.rz.clone(),
+                trigger: GuardTrigger::NearZero,
+            });
+        }
+        guards
     }
 }

@@ -7,7 +7,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct CgsSolver<T: Scalar> {
     r: usize,
@@ -19,6 +19,8 @@ pub struct CgsSolver<T: Scalar> {
     w: usize,
     rho: ScalarHandle<T>,
     res: ScalarHandle<T>,
+    /// `(r̃, Ap)` from the latest step.
+    last_rtv: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> CgsSolver<T> {
@@ -51,6 +53,7 @@ impl<T: Scalar> CgsSolver<T> {
             w,
             rho,
             res,
+            last_rtv: None,
         }
     }
 }
@@ -60,6 +63,7 @@ impl<T: Scalar> Solver<T> for CgsSolver<T> {
         // v = A p ; alpha = rho / (rt · v).
         planner.matmul(self.v, self.p);
         let rtv = planner.dot(self.rt, self.v);
+        self.last_rtv = Some(rtv.clone());
         let alpha = self.rho.clone() / rtv;
         // q = u - alpha v.
         planner.copy(self.q, self.u);
@@ -88,5 +92,23 @@ impl<T: Scalar> Solver<T> for CgsSolver<T> {
 
     fn name(&self) -> &'static str {
         "cgs"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_rtv {
+            Some(rtv) => vec![
+                BreakdownGuard {
+                    kind: BreakdownKind::RhoZero,
+                    value: self.rho.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+                BreakdownGuard {
+                    kind: BreakdownKind::AlphaZero,
+                    value: rtv.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+            ],
+            None => Vec::new(),
+        }
     }
 }

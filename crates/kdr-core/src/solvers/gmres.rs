@@ -13,7 +13,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct GmresSolver<T: Scalar> {
     /// Right preconditioning: Arnoldi runs on `A P`, and the update
@@ -37,6 +37,9 @@ pub struct GmresSolver<T: Scalar> {
     k: usize,
     /// Squared current residual estimate `g[k+1]²`.
     res2: ScalarHandle<T>,
+    /// Givens denominator `√(h_k² + h_{k+1}²)` from the latest step;
+    /// vanishes only when the Arnoldi column is identically zero.
+    last_denom: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> GmresSolver<T> {
@@ -59,7 +62,9 @@ impl<T: Scalar> GmresSolver<T> {
         assert!(m >= 1);
         planner.finalize();
         assert!(planner.is_square(), "GMRES requires a square system");
-        let v: Vec<usize> = (0..=m).map(|_| planner.allocate_workspace_vector()).collect();
+        let v: Vec<usize> = (0..=m)
+            .map(|_| planner.allocate_workspace_vector())
+            .collect();
         let w = planner.allocate_workspace_vector();
         let z = planner.allocate_workspace_vector();
         let mut s = GmresSolver {
@@ -74,6 +79,7 @@ impl<T: Scalar> GmresSolver<T> {
             sn: Vec::new(),
             k: 0,
             res2: planner.scalar(T::ZERO),
+            last_denom: None,
         };
         s.start_cycle(planner);
         s
@@ -163,14 +169,13 @@ impl<T: Scalar> Solver<T> for GmresSolver<T> {
         // Apply the stored Givens rotations to the new column.
         for i in 0..k {
             let t1 = self.cs[i].clone() * h[i].clone() + self.sn[i].clone() * h[i + 1].clone();
-            let t2 =
-                -(self.sn[i].clone() * h[i].clone()) + self.cs[i].clone() * h[i + 1].clone();
+            let t2 = -(self.sn[i].clone() * h[i].clone()) + self.cs[i].clone() * h[i + 1].clone();
             h[i] = t1;
             h[i + 1] = t2;
         }
         // Form the new rotation from (h_k, h_{k+1}).
-        let denom =
-            (h[k].clone() * h[k].clone() + h[k + 1].clone() * h[k + 1].clone()).sqrt();
+        let denom = (h[k].clone() * h[k].clone() + h[k + 1].clone() * h[k + 1].clone()).sqrt();
+        self.last_denom = Some(denom.clone());
         let c = h[k].clone() / denom.clone();
         let s = h[k + 1].clone() / denom.clone();
         h[k] = denom;
@@ -201,6 +206,17 @@ impl<T: Scalar> Solver<T> for GmresSolver<T> {
         // residual).
         if self.k > 0 {
             self.finish_cycle(planner);
+        }
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_denom {
+            Some(d) => vec![BreakdownGuard {
+                kind: BreakdownKind::AlphaZero,
+                value: d.clone(),
+                trigger: GuardTrigger::NearZero,
+            }],
+            None => Vec::new(),
         }
     }
 }

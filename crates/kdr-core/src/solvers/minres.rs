@@ -8,7 +8,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct MinresSolver<T: Scalar> {
     /// Lanczos vectors: previous, current, and scratch for the next.
@@ -27,6 +27,9 @@ pub struct MinresSolver<T: Scalar> {
     eta: ScalarHandle<T>,
     /// Squared residual estimate `eta²`.
     res2: ScalarHandle<T>,
+    /// QR pivot `ρ₁` from the latest step: the divisor for both the
+    /// new rotation and the direction update.
+    last_rho1: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> MinresSolver<T> {
@@ -64,6 +67,7 @@ impl<T: Scalar> MinresSolver<T> {
             s_old: zero,
             eta: beta1,
             res2: beta2,
+            last_rho1: None,
         }
     }
 }
@@ -78,8 +82,10 @@ impl<T: Scalar> Solver<T> for MinresSolver<T> {
         let beta_new = planner.dot(self.p, self.p).sqrt();
 
         // QR update (two old rotations folded into the new column).
-        let delta = self.c.clone() * alpha.clone() - self.c_old.clone() * self.s.clone() * self.beta.clone();
+        let delta = self.c.clone() * alpha.clone()
+            - self.c_old.clone() * self.s.clone() * self.beta.clone();
         let rho1 = (delta.clone() * delta.clone() + beta_new.clone() * beta_new.clone()).sqrt();
+        self.last_rho1 = Some(rho1.clone());
         let rho2 = self.s.clone() * alpha + self.c_old.clone() * self.c.clone() * self.beta.clone();
         let rho3 = self.s_old.clone() * self.beta.clone();
         let c_new = delta / rho1.clone();
@@ -120,5 +126,16 @@ impl<T: Scalar> Solver<T> for MinresSolver<T> {
 
     fn name(&self) -> &'static str {
         "minres"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_rho1 {
+            Some(rho1) => vec![BreakdownGuard {
+                kind: BreakdownKind::AlphaZero,
+                value: rho1.clone(),
+                trigger: GuardTrigger::NearZero,
+            }],
+            None => Vec::new(),
+        }
     }
 }

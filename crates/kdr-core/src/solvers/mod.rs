@@ -16,6 +16,7 @@ pub mod cgs;
 pub mod chebyshev;
 pub mod gmres;
 pub mod minres;
+pub mod recovery;
 pub mod tfqmr;
 
 pub use bicg::BiCgSolver;
@@ -25,6 +26,7 @@ pub use cgs::CgsSolver;
 pub use chebyshev::ChebyshevSolver;
 pub use gmres::GmresSolver;
 pub use minres::MinresSolver;
+pub use recovery::{solve_recoverable, RecoveryPolicy};
 pub use tfqmr::TfqmrSolver;
 
 use std::time::Instant;
@@ -34,6 +36,142 @@ use kdr_sparse::Scalar;
 use crate::instrument::{IterationRecord, SolveTrace};
 use crate::planner::Planner;
 use crate::scalar_handle::ScalarHandle;
+
+/// Why a solve stopped making mathematical progress; carried by
+/// [`SolveError::Breakdown`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakdownKind {
+    /// A `ρ = (r̃, r)` style inner product collapsed to zero (Lanczos
+    /// breakdown in the BiCG family).
+    RhoZero,
+    /// BiCGStab's stabilization parameter `ω` collapsed to zero.
+    OmegaZero,
+    /// A step-length denominator (`(p, Ap)`, `(r̃, Av)`, a Givens
+    /// norm, …) collapsed to zero.
+    AlphaZero,
+    /// `(p, Ap) ≤ 0`: the operator is not positive definite along the
+    /// search direction (CG/PCG applied outside their assumptions).
+    IndefiniteOperator,
+    /// The sampled residual stopped improving for a full
+    /// [`SolveControl::stagnation_window`] of convergence checks.
+    Stagnation,
+}
+
+impl std::fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakdownKind::RhoZero => write!(f, "rho inner product collapsed to zero"),
+            BreakdownKind::OmegaZero => {
+                write!(f, "stabilization parameter omega collapsed to zero")
+            }
+            BreakdownKind::AlphaZero => write!(f, "step-length denominator collapsed to zero"),
+            BreakdownKind::IndefiniteOperator => {
+                write!(
+                    f,
+                    "operator is not positive definite along the search direction"
+                )
+            }
+            BreakdownKind::Stagnation => write!(f, "residual stagnated"),
+        }
+    }
+}
+
+/// A structured solve failure, returned instead of NaN convergence or
+/// a process abort. See [`solve`] and [`recovery::solve_recoverable`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// The method's recurrence broke down (detected by the solver's
+    /// [`Solver::breakdown_guards`] at convergence-check cadence).
+    Breakdown {
+        /// Which quantity broke down.
+        kind: BreakdownKind,
+        /// Iterations completed when the breakdown was detected.
+        iteration: usize,
+    },
+    /// The sampled residual grew past
+    /// [`SolveControl::divergence_factor`] times its first sample.
+    Diverged {
+        /// Iterations completed when divergence was detected.
+        iteration: usize,
+        /// The diverged residual.
+        residual: f64,
+    },
+    /// The residual (or a guard scalar) became NaN or infinite —
+    /// typically silent data corruption or overflow.
+    NonFinite {
+        /// Iterations completed when the non-finite value surfaced.
+        iteration: usize,
+    },
+    /// A runtime task panicked (or was fault-injected) during the
+    /// solve; the backend absorbed it instead of aborting.
+    TaskFailed {
+        /// Iterations completed when the failure surfaced.
+        iteration: usize,
+        /// Kernel name of the failed task.
+        task: String,
+        /// Panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Breakdown { kind, iteration } => {
+                write!(f, "breakdown at iteration {iteration}: {kind}")
+            }
+            SolveError::Diverged {
+                iteration,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "diverged at iteration {iteration} (residual {residual:.3e})"
+                )
+            }
+            SolveError::NonFinite { iteration } => {
+                write!(f, "non-finite residual at iteration {iteration}")
+            }
+            SolveError::TaskFailed {
+                iteration,
+                task,
+                message,
+            } => write!(
+                f,
+                "task '{task}' failed at iteration {iteration}: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Result of [`solve`] / [`solve_traced`] /
+/// [`recovery::solve_recoverable`].
+pub type SolveOutcome = Result<SolveReport, SolveError>;
+
+/// How a breakdown guard scalar signals failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuardTrigger {
+    /// `|v| < breakdown_eps` breaks (division by a vanishing scalar).
+    NearZero,
+    /// `v ≤ breakdown_eps` breaks (a quantity that must stay
+    /// positive, e.g. CG's `(p, Ap)`).
+    NonPositive,
+}
+
+/// One method-specific breakdown detector: a deferred scalar the
+/// driver forces at convergence-check cadence, and how to interpret
+/// it. Produced by [`Solver::breakdown_guards`].
+#[derive(Clone)]
+pub struct BreakdownGuard<T: Scalar> {
+    /// What a trigger means for this method.
+    pub kind: BreakdownKind,
+    /// The guarded scalar (from the most recent step).
+    pub value: ScalarHandle<T>,
+    /// The trigger condition.
+    pub trigger: GuardTrigger,
+}
 
 /// A Krylov subspace method driving a [`Planner`].
 pub trait Solver<T: Scalar> {
@@ -53,6 +191,36 @@ pub trait Solver<T: Scalar> {
     fn finalize_solution(&mut self, planner: &mut Planner<T>) {
         let _ = planner;
     }
+
+    /// Scalars from the most recent step whose collapse signals a
+    /// method breakdown. Checked by the driver at convergence-check
+    /// cadence, *after* the convergence test (quantities legitimately
+    /// vanish as the residual does). Default: no guards.
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        Vec::new()
+    }
+}
+
+impl<T: Scalar> Solver<T> for Box<dyn Solver<T>> {
+    fn step(&mut self, planner: &mut Planner<T>) {
+        (**self).step(planner)
+    }
+
+    fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
+        (**self).convergence_measure()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn finalize_solution(&mut self, planner: &mut Planner<T>) {
+        (**self).finalize_solution(planner)
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        (**self).breakdown_guards()
+    }
 }
 
 /// Iteration control for [`solve`].
@@ -67,6 +235,30 @@ pub struct SolveControl {
     /// Force and test the measure every `check_every` iterations;
     /// checking blocks the pipeline, so benchmarks use large values.
     pub check_every: usize,
+    /// Threshold for [`Solver::breakdown_guards`]: a guard scalar
+    /// within this of zero (or below it, for
+    /// [`GuardTrigger::NonPositive`]) is a breakdown.
+    pub breakdown_eps: f64,
+    /// Fail with [`SolveError::Diverged`] when a sampled residual
+    /// exceeds this multiple of the first sample; `0.0` disables.
+    pub divergence_factor: f64,
+    /// Fail with [`BreakdownKind::Stagnation`] when this many
+    /// consecutive convergence checks pass without a new best
+    /// residual; `0` disables.
+    pub stagnation_window: usize,
+}
+
+impl Default for SolveControl {
+    fn default() -> Self {
+        SolveControl {
+            max_iters: 100,
+            tol: 0.0,
+            check_every: 0,
+            breakdown_eps: 1e-30,
+            divergence_factor: 1e8,
+            stagnation_window: 0,
+        }
+    }
 }
 
 impl SolveControl {
@@ -74,8 +266,7 @@ impl SolveControl {
     pub fn fixed(n: usize) -> Self {
         SolveControl {
             max_iters: n,
-            tol: 0.0,
-            check_every: 0,
+            ..SolveControl::default()
         }
     }
 
@@ -85,12 +276,13 @@ impl SolveControl {
             max_iters,
             tol,
             check_every: 1,
+            ..SolveControl::default()
         }
     }
 }
 
-/// Outcome of [`solve`].
-#[derive(Clone, Copy, Debug)]
+/// Successful outcome of [`solve`].
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveReport {
     /// Iterations performed.
     pub iters: usize,
@@ -99,6 +291,12 @@ pub struct SolveReport {
     pub final_residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Restarts performed by [`recovery::solve_recoverable`]; always
+    /// `0` from plain [`solve`].
+    pub restarts: usize,
+    /// Checkpoints taken by [`recovery::solve_recoverable`]; always
+    /// `0` from plain [`solve`].
+    pub checkpoints: usize,
 }
 
 /// Drive a solver until convergence or the iteration cap.
@@ -126,7 +324,8 @@ pub struct SolveReport {
 /// planner.set_rhs_data(r, &rhs_vector::<f64>(n, 7));
 ///
 /// let mut solver = CgSolver::new(&mut planner);
-/// let report = solve(&mut planner, &mut solver, SolveControl::to_tolerance(1e-10, 500));
+/// let report = solve(&mut planner, &mut solver, SolveControl::to_tolerance(1e-10, 500))
+///     .expect("well-posed SPD solve");
 /// assert!(report.converged);
 /// let x = planner.read_component(SOL, 0);
 /// assert_eq!(x.len(), n as usize);
@@ -135,7 +334,7 @@ pub fn solve<T: Scalar>(
     planner: &mut Planner<T>,
     solver: &mut dyn Solver<T>,
     control: SolveControl,
-) -> SolveReport {
+) -> SolveOutcome {
     drive(planner, solver, control, None)
 }
 
@@ -164,8 +363,14 @@ pub fn solve<T: Scalar>(
 /// let mut solver = CgSolver::new(&mut planner);
 /// // Check every 10 iterations: the steps in between keep a stable
 /// // shape, so the tracing backend replays most of them.
-/// let control = SolveControl { max_iters: 500, tol: 1e-10, check_every: 10 };
-/// let (report, trace) = solve_traced(&mut planner, &mut solver, control);
+/// let control = SolveControl {
+///     max_iters: 500,
+///     tol: 1e-10,
+///     check_every: 10,
+///     ..SolveControl::default()
+/// };
+/// let (outcome, trace) = solve_traced(&mut planner, &mut solver, control);
+/// let report = outcome.expect("well-posed SPD solve");
 /// assert!(report.converged);
 /// assert_eq!(trace.iterations.len(), report.iters);
 /// assert!(trace.steps_replayed() > 0);
@@ -176,23 +381,32 @@ pub fn solve_traced<T: Scalar>(
     planner: &mut Planner<T>,
     solver: &mut dyn Solver<T>,
     control: SolveControl,
-) -> (SolveReport, SolveTrace) {
+) -> (SolveOutcome, SolveTrace) {
     let mut trace = SolveTrace::new();
-    let report = drive(planner, solver, control, Some(&mut trace));
-    (report, trace)
+    let outcome = drive(planner, solver, control, Some(&mut trace));
+    (outcome, trace)
 }
 
 /// The common solve loop; `trace`, when present, receives
 /// per-iteration records and residual samples.
+///
+/// Health checks run at convergence-check cadence in a fixed order —
+/// convergence first (quantities legitimately vanish as the residual
+/// does), then absorbed task failures (the root cause behind any NaN
+/// the backend substituted), then non-finite residuals, breakdown
+/// guards, divergence, and stagnation.
 fn drive<T: Scalar>(
     planner: &mut Planner<T>,
     solver: &mut dyn Solver<T>,
     control: SolveControl,
     mut trace: Option<&mut SolveTrace>,
-) -> SolveReport {
+) -> SolveOutcome {
     let mut iters = 0;
     let mut final_residual = f64::NAN;
     let mut converged = false;
+    let mut baseline = f64::NAN;
+    let mut best = f64::INFINITY;
+    let mut since_best = 0usize;
     // Already-converged guard (e.g. a zero right-hand side): stepping
     // a Krylov method from an exactly zero residual divides by zero.
     if control.tol > 0.0 && control.check_every > 0 {
@@ -203,11 +417,20 @@ fn drive<T: Scalar>(
                     t.residual_history.push((0, r));
                 }
                 planner.fence();
-                return SolveReport {
+                if let Some(f) = planner.take_fault() {
+                    return Err(SolveError::TaskFailed {
+                        iteration: 0,
+                        task: f.task,
+                        message: f.message,
+                    });
+                }
+                return Ok(SolveReport {
                     iters: 0,
                     final_residual: r,
                     converged: true,
-                };
+                    restarts: 0,
+                    checkpoints: 0,
+                });
             }
         }
     }
@@ -228,23 +451,82 @@ fn drive<T: Scalar>(
                 outcome,
             });
         }
-        if control.tol > 0.0 && control.check_every > 0 && iters % control.check_every == 0 {
+        if control.check_every > 0 && iters % control.check_every == 0 {
+            let mut r = f64::NAN;
+            let mut has_measure = false;
             if let Some(m) = solver.convergence_measure() {
-                let r = m.get().to_f64().abs().sqrt();
+                has_measure = true;
+                r = m.get().to_f64().abs().sqrt();
                 final_residual = r;
                 if let Some(t) = trace.as_deref_mut() {
                     t.residual_history.push((iters, r));
                 }
-                if r < control.tol {
+                if control.tol > 0.0 && r < control.tol {
                     converged = true;
                     break;
+                }
+            }
+            // A failed task surfaces as NaN scalars; report the
+            // absorbed root cause rather than the symptom.
+            if let Some(f) = planner.take_fault() {
+                return Err(SolveError::TaskFailed {
+                    iteration: iters,
+                    task: f.task,
+                    message: f.message,
+                });
+            }
+            if has_measure && !r.is_finite() {
+                return Err(SolveError::NonFinite { iteration: iters });
+            }
+            for g in solver.breakdown_guards() {
+                let v = g.value.get().to_f64();
+                if !v.is_finite() {
+                    return Err(SolveError::NonFinite { iteration: iters });
+                }
+                let broke = match g.trigger {
+                    GuardTrigger::NearZero => v.abs() < control.breakdown_eps,
+                    GuardTrigger::NonPositive => v <= control.breakdown_eps,
+                };
+                if broke {
+                    return Err(SolveError::Breakdown {
+                        kind: g.kind,
+                        iteration: iters,
+                    });
+                }
+            }
+            if !r.is_nan() {
+                if baseline.is_nan() {
+                    baseline = r.max(f64::MIN_POSITIVE);
+                } else if control.divergence_factor > 0.0
+                    && r > control.divergence_factor * baseline
+                {
+                    return Err(SolveError::Diverged {
+                        iteration: iters,
+                        residual: r,
+                    });
+                }
+                if control.stagnation_window > 0 {
+                    if r < best * (1.0 - 1e-12) {
+                        best = r;
+                        since_best = 0;
+                    } else {
+                        since_best += 1;
+                        if since_best >= control.stagnation_window {
+                            return Err(SolveError::Breakdown {
+                                kind: BreakdownKind::Stagnation,
+                                iteration: iters,
+                            });
+                        }
+                    }
                 }
             }
         }
     }
     solver.finalize_solution(planner);
-    if final_residual.is_nan() {
+    let mut measured = !final_residual.is_nan();
+    if !measured {
         if let Some(m) = solver.convergence_measure() {
+            measured = true;
             final_residual = m.get().to_f64().abs().sqrt();
             converged = control.tol > 0.0 && final_residual < control.tol;
             if let Some(t) = trace {
@@ -253,9 +535,21 @@ fn drive<T: Scalar>(
         }
     }
     planner.fence();
-    SolveReport {
+    if let Some(f) = planner.take_fault() {
+        return Err(SolveError::TaskFailed {
+            iteration: iters,
+            task: f.task,
+            message: f.message,
+        });
+    }
+    if measured && !final_residual.is_finite() {
+        return Err(SolveError::NonFinite { iteration: iters });
+    }
+    Ok(SolveReport {
         iters,
         final_residual,
         converged,
-    }
+        restarts: 0,
+        checkpoints: 0,
+    })
 }

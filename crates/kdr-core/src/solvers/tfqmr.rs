@@ -16,7 +16,7 @@ use kdr_sparse::Scalar;
 
 use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
-use crate::solvers::Solver;
+use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
 pub struct TfqmrSolver<T: Scalar> {
     u: usize,
@@ -33,6 +33,8 @@ pub struct TfqmrSolver<T: Scalar> {
     tau: ScalarHandle<T>,
     theta: ScalarHandle<T>,
     eta: ScalarHandle<T>,
+    /// `(v, r*)` from the latest even half-step.
+    last_vr: Option<ScalarHandle<T>>,
 }
 
 impl<T: Scalar> TfqmrSolver<T> {
@@ -74,6 +76,7 @@ impl<T: Scalar> TfqmrSolver<T> {
             tau,
             theta: zero.clone(),
             eta: zero,
+            last_vr: None,
         }
     }
 }
@@ -92,11 +95,11 @@ impl<T: Scalar> Solver<T> for TfqmrSolver<T> {
                 planner.xpay(self.v, &beta, self.au);
             }
             let vr = planner.dot(self.v, self.rstar);
+            self.last_vr = Some(vr.clone());
             self.alpha = self.rho.clone() / vr;
         }
         // d = u + (θ² η / α) d ; w = w − α A u.
-        let coeff =
-            self.theta.clone() * self.theta.clone() * self.eta.clone() / self.alpha.clone();
+        let coeff = self.theta.clone() * self.theta.clone() * self.eta.clone() / self.alpha.clone();
         planner.xpay(self.d, &coeff, self.u);
         planner.axpy(self.w, &(-&self.alpha), self.au);
         // Quasi-residual rotation.
@@ -130,5 +133,23 @@ impl<T: Scalar> Solver<T> for TfqmrSolver<T> {
 
     fn name(&self) -> &'static str {
         "tfqmr"
+    }
+
+    fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
+        match &self.last_vr {
+            Some(vr) => vec![
+                BreakdownGuard {
+                    kind: BreakdownKind::RhoZero,
+                    value: self.rho.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+                BreakdownGuard {
+                    kind: BreakdownKind::AlphaZero,
+                    value: vr.clone(),
+                    trigger: GuardTrigger::NearZero,
+                },
+            ],
+            None => Vec::new(),
+        }
     }
 }

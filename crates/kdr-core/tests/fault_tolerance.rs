@@ -1,0 +1,338 @@
+//! Fault-tolerance tests: solver breakdown detection, panic isolation
+//! through the execution backend, deterministic fault injection, and
+//! checkpoint/restart recovery.
+
+use std::sync::Arc;
+
+use kdr_core::{
+    solve, solve_recoverable, BiCgSolver, BiCgStabSolver, BreakdownKind, CgSolver, CgsSolver,
+    ExecBackend, GmresSolver, MinresSolver, Planner, RecoveryPolicy, SolveControl, SolveError,
+    Solver, TfqmrSolver, RHS, SOL,
+};
+use kdr_index::Partition;
+use kdr_runtime::{FaultKind, FaultPlan, FaultSpec, FireSchedule};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{Csr, SparseMatrix, Stencil, Triples};
+
+/// A planner over an arbitrary square matrix given as triples.
+fn triples_planner(
+    n: u64,
+    entries: &[(u64, u64, f64)],
+    b: &[f64],
+    pieces: usize,
+    workers: usize,
+) -> Planner<f64> {
+    let mut t = Triples::new(n, n);
+    for &(i, j, v) in entries {
+        t.push(i, j, v);
+    }
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(Csr::<f64, u64>::from_triples(t));
+    let part = Partition::equal_blocks(n, pieces);
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(workers)));
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    planner.set_rhs_data(r, b);
+    planner
+}
+
+/// A 2-D Poisson planner whose backend carries the given fault plan
+/// (and, optionally, step tracing).
+fn poisson_planner_with_faults(
+    nx: u64,
+    ny: u64,
+    pieces: usize,
+    workers: usize,
+    plan: Option<FaultPlan>,
+    traced: bool,
+) -> (Planner<f64>, Stencil, Vec<f64>) {
+    let s = Stencil::lap2d(nx, ny);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let mut backend = ExecBackend::<f64>::new(workers);
+    backend.set_tracing(traced);
+    backend.set_fault_plan(plan);
+    let part = Partition::equal_blocks(n, pieces);
+    let mut planner = Planner::new(Box::new(backend));
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    let b = rhs_vector::<f64>(n, 42);
+    planner.set_rhs_data(r, &b);
+    (planner, s, b)
+}
+
+fn true_residual(planner: &mut Planner<f64>, s: &Stencil, b: &[f64]) -> f64 {
+    let x = planner.read_component(SOL, 0);
+    let m: Csr<f64> = s.to_csr();
+    let mut ax = vec![0.0; x.len()];
+    m.spmv(&x, &mut ax);
+    ax.iter()
+        .zip(b)
+        .map(|(a, bb)| (a - bb) * (a - bb))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// CG on an indefinite operator must report a structured breakdown —
+/// not NaN convergence. On `diag(1, 1, 1, -5)` with `b = 1`, the very
+/// first search direction gives `(p, Ap) = 3 - 5 = -2 < 0`.
+#[test]
+fn cg_reports_indefinite_breakdown() {
+    let entries = [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, -5.0)];
+    let b = vec![1.0; 4];
+    let mut planner = triples_planner(4, &entries, &b, 2, 2);
+    let mut solver = CgSolver::new(&mut planner);
+    let control = SolveControl {
+        tol: 1e-10,
+        check_every: 1,
+        breakdown_eps: 1e-12,
+        ..SolveControl::default()
+    };
+    let err = solve(&mut planner, &mut solver, control).unwrap_err();
+    assert_eq!(
+        err,
+        SolveError::Breakdown {
+            kind: BreakdownKind::IndefiniteOperator,
+            iteration: 1,
+        }
+    );
+    // The solution vector stays finite: the breakdown was detected
+    // before any division by the offending quantity poisoned it.
+    let x = planner.read_component(SOL, 0);
+    assert!(x.iter().all(|v| v.is_finite()), "non-finite SOL: {x:?}");
+}
+
+/// BiCGStab with an exact Lanczos breakdown: on this 3×3 system the
+/// shadow inner product `ρ₁ = (r̃₀, r₁)` vanishes identically after
+/// one step while the residual itself is still nonzero and finite.
+/// The driver must report `RhoZero` at the step that *divides* by ρ —
+/// not NaN out.
+#[test]
+fn bicgstab_reports_rho_breakdown() {
+    // A = [[2,1,1],[1,3,0],[-1,0,5]], b = [1,0,0], x0 = 0. Then
+    // r1 = [0, -5/34, -3/34] and (r̃₀, r₁) = 0 exactly.
+    let entries = [
+        (0, 0, 2.0),
+        (0, 1, 1.0),
+        (0, 2, 1.0),
+        (1, 0, 1.0),
+        (1, 1, 3.0),
+        (2, 0, -1.0),
+        (2, 2, 5.0),
+    ];
+    let b = vec![1.0, 0.0, 0.0];
+    let mut planner = triples_planner(3, &entries, &b, 1, 2);
+    let mut solver = BiCgStabSolver::new(&mut planner);
+    let control = SolveControl {
+        tol: 1e-10,
+        check_every: 1,
+        breakdown_eps: 1e-12,
+        ..SolveControl::default()
+    };
+    let err = solve(&mut planner, &mut solver, control).unwrap_err();
+    match err {
+        SolveError::Breakdown {
+            kind: BreakdownKind::RhoZero,
+            iteration,
+        } => assert!(iteration <= 2, "late detection at iteration {iteration}"),
+        other => panic!("expected RhoZero breakdown, got {other:?}"),
+    }
+    let x = planner.read_component(SOL, 0);
+    assert!(x.iter().all(|v| v.is_finite()), "non-finite SOL: {x:?}");
+}
+
+/// An injected mid-solve panic surfaces as a structured `TaskFailed`
+/// error — the process does not abort — and `solve_recoverable`
+/// restarts from the last validated checkpoint and still converges.
+#[test]
+fn checkpoint_restart_recovers_from_injected_panic() {
+    let plan = FaultPlan::seeded(7).with(FaultSpec {
+        name_contains: "spmv".into(),
+        kind: FaultKind::Panic,
+        schedule: FireSchedule::Nth(40),
+        max_fires: 1,
+    });
+    let (mut planner, s, b) = poisson_planner_with_faults(16, 16, 4, 4, Some(plan), false);
+
+    // Plain solve on the same faulty backend fails with TaskFailed.
+    let probe = FaultPlan::seeded(7).with(FaultSpec {
+        name_contains: "spmv".into(),
+        kind: FaultKind::Panic,
+        schedule: FireSchedule::Nth(40),
+        max_fires: 1,
+    });
+    let (mut plain, _, _) = poisson_planner_with_faults(16, 16, 4, 4, Some(probe), false);
+    let mut solver = CgSolver::new(&mut plain);
+    let err = solve(
+        &mut plain,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 2000),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, SolveError::TaskFailed { .. } | SolveError::NonFinite { .. }),
+        "expected task failure, got {err:?}"
+    );
+
+    // The recoverable driver retries from its checkpoint and converges.
+    let report = solve_recoverable(
+        &mut planner,
+        CgSolver::new,
+        SolveControl::to_tolerance(1e-10, 2000),
+        RecoveryPolicy {
+            checkpoint_every: 25,
+            max_restarts: 3,
+            analyzed_fallback_on_retry: true,
+        },
+    )
+    .expect("recoverable solve failed");
+    assert!(report.converged, "residual {}", report.final_residual);
+    assert!(report.restarts >= 1, "fault never fired");
+    assert!(report.checkpoints >= 1);
+    let res = true_residual(&mut planner, &s, &b);
+    assert!(res < 1e-8, "true residual {res}");
+}
+
+/// A panic injected while the backend is capturing/replaying dynamic
+/// traces must not wedge the solve: the retry falls back to fully
+/// analyzed execution and converges.
+#[test]
+fn traced_replay_panic_falls_back_analyzed() {
+    let plan = FaultPlan::seeded(11).with(FaultSpec {
+        name_contains: "dot_partial".into(),
+        kind: FaultKind::Panic,
+        schedule: FireSchedule::Nth(120),
+        max_fires: 1,
+    });
+    let (mut planner, s, b) = poisson_planner_with_faults(16, 16, 4, 4, Some(plan), true);
+    let report = solve_recoverable(
+        &mut planner,
+        CgSolver::new,
+        SolveControl::to_tolerance(1e-10, 2000),
+        RecoveryPolicy {
+            checkpoint_every: 20,
+            max_restarts: 3,
+            analyzed_fallback_on_retry: true,
+        },
+    )
+    .expect("recoverable solve failed");
+    assert!(report.converged, "residual {}", report.final_residual);
+    assert!(report.restarts >= 1, "fault never fired");
+    let res = true_residual(&mut planner, &s, &b);
+    assert!(res < 1e-8, "true residual {res}");
+}
+
+/// The same seeded fault plan produces byte-identical failures across
+/// runs and across every solver: fault injection is deterministic, and
+/// no injected panic ever aborts the process.
+#[test]
+fn fault_injection_is_deterministic_across_solvers() {
+    type Make = fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>;
+    let makes: Vec<(&str, Make)> = vec![
+        ("cg", |p| Box::new(CgSolver::new(p))),
+        ("bicgstab", |p| Box::new(BiCgStabSolver::new(p))),
+        ("bicg", |p| Box::new(BiCgSolver::new(p))),
+        ("cgs", |p| Box::new(CgsSolver::new(p))),
+        ("gmres", |p| Box::new(GmresSolver::with_restart(p, 10))),
+        ("minres", |p| Box::new(MinresSolver::new(p))),
+        ("tfqmr", |p| Box::new(TfqmrSolver::new(p))),
+    ];
+    for (name, make) in makes {
+        let run = |make: Make| -> Result<_, SolveError> {
+            let plan = FaultPlan::seeded(2026).with(FaultSpec {
+                name_contains: "dot_partial".into(),
+                kind: FaultKind::Panic,
+                schedule: FireSchedule::Nth(30),
+                max_fires: 1,
+            });
+            let (mut planner, _, _) = poisson_planner_with_faults(12, 12, 2, 2, Some(plan), false);
+            let mut solver = make(&mut planner);
+            solve(
+                &mut planner,
+                solver.as_mut(),
+                SolveControl::to_tolerance(1e-10, 500),
+            )
+        };
+        let first = run(make);
+        let second = run(make);
+        assert!(
+            first.is_err(),
+            "{name}: injected panic did not surface as an error"
+        );
+        assert_eq!(first, second, "{name}: fault injection not deterministic");
+        match first.unwrap_err() {
+            SolveError::TaskFailed { task, message, .. } => {
+                assert!(task.contains("dot_partial"), "{name}: wrong task {task}");
+                assert!(
+                    message.contains("fault"),
+                    "{name}: unexpected message {message}"
+                );
+            }
+            SolveError::NonFinite { .. } => {
+                // Acceptable degradation: the poisoned partial turned
+                // the sampled residual NaN before the fault check ran.
+            }
+            other => panic!("{name}: unexpected error {other:?}"),
+        }
+    }
+}
+
+/// The RHS side of panic isolation: after an absorbed failure the
+/// planner (and its runtime) remain usable for a fresh, fault-free
+/// solve in the same process.
+#[test]
+fn planner_survives_absorbed_fault() {
+    let plan = FaultPlan::seeded(3).with(FaultSpec {
+        name_contains: "axpy".into(),
+        kind: FaultKind::Panic,
+        schedule: FireSchedule::Nth(10),
+        max_fires: 1,
+    });
+    let (mut planner, s, b) = poisson_planner_with_faults(12, 12, 2, 2, Some(plan), false);
+    let mut solver = CgSolver::new(&mut planner);
+    let err = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 500),
+    );
+    assert!(err.is_err(), "injected panic did not surface");
+
+    // Reset SOL and solve again — the fault plan is exhausted
+    // (max_fires = 1), so this run must succeed end-to-end.
+    let n = planner.read_component(SOL, 0).len();
+    planner.set_sol_data(0, &vec![0.0; n]);
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 2000),
+    )
+    .expect("post-fault solve failed");
+    assert!(report.converged);
+    let res = true_residual(&mut planner, &s, &b);
+    assert!(res < 1e-8, "true residual {res}");
+}
+
+/// RHS is untouched by recovery: restarts restore `SOL` only.
+#[test]
+fn recovery_reports_zero_restarts_when_healthy() {
+    let (mut planner, s, b) = poisson_planner_with_faults(16, 16, 4, 4, None, false);
+    let report = solve_recoverable(
+        &mut planner,
+        CgSolver::new,
+        SolveControl::to_tolerance(1e-10, 2000),
+        RecoveryPolicy {
+            checkpoint_every: 50,
+            ..RecoveryPolicy::default()
+        },
+    )
+    .expect("healthy recoverable solve failed");
+    assert!(report.converged);
+    assert_eq!(report.restarts, 0);
+    assert!(report.checkpoints >= 1);
+    let res = true_residual(&mut planner, &s, &b);
+    assert!(res < 1e-8, "true residual {res}");
+    let rhs = planner.read_component(RHS, 0);
+    assert_eq!(rhs, b);
+}

@@ -156,7 +156,8 @@ fn cyclic_canonical_partition_solves() {
         &mut p,
         &mut solver,
         kdr_core::SolveControl::to_tolerance(1e-10, 2000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged);
     let x = p.read_component(SOL, 0);
     let m: Csr<f64> = s.to_csr();

@@ -65,7 +65,8 @@ fn solve_with<T: Scalar>(
         &mut planner,
         solver.as_mut(),
         SolveControl::to_tolerance(1e-6, 1500),
-    );
+    )
+    .expect("solve failed");
     (report.converged, planner.read_component(SOL, 0))
 }
 

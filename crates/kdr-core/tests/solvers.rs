@@ -47,7 +47,8 @@ fn run_to_tolerance(mut make: impl FnMut(&mut Planner<f64>) -> Box<dyn Solver<f6
         &mut planner,
         solver.as_mut(),
         SolveControl::to_tolerance(1e-10, 2000),
-    );
+    )
+    .expect("solve failed");
     assert!(
         report.converged,
         "{} did not converge: residual {}",
@@ -121,7 +122,8 @@ fn preconditioned_bicgstab_and_gmres_converge() {
             &mut planner,
             solver.as_mut(),
             SolveControl::to_tolerance(1e-10, 5000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged, "{name}");
         let res = residual_norm(&mut planner, &s, &b);
         assert!(res < 1e-8, "{name}: true residual {res}");
@@ -157,8 +159,9 @@ fn block_jacobi_pcg_beats_point_jacobi_on_block_structured_system() {
         let r = planner.add_rhs_vector(n, Some(part));
         planner.add_operator(Arc::clone(&m), d, r);
         match block {
-            Some(bs) => planner
-                .add_preconditioner(Arc::new(precond::block_jacobi(m.as_ref(), bs)), d, r),
+            Some(bs) => {
+                planner.add_preconditioner(Arc::new(precond::block_jacobi(m.as_ref(), bs)), d, r)
+            }
             None => planner.add_preconditioner(Arc::new(precond::jacobi(m.as_ref())), d, r),
         }
         planner.set_rhs_data(r, &b);
@@ -167,7 +170,8 @@ fn block_jacobi_pcg_beats_point_jacobi_on_block_structured_system() {
             &mut planner,
             &mut solver,
             SolveControl::to_tolerance(1e-10, 3000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged);
         report.iters
     };
@@ -218,7 +222,8 @@ fn pcg_converges_faster_than_unpreconditioned_iterations() {
         } else {
             let mut s = CgSolver::new(&mut planner);
             solve(&mut planner, &mut s, SolveControl::to_tolerance(1e-9, 3000))
-        };
+        }
+        .expect("solve failed");
         assert!(report.converged);
         (report.iters, report.final_residual)
     };
@@ -240,7 +245,7 @@ fn partitioning_does_not_change_the_answer() {
         .map(|&pieces| {
             let (mut planner, _) = poisson_planner(12, 12, pieces, 3);
             let mut solver = CgSolver::new(&mut planner);
-            solve(&mut planner, &mut solver, SolveControl::fixed(120));
+            solve(&mut planner, &mut solver, SolveControl::fixed(120)).unwrap();
             planner.read_component(SOL, 0)
         })
         .collect();
@@ -271,7 +276,8 @@ fn matrix_free_operator_solves() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 1000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged);
     let res = residual_norm(&mut planner, &s, &b);
     assert!(res < 1e-8, "matrix-free residual {res}");
@@ -291,7 +297,7 @@ fn multi_operator_system_matches_single_operator() {
     let (mut p1, _) = poisson_planner(12, 12, 4, 4);
     p1.set_rhs_data(0, &b);
     let mut s1 = BiCgStabSolver::new(&mut p1);
-    solve(&mut p1, &mut s1, SolveControl::fixed(150));
+    solve(&mut p1, &mut s1, SolveControl::fixed(150)).unwrap();
     let x_single = p1.read_component(SOL, 0);
 
     // Multi-operator: two domain spaces, four blocks.
@@ -312,7 +318,7 @@ fn multi_operator_system_matches_single_operator() {
     p2.set_rhs_data(r1, &b[..half as usize]);
     p2.set_rhs_data(r2, &b[half as usize..]);
     let mut s2 = BiCgStabSolver::new(&mut p2);
-    solve(&mut p2, &mut s2, SolveControl::fixed(150));
+    solve(&mut p2, &mut s2, SolveControl::fixed(150)).unwrap();
     let mut x_multi = p2.read_component(SOL, 0);
     x_multi.extend(p2.read_component(SOL, 1));
 
@@ -355,7 +361,8 @@ fn multiple_rhs_via_aliasing() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 2000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged);
 
     // Each component must solve its own system.
@@ -411,7 +418,8 @@ fn related_systems_share_base_matrix() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 2000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged);
 
     // Verify against dense per-system references.
@@ -462,7 +470,8 @@ fn solvers_are_drop_in_interchangeable() {
             &mut planner,
             solver.as_mut(),
             SolveControl::to_tolerance(1e-9, 3000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged, "{} failed", solver.name());
     }
 }
@@ -479,7 +488,8 @@ fn nonzero_initial_guess_respected() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 1000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged);
     assert!(residual_norm(&mut planner, &s, &b) < 1e-8);
 }
@@ -518,8 +528,13 @@ fn chebyshev_converges_with_spectral_bounds() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-9, 5000),
+    )
+    .expect("solve failed");
+    assert!(
+        report.converged,
+        "chebyshev residual {}",
+        report.final_residual
     );
-    assert!(report.converged, "chebyshev residual {}", report.final_residual);
     let res = residual_norm(&mut planner, &s, &b);
     assert!(res < 1e-7, "true residual {res}");
 }

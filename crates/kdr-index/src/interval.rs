@@ -164,15 +164,17 @@ impl IntervalSet {
 
     /// Membership test (binary search over runs).
     pub fn contains(&self, p: u64) -> bool {
-        self.runs.binary_search_by(|r| {
-            if r.hi <= p {
-                std::cmp::Ordering::Less
-            } else if r.lo > p {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.runs
+            .binary_search_by(|r| {
+                if r.hi <= p {
+                    std::cmp::Ordering::Less
+                } else if r.lo > p {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Iterate over the individual points of the set.

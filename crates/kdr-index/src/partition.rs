@@ -72,10 +72,7 @@ impl Partition {
             color = (color + 1) % colors;
             lo = hi;
         }
-        Partition::new(
-            n,
-            pieces.into_iter().map(IntervalSet::from_runs).collect(),
-        )
+        Partition::new(n, pieces.into_iter().map(IntervalSet::from_runs).collect())
     }
 
     /// Partition a 2-D grid space into `tx × ty` rectangular tiles,
@@ -303,7 +300,10 @@ mod tests {
     fn cyclic_partition_round_robins() {
         let p = Partition::cyclic(10, 3);
         assert!(p.is_complete() && p.is_disjoint());
-        assert_eq!(p.piece(0).iter_points().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+        assert_eq!(
+            p.piece(0).iter_points().collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
         assert_eq!(p.piece(1).iter_points().collect::<Vec<_>>(), vec![1, 4, 7]);
         assert_eq!(p.piece(2).iter_points().collect::<Vec<_>>(), vec![2, 5, 8]);
     }
@@ -313,10 +313,7 @@ mod tests {
         let p = Partition::block_cyclic(14, 2, 3);
         assert!(p.is_complete() && p.is_disjoint());
         // Color 0: blocks [0,3), [6,9), [12,14).
-        assert_eq!(
-            p.piece(0).runs().len(),
-            3
-        );
+        assert_eq!(p.piece(0).runs().len(), 3);
         assert!(p.piece(0).contains(0) && p.piece(0).contains(7) && p.piece(0).contains(13));
         assert!(p.piece(1).contains(3) && p.piece(1).contains(9));
     }

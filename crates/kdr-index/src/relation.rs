@@ -93,7 +93,10 @@ impl FnRelation {
         // Counting sort of sources by target.
         let mut counts = vec![0u64; target_size as usize + 1];
         for &t in &map {
-            assert!(t < target_size, "FnRelation target {t} out of range {target_size}");
+            assert!(
+                t < target_size,
+                "FnRelation target {t} out of range {target_size}"
+            );
             counts[t as usize + 1] += 1;
         }
         for i in 1..counts.len() {
@@ -170,8 +173,7 @@ impl IntervalMapRelation {
             assert!(lo[i] <= hi[i], "inverted run at source {i}");
             assert!(hi[i] <= target_size, "run at source {i} out of range");
         }
-        let monotonic = lo.windows(2).all(|w| w[0] <= w[1])
-            && hi.windows(2).all(|w| w[0] <= w[1]);
+        let monotonic = lo.windows(2).all(|w| w[0] <= w[1]) && hi.windows(2).all(|w| w[0] <= w[1]);
         IntervalMapRelation {
             lo,
             hi,
@@ -229,7 +231,8 @@ impl Relation for IntervalMapRelation {
             let pts: Vec<u64> = (0..self.source_size())
                 .filter(|&s| {
                     let r = self.run_of(s);
-                    !set.intersect(&IntervalSet::from_range(r.lo, r.hi)).is_empty()
+                    !set.intersect(&IntervalSet::from_range(r.lo, r.hi))
+                        .is_empty()
                 })
                 .collect();
             return IntervalSet::from_sorted_points(&pts);
@@ -246,7 +249,12 @@ impl Relation for IntervalMapRelation {
                 // Sources in [first, last) may include empty runs that
                 // intersect nothing; filter them out.
                 let mut lo = first;
-                while lo < last && self.run_of(lo).intersect(&Run::new(tr.lo, tr.hi)).is_empty() {
+                while lo < last
+                    && self
+                        .run_of(lo)
+                        .intersect(&Run::new(tr.lo, tr.hi))
+                        .is_empty()
+                {
                     lo += 1;
                 }
                 let mut hi = last;
@@ -263,10 +271,7 @@ impl Relation for IntervalMapRelation {
                 // O(runs). For exactness, split around empty interiors.
                 let mut run_start = None;
                 for s in lo..hi {
-                    let nonempty = !self
-                        .run_of(s)
-                        .intersect(&Run::new(tr.lo, tr.hi))
-                        .is_empty();
+                    let nonempty = !self.run_of(s).intersect(&Run::new(tr.lo, tr.hi)).is_empty();
                     match (nonempty, run_start) {
                         (true, None) => run_start = Some(s),
                         (false, Some(st)) => {
@@ -666,7 +671,10 @@ mod tests {
         assert_eq!(rel.image(&s), IntervalSet::from_points([1, 2]));
         let t = IntervalSet::from_points([2]);
         assert_eq!(rel.preimage(&t), IntervalSet::from_points([0, 2]));
-        assert_eq!(rel.preimage(&IntervalSet::from_points([3])), IntervalSet::empty());
+        assert_eq!(
+            rel.preimage(&IntervalSet::from_points([3])),
+            IntervalSet::empty()
+        );
     }
 
     #[test]
@@ -693,8 +701,14 @@ mod tests {
     fn interval_map_from_offsets() {
         // 3 rows with rowptr [0, 2, 2, 5] over 5 kernel points.
         let rel = IntervalMapRelation::from_offsets(&[0, 2, 2, 5], 5);
-        assert_eq!(rel.image(&IntervalSet::from_points([0])), IntervalSet::from_range(0, 2));
-        assert_eq!(rel.image(&IntervalSet::from_points([1])), IntervalSet::empty());
+        assert_eq!(
+            rel.image(&IntervalSet::from_points([0])),
+            IntervalSet::from_range(0, 2)
+        );
+        assert_eq!(
+            rel.image(&IntervalSet::from_points([1])),
+            IntervalSet::empty()
+        );
         assert_eq!(
             rel.image(&IntervalSet::from_points([0, 2])),
             IntervalSet::from_runs([Run::new(0, 2), Run::new(2, 5)])
@@ -729,7 +743,11 @@ mod tests {
             IntervalSet::from_points([3]),
             IntervalSet::empty(),
         ] {
-            assert_eq!(rel.preimage(&set), naive_preimage(&rel, &set), "set {set:?}");
+            assert_eq!(
+                rel.preimage(&set),
+                naive_preimage(&rel, &set),
+                "set {set:?}"
+            );
         }
     }
 
@@ -738,16 +756,28 @@ mod tests {
         let rel = IntervalMapRelation::new(vec![5, 0, 3], vec![8, 2, 5], 10);
         let set = IntervalSet::from_range(0, 4);
         assert_eq!(rel.preimage(&set), naive_preimage(&rel, &set));
-        assert_eq!(rel.image(&IntervalSet::full(3)), naive_image(&rel, &IntervalSet::full(3)));
+        assert_eq!(
+            rel.image(&IntervalSet::full(3)),
+            naive_image(&rel, &IntervalSet::full(3))
+        );
     }
 
     #[test]
     fn projection_outer() {
         // 4 x 3 product space (outer=4, inner=3).
         let rel = ProjectionRelation::new(4, 3, ProjectionAxis::Outer);
-        assert_eq!(rel.image(&IntervalSet::from_range(0, 3)), IntervalSet::from_points([0]));
-        assert_eq!(rel.image(&IntervalSet::from_range(2, 7)), IntervalSet::from_range(0, 3));
-        assert_eq!(rel.preimage(&IntervalSet::from_points([2])), IntervalSet::from_range(6, 9));
+        assert_eq!(
+            rel.image(&IntervalSet::from_range(0, 3)),
+            IntervalSet::from_points([0])
+        );
+        assert_eq!(
+            rel.image(&IntervalSet::from_range(2, 7)),
+            IntervalSet::from_range(0, 3)
+        );
+        assert_eq!(
+            rel.preimage(&IntervalSet::from_points([2])),
+            IntervalSet::from_range(6, 9)
+        );
         for set in [
             IntervalSet::from_points([0, 5, 11]),
             IntervalSet::from_range(3, 9),
@@ -763,7 +793,10 @@ mod tests {
     fn projection_inner() {
         let rel = ProjectionRelation::new(4, 3, ProjectionAxis::Inner);
         // A full row maps onto all of Inner.
-        assert_eq!(rel.image(&IntervalSet::from_range(3, 6)), IntervalSet::full(3));
+        assert_eq!(
+            rel.image(&IntervalSet::from_range(3, 6)),
+            IntervalSet::full(3)
+        );
         // A wrapped run: points 2, 3 have inner coords 2, 0.
         assert_eq!(
             rel.image(&IntervalSet::from_range(2, 4)),
@@ -789,7 +822,10 @@ mod tests {
         // 4x4 tridiagonal: offsets -1, 0, +1; d = r = 4.
         let rel = DiagonalRelation::new(vec![-1, 0, 1], 4, 4);
         // Diagonal 1 (offset 0): kernel points 4..8 map to rows 0..4.
-        assert_eq!(rel.image(&IntervalSet::from_range(4, 8)), IntervalSet::full(4));
+        assert_eq!(
+            rel.image(&IntervalSet::from_range(4, 8)),
+            IntervalSet::full(4)
+        );
         // Diagonal 0 (offset -1): kernel point k = i maps to row i + 1;
         // i = 3 maps to row 4 -> out of range (padding).
         assert_eq!(
@@ -813,7 +849,11 @@ mod tests {
             IntervalSet::full(4),
             IntervalSet::from_range(1, 3),
         ] {
-            assert_eq!(rel.preimage(&set), naive_preimage(&rel, &set), "set {set:?}");
+            assert_eq!(
+                rel.preimage(&set),
+                naive_preimage(&rel, &set),
+                "set {set:?}"
+            );
         }
     }
 

@@ -21,7 +21,11 @@ pub type SimNodeId = usize;
 #[derive(Clone, Debug)]
 pub enum SimWork {
     /// A kernel on one processor with roofline cost.
-    Compute { proc: ProcId, flops: f64, bytes: f64 },
+    Compute {
+        proc: ProcId,
+        flops: f64,
+        bytes: f64,
+    },
     /// A point-to-point transfer between nodes. Same-node copies are
     /// free (they model instance aliasing, not data movement).
     Copy { from: usize, to: usize, bytes: f64 },

@@ -90,7 +90,11 @@ impl Resource {
 /// Schedule a task graph on a machine; optional `node_speed` scales
 /// compute durations per node (used by the background-load
 /// experiments; `1.0` = nominal, `0.5` = half speed).
-pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&[f64]>) -> SimResult {
+pub fn simulate(
+    graph: &TaskGraph,
+    machine: &MachineConfig,
+    node_speed: Option<&[f64]>,
+) -> SimResult {
     let n = graph.len();
     let mut indeg: Vec<usize> = graph.nodes().iter().map(|nd| nd.deps.len()).collect();
     let mut succs: Vec<Vec<SimNodeId>> = vec![Vec::new(); n];
@@ -99,12 +103,15 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&
             succs[d].push(i);
         }
     }
-    let speed = |node: usize| -> f64 {
-        node_speed.map_or(1.0, |s| s.get(node).copied().unwrap_or(1.0))
-    };
+    let speed =
+        |node: usize| -> f64 { node_speed.map_or(1.0, |s| s.get(node).copied().unwrap_or(1.0)) };
 
     let mut procs: Vec<Vec<Resource>> = (0..machine.nodes)
-        .map(|_| (0..machine.procs_per_node).map(|_| Resource::new()).collect())
+        .map(|_| {
+            (0..machine.procs_per_node)
+                .map(|_| Resource::new())
+                .collect()
+        })
         .collect();
     let mut nics: Vec<Resource> = (0..machine.nodes).map(|_| Resource::new()).collect();
     let mut dispatchers: Vec<Resource> = (0..machine.nodes).map(|_| Resource::new()).collect();
@@ -152,17 +159,20 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&
     }
 
     // Seed: all zero-indegree nodes.
-    let mut pending_ready: Vec<(f64, SimNodeId)> = (0..n).filter(|&i| indeg[i] == 0).map(|i| (0.0, i)).collect();
+    let mut pending_ready: Vec<(f64, SimNodeId)> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| (0.0, i))
+        .collect();
 
     // Process a ready node: start it on its resource (FIFO semantics
     // emerge because readiness events are processed in time order).
     let process_ready = |id: SimNodeId,
-                             t: f64,
-                             procs: &mut Vec<Vec<Resource>>,
-                             nics: &mut Vec<Resource>,
-                             dispatchers: &mut Vec<Resource>,
-                             events: &mut BinaryHeap<Reverse<(Time, SimNodeId)>>,
-                             started: &mut Vec<bool>| {
+                         t: f64,
+                         procs: &mut Vec<Vec<Resource>>,
+                         nics: &mut Vec<Resource>,
+                         dispatchers: &mut Vec<Resource>,
+                         events: &mut BinaryHeap<Reverse<(Time, SimNodeId)>>,
+                         started: &mut Vec<bool>| {
         match graph.nodes()[id].work {
             SimWork::Compute { proc, .. } => {
                 let (done, nid) = try_start_compute(
@@ -195,7 +205,10 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&
                 started[id] = true;
                 events.push(Reverse((Time(done), id)));
             }
-            SimWork::Collective { participants, bytes } => {
+            SimWork::Collective {
+                participants,
+                bytes,
+            } => {
                 let done = t + machine.collective_seconds(participants, bytes);
                 started[id] = true;
                 events.push(Reverse((Time(done), id)));
@@ -210,7 +223,15 @@ pub fn simulate(graph: &TaskGraph, machine: &MachineConfig, node_speed: Option<&
     // Kick off seeds in id order (deterministic).
     pending_ready.sort_by(|a, b| a.partial_cmp(b).unwrap());
     for (t, id) in pending_ready.drain(..) {
-        process_ready(id, t, &mut procs, &mut nics, &mut dispatchers, &mut events, &mut started);
+        process_ready(
+            id,
+            t,
+            &mut procs,
+            &mut nics,
+            &mut dispatchers,
+            &mut events,
+            &mut started,
+        );
     }
 
     let mut makespan = 0.0f64;

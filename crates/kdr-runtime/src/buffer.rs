@@ -62,9 +62,7 @@ impl<T: Copy + Send + 'static> Buffer<T> {
         // SAFETY: UnsafeCell<T> is repr(transparent) over T, so the
         // allocation can be reinterpreted in place.
         let boxed: Box<[T]> = data.into_boxed_slice();
-        let data = unsafe {
-            Box::from_raw(Box::into_raw(boxed) as *mut [UnsafeCell<T>])
-        };
+        let data = unsafe { Box::from_raw(Box::into_raw(boxed) as *mut [UnsafeCell<T>]) };
         Buffer {
             inner: Arc::new(BufferInner {
                 id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
@@ -97,6 +95,21 @@ impl<T: Copy + Send + 'static> Buffer<T> {
         // UnsafeCell<T> is repr(transparent); the slice base doubles
         // as the element base.
         self.inner.data.as_ptr() as *mut T
+    }
+
+    /// Overwrite element `i` with an all-ones bit pattern (NaN for
+    /// IEEE floats) — the fault injector's silent-corruption
+    /// primitive. Called by the worker that just finished the task
+    /// declaring this element writable, so exclusivity holds exactly
+    /// as it did for the body's own writes.
+    pub(crate) fn corrupt_element(&self, i: usize) {
+        if i >= self.len() {
+            return;
+        }
+        // SAFETY: in bounds; T is Copy (no drop) and any bit pattern
+        // is tolerable for the numeric payload types the runtime
+        // stores; exclusivity per the dependence discipline.
+        unsafe { std::ptr::write_bytes(self.base_ptr().add(i), 0xFF, 1) };
     }
 
     /// Copy out the entire contents.

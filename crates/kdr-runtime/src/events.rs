@@ -44,6 +44,19 @@ pub enum Provenance {
     Replayed,
 }
 
+/// How a task's lifecycle ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The body ran to completion.
+    #[default]
+    Completed,
+    /// The body panicked (caught; the failure is surfaced as a
+    /// [`TaskError`](crate::TaskError), not a process abort).
+    Panicked,
+    /// A predecessor failed, so the task was retired without running.
+    Poisoned,
+}
+
 /// One complete task lifecycle, assembled when the event log is
 /// drained. All timestamps are nanoseconds since the runtime's event
 /// epoch (the moment the sink was created), so spans from different
@@ -68,6 +81,10 @@ pub struct TaskSpan {
     pub end_ns: u64,
     /// When successors had been released (task fully retired).
     pub retire_ns: u64,
+    /// How the task's lifecycle ended (completed / panicked /
+    /// poisoned). Poisoned tasks never ran: their start/end stamps
+    /// equal the retire stamp.
+    pub outcome: TaskOutcome,
     /// Ids of the tasks this one waited on.
     pub deps: Vec<TaskId>,
 }
@@ -105,6 +122,7 @@ struct ExecRecord {
     start_ns: u64,
     end_ns: u64,
     retire_ns: u64,
+    outcome: TaskOutcome,
 }
 
 /// A single-producer ring of `ExecRecord`s. The owning worker is
@@ -187,7 +205,9 @@ impl EventSink {
         EventSink {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
-            rings: (0..workers).map(|_| WorkerRing::new(ring_capacity)).collect(),
+            rings: (0..workers)
+                .map(|_| WorkerRing::new(ring_capacity))
+                .collect(),
             submits: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             recorded: AtomicU64::new(0),
@@ -220,6 +240,7 @@ impl EventSink {
     /// Record the execution half of a span into `worker`'s ring and
     /// feed the latency histograms. Lock-free.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_exec(
         &self,
         worker: usize,
@@ -228,9 +249,14 @@ impl EventSink {
         start_ns: u64,
         end_ns: u64,
         retire_ns: u64,
+        outcome: TaskOutcome,
     ) {
-        self.queue_wait_ns.record(start_ns.saturating_sub(ready_ns));
-        self.execute_ns.record(end_ns.saturating_sub(start_ns));
+        // Poisoned tasks never executed; keep their zero-length
+        // "execution" out of the latency distributions.
+        if outcome != TaskOutcome::Poisoned {
+            self.queue_wait_ns.record(start_ns.saturating_sub(ready_ns));
+            self.execute_ns.record(end_ns.saturating_sub(start_ns));
+        }
         self.recorded.fetch_add(1, Ordering::Relaxed);
         self.rings[worker].push(ExecRecord {
             id,
@@ -238,6 +264,7 @@ impl EventSink {
             start_ns,
             end_ns,
             retire_ns,
+            outcome,
         });
     }
 
@@ -278,6 +305,7 @@ impl EventSink {
                     start_ns: e.start_ns,
                     end_ns: e.end_ns,
                     retire_ns: e.retire_ns,
+                    outcome: e.outcome,
                     deps: s.deps,
                 });
             }
@@ -325,11 +353,13 @@ mod tests {
             });
         }
         // Task 2 never executes: its span must be discarded.
-        sink.record_exec(0, 0, 11, 12, 13, 14);
-        sink.record_exec(1, 1, 21, 22, 23, 24);
+        sink.record_exec(0, 0, 11, 12, 13, 14, TaskOutcome::Completed);
+        sink.record_exec(1, 1, 21, 22, 23, 24, TaskOutcome::Panicked);
         let spans = sink.drain_spans();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].id, 0);
+        assert_eq!(spans[0].outcome, TaskOutcome::Completed);
+        assert_eq!(spans[1].outcome, TaskOutcome::Panicked);
         assert_eq!(spans[0].worker, 0);
         assert_eq!(spans[1].worker, 1);
         assert_eq!(spans[1].deps, vec![0]);
@@ -349,6 +379,7 @@ mod tests {
             start_ns: 50, // clock skew shouldn't underflow
             end_ns: 60,
             retire_ns: 70,
+            outcome: TaskOutcome::Completed,
             deps: vec![],
         };
         assert_eq!(s.queue_wait_ns(), 0);

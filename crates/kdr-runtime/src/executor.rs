@@ -12,16 +12,34 @@
 //! there is no separate "flush" step — so blocking on a
 //! [`Future`](crate::Future) from the application thread always makes
 //! progress.
+//!
+//! # Fault tolerance
+//!
+//! Task bodies run under `catch_unwind`. A panic does not abort the
+//! process: the task completes as *poisoned*, its transitive
+//! successors are retired without running (their bodies are dropped,
+//! which poisons any [`Promise`](crate::Promise) they captured), and
+//! the first failure is recorded as a [`TaskError`] that
+//! [`Executor::fence`] keeps returning until
+//! [`Executor::take_failure`] clears it. A seeded [`FaultInjector`]
+//! can plant deterministic panic / stall / corrupted-write faults at
+//! submission time, and an optional watchdog thread flags tasks that
+//! exceed a configurable stall budget. All of it is pay-as-you-go:
+//! with no plan armed and no budget set, the fault layer costs one
+//! relaxed atomic load on the submit path and one on the execute
+//! path.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::queue::SegQueue;
 use parking_lot::{Condvar, Mutex};
 
-use crate::events::{EventSink, DEFAULT_RING_CAPACITY};
+use crate::events::{EventSink, TaskOutcome, DEFAULT_RING_CAPACITY};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, TaskError, TaskErrorKind};
 use crate::mapper::Mapper;
 use crate::task::{Requirement, TaskContext, TaskId, TaskMetaLite};
 
@@ -36,10 +54,18 @@ pub(crate) struct Runnable {
     /// Event-log timestamp: when this task became ready (all
     /// predecessors retired). Zero while event logging is off.
     pub ready_ns: u64,
+    /// Fault planted by the injector at submission, if any.
+    pub fault: Option<FaultKind>,
+    /// Born poisoned: a dependence named a task that had already
+    /// retired failed, so the body must be dropped, not run.
+    pub poisoned: bool,
 }
 
 struct Pending {
     unmet: usize,
+    /// Set when a (transitive) predecessor failed: once ready, the
+    /// task is retired without running instead of enqueued.
+    poisoned: bool,
     runnable: Option<Runnable>,
 }
 
@@ -50,9 +76,26 @@ struct DepState {
     live: HashSet<TaskId>,
     outstanding: usize,
     shutdown: bool,
+    /// First task failure since the last [`Executor::take_failure`];
+    /// fences keep reporting it until taken.
+    failure: Option<TaskError>,
+    /// Tasks that retired failed or poisoned since the last
+    /// [`Executor::take_failure`]. A newly submitted task naming one
+    /// of these as a dependence is born poisoned — without this,
+    /// poison would leak whenever a predecessor finished (panicked)
+    /// before its dependent was submitted. Cleared with the failure.
+    poisoned_retired: HashSet<TaskId>,
     /// Executed-task tallies keyed by kernel name, bumped under this
     /// lock on the completion path (which already holds it).
     counts: BTreeMap<&'static str, u64>,
+}
+
+/// Per-worker watchdog slot: the task currently executing (id + 1;
+/// 0 = idle) and when it started. Published only while a stall budget
+/// is armed.
+struct WatchSlot {
+    task: AtomicU64,
+    since_ns: AtomicU64,
 }
 
 struct ExecShared {
@@ -71,16 +114,29 @@ struct ExecShared {
     idle_cv: Condvar,
     executed: AtomicU64,
     stolen: AtomicU64,
-    panicked: AtomicBool,
     sleepers: AtomicUsize,
     /// Structured event log (spans + latency histograms). Checked
     /// with one relaxed load per task when disabled.
     events: EventSink,
+    /// Deterministic fault injector. Checked with one relaxed load
+    /// per task at submission when disarmed.
+    faults: FaultInjector,
+    /// Watchdog stall budget in nanoseconds (0 = watchdog off).
+    stall_budget_ns: AtomicU64,
+    /// One slot per worker for the watchdog to observe.
+    watch: Vec<WatchSlot>,
+    /// Task bodies that panicked.
+    task_failures: AtomicU64,
+    /// Tasks retired-as-poisoned without running.
+    tasks_poisoned: AtomicU64,
+    /// Tasks the watchdog flagged as exceeding the stall budget.
+    tasks_stalled: AtomicU64,
 }
 
 pub(crate) struct Executor {
     shared: Arc<ExecShared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Executor {
@@ -111,9 +167,19 @@ impl Executor {
             idle_cv: Condvar::new(),
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
-            panicked: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
             events: EventSink::new(workers, ring_capacity),
+            faults: FaultInjector::new(),
+            stall_budget_ns: AtomicU64::new(0),
+            watch: (0..workers)
+                .map(|_| WatchSlot {
+                    task: AtomicU64::new(0),
+                    since_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            task_failures: AtomicU64::new(0),
+            tasks_poisoned: AtomicU64::new(0),
+            tasks_stalled: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -127,6 +193,7 @@ impl Executor {
         Executor {
             shared,
             workers: handles,
+            watchdog: Mutex::new(None),
         }
     }
 
@@ -144,13 +211,27 @@ impl Executor {
 
     /// Enqueue a task whose dependence list has already been computed.
     /// Dependences on tasks that have already finished are ignored.
-    pub fn submit(&self, runnable: Runnable, deps: &[TaskId]) {
+    pub fn submit(&self, mut runnable: Runnable, deps: &[TaskId]) {
+        // Fault decisions happen here, at submission: the runtime
+        // serializes submissions, so a seeded plan reproduces the
+        // same injections regardless of worker interleaving.
+        runnable.fault = self.shared.faults.decide(runnable.name);
         let mut st = self.shared.state.lock();
         let id = runnable.id;
-        let live_deps: Vec<TaskId> = deps.iter().copied().filter(|d| st.live.contains(d)).collect();
+        let live_deps: Vec<TaskId> = deps
+            .iter()
+            .copied()
+            .filter(|d| st.live.contains(d))
+            .collect();
+        // A dependence on a task that already retired failed poisons
+        // this one at birth; live failed predecessors are handled by
+        // the retirement cascade instead.
+        let born_poisoned =
+            !st.poisoned_retired.is_empty() && deps.iter().any(|d| st.poisoned_retired.contains(d));
         st.live.insert(id);
         st.outstanding += 1;
         if live_deps.is_empty() {
+            runnable.poisoned = born_poisoned;
             drop(st);
             self.enqueue(runnable);
         } else {
@@ -161,22 +242,60 @@ impl Executor {
                 id,
                 Pending {
                     unmet: live_deps.len(),
+                    poisoned: born_poisoned,
                     runnable: Some(runnable),
                 },
             );
         }
     }
 
-    /// Block until every submitted task has finished. Panics if any
-    /// task body panicked.
-    pub fn fence(&self) {
+    /// Block until every submitted task has finished. If any task
+    /// failed since the last [`Executor::take_failure`], returns the
+    /// first failure (and keeps returning it until taken).
+    pub fn fence(&self) -> Result<(), TaskError> {
         let mut st = self.shared.state.lock();
         while st.outstanding > 0 {
             self.shared.idle_cv.wait(&mut st);
         }
-        drop(st);
-        if self.shared.panicked.load(Ordering::Acquire) {
-            panic!("a task body panicked during execution");
+        match &st.failure {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Remove and return the recorded failure, re-arming the executor
+    /// for further work (subsequent fences return `Ok` again) and
+    /// ending submit-time poison propagation from the failed epoch.
+    pub fn take_failure(&self) -> Option<TaskError> {
+        let mut st = self.shared.state.lock();
+        st.poisoned_retired.clear();
+        st.failure.take()
+    }
+
+    /// Arm (or disarm, with `None`) the deterministic fault injector.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.shared.faults.install(plan);
+    }
+
+    /// Set (or clear, with `None`) the watchdog stall budget. The
+    /// watchdog thread starts on the first budget and exits when the
+    /// budget is cleared.
+    pub fn set_stall_budget(&self, budget: Option<Duration>) {
+        let ns = budget.map(|d| d.as_nanos() as u64).unwrap_or(0);
+        self.shared.stall_budget_ns.store(ns, Ordering::Relaxed);
+        let mut guard = self.watchdog.lock();
+        if ns == 0 {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        } else if guard.is_none() {
+            let shared = Arc::clone(&self.shared);
+            *guard = Some(
+                std::thread::Builder::new()
+                    .name("kdr-watchdog".into())
+                    .spawn(move || watchdog_loop(shared))
+                    .expect("failed to spawn watchdog"),
+            );
         }
     }
 
@@ -188,6 +307,26 @@ impl Executor {
     /// Tasks a worker executed from another worker's affinity queue.
     pub fn stolen(&self) -> u64 {
         self.shared.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Task bodies that panicked (caught, not process aborts).
+    pub fn task_failures(&self) -> u64 {
+        self.shared.task_failures.load(Ordering::Relaxed)
+    }
+
+    /// Tasks retired-as-poisoned without running.
+    pub fn tasks_poisoned(&self) -> u64 {
+        self.shared.tasks_poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Tasks the watchdog flagged for exceeding the stall budget.
+    pub fn tasks_stalled(&self) -> u64 {
+        self.shared.tasks_stalled.load(Ordering::Relaxed)
+    }
+
+    /// Faults planted by the injector.
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.faults.injected()
     }
 
     /// Number of worker threads.
@@ -217,6 +356,10 @@ impl Drop for Executor {
             self.shared.wake_cv.notify_all();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stall_budget_ns.store(0, Ordering::Relaxed);
+        if let Some(h) = self.watchdog.lock().take() {
             let _ = h.join();
         }
     }
@@ -252,6 +395,110 @@ fn find_work(shared: &ExecShared, me: usize) -> Option<(Runnable, bool)> {
     None
 }
 
+/// Extract a readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One retirement to process under the state lock: either a task a
+/// worker just finished (completed or panicked) or a poisoned task
+/// being retired without running.
+struct Retirement {
+    id: TaskId,
+    name: &'static str,
+    outcome: TaskOutcome,
+    ready_ns: u64,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// Retire `first` and cascade poison through the DAG: successors of a
+/// failed task are marked poisoned; any that become ready while
+/// poisoned are retired in turn (their bodies dropped, not run, which
+/// poisons any promise the body captured). Runs entirely under the
+/// state lock, so fences observing `outstanding == 0` see every span
+/// and counter of the cascade.
+fn retire_locked(
+    shared: &ExecShared,
+    st: &mut DepState,
+    first: Retirement,
+    ready: &mut Vec<Runnable>,
+    me: usize,
+    logging: bool,
+) {
+    let mut work = vec![first];
+    while let Some(rec) = work.pop() {
+        let poison = rec.outcome != TaskOutcome::Completed;
+        if poison {
+            st.poisoned_retired.insert(rec.id);
+        }
+        if let Some(succs) = st.successors.remove(&rec.id) {
+            for s in succs {
+                let done = {
+                    let p = st.pending.get_mut(&s).expect("successor must be pending");
+                    if poison {
+                        p.poisoned = true;
+                    }
+                    p.unmet -= 1;
+                    p.unmet == 0
+                };
+                if done {
+                    let p = st.pending.remove(&s).unwrap();
+                    let r = p.runnable.expect("pending task must hold its runnable");
+                    if p.poisoned {
+                        shared.tasks_poisoned.fetch_add(1, Ordering::Relaxed);
+                        let now = if logging { shared.events.now_ns() } else { 0 };
+                        work.push(Retirement {
+                            id: r.id,
+                            name: r.name,
+                            outcome: TaskOutcome::Poisoned,
+                            ready_ns: now,
+                            start_ns: now,
+                            end_ns: now,
+                        });
+                        // Dropping the runnable drops its body; any
+                        // captured Promise poisons its Future here.
+                        drop(r);
+                    } else {
+                        ready.push(r);
+                    }
+                }
+            }
+        }
+        st.live.remove(&rec.id);
+        if rec.outcome != TaskOutcome::Poisoned {
+            *st.counts.entry(rec.name).or_insert(0) += 1;
+        }
+        // Record the span while the task still counts as
+        // outstanding: a fence observing `outstanding == 0` then
+        // implies every executed task's span has landed, so
+        // fence-then-snapshot sequences (take_spans, metrics)
+        // never see a straggler.
+        if logging {
+            let retire_ns = shared.events.now_ns();
+            shared.events.record_exec(
+                me,
+                rec.id,
+                rec.ready_ns,
+                rec.start_ns,
+                rec.end_ns,
+                retire_ns,
+                rec.outcome,
+            );
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<ExecShared>, me: usize) {
     loop {
         let runnable = loop {
@@ -285,74 +532,176 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
             shared.sleepers.fetch_sub(1, Ordering::AcqRel);
         };
 
-        let ctx = TaskContext {
-            reqs: Arc::clone(&runnable.reqs),
-        };
         // One relaxed load when logging is off — the entire cost the
         // event layer adds to the disabled execute path.
         let logging = shared.events.enabled();
+        if runnable.poisoned {
+            // Born poisoned (a dependence had already retired
+            // failed): retire without running. Dropping the body
+            // poisons any Promise it captured.
+            shared.tasks_poisoned.fetch_add(1, Ordering::Relaxed);
+            let now = if logging { shared.events.now_ns() } else { 0 };
+            let mut ready = Vec::new();
+            {
+                let mut st = shared.state.lock();
+                retire_locked(
+                    &shared,
+                    &mut st,
+                    Retirement {
+                        id: runnable.id,
+                        name: runnable.name,
+                        outcome: TaskOutcome::Poisoned,
+                        ready_ns: runnable.ready_ns,
+                        start_ns: now,
+                        end_ns: now,
+                    },
+                    &mut ready,
+                    me,
+                    logging,
+                );
+            }
+            drop(runnable);
+            release_ready(&shared, ready, logging);
+            continue;
+        }
+        let ctx = TaskContext {
+            reqs: Arc::clone(&runnable.reqs),
+        };
         let start_ns = if logging { shared.events.now_ns() } else { 0 };
+        // One relaxed load when the watchdog is off — the fault
+        // layer's entire cost on the disabled execute path (the
+        // injected-fault check below is a plain field read).
+        let budget = shared.stall_budget_ns.load(Ordering::Relaxed);
+        if budget > 0 {
+            let slot = &shared.watch[me];
+            slot.since_ns
+                .store(shared.events.now_ns(), Ordering::Relaxed);
+            slot.task.store(runnable.id + 1, Ordering::Release);
+        }
+        let fault = runnable.fault;
+        let name = runnable.name;
         let body = runnable.body;
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(&ctx)));
-        if result.is_err() {
-            shared.panicked.store(true, Ordering::Release);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || match fault {
+            Some(FaultKind::Panic) => {
+                panic!("injected fault: forced panic in '{name}'")
+            }
+            Some(FaultKind::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                body(&ctx)
+            }
+            _ => body(&ctx),
+        }));
+        if budget > 0 {
+            shared.watch[me].task.store(0, Ordering::Release);
+        }
+        if result.is_ok() && fault == Some(FaultKind::CorruptWrite) {
+            // Silent corruption: flip the first element of the first
+            // writable requirement to an all-ones pattern (NaN for
+            // floats) after the body completed normally.
+            if let Some(req) = runnable
+                .reqs
+                .iter()
+                .find(|r| r.privilege == crate::task::Privilege::Write)
+            {
+                (req.corrupt)(req);
+            }
         }
         shared.executed.fetch_add(1, Ordering::Relaxed);
         let end_ns = if logging { shared.events.now_ns() } else { 0 };
 
-        // Release successors.
+        // Retire: record any failure, then release (or poison)
+        // successors.
         let mut ready = Vec::new();
         {
             let mut st = shared.state.lock();
-            if let Some(succs) = st.successors.remove(&runnable.id) {
-                for s in succs {
-                    let done = {
-                        let p = st.pending.get_mut(&s).expect("successor must be pending");
-                        p.unmet -= 1;
-                        p.unmet == 0
-                    };
-                    if done {
-                        let p = st.pending.remove(&s).unwrap();
-                        ready.push(p.runnable.unwrap());
+            let outcome = match &result {
+                Ok(()) => TaskOutcome::Completed,
+                Err(payload) => {
+                    shared.task_failures.fetch_add(1, Ordering::Relaxed);
+                    if st.failure.is_none() {
+                        st.failure = Some(TaskError {
+                            task: runnable.id,
+                            name: runnable.name,
+                            kind: TaskErrorKind::Panicked(panic_message(payload.as_ref())),
+                        });
                     }
+                    TaskOutcome::Panicked
                 }
-            }
-            st.live.remove(&runnable.id);
-            *st.counts.entry(runnable.name).or_insert(0) += 1;
-            // Record the span while the task still counts as
-            // outstanding: a fence observing `outstanding == 0` then
-            // implies every executed task's span has landed, so
-            // fence-then-snapshot sequences (take_spans, metrics)
-            // never see a straggler.
-            if logging {
-                let retire_ns = shared.events.now_ns();
-                shared
-                    .events
-                    .record_exec(me, runnable.id, runnable.ready_ns, start_ns, end_ns, retire_ns);
-            }
-            st.outstanding -= 1;
-            if st.outstanding == 0 {
-                shared.idle_cv.notify_all();
+            };
+            retire_locked(
+                &shared,
+                &mut st,
+                Retirement {
+                    id: runnable.id,
+                    name: runnable.name,
+                    outcome,
+                    ready_ns: runnable.ready_ns,
+                    start_ns,
+                    end_ns,
+                },
+                &mut ready,
+                me,
+                logging,
+            );
+        }
+        release_ready(&shared, ready, logging);
+    }
+}
+
+/// Route tasks a retirement made ready and wake parked workers.
+fn release_ready(shared: &Arc<ExecShared>, ready: Vec<Runnable>, logging: bool) {
+    let n_ready = ready.len();
+    let ready_stamp = if logging && n_ready > 0 {
+        shared.events.now_ns()
+    } else {
+        0
+    };
+    for mut r in ready {
+        // Successors route through the mapper too — otherwise
+        // affinity only applies to tasks that were ready at
+        // submit time, and steady-state iterations (where almost
+        // every task waits on a predecessor) lose all locality.
+        r.ready_ns = ready_stamp;
+        route(shared, r);
+    }
+    if n_ready > 0 && shared.sleepers.load(Ordering::Acquire) > 0 {
+        let _g = shared.sleep_lock.lock();
+        for _ in 0..n_ready {
+            shared.wake_cv.notify_one();
+        }
+    }
+}
+
+/// The watchdog: periodically scans every worker's watch slot and
+/// counts tasks that have been executing longer than the stall
+/// budget. Exits when the budget is cleared or the executor shuts
+/// down. Each (worker, task) pair is flagged at most once.
+fn watchdog_loop(shared: Arc<ExecShared>) {
+    let mut flagged: HashMap<usize, u64> = HashMap::new();
+    loop {
+        let budget = shared.stall_budget_ns.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        {
+            let st = shared.state.lock();
+            if st.shutdown {
+                return;
             }
         }
-        let n_ready = ready.len();
-        let ready_stamp = if logging && n_ready > 0 {
-            shared.events.now_ns()
-        } else {
-            0
-        };
-        for mut r in ready {
-            // Successors route through the mapper too — otherwise
-            // affinity only applies to tasks that were ready at
-            // submit time, and steady-state iterations (where almost
-            // every task waits on a predecessor) lose all locality.
-            r.ready_ns = ready_stamp;
-            route(&shared, r);
-        }
-        if n_ready > 0 && shared.sleepers.load(Ordering::Acquire) > 0 {
-            let _g = shared.sleep_lock.lock();
-            for _ in 0..n_ready {
-                shared.wake_cv.notify_one();
+        let poll_ns = (budget / 4).clamp(1_000_000, 50_000_000);
+        std::thread::sleep(Duration::from_nanos(poll_ns));
+        let now = shared.events.now_ns();
+        for (w, slot) in shared.watch.iter().enumerate() {
+            let t = slot.task.load(Ordering::Acquire);
+            if t == 0 {
+                flagged.remove(&w);
+                continue;
+            }
+            let since = slot.since_ns.load(Ordering::Relaxed);
+            if now.saturating_sub(since) > budget && flagged.get(&w) != Some(&t) {
+                flagged.insert(w, t);
+                shared.tasks_stalled.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -369,6 +718,7 @@ fn find_probe(shared: &ExecShared) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultSpec, FireSchedule};
     use crate::mapper::RoundRobinMapper;
 
     fn runnable(id: TaskId, f: impl FnOnce() + Send + 'static) -> Runnable {
@@ -379,6 +729,8 @@ mod tests {
             reqs: Arc::new(Vec::new()),
             meta: TaskMetaLite::default(),
             ready_ns: 0,
+            fault: None,
+            poisoned: false,
         }
     }
 
@@ -393,6 +745,8 @@ mod tests {
                 ..TaskMetaLite::default()
             },
             ready_ns: 0,
+            fault: None,
+            poisoned: false,
         }
     }
 
@@ -409,7 +763,7 @@ mod tests {
                 &[],
             );
         }
-        ex.fence();
+        ex.fence().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 32);
         assert_eq!(ex.executed(), 32);
     }
@@ -428,7 +782,7 @@ mod tests {
                 &deps,
             );
         }
-        ex.fence();
+        ex.fence().unwrap();
         assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
     }
 
@@ -446,7 +800,7 @@ mod tests {
         ex.submit(push(1), &[0]);
         ex.submit(push(2), &[0]);
         ex.submit(push(3), &[1, 2]);
-        ex.fence();
+        ex.fence().unwrap();
         let order = log.lock().clone();
         assert_eq!(order.len(), 4);
         assert_eq!(order[0], 0);
@@ -457,25 +811,126 @@ mod tests {
     fn deps_on_finished_tasks_ignored() {
         let ex = Executor::new(2);
         ex.submit(runnable(0, || {}), &[]);
-        ex.fence();
+        ex.fence().unwrap();
         ex.submit(runnable(1, || {}), &[0]);
-        ex.fence();
+        ex.fence().unwrap();
         assert_eq!(ex.executed(), 2);
     }
 
     #[test]
     fn fence_with_nothing_outstanding() {
         let ex = Executor::new(1);
-        ex.fence();
-        ex.fence();
+        ex.fence().unwrap();
+        ex.fence().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "task body panicked")]
-    fn task_panic_surfaces_at_fence() {
+    fn task_panic_surfaces_as_error_not_abort() {
         let ex = Executor::new(2);
         ex.submit(runnable(0, || panic!("boom")), &[]);
-        ex.fence();
+        let err = ex.fence().unwrap_err();
+        assert_eq!(err.task, 0);
+        assert_eq!(err.kind, TaskErrorKind::Panicked("boom".into()));
+        // The failure sticks until taken...
+        assert!(ex.fence().is_err());
+        let taken = ex.take_failure().unwrap();
+        assert_eq!(taken.task, 0);
+        // ...and the executor keeps working afterwards.
+        ex.submit(runnable(1, || {}), &[]);
+        ex.fence().unwrap();
+        assert_eq!(ex.executed(), 2);
+        assert_eq!(ex.task_failures(), 1);
+    }
+
+    #[test]
+    fn poison_retires_transitive_successors_without_running() {
+        let ex = Executor::new(4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        ex.submit(runnable(0, || panic!("root failure")), &[]);
+        for id in 1..=3u64 {
+            let r = Arc::clone(&ran);
+            ex.submit(
+                runnable(id, move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+                &[id - 1],
+            );
+        }
+        // An independent task must still run.
+        let r = Arc::clone(&ran);
+        ex.submit(
+            runnable(10, move || {
+                r.fetch_add(100, Ordering::SeqCst);
+            }),
+            &[],
+        );
+        let err = ex.fence().unwrap_err();
+        assert_eq!(err.task, 0);
+        assert_eq!(ran.load(Ordering::SeqCst), 100, "successors must not run");
+        assert_eq!(ex.tasks_poisoned(), 3);
+        assert_eq!(ex.task_failures(), 1);
+        // Only the root body and the independent task executed.
+        assert_eq!(ex.executed(), 2);
+    }
+
+    #[test]
+    fn poison_with_partially_failed_predecessors() {
+        // A successor with one healthy and one failing predecessor
+        // must still be retired-as-poisoned.
+        let ex = Executor::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        ex.submit(runnable(0, || {}), &[]);
+        ex.submit(runnable(1, || panic!("half")), &[]);
+        let r = Arc::clone(&ran);
+        ex.submit(
+            runnable(2, move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+            &[0, 1],
+        );
+        assert!(ex.fence().is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(ex.tasks_poisoned(), 1);
+    }
+
+    #[test]
+    fn injected_panic_is_deterministic() {
+        let run = || {
+            let ex = Executor::new(2);
+            ex.set_fault_plan(Some(FaultPlan::seeded(7).with(FaultSpec {
+                name_contains: "test".into(),
+                kind: FaultKind::Panic,
+                schedule: FireSchedule::Nth(5),
+                max_fires: 0,
+            })));
+            for id in 0..10 {
+                ex.submit(runnable(id, || {}), &[]);
+            }
+            let err = ex.fence().unwrap_err();
+            (err.task, ex.faults_injected(), ex.task_failures())
+        };
+        assert_eq!(run(), (4, 1, 1), "5th submitted task must panic");
+        assert_eq!(run(), run(), "identical plans give identical failures");
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_task() {
+        let ex = Executor::new(2);
+        ex.set_stall_budget(Some(Duration::from_millis(5)));
+        ex.submit(
+            runnable(0, || std::thread::sleep(Duration::from_millis(60))),
+            &[],
+        );
+        ex.fence().unwrap();
+        assert!(
+            ex.tasks_stalled() >= 1,
+            "a 60ms task must trip a 5ms stall budget"
+        );
+        ex.set_stall_budget(None);
+        // Fast tasks after disarming don't add flags.
+        ex.submit(runnable(1, || {}), &[]);
+        ex.fence().unwrap();
+        assert_eq!(ex.tasks_stalled(), 1);
     }
 
     #[test]
@@ -485,8 +940,7 @@ mod tests {
         // assert functional completion plus *some* locality (stealing
         // keeps this from being deterministic).
         let ex = Executor::with_mapper(2, Some(Arc::new(RoundRobinMapper::new(2))));
-        let hits: Arc<[AtomicUsize; 2]> =
-            Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let hits: Arc<[AtomicUsize; 2]> = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
         for id in 0..200u64 {
             let hits = Arc::clone(&hits);
             let color = (id % 2) as usize;
@@ -503,7 +957,7 @@ mod tests {
                 &[],
             );
         }
-        ex.fence();
+        ex.fence().unwrap();
         assert_eq!(ex.executed(), 200);
         let local = hits[0].load(Ordering::Relaxed) + hits[1].load(Ordering::Relaxed);
         assert!(local > 0, "affinity must route at least some tasks home");
@@ -525,7 +979,7 @@ mod tests {
                 );
                 id += 1;
             }
-            ex.fence();
+            ex.fence().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 1000);
     }

@@ -119,7 +119,11 @@ pub fn phase_rows(spans: &[TaskSpan]) -> Vec<PhaseRow> {
         }
     }
     let mut rows: Vec<PhaseRow> = by_name.into_values().collect();
-    rows.sort_by(|a, b| b.total_execute_ns.cmp(&a.total_execute_ns).then(a.name.cmp(&b.name)));
+    rows.sort_by(|a, b| {
+        b.total_execute_ns
+            .cmp(&a.total_execute_ns)
+            .then(a.name.cmp(&b.name))
+    });
     rows
 }
 
@@ -250,6 +254,7 @@ mod tests {
             start_ns: start,
             end_ns: end,
             retire_ns: end,
+            outcome: crate::events::TaskOutcome::Completed,
             deps,
         }
     }

@@ -6,19 +6,52 @@
 //! and `get()` parks the caller until the value arrives. Because the
 //! executor runs continuously on worker threads, blocking on a future
 //! from the application thread cannot deadlock.
+//!
+//! # Poisoning
+//!
+//! If a promise is dropped without being fulfilled — the producing
+//! task panicked, or was retired-as-poisoned because a predecessor
+//! failed — the future is *poisoned*: [`Future::wait`] wakes every
+//! blocked reader with [`PromiseDropped`] instead of parking them
+//! forever. This is the piece that turns a mid-solve task failure
+//! into a structured error rather than a deadlocked application
+//! thread.
 
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+enum Slot<T> {
+    Empty,
+    Ready(T),
+    /// The promise was dropped unfulfilled (producing task failed).
+    Poisoned,
+}
+
 struct Shared<T> {
-    slot: Mutex<Option<T>>,
+    slot: Mutex<Slot<T>>,
     cv: Condvar,
 }
 
-/// The write end of a one-shot scalar channel.
+/// Error returned by [`Future::wait`] when the paired [`Promise`] was
+/// dropped without ever being set — the producing task panicked or
+/// was retired-as-poisoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromiseDropped;
+
+impl std::fmt::Display for PromiseDropped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "promise dropped without a value (producing task failed)")
+    }
+}
+
+impl std::error::Error for PromiseDropped {}
+
+/// The write end of a one-shot scalar channel. Dropping it unfulfilled
+/// poisons the paired [`Future`].
 pub struct Promise<T> {
     shared: Arc<Shared<T>>,
+    fulfilled: bool,
 }
 
 /// The read end of a one-shot scalar channel. Cloneable; every clone
@@ -38,12 +71,13 @@ impl<T> Clone for Future<T> {
 /// Create a connected promise/future pair.
 pub fn promise<T>() -> (Promise<T>, Future<T>) {
     let shared = Arc::new(Shared {
-        slot: Mutex::new(None),
+        slot: Mutex::new(Slot::Empty),
         cv: Condvar::new(),
     });
     (
         Promise {
             shared: Arc::clone(&shared),
+            fulfilled: false,
         },
         Future { shared },
     )
@@ -51,32 +85,66 @@ pub fn promise<T>() -> (Promise<T>, Future<T>) {
 
 impl<T> Promise<T> {
     /// Fill the future. Panics if already filled.
-    pub fn set(self, value: T) {
+    pub fn set(mut self, value: T) {
         let mut slot = self.shared.slot.lock();
-        assert!(slot.is_none(), "promise set twice");
-        *slot = Some(value);
+        assert!(matches!(*slot, Slot::Empty), "promise set twice");
+        *slot = Slot::Ready(value);
+        self.fulfilled = true;
         self.shared.cv.notify_all();
+    }
+}
+
+impl<T> Drop for Promise<T> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        let mut slot = self.shared.slot.lock();
+        if matches!(*slot, Slot::Empty) {
+            *slot = Slot::Poisoned;
+            self.shared.cv.notify_all();
+        }
     }
 }
 
 impl<T: Clone> Future<T> {
     /// Block until the value arrives, then return a clone of it.
+    /// Panics if the promise was dropped unfulfilled; use
+    /// [`Future::wait`] to observe that as an error instead.
     pub fn get(&self) -> T {
-        let mut slot = self.shared.slot.lock();
-        while slot.is_none() {
-            self.shared.cv.wait(&mut slot);
-        }
-        slot.as_ref().unwrap().clone()
+        self.wait()
+            .expect("promise dropped without a value (producing task failed)")
     }
 
-    /// Non-blocking probe.
+    /// Block until the value arrives or the promise is dropped
+    /// unfulfilled. Never deadlocks on a failed producer.
+    pub fn wait(&self) -> Result<T, PromiseDropped> {
+        let mut slot = self.shared.slot.lock();
+        loop {
+            match &*slot {
+                Slot::Ready(v) => return Ok(v.clone()),
+                Slot::Poisoned => return Err(PromiseDropped),
+                Slot::Empty => self.shared.cv.wait(&mut slot),
+            }
+        }
+    }
+
+    /// Non-blocking probe; `None` while unfulfilled or poisoned.
     pub fn try_get(&self) -> Option<T> {
-        self.shared.slot.lock().as_ref().cloned()
+        match &*self.shared.slot.lock() {
+            Slot::Ready(v) => Some(v.clone()),
+            _ => None,
+        }
     }
 
     /// True once the promise has been fulfilled.
     pub fn is_ready(&self) -> bool {
-        self.shared.slot.lock().is_some()
+        matches!(*self.shared.slot.lock(), Slot::Ready(_))
+    }
+
+    /// True if the promise was dropped without a value.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(*self.shared.slot.lock(), Slot::Poisoned)
     }
 }
 
@@ -111,11 +179,42 @@ mod tests {
     #[test]
     #[should_panic(expected = "set twice")]
     fn double_set_panics() {
-        let shared = Arc::new(Shared {
-            slot: Mutex::new(Some(1u32)),
-            cv: Condvar::new(),
+        let (p, f) = promise();
+        p.set(1u32);
+        let again = Promise {
+            shared: Arc::clone(&f.shared),
+            fulfilled: false,
+        };
+        again.set(2);
+    }
+
+    #[test]
+    fn dropped_promise_poisons_blocked_reader() {
+        let (p, f) = promise::<f64>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(p); // task "failed" without producing a value
         });
-        let p = Promise { shared };
-        p.set(2);
+        assert_eq!(f.wait(), Err(PromiseDropped));
+        assert!(f.is_poisoned());
+        assert!(!f.is_ready());
+        assert_eq!(f.try_get(), None);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fulfilled_promise_does_not_poison_on_drop() {
+        let (p, f) = promise();
+        p.set(3u8);
+        assert_eq!(f.wait(), Ok(3));
+        assert!(!f.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "promise dropped")]
+    fn get_panics_on_poison() {
+        let (p, f) = promise::<u32>();
+        drop(p);
+        f.get();
     }
 }

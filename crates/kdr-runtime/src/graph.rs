@@ -14,7 +14,7 @@ use kdr_index::IntervalSet;
 
 use crate::task::{ReqLite, TaskId};
 
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub(crate) struct FrontierEntry {
     pub task: TaskId,
     pub subset: Arc<IntervalSet>,
@@ -22,7 +22,7 @@ pub(crate) struct FrontierEntry {
 }
 
 /// Per-buffer access frontier.
-#[derive(Default, Clone)]
+#[derive(Default, Clone, Debug)]
 pub(crate) struct Frontier {
     pub entries: Vec<FrontierEntry>,
 }

@@ -39,11 +39,27 @@
 //! `trace_event` JSON (Perfetto-loadable), a per-phase summary table,
 //! and a critical-path estimate. Logging is off by default and costs
 //! one relaxed atomic load per task while off.
+//!
+//! ## Fault tolerance
+//!
+//! A task panic never aborts the process: the body runs under
+//! `catch_unwind`, the task completes as *poisoned*, its transitive
+//! successors are retired without running, and the first failure
+//! surfaces as a structured [`TaskError`] at
+//! [`Runtime::fence`] / [`Runtime::take_failure`] and as a poisoned
+//! [`Future`] ([`Future::wait`]). [`Runtime::set_fault_plan`] arms a
+//! seeded, deterministic fault injector (see [`FaultPlan`]) for
+//! testing recovery paths, and [`Runtime::set_stall_budget`] starts a
+//! watchdog that counts tasks exceeding a stall budget. Disabled,
+//! the whole layer costs one relaxed atomic load per task on each of
+//! the submit and execute paths — the same contract as the event
+//! log.
 
 pub mod buffer;
 pub mod events;
 pub mod executor;
 pub mod export;
+pub mod fault;
 pub mod future;
 pub mod graph;
 pub mod mapper;
@@ -53,13 +69,16 @@ pub mod task;
 pub mod trace;
 
 pub use buffer::{Buffer, ReadView, WriteView};
-pub use events::{Provenance, TaskSpan, DEFAULT_RING_CAPACITY};
-pub use export::{chrome_trace_json, critical_path, phase_rows, phase_summary, CriticalPath, PhaseRow};
-pub use future::{promise, Future, Promise};
+pub use events::{Provenance, TaskOutcome, TaskSpan, DEFAULT_RING_CAPACITY};
+pub use export::{
+    chrome_trace_json, critical_path, phase_rows, phase_summary, CriticalPath, PhaseRow,
+};
+pub use fault::{
+    FaultKind, FaultPlan, FaultSpec, FireSchedule, RuntimeError, TaskError, TaskErrorKind,
+};
+pub use future::{promise, Future, Promise, PromiseDropped};
 pub use mapper::{ColorAffinityMapper, Mapper, RoundRobinMapper, TaskMeta};
 pub use metrics::{AtomicHistogram, HistogramSnapshot, MetricsSnapshot};
 pub use runtime::Runtime;
-#[allow(deprecated)]
-pub use runtime::RuntimeStats;
 pub use task::{Privilege, TaskBuilder, TaskContext, TaskId, TaskMetaLite};
 pub use trace::{ShapeSig, Trace, TraceCache};

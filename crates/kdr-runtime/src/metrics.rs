@@ -3,11 +3,10 @@
 //! Workers update [`AtomicHistogram`]s with relaxed atomic adds — no
 //! locks, no allocation — so metrics collection rides along with event
 //! logging at negligible cost. [`Runtime::metrics`](crate::Runtime::metrics)
-//! freezes everything into a [`MetricsSnapshot`], the successor of the
-//! older [`RuntimeStats`](crate::RuntimeStats) counter block: it
-//! carries the same counters *plus* the queue-wait and execute latency
-//! distributions and event-log health, and is safe to take at any
-//! time (no fence required).
+//! freezes everything into a [`MetricsSnapshot`]: activity counters,
+//! fault-tolerance counters (failures, poisonings, injected faults,
+//! stalls), the queue-wait and execute latency distributions, and
+//! event-log health — safe to take at any time (no fence required).
 //!
 //! Latencies are bucketed by powers of two of nanoseconds, giving
 //! ~2× resolution over the full range from 1 ns to ~584 years with a
@@ -131,7 +130,11 @@ impl HistogramSnapshot {
             seen += c;
             if seen >= rank {
                 // Upper bound of bucket i is 2^(i+1) - 1.
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         u64::MAX
@@ -144,8 +147,7 @@ impl HistogramSnapshot {
 }
 
 /// A point-in-time aggregate of everything the runtime knows about
-/// its own activity. Supersedes [`RuntimeStats`](crate::RuntimeStats)
-/// (which remains available as the plain-counter subset).
+/// its own activity.
 ///
 /// Counter fields cover the whole runtime lifetime; histogram fields
 /// only accumulate while event logging is enabled (see
@@ -166,6 +168,17 @@ pub struct MetricsSnapshot {
     pub edges_created: u64,
     /// Nanoseconds spent in dependence analysis.
     pub analysis_ns: u64,
+    /// Task bodies that panicked (caught and converted to poisoned
+    /// completions, never a process abort).
+    pub task_failures: u64,
+    /// Tasks retired without running because a (transitive)
+    /// predecessor failed.
+    pub tasks_poisoned: u64,
+    /// Tasks flagged by the watchdog for exceeding the configured
+    /// stall budget.
+    pub tasks_stalled: u64,
+    /// Faults planted by the deterministic injector.
+    pub faults_injected: u64,
     /// Task spans recorded by the event log (lifetime total).
     pub events_recorded: u64,
     /// Spans lost to ring-buffer wraparound (recording never blocks;

@@ -1,49 +1,27 @@
 //! The user-facing runtime: submission, fencing, index launches, and
 //! trace capture/replay.
+//!
+//! Failures never abort the process: user-reachable entry points
+//! return typed [`RuntimeError`]s, task panics surface as
+//! [`TaskError`]s at fences (see [`Runtime::fence`] /
+//! [`Runtime::take_failure`]), and the deterministic fault injector /
+//! stall watchdog are armed through [`Runtime::set_fault_plan`] and
+//! [`Runtime::set_stall_budget`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::events::{Provenance, SubmitRecord, TaskSpan};
 use crate::executor::{Executor, Runnable};
+use crate::fault::{FaultPlan, RuntimeError, TaskError};
 use crate::graph::Analyzer;
 use crate::mapper::Mapper;
 use crate::metrics::MetricsSnapshot;
 use crate::task::{TaskBuilder, TaskId, TaskMetaLite};
 use crate::trace::Trace;
-
-/// Counters describing runtime activity; useful for the tracing
-/// ablation benchmarks.
-///
-/// Superseded by [`MetricsSnapshot`] (via [`Runtime::metrics`]),
-/// which carries these same counters plus latency distributions,
-/// per-kernel execution tallies, and event-log health.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Runtime::metrics` / `MetricsSnapshot`, which carries the same \
-            counters plus latency distributions and per-kernel tallies"
-)]
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RuntimeStats {
-    /// Tasks submitted (analyzed or replayed).
-    pub tasks_submitted: u64,
-    /// Task bodies actually executed.
-    pub tasks_executed: u64,
-    /// Dependence edges created by analysis.
-    pub edges_created: u64,
-    /// Nanoseconds spent in dependence analysis.
-    pub analysis_ns: u64,
-    /// Tasks submitted through trace replay (analysis skipped).
-    pub tasks_replayed: u64,
-    /// Tasks that went through dependence analysis (not replayed).
-    pub tasks_analyzed: u64,
-    /// Tasks executed by a worker other than their affinity target
-    /// (work stealing).
-    pub tasks_stolen: u64,
-}
 
 struct TraceCapture {
     id_to_local: HashMap<TaskId, usize>,
@@ -117,12 +95,15 @@ impl Runtime {
     }
 
     /// Submit one task; returns its id. Dependences are derived
-    /// automatically from the task's declared requirements.
-    pub fn submit(&self, task: TaskBuilder) -> TaskId {
+    /// automatically from the task's declared requirements. Fails
+    /// with [`RuntimeError::MissingBody`] if `TaskBuilder::body` was
+    /// never called.
+    pub fn submit(&self, task: TaskBuilder) -> Result<TaskId, RuntimeError> {
         let lites = task.req_lites();
-        let body = task
-            .body
-            .expect("task submitted without a body; call .body(..)");
+        let body = match task.body {
+            Some(b) => b,
+            None => return Err(RuntimeError::MissingBody { task: task.name }),
+        };
         let reqs = Arc::new(task.reqs);
 
         let mut st = self.state.lock();
@@ -152,7 +133,8 @@ impl Runtime {
             });
         }
         // Hold the state lock across executor submission so tasks
-        // enter the executor in analysis order.
+        // enter the executor in analysis order (which also keeps
+        // fault-injection decisions deterministic).
         self.exec.submit(
             Runnable {
                 id,
@@ -161,11 +143,13 @@ impl Runtime {
                 reqs,
                 meta: TaskMetaLite::from_meta(&task.meta),
                 ready_ns: 0,
+                fault: None,
+                poisoned: false,
             },
             &deps,
         );
         drop(st);
-        id
+        Ok(id)
     }
 
     /// Launch one task per color in `0..colors` (Legion's index task
@@ -174,35 +158,68 @@ impl Runtime {
         &self,
         colors: usize,
         mut make: impl FnMut(usize) -> TaskBuilder,
-    ) -> Vec<TaskId> {
+    ) -> Result<Vec<TaskId>, RuntimeError> {
         (0..colors).map(|c| self.submit(make(c))).collect()
     }
 
-    /// Block until all submitted tasks have completed.
-    pub fn fence(&self) {
-        self.exec.fence();
+    /// Block until all submitted tasks have completed. If any task
+    /// failed since the last [`Runtime::take_failure`], returns the
+    /// first [`TaskError`] — and keeps returning it on subsequent
+    /// fences until the failure is taken, so a failure cannot be
+    /// silently lost between fences.
+    pub fn fence(&self) -> Result<(), TaskError> {
+        self.exec.fence()
+    }
+
+    /// Remove and return the recorded task failure, if any, re-arming
+    /// the runtime for further work.
+    pub fn take_failure(&self) -> Option<TaskError> {
+        self.exec.take_failure()
+    }
+
+    /// Arm (or disarm, with `None`) the deterministic fault injector.
+    /// Decisions are made at submission time, which the runtime
+    /// serializes, so a fixed seed reproduces the same faults
+    /// run-to-run. Disarmed cost: one relaxed atomic load per
+    /// submitted task.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.exec.set_fault_plan(plan);
+    }
+
+    /// Set (or clear, with `None`) the watchdog stall budget: tasks
+    /// executing longer than this are counted in
+    /// [`MetricsSnapshot::tasks_stalled`]. Disabled cost: one relaxed
+    /// atomic load per executed task.
+    pub fn set_stall_budget(&self, budget: Option<Duration>) {
+        self.exec.set_stall_budget(budget);
     }
 
     /// Begin capturing a trace. Fences first (traces start from a
     /// quiescent runtime) and resets the analyzer, which is sound
     /// because every frontier entry then refers to a finished task.
-    pub fn begin_trace(&self) {
-        self.fence();
+    pub fn begin_trace(&self) -> Result<(), RuntimeError> {
+        self.exec.fence().map_err(RuntimeError::TaskFailed)?;
         let mut st = self.state.lock();
-        assert!(st.capture.is_none(), "nested trace capture");
+        if st.capture.is_some() {
+            return Err(RuntimeError::NestedTrace);
+        }
         st.analyzer.clear();
         st.capture = Some(TraceCapture {
             id_to_local: HashMap::new(),
             deps: Vec::new(),
         });
+        Ok(())
     }
 
     /// Finish capturing; returns the trace. Fences so the recorded
     /// frontier is final.
-    pub fn end_trace(&self) -> Trace {
-        self.fence();
+    pub fn end_trace(&self) -> Result<Trace, RuntimeError> {
+        self.exec.fence().map_err(RuntimeError::TaskFailed)?;
         let mut st = self.state.lock();
-        let cap = st.capture.take().expect("end_trace without begin_trace");
+        let cap = match st.capture.take() {
+            Some(c) => c,
+            None => return Err(RuntimeError::NoActiveTrace),
+        };
         let frontier = st
             .analyzer
             .snapshot()
@@ -212,28 +229,37 @@ impl Runtime {
                     e.task = *cap
                         .id_to_local
                         .get(&e.task)
-                        .expect("frontier task must be intra-trace") as TaskId;
+                        .expect("frontier task must be intra-trace")
+                        as TaskId;
                 }
                 (buf, f)
             })
             .collect();
-        Trace {
+        Ok(Trace {
             deps: cap.deps,
             frontier,
-        }
+        })
     }
 
     /// Replay a captured trace with a fresh, same-shaped task list:
     /// `tasks[i]` must declare the same accesses as the `i`-th
     /// captured task. Dependence analysis is skipped; the recorded
     /// edges and final frontier are installed instead.
-    pub fn replay(&self, trace: &Trace, tasks: Vec<TaskBuilder>) -> Vec<TaskId> {
-        assert_eq!(
-            tasks.len(),
-            trace.len(),
-            "replay task list does not match trace length"
-        );
-        self.fence();
+    pub fn replay(
+        &self,
+        trace: &Trace,
+        tasks: Vec<TaskBuilder>,
+    ) -> Result<Vec<TaskId>, RuntimeError> {
+        if tasks.len() != trace.len() {
+            return Err(RuntimeError::ReplayLengthMismatch {
+                expected: trace.len(),
+                got: tasks.len(),
+            });
+        }
+        if let Some(t) = tasks.iter().find(|t| t.body.is_none()) {
+            return Err(RuntimeError::MissingBody { task: t.name });
+        }
+        self.exec.fence().map_err(RuntimeError::TaskFailed)?;
         let mut st = self.state.lock();
         let base = st.next_id;
         st.next_id += tasks.len() as TaskId;
@@ -242,7 +268,7 @@ impl Runtime {
         let mut ids = Vec::with_capacity(tasks.len());
         for (i, task) in tasks.into_iter().enumerate() {
             let id = base + i as TaskId;
-            let body = task.body.expect("replayed task without a body");
+            let body = task.body.expect("bodies were checked above");
             let reqs = Arc::new(task.reqs);
             let deps: Vec<TaskId> = trace.deps[i].iter().map(|&l| base + l as TaskId).collect();
             if self.exec.events().enabled() {
@@ -262,6 +288,8 @@ impl Runtime {
                     reqs,
                     meta: TaskMetaLite::from_meta(&task.meta),
                     ready_ns: 0,
+                    fault: None,
+                    poisoned: false,
                 },
                 &deps,
             );
@@ -269,23 +297,7 @@ impl Runtime {
         }
         st.analyzer.install(&trace.frontier, |local| base + local);
         drop(st);
-        ids
-    }
-
-    /// Current activity counters.
-    #[deprecated(since = "0.2.0", note = "use `Runtime::metrics` instead")]
-    #[allow(deprecated)]
-    pub fn stats(&self) -> RuntimeStats {
-        let st = self.state.lock();
-        RuntimeStats {
-            tasks_submitted: st.tasks_submitted,
-            tasks_executed: self.exec.executed(),
-            edges_created: st.analyzer.edges_created,
-            analysis_ns: st.analysis_ns,
-            tasks_replayed: st.tasks_replayed,
-            tasks_analyzed: st.tasks_analyzed,
-            tasks_stolen: self.exec.stolen(),
-        }
+        Ok(ids)
     }
 
     /// Enable or disable structured event logging. Off by default;
@@ -302,18 +314,20 @@ impl Runtime {
 
     /// Drain the event log into complete [`TaskSpan`]s, sorted by
     /// task id. Fences first so every recorded task has retired and
-    /// no worker is concurrently writing its ring. Spans whose
-    /// execution record was overwritten by ring wraparound are
-    /// omitted (counted in
+    /// no worker is concurrently writing its ring (a recorded task
+    /// failure does not block the drain — it stays available through
+    /// [`Runtime::take_failure`]). Spans whose execution record was
+    /// overwritten by ring wraparound are omitted (counted in
     /// [`MetricsSnapshot::events_dropped`]).
     pub fn take_spans(&self) -> Vec<TaskSpan> {
-        self.fence();
+        let _ = self.exec.fence();
         self.exec.events().drain_spans()
     }
 
     /// A full metrics snapshot: activity counters plus queue-wait /
-    /// execute latency distributions, per-kernel execution tallies,
-    /// and event-log health. Safe to call at any time (no fence).
+    /// execute latency distributions, fault-tolerance counters,
+    /// per-kernel execution tallies, and event-log health. Safe to
+    /// call at any time (no fence).
     pub fn metrics(&self) -> MetricsSnapshot {
         let st = self.state.lock();
         let events = self.exec.events();
@@ -325,6 +339,10 @@ impl Runtime {
             tasks_stolen: self.exec.stolen(),
             edges_created: st.analyzer.edges_created,
             analysis_ns: st.analysis_ns,
+            task_failures: self.exec.task_failures(),
+            tasks_poisoned: self.exec.tasks_poisoned(),
+            tasks_stalled: self.exec.tasks_stalled(),
+            faults_injected: self.exec.faults_injected(),
             events_recorded: events.events_recorded(),
             events_dropped: events.events_dropped(),
             queue_wait_ns: events.queue_wait_ns.snapshot(),
@@ -338,6 +356,7 @@ impl Runtime {
 mod tests {
     use super::*;
     use crate::buffer::Buffer;
+    use crate::fault::{FaultKind, FaultSpec, FireSchedule, TaskErrorKind};
     use crate::task::TaskBuilder;
     use kdr_index::IntervalSet;
 
@@ -358,7 +377,8 @@ mod tests {
                         b.set(i, 2.0 * a.get(i));
                     }
                 }),
-        );
+        )
+        .unwrap();
         rt.submit(
             TaskBuilder::new("incr")
                 .read_all(&b)
@@ -370,8 +390,9 @@ mod tests {
                         a.set(i, b.get(i) + 1.0);
                     }
                 }),
-        );
-        rt.fence();
+        )
+        .unwrap();
+        rt.fence().unwrap();
         assert_eq!(a.snapshot(), vec![3.0; 8]);
         assert_eq!(b.snapshot(), vec![2.0; 8]);
         let s = rt.metrics();
@@ -394,8 +415,9 @@ mod tests {
                         w.set(i, c as f64);
                     }
                 })
-        });
-        rt.fence();
+        })
+        .unwrap();
+        rt.fence().unwrap();
         let snap = v.snapshot();
         for c in 0..4 {
             assert!(snap[c * 25..(c + 1) * 25].iter().all(|&x| x == c as f64));
@@ -411,9 +433,10 @@ mod tests {
             rt.submit(TaskBuilder::new("inc").write_all(&v).body(|ctx| {
                 let w = ctx.write::<f64>(0);
                 w.set(0, w.get(0) + 1.0);
-            }));
+            }))
+            .unwrap();
         }
-        rt.fence();
+        rt.fence().unwrap();
         assert_eq!(v.snapshot(), vec![100.0]);
     }
 
@@ -429,8 +452,22 @@ mod tests {
                 s += v.get(i);
             }
             p.set(s);
-        }));
+        }))
+        .unwrap();
         assert_eq!(f.get(), 45.0);
+    }
+
+    #[test]
+    fn missing_body_is_a_typed_error() {
+        let rt = Runtime::new(1);
+        let v = Buffer::filled(1, 0.0f64);
+        let err = rt
+            .submit(TaskBuilder::new("headless").write_all(&v))
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::MissingBody { task: "headless" });
+        // The runtime is unaffected.
+        rt.fence().unwrap();
+        assert_eq!(rt.metrics().tasks_submitted, 0);
     }
 
     #[test]
@@ -445,21 +482,30 @@ mod tests {
                 }
             })
         };
-        rt.begin_trace();
-        rt.submit(step(&v));
-        rt.submit(step(&v));
-        let trace = rt.end_trace();
+        rt.begin_trace().unwrap();
+        rt.submit(step(&v)).unwrap();
+        rt.submit(step(&v)).unwrap();
+        let trace = rt.end_trace().unwrap();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.num_edges(), 1);
         // Replay three more iterations.
         for _ in 0..3 {
-            rt.replay(&trace, vec![step(&v), step(&v)]);
+            rt.replay(&trace, vec![step(&v), step(&v)]).unwrap();
         }
-        rt.fence();
+        rt.fence().unwrap();
         assert_eq!(v.snapshot(), vec![8.0; 4]);
         let s = rt.metrics();
         assert_eq!(s.tasks_replayed, 6);
         assert_eq!(s.tasks_executed, 8);
+    }
+
+    #[test]
+    fn trace_misuse_is_typed() {
+        let rt = Runtime::new(1);
+        assert_eq!(rt.end_trace().unwrap_err(), RuntimeError::NoActiveTrace);
+        rt.begin_trace().unwrap();
+        assert_eq!(rt.begin_trace().unwrap_err(), RuntimeError::NestedTrace);
+        let _ = rt.end_trace().unwrap();
     }
 
     #[test]
@@ -472,16 +518,17 @@ mod tests {
                 w.set(0, w.get(0) + 1.0);
             })
         };
-        rt.begin_trace();
-        rt.submit(inc(&v));
-        let trace = rt.end_trace();
-        rt.replay(&trace, vec![inc(&v)]);
+        rt.begin_trace().unwrap();
+        rt.submit(inc(&v)).unwrap();
+        let trace = rt.end_trace().unwrap();
+        rt.replay(&trace, vec![inc(&v)]).unwrap();
         // Normal submission after a replay must see the replayed write.
         rt.submit(TaskBuilder::new("dbl").write_all(&v).body(|ctx| {
             let w = ctx.write::<f64>(0);
             w.set(0, w.get(0) * 10.0);
-        }));
-        rt.fence();
+        }))
+        .unwrap();
+        rt.fence().unwrap();
         assert_eq!(v.snapshot(), vec![20.0]);
     }
 
@@ -495,14 +542,15 @@ mod tests {
                 .write(v, IntervalSet::from_range(lo, lo + 8))
                 .body(|_| {})
         };
-        rt.begin_trace();
+        rt.begin_trace().unwrap();
         for c in 0..8 {
-            rt.submit(mk(&v, c));
+            rt.submit(mk(&v, c)).unwrap();
         }
-        let trace = rt.end_trace();
+        let trace = rt.end_trace().unwrap();
         let before = rt.metrics().analysis_ns;
-        rt.replay(&trace, (0..8).map(|c| mk(&v, c)).collect());
-        rt.fence();
+        rt.replay(&trace, (0..8).map(|c| mk(&v, c)).collect())
+            .unwrap();
+        rt.fence().unwrap();
         assert_eq!(
             rt.metrics().analysis_ns,
             before,
@@ -511,15 +559,99 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match trace length")]
-    fn replay_length_mismatch_panics() {
+    fn replay_length_mismatch_is_typed() {
         let rt = Runtime::new(1);
-        rt.begin_trace();
-        let trace = rt.end_trace();
+        rt.begin_trace().unwrap();
+        let trace = rt.end_trace().unwrap();
         let v = Buffer::filled(1, 0.0f64);
-        rt.replay(
-            &trace,
-            vec![TaskBuilder::new("x").write_all(&v).body(|_| {})],
+        let err = rt
+            .replay(
+                &trace,
+                vec![TaskBuilder::new("x").write_all(&v).body(|_| {})],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::ReplayLengthMismatch {
+                expected: 0,
+                got: 1
+            }
         );
+    }
+
+    #[test]
+    fn panic_poisons_dependents_and_fence_reports() {
+        let rt = Runtime::new(2);
+        let v = Buffer::filled(4, 1.0f64);
+        rt.submit(
+            TaskBuilder::new("explode")
+                .write_all(&v)
+                .body(|_| panic!("kaboom")),
+        )
+        .unwrap();
+        // Depends on the panicking write: must be retired, not run.
+        rt.submit(TaskBuilder::new("after").write_all(&v).body(|ctx| {
+            let w = ctx.write::<f64>(0);
+            w.set(0, 99.0);
+        }))
+        .unwrap();
+        let err = rt.fence().unwrap_err();
+        assert_eq!(err.name, "explode");
+        assert!(matches!(err.kind, TaskErrorKind::Panicked(_)));
+        assert_eq!(v.snapshot()[0], 1.0, "poisoned successor must not write");
+        let m = rt.metrics();
+        assert_eq!(m.task_failures, 1);
+        assert_eq!(m.tasks_poisoned, 1);
+        // Clear and continue.
+        assert!(rt.take_failure().is_some());
+        rt.fence().unwrap();
+    }
+
+    #[test]
+    fn poisoned_future_errors_instead_of_deadlocking() {
+        let rt = Runtime::new(2);
+        let v = Buffer::filled(4, 1.0f64);
+        let (p, f) = crate::future::promise::<f64>();
+        rt.submit(TaskBuilder::new("explode").write_all(&v).body(|_| {
+            panic!("pre-promise failure");
+        }))
+        .unwrap();
+        // The reader task depends on the poisoned write; it is
+        // retired without running, dropping `p` and poisoning `f`.
+        rt.submit(TaskBuilder::new("read").read_all(&v).body(move |ctx| {
+            p.set(ctx.read::<f64>(0).get(0));
+        }))
+        .unwrap();
+        assert!(f.wait().is_err(), "future must poison, not deadlock");
+        assert!(rt.take_failure().is_some());
+    }
+
+    #[test]
+    fn injected_fault_is_reproducible_across_runtimes() {
+        let run = || {
+            let rt = Runtime::new(3);
+            rt.set_fault_plan(Some(FaultPlan::seeded(99).with(FaultSpec {
+                name_contains: "work".into(),
+                kind: FaultKind::Panic,
+                schedule: FireSchedule::Random {
+                    millionths: 120_000,
+                },
+                max_fires: 1,
+            })));
+            let v = Buffer::filled(1, 0.0f64);
+            for _ in 0..40 {
+                rt.submit(TaskBuilder::new("work").write_all(&v).body(|ctx| {
+                    let w = ctx.write::<f64>(0);
+                    w.set(0, w.get(0) + 1.0);
+                }))
+                .unwrap();
+            }
+            let failed = rt.fence().err().map(|e| e.task);
+            (failed, rt.metrics().faults_injected)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded injection must reproduce exactly");
+        assert_eq!(a.1, 1, "max_fires=1 must cap injections");
     }
 }

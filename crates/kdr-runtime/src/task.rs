@@ -66,6 +66,18 @@ pub(crate) struct Requirement {
     pub handle: Arc<dyn Any + Send + Sync>,
     pub subset: Arc<IntervalSet>,
     pub privilege: Privilege,
+    /// Monomorphized corruption hook for the fault injector's
+    /// `CorruptWrite` fault: overwrites the first element of the
+    /// declared subset with an all-ones bit pattern (NaN for floats).
+    /// Captured at build time, where the element type is known.
+    pub corrupt: fn(&Requirement),
+}
+
+/// The monomorphized body of [`Requirement::corrupt`].
+fn corrupt_requirement<T: Copy + Send + 'static>(req: &Requirement) {
+    if let (Some(buf), Some(i)) = (req.handle.downcast_ref::<Buffer<T>>(), req.subset.min()) {
+        buf.corrupt_element(i as usize);
+    }
 }
 
 /// A lightweight copy of a requirement for dependence analysis.
@@ -142,6 +154,7 @@ impl TaskBuilder {
             handle: Arc::new(buffer.clone()),
             subset: Arc::new(subset),
             privilege,
+            corrupt: corrupt_requirement::<T>,
         });
     }
 

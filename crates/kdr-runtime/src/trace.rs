@@ -23,6 +23,7 @@ use crate::task::TaskBuilder;
 
 /// A captured task sequence: per-task dependence lists (as indices
 /// into the trace) plus the access frontier left behind.
+#[derive(Debug)]
 pub struct Trace {
     /// `deps[i]` = indices `< i` of tasks that task `i` waits on.
     pub(crate) deps: Vec<Vec<usize>>,
@@ -150,10 +151,7 @@ impl TraceCache {
 
     /// Look up the trace captured for `sig`, if any.
     pub fn get(&self, sig: &ShapeSig) -> Option<&Trace> {
-        self.entries
-            .iter()
-            .find(|(s, _)| s == sig)
-            .map(|(_, t)| t)
+        self.entries.iter().find(|(s, _)| s == sig).map(|(_, t)| t)
     }
 
     /// True while a new signature can still be captured.
@@ -217,8 +215,9 @@ mod tests {
         assert!(base != sig_of(&[(0, 9)], &b, true), "subset");
         assert!(base != sig_of(&[(0, 8)], &b, false), "privilege");
         assert!(base != sig_of(&[(0, 8)], &b2, true), "buffer");
-        let renamed =
-            ShapeSig::of_tasks(&[TaskBuilder::new("other").write(&b, IntervalSet::from_range(0, 8))]);
+        let renamed = ShapeSig::of_tasks(&[
+            TaskBuilder::new("other").write(&b, IntervalSet::from_range(0, 8))
+        ]);
         assert!(base != renamed, "name");
     }
 

@@ -78,9 +78,9 @@ fn run_parallel(ops: &[Op], workers: usize) -> Vec<Vec<i64>> {
                     dst.set(i, dst.get(i).wrapping_add(v.wrapping_mul(op.scale)));
                 }
             });
-        rt.submit(tb);
+        rt.submit(tb).unwrap();
     }
-    rt.fence();
+    rt.fence().unwrap();
     bufs.iter().map(|b| b.snapshot()).collect()
 }
 
@@ -130,13 +130,13 @@ proptest! {
                     }
                 })
         };
-        rt.begin_trace();
+        rt.begin_trace().unwrap();
         for op in ops.iter().cloned() {
-            rt.submit(make(op, &bufs));
+            rt.submit(make(op, &bufs)).unwrap();
         }
-        let trace = rt.end_trace();
-        rt.replay(&trace, ops.iter().cloned().map(|op| make(op, &bufs)).collect());
-        rt.fence();
+        let trace = rt.end_trace().unwrap();
+        rt.replay(&trace, ops.iter().cloned().map(|op| make(op, &bufs)).collect()).unwrap();
+        rt.fence().unwrap();
         let got: Vec<Vec<i64>> = bufs.iter().map(|b| b.snapshot()).collect();
         prop_assert_eq!(got, expect);
     }
@@ -158,9 +158,10 @@ fn same_buffer_read_modify_write_chain() {
                         w.set(i, w.get(i) + 1);
                     }
                 }),
-        );
+        )
+        .unwrap();
     }
-    rt.fence();
+    rt.fence().unwrap();
     let snap = b.snapshot();
     // Each quarter received ceil/floor(50/4) increments: steps 0..50
     // with step % 4 == q occur 13, 13, 12, 12 times.

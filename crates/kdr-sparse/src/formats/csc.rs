@@ -99,7 +99,12 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csc<T, I> {
         for j in 0..self.cols() {
             let (lo, hi) = (self.colptr[j as usize], self.colptr[j as usize + 1]);
             for k in lo..hi {
-                f(k, self.rowidx[k as usize].to_u64(), j, self.values[k as usize]);
+                f(
+                    k,
+                    self.rowidx[k as usize].to_u64(),
+                    j,
+                    self.values[k as usize],
+                );
             }
         }
     }
@@ -115,8 +120,7 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csc<T, I> {
                     col += 1;
                     col_end = self.colptr[col as usize + 1];
                 }
-                y[self.rowidx[k as usize].to_usize()] +=
-                    self.values[k as usize] * x[col as usize];
+                y[self.rowidx[k as usize].to_usize()] += self.values[k as usize] * x[col as usize];
             }
         }
     }
@@ -135,8 +139,7 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csc<T, I> {
                     col += 1;
                     col_end = self.colptr[col as usize + 1];
                 }
-                acc = self.values[k as usize]
-                    .mul_add(x[self.rowidx[k as usize].to_usize()], acc);
+                acc = self.values[k as usize].mul_add(x[self.rowidx[k as usize].to_usize()], acc);
             }
             y[col as usize] += acc;
         }
@@ -152,7 +155,13 @@ mod tests {
         Triples::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
     }
 

@@ -54,7 +54,10 @@ impl<T: Scalar, I: IndexInt> Csr<T, I> {
     /// Build from raw CSR arrays. Panics on malformed inputs.
     pub fn from_raw(rowptr: Vec<u64>, colidx: Vec<I>, values: Vec<T>, cols: u64) -> Self {
         assert!(!rowptr.is_empty(), "rowptr must have at least one entry");
-        assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr not monotone");
+        assert!(
+            rowptr.windows(2).all(|w| w[0] <= w[1]),
+            "rowptr not monotone"
+        );
         assert_eq!(colidx.len(), values.len());
         assert_eq!(*rowptr.last().unwrap() as usize, values.len());
         assert!(
@@ -131,7 +134,12 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csr<T, I> {
         for i in 0..self.rows() {
             let (lo, hi) = (self.rowptr[i as usize], self.rowptr[i as usize + 1]);
             for k in lo..hi {
-                f(k, i, self.colidx[k as usize].to_u64(), self.values[k as usize]);
+                f(
+                    k,
+                    i,
+                    self.colidx[k as usize].to_u64(),
+                    self.values[k as usize],
+                );
             }
         }
     }
@@ -150,8 +158,7 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csr<T, I> {
                     row += 1;
                     row_end = self.rowptr[row as usize + 1];
                 }
-                acc = self.values[k as usize]
-                    .mul_add(x[self.colidx[k as usize].to_usize()], acc);
+                acc = self.values[k as usize].mul_add(x[self.colidx[k as usize].to_usize()], acc);
             }
             y[row as usize] += acc;
         }
@@ -168,8 +175,7 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Csr<T, I> {
                     row += 1;
                     row_end = self.rowptr[row as usize + 1];
                 }
-                y[self.colidx[k as usize].to_usize()] +=
-                    self.values[k as usize] * x[row as usize];
+                y[self.colidx[k as usize].to_usize()] += self.values[k as usize] * x[row as usize];
             }
         }
     }
@@ -186,7 +192,13 @@ mod tests {
         Csr::from_triples(Triples::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         ))
     }
 
@@ -262,11 +274,8 @@ mod tests {
 
     #[test]
     fn duplicates_summed() {
-        let m: Csr<f64> = Csr::from_triples(Triples::from_entries(
-            2,
-            2,
-            vec![(0, 0, 1.0), (0, 0, 2.5)],
-        ));
+        let m: Csr<f64> =
+            Csr::from_triples(Triples::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5)]));
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.values(), &[3.5]);
     }

@@ -5,9 +5,9 @@
 //! dense matrix is "a structural assumption paired with an empty data
 //! structure": no metadata is stored at all.
 
-use kdr_index::{IndexSpace, IntervalSet, ProjectionAxis, ProjectionRelation, Relation};
 #[cfg(test)]
 use kdr_index::Shape;
+use kdr_index::{IndexSpace, IntervalSet, ProjectionAxis, ProjectionRelation, Relation};
 
 use crate::matrix::SparseMatrix;
 use crate::scalar::Scalar;

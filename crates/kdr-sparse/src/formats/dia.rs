@@ -215,7 +215,11 @@ mod tests {
     #[test]
     fn rectangular_dia() {
         // 2x4 matrix with entries on offsets 0 and 2.
-        let t = Triples::from_entries(2, 4, vec![(0, 0, 1.0), (1, 1, 2.0), (0, 2, 3.0), (1, 3, 4.0)]);
+        let t = Triples::from_entries(
+            2,
+            4,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (0, 2, 3.0), (1, 3, 4.0)],
+        );
         let m = Dia::from_triples(t.clone());
         assert_eq!(m.offsets(), &[0, 2]);
         let x = [1.0, 1.0, 1.0, 1.0];

@@ -12,9 +12,7 @@
 //! combined space — composing formats at the relation level, exactly
 //! as the paper anticipates.
 
-use kdr_index::{
-    DiagonalRelation, FnRelation, IndexSpace, IntervalSet, Relation, UnionRelation,
-};
+use kdr_index::{DiagonalRelation, FnRelation, IndexSpace, IntervalSet, Relation, UnionRelation};
 
 use crate::matrix::SparseMatrix;
 use crate::scalar::{IndexInt, Scalar};

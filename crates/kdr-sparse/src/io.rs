@@ -88,7 +88,9 @@ pub fn read_matrix_market<T: Scalar, R: BufRead>(reader: R) -> Result<Triples<T>
         let j: u64 = parse(it.next(), "col index")?;
         let v: f64 = parse(it.next(), "value")?;
         if i == 0 || j == 0 || i > rows || j > cols {
-            return Err(MmError::Parse(format!("coordinate ({i}, {j}) out of range")));
+            return Err(MmError::Parse(format!(
+                "coordinate ({i}, {j}) out of range"
+            )));
         }
         // Matrix Market is 1-based.
         t.push(i - 1, j - 1, T::from_f64(v));

@@ -120,7 +120,10 @@ pub trait SparseMatrix<T: Scalar>: Send + Sync {
 pub fn spmv_bytes(nnz: u64, rows: u64, cols: u64, entry_bytes: u64, index_bytes: u64) -> u64 {
     // entries + column indices per nonzero, rowptr per row, x read,
     // y read+write.
-    nnz * (entry_bytes + index_bytes) + rows * index_bytes + cols * entry_bytes + 2 * rows * entry_bytes
+    nnz * (entry_bytes + index_bytes)
+        + rows * index_bytes
+        + cols * entry_bytes
+        + 2 * rows * entry_bytes
 }
 
 /// Flop count of one `y += A x` (one multiply + one add per stored

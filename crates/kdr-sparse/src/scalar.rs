@@ -143,7 +143,9 @@ impl Scalar for f32 {
 }
 
 /// An integer type usable for stored matrix indices.
-pub trait IndexInt: Copy + Clone + Debug + PartialEq + Eq + PartialOrd + Ord + Send + Sync + 'static {
+pub trait IndexInt:
+    Copy + Clone + Debug + PartialEq + Eq + PartialOrd + Ord + Send + Sync + 'static
+{
     /// Convert from a global `u64` point; panics on overflow.
     fn from_u64(v: u64) -> Self;
 

@@ -62,7 +62,10 @@ pub struct Stencil {
 impl Stencil {
     pub fn new(kind: StencilKind, nx: u64, ny: u64, nz: u64) -> Self {
         match kind.dims() {
-            1 => assert!(nx >= 1 && ny == 1 && nz == 1, "1-D stencil needs ny = nz = 1"),
+            1 => assert!(
+                nx >= 1 && ny == 1 && nz == 1,
+                "1-D stencil needs ny = nz = 1"
+            ),
             2 => assert!(nx >= 1 && ny >= 1 && nz == 1, "2-D stencil needs nz = 1"),
             _ => assert!(nx >= 1 && ny >= 1 && nz >= 1),
         }
@@ -109,9 +112,10 @@ impl Stencil {
             }
             StencilKind::Lap3D7 => {
                 let n = self.unknowns();
-                n + 2 * (pairs(self.nx) * self.ny * self.nz
-                    + self.nx * pairs(self.ny) * self.nz
-                    + self.nx * self.ny * pairs(self.nz))
+                n + 2
+                    * (pairs(self.nx) * self.ny * self.nz
+                        + self.nx * pairs(self.ny) * self.nz
+                        + self.nx * self.ny * pairs(self.nz))
             }
             StencilKind::Lap3D27 => {
                 // Each point connects to every point in its 3×3×3

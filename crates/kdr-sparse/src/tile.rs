@@ -544,7 +544,9 @@ impl<T: Scalar> TileKernel<T> {
         // Sort entries by (block row, block col, local row, local col)
         // — identical per-row column order to CSR.
         let mut order: Vec<usize> = (0..rows.len()).collect();
-        order.sort_unstable_by_key(|&k| (rows[k] / b64, cols[k] / b64, rows[k] % b64, cols[k] % b64));
+        order.sort_unstable_by_key(|&k| {
+            (rows[k] / b64, cols[k] / b64, rows[k] % b64, cols[k] % b64)
+        });
         let mut brow_ids = Vec::new();
         let mut bptr = Vec::new();
         let mut bcols = Vec::new();
@@ -600,11 +602,7 @@ impl<T: Scalar> TileKernel<T> {
         match self {
             TileKernel::Empty => 0,
             TileKernel::Csr(t) => t.vals.len(),
-            TileKernel::Dia(t) => t
-                .runs
-                .iter()
-                .map(|&(lo, hi)| (hi - lo) as usize)
-                .sum(),
+            TileKernel::Dia(t) => t.runs.iter().map(|&(lo, hi)| (hi - lo) as usize).sum(),
             TileKernel::Ell(t) => t.row_len.iter().map(|&l| l as usize).sum(),
             TileKernel::Bcsr(t) => t.vals.len(),
         }

@@ -75,8 +75,7 @@ impl<T: Scalar> Triples<T> {
     /// whose coordinates are unique and sorted; zero-valued sums are
     /// kept (structural nonzeros).
     pub fn canonicalize(mut self) -> Self {
-        self.entries
-            .sort_unstable_by_key(|&(i, j, _)| (i, j));
+        self.entries.sort_unstable_by_key(|&(i, j, _)| (i, j));
         let mut out: Vec<(u64, u64, T)> = Vec::with_capacity(self.entries.len());
         for (i, j, v) in self.entries {
             match out.last_mut() {
@@ -245,11 +244,18 @@ mod tests {
 
     #[test]
     fn helpers() {
-        let t = Triples::from_entries(3, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0)]);
+        let t = Triples::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 2, 1.0)],
+        );
         assert_eq!(t.max_row_nnz(), 2);
         assert_eq!(t.diagonal_offsets(), vec![0, 1]);
         let tt = t.transposed();
-        assert_eq!(tt.dense_apply(&[1.0, 2.0, 4.0]), t.dense_apply_transpose(&[1.0, 2.0, 4.0]));
+        assert_eq!(
+            tt.dense_apply(&[1.0, 2.0, 4.0]),
+            t.dense_apply_transpose(&[1.0, 2.0, 4.0])
+        );
     }
 
     #[test]

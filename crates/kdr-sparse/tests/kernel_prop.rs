@@ -94,8 +94,13 @@ fn arb_scatter() -> impl Strategy<Value = Trip> {
 /// tile, each diagonal fully or partially populated. Auto-selection
 /// should usually pick DIA here.
 fn arb_banded() -> impl Strategy<Value = Trip> {
-    (4u64..32, 0u64..64, prop::collection::vec(-6i64..6, 1..5), 0u64..4).prop_map(
-        |(n, base, offsets, skip)| {
+    (
+        4u64..32,
+        0u64..64,
+        prop::collection::vec(-6i64..6, 1..5),
+        0u64..4,
+    )
+        .prop_map(|(n, base, offsets, skip)| {
             let mut offs = offsets;
             offs.sort_unstable();
             offs.dedup();
@@ -119,8 +124,7 @@ fn arb_banded() -> impl Strategy<Value = Trip> {
                 }
             }
             (r, c, v)
-        },
-    )
+        })
 }
 
 /// Block structure: a random subset of an aligned block grid, every

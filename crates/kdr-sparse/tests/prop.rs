@@ -11,11 +11,7 @@ const MAX_DIM: u64 = 12;
 /// Strategy: a random matrix shape plus entries (duplicates allowed).
 fn arb_triples() -> impl Strategy<Value = Triples<f64>> {
     (2..MAX_DIM, 2..MAX_DIM).prop_flat_map(|(rows, cols)| {
-        prop::collection::vec(
-            (0..rows, 0..cols, -4i32..4),
-            1..40,
-        )
-        .prop_map(move |entries| {
+        prop::collection::vec((0..rows, 0..cols, -4i32..4), 1..40).prop_map(move |entries| {
             Triples::from_entries(
                 rows,
                 cols,
@@ -29,7 +25,9 @@ fn arb_triples() -> impl Strategy<Value = Triples<f64>> {
 }
 
 fn arb_vec(len: usize) -> Vec<f64> {
-    (0..len).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect()
+    (0..len)
+        .map(|i| ((i * 37 + 11) % 17) as f64 - 8.0)
+        .collect()
 }
 
 fn all_formats(t: &Triples<f64>) -> Vec<(&'static str, Box<dyn SparseMatrix<f64>>)> {

@@ -92,7 +92,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-11, 20_000),
-    );
+    )
+    .expect("solve failed");
     println!(
         "converged: {} in {} iterations (residual {:.3e})",
         report.converged, report.iters, report.final_residual

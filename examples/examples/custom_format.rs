@@ -68,7 +68,10 @@ impl<T: Scalar> SparseMatrix<T> for DiagPlusCoo<T> {
             table[(n as usize) + i] = c;
         }
         let coo_part = FnRelation::new(table, n);
-        Box::new(UnionRelation::new(vec![Box::new(diag_part), Box::new(coo_part)]))
+        Box::new(UnionRelation::new(vec![
+            Box::new(diag_part),
+            Box::new(coo_part),
+        ]))
     }
 
     fn row_relation(&self) -> Box<dyn Relation> {
@@ -83,7 +86,10 @@ impl<T: Scalar> SparseMatrix<T> for DiagPlusCoo<T> {
             table[(n as usize) + i] = r;
         }
         let coo_part = FnRelation::new(table, n);
-        Box::new(UnionRelation::new(vec![Box::new(diag_part), Box::new(coo_part)]))
+        Box::new(UnionRelation::new(vec![
+            Box::new(diag_part),
+            Box::new(coo_part),
+        ]))
     }
 
     fn for_each_entry(&self, f: &mut dyn FnMut(u64, u64, u64, T)) {
@@ -169,7 +175,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 10_000),
-    );
+    )
+    .expect("solve failed");
     let x = planner.read_component(SOL, 0);
     let mut ax = vec![0.0; n as usize];
     matrix.spmv(&x, &mut ax);

@@ -67,7 +67,7 @@ fn main() {
                 .unwrap()
                 .runtime();
             for _ in 0..5 {
-                rt.submit(diffuse(&field));
+                rt.submit(diffuse(&field)).unwrap();
                 rounds += 1;
             }
         });

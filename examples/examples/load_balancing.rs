@@ -79,7 +79,10 @@ fn main() {
             .map(|c| {
                 let avg = c.iter().sum::<f64>() / c.len() as f64;
                 let idx = ((avg / max) * 7.0).round() as usize;
-                ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'][idx.min(7)]
+                [
+                    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+                    '\u{2587}', '\u{2588}',
+                ][idx.min(7)]
             })
             .collect()
     };

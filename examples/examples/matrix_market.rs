@@ -31,7 +31,12 @@ fn main() {
     let f = std::fs::File::open(&path).expect("open");
     let loaded: Triples<f64> = read_matrix_market(BufReader::new(f)).expect("parse");
     let n = loaded.rows();
-    println!("read back {} x {} with {} entries", n, loaded.cols(), loaded.len());
+    println!(
+        "read back {} x {} with {} entries",
+        n,
+        loaded.cols(),
+        loaded.len()
+    );
 
     // Pick a format from the structure.
     let ndiags = loaded.diagonal_offsets().len();
@@ -56,7 +61,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 5000),
-    );
+    )
+    .expect("solve failed");
     let x = planner.read_component(SOL, 0);
     let check: Csr<f64> = Csr::from_triples(loaded);
     let mut ax = vec![0.0; n as usize];

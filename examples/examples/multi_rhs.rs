@@ -26,7 +26,9 @@ fn main() {
 
     let mut planner = Planner::new(Box::new(ExecBackend::<f64>::with_default_workers()));
     let part = Partition::equal_blocks(n, 4);
-    let rhs_data: Vec<Vec<f64>> = (0..NRHS).map(|k| rhs_vector::<f64>(n, k as u64 + 1)).collect();
+    let rhs_data: Vec<Vec<f64>> = (0..NRHS)
+        .map(|k| rhs_vector::<f64>(n, k as u64 + 1))
+        .collect();
     for b in &rhs_data {
         let d = planner.add_sol_vector(n, Some(part.clone()));
         let r = planner.add_rhs_vector(n, Some(part.clone()));
@@ -46,7 +48,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 10_000),
-    );
+    )
+    .expect("solve failed");
     println!(
         "coupled solve finished in {} iterations (aggregate residual {:.3e})",
         report.iters, report.final_residual

@@ -9,9 +9,7 @@
 
 use std::sync::Arc;
 
-use kdr_core::{
-    solve_traced, BiCgStabSolver, ExecBackend, PhaseSplit, Planner, SolveControl,
-};
+use kdr_core::{solve_traced, BiCgStabSolver, ExecBackend, PhaseSplit, Planner, SolveControl};
 use kdr_index::Partition;
 use kdr_runtime::{chrome_trace_json, critical_path, phase_summary};
 use kdr_sparse::stencil::rhs_vector;
@@ -39,8 +37,10 @@ fn main() {
         max_iters: 2000,
         tol: 1e-10,
         check_every: 20,
+        ..SolveControl::default()
     };
-    let (report, trace) = solve_traced(&mut planner, &mut solver, control);
+    let (outcome, trace) = solve_traced(&mut planner, &mut solver, control);
+    let report = outcome.expect("solve failed");
     println!(
         "bicgstab: {} iters, converged={}, {} steps replayed from trace",
         report.iters,
@@ -62,10 +62,17 @@ fn main() {
     let split = PhaseSplit::from_spans(&spans);
     println!("spmv fraction of execute time: {:.1}%", {
         let t = split.total_ns();
-        if t == 0 { 0.0 } else { 100.0 * split.spmv_ns as f64 / t as f64 }
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * split.spmv_ns as f64 / t as f64
+        }
     });
     let cp = critical_path(&spans);
-    println!("parallelism bound (work / critical path): {:.1}", cp.parallelism());
+    println!(
+        "parallelism bound (work / critical path): {:.1}",
+        cp.parallelism()
+    );
 
     let json = chrome_trace_json(&spans);
     std::fs::create_dir_all("results").ok();

@@ -35,7 +35,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 10_000),
-    );
+    )
+    .expect("solve failed");
 
     let x = planner.read_component(SOL, 0);
     // Verify the residual against the original matrix.

@@ -59,7 +59,8 @@ fn main() {
         &mut planner,
         &mut solver,
         SolveControl::to_tolerance(1e-10, 10_000),
-    );
+    )
+    .expect("solve failed");
     println!("solved in {} iterations", report.iters);
 
     // Verify each system against its fully assembled counterpart.
@@ -78,7 +79,10 @@ fn main() {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
-        println!("system {i} (ΔA on {} rows): true residual {res:.3e}", rows.len());
+        println!(
+            "system {i} (ΔA on {} rows): true residual {res:.3e}",
+            rows.len()
+        );
         assert!(res < 1e-7);
     }
 }

@@ -38,7 +38,11 @@ fn make_planner(preconditioned: bool) -> Planner<f64> {
 }
 
 fn main() {
-    type MakeSolver = (&'static str, bool, fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>);
+    type MakeSolver = (
+        &'static str,
+        bool,
+        fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>,
+    );
     let solvers: Vec<MakeSolver> = vec![
         ("cg", false, |p| Box::new(CgSolver::new(p))),
         ("pcg (jacobi)", true, |p| Box::new(PcgSolver::new(p))),
@@ -70,7 +74,8 @@ fn main() {
             &mut planner,
             solver.as_mut(),
             SolveControl::to_tolerance(1e-10, 20_000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged, "{name} did not converge");
         println!(
             "{:<14} {:>10} {:>14.3e}",

@@ -8,6 +8,16 @@ cargo test -q
 cargo test --doc -q
 cargo clippy --all-targets -- -D warnings
 
+# Fault-injection matrix, as an explicit leg so a fault-path
+# regression fails loudly on its own: panic isolation, deterministic
+# injection, breakdown detection, checkpoint/restart. The dev profile
+# keeps debug assertions (buffer disjointness, poison bookkeeping)
+# armed on these paths; the release leg re-runs the same matrix under
+# optimized codegen.
+cargo test -q -p kdr-core --test fault_tolerance
+cargo test -q -p kdr-runtime -- fault poison panic
+cargo test -q --release -p kdr-core --test fault_tolerance
+
 # Kernel-dispatch benchmark: regenerates BENCH_spmv.json (kernel x
 # structure grid vs. the forced-CSR baseline) and asserts bitwise
 # agreement between every specialized kernel and the CSR lowering.

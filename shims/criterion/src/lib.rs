@@ -155,7 +155,10 @@ impl BenchmarkGroup<'_> {
                 format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / median / (1 << 20) as f64)
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 * 1e9 / median / (1 << 20) as f64
+                )
             }
             None => String::new(),
         };

@@ -93,11 +93,9 @@ impl Condvar {
 
     /// Block until notified, releasing the guarded lock while parked.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        self.replace_guard(guard, |g| {
-            match self.inner.wait(g) {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            }
+        self.replace_guard(guard, |g| match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
         });
     }
 

@@ -276,7 +276,10 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -471,8 +474,7 @@ mod tests {
     fn collections_and_combinators_compose() {
         let mut rng = TestRng::from_name("compose");
         let strat = (2u64..6, 2u64..6).prop_flat_map(|(r, c)| {
-            prop::collection::vec((0..r, 0..c), 1..10)
-                .prop_map(move |es| (r, c, es))
+            prop::collection::vec((0..r, 0..c), 1..10).prop_map(move |es| (r, c, es))
         });
         for _ in 0..200 {
             let (r, c, es) = strat.generate(&mut rng);

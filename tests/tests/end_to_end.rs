@@ -30,7 +30,8 @@ fn kdr_solution(
         &mut planner,
         solver.as_mut(),
         SolveControl::to_tolerance(tol, 20_000),
-    );
+    )
+    .expect("solve failed");
     assert!(report.converged, "{} did not converge", solver.name());
     planner.read_component(SOL, 0)
 }
@@ -47,15 +48,22 @@ fn kdr_and_spmd_agree() {
 
     type MakeSolver = Box<dyn Fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>>;
     let cases: Vec<(BaselineKsm, MakeSolver)> = vec![
-        (BaselineKsm::Cg, Box::new(|p: &mut Planner<f64>| {
-            Box::new(CgSolver::new(p)) as Box<dyn Solver<f64>>
-        })),
-        (BaselineKsm::BiCgStab, Box::new(|p: &mut Planner<f64>| {
-            Box::new(BiCgStabSolver::new(p)) as Box<dyn Solver<f64>>
-        })),
-        (BaselineKsm::Gmres(10), Box::new(|p: &mut Planner<f64>| {
-            Box::new(GmresSolver::with_restart(p, 10)) as Box<dyn Solver<f64>>
-        })),
+        (
+            BaselineKsm::Cg,
+            Box::new(|p: &mut Planner<f64>| Box::new(CgSolver::new(p)) as Box<dyn Solver<f64>>),
+        ),
+        (
+            BaselineKsm::BiCgStab,
+            Box::new(|p: &mut Planner<f64>| {
+                Box::new(BiCgStabSolver::new(p)) as Box<dyn Solver<f64>>
+            }),
+        ),
+        (
+            BaselineKsm::Gmres(10),
+            Box::new(|p: &mut Planner<f64>| {
+                Box::new(GmresSolver::with_restart(p, 10)) as Box<dyn Solver<f64>>
+            }),
+        ),
     ];
     for (baseline, make) in cases {
         let x_kdr = kdr_solution(s, &b, make, 1e-11);
@@ -106,7 +114,8 @@ fn every_format_solves_through_the_planner() {
             &mut planner,
             &mut solver,
             SolveControl::to_tolerance(1e-11, 20_000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged, "{name}");
         let x = planner.read_component(SOL, 0);
         for i in 0..n as usize {
@@ -154,7 +163,8 @@ fn exotic_partitions_work_end_to_end() {
             &mut planner,
             &mut solver,
             SolveControl::to_tolerance(1e-11, 20_000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged, "{name}");
         let x = planner.read_component(SOL, 0);
         for i in 0..n as usize {
@@ -171,12 +181,7 @@ fn adjoint_products_through_planner() {
     let s = Stencil::lap2d(10, 10);
     let n = s.unknowns();
     let b = rhs_vector::<f64>(n, 2);
-    let x = kdr_solution(
-        s,
-        &b,
-        |p| Box::new(kdr_core::BiCgSolver::new(p)),
-        1e-11,
-    );
+    let x = kdr_solution(s, &b, |p| Box::new(kdr_core::BiCgSolver::new(p)), 1e-11);
     let m: Csr<f64> = s.to_csr();
     let mut ax = vec![0.0; n as usize];
     m.spmv(&x, &mut ax);

@@ -5,9 +5,7 @@
 
 use std::sync::Arc;
 
-use kdr_core::{
-    solve_traced, CgSolver, ExecBackend, PhaseSplit, Planner, SolveControl, Solver,
-};
+use kdr_core::{solve_traced, CgSolver, ExecBackend, PhaseSplit, Planner, SolveControl, Solver};
 use kdr_index::{IntervalSet, Partition};
 use kdr_runtime::{
     chrome_trace_json, critical_path, Buffer, Provenance, Runtime, TaskBuilder, TaskSpan,
@@ -55,14 +53,20 @@ fn spans_nest_and_respect_dependences() {
                     let w = ctx.write::<f64>(0);
                     w.set(0, wave as f64);
                 }),
-        );
+        )
+        .unwrap();
     }
     let spans = rt.take_spans();
     assert_eq!(spans.len(), 20);
     let by_id: std::collections::HashMap<u64, &TaskSpan> =
         spans.iter().map(|s| (s.id, s)).collect();
     for s in &spans {
-        assert!(s.submit_ns <= s.ready_ns, "submit>{}ready task {}", s.ready_ns, s.id);
+        assert!(
+            s.submit_ns <= s.ready_ns,
+            "submit>{}ready task {}",
+            s.ready_ns,
+            s.id
+        );
         assert!(s.ready_ns <= s.start_ns, "ready>start task {}", s.id);
         assert!(s.start_ns <= s.end_ns, "start>end task {}", s.id);
         assert!(s.end_ns <= s.retire_ns, "end>retire task {}", s.id);
@@ -94,11 +98,11 @@ fn replayed_spans_carry_provenance() {
             w.set(0, w.get(0) + 1.0);
         })
     };
-    rt.begin_trace();
-    rt.submit(step(&v));
-    rt.submit(step(&v));
-    let trace = rt.end_trace();
-    rt.replay(&trace, vec![step(&v), step(&v)]);
+    rt.begin_trace().unwrap();
+    rt.submit(step(&v)).unwrap();
+    rt.submit(step(&v)).unwrap();
+    let trace = rt.end_trace().unwrap();
+    rt.replay(&trace, vec![step(&v), step(&v)]).unwrap();
     let spans = rt.take_spans();
     assert_eq!(spans.len(), 4);
     assert_eq!(spans[0].provenance, Provenance::Analyzed);
@@ -123,7 +127,8 @@ fn ring_overflow_drops_instead_of_blocking() {
         rt.submit(TaskBuilder::new("inc").write_all(&v).body(|ctx| {
             let w = ctx.write::<f64>(0);
             w.set(0, w.get(0) + 1.0);
-        }));
+        }))
+        .unwrap();
     }
     let spans = rt.take_spans();
     // Nothing blocked: all 300 bodies ran.
@@ -149,7 +154,8 @@ fn disabled_events_record_nothing() {
         rt.submit(TaskBuilder::new("inc").write_all(&v).body(|ctx| {
             let w = ctx.write::<f64>(0);
             w.set(0, w.get(0) + 1.0);
-        }));
+        }))
+        .unwrap();
     }
     let spans = rt.take_spans();
     assert!(spans.is_empty());
@@ -198,20 +204,24 @@ fn chrome_trace_schema_matches_golden() {
     rt.enable_events(true);
     let a = Buffer::filled(8, 0.0f64);
     let b = Buffer::filled(8, 0.0f64);
-    rt.submit(TaskBuilder::new("load").write_all(&a).body(|_| {}));
+    rt.submit(TaskBuilder::new("load").write_all(&a).body(|_| {}))
+        .unwrap();
     rt.submit(
         TaskBuilder::new("compute")
             .read_all(&a)
             .write(&b, IntervalSet::from_range(0, 4))
             .body(|_| {}),
-    );
+    )
+    .unwrap();
     rt.submit(
         TaskBuilder::new("compute")
             .read_all(&a)
             .write(&b, IntervalSet::from_range(4, 8))
             .body(|_| {}),
-    );
-    rt.submit(TaskBuilder::new("store").read_all(&b).body(|_| {}));
+    )
+    .unwrap();
+    rt.submit(TaskBuilder::new("store").read_all(&b).body(|_| {}))
+        .unwrap();
     let spans = rt.take_spans();
     assert_eq!(spans.len(), 4);
     let json = chrome_trace_json(&spans);
@@ -223,7 +233,10 @@ fn chrome_trace_schema_matches_golden() {
     }
     let golden = std::fs::read_to_string(golden_path)
         .expect("golden file missing; run with BLESS=1 to create");
-    assert_eq!(canon, golden, "Chrome trace schema drifted from golden file");
+    assert_eq!(
+        canon, golden,
+        "Chrome trace schema drifted from golden file"
+    );
 }
 
 // ----- minimal JSON validity parser ---------------------------------
@@ -238,7 +251,10 @@ struct Json<'a> {
 
 impl<'a> Json<'a> {
     fn new(s: &'a str) -> Self {
-        Json { s: s.as_bytes(), i: 0 }
+        Json {
+            s: s.as_bytes(),
+            i: 0,
+        }
     }
     fn ws(&mut self) {
         while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
@@ -365,7 +381,7 @@ fn cg_trace_json_is_valid_and_complete() {
     let mut planner = exec_planner(Stencil::lap2d(16, 16), 4, true);
     let mut solver = CgSolver::new(&mut planner);
     let (report, _trace) = solve_traced(&mut planner, &mut solver, SolveControl::fixed(5));
-    assert_eq!(report.iters, 5);
+    assert_eq!(report.unwrap().iters, 5);
     drop(solver);
     let spans = with_exec(&mut planner, |b| b.take_spans());
     assert!(!spans.is_empty());
@@ -399,9 +415,8 @@ fn metrics_agree_with_traced_stepping_contract() {
     let steps = 30;
     let mut planner = exec_planner(Stencil::lap2d(24, 24), 4, true);
     let mut solver = CgSolver::new(&mut planner);
-    let (report, trace) =
-        solve_traced(&mut planner, &mut solver, SolveControl::fixed(steps));
-    assert_eq!(report.iters, steps);
+    let (report, trace) = solve_traced(&mut planner, &mut solver, SolveControl::fixed(steps));
+    assert_eq!(report.unwrap().iters, steps);
     drop(solver);
     planner.fence();
     let metrics = with_exec(&mut planner, |b| b.metrics());
@@ -430,9 +445,15 @@ fn metrics_agree_with_traced_stepping_contract() {
 
     // Every executed task got a span (no drops at default capacity),
     // and the latency histograms saw them all.
-    assert_eq!(metrics.runtime.events_recorded, metrics.runtime.tasks_executed);
+    assert_eq!(
+        metrics.runtime.events_recorded,
+        metrics.runtime.tasks_executed
+    );
     assert_eq!(metrics.runtime.events_dropped, 0);
-    assert_eq!(metrics.runtime.execute_ns.count, metrics.runtime.tasks_executed);
+    assert_eq!(
+        metrics.runtime.execute_ns.count,
+        metrics.runtime.tasks_executed
+    );
 }
 
 // ----- overhead regression ------------------------------------------
@@ -479,8 +500,7 @@ fn events_disabled_overhead_within_noise() {
         last = (analyzed_off, traced_off, traced_on);
         let traced_wins = traced_off < analyzed_off;
         // Events-on stays within a small multiple of events-off.
-        let events_cheap =
-            traced_on < traced_off.saturating_mul(3).max(traced_off + 2_000_000);
+        let events_cheap = traced_on < traced_off.saturating_mul(3).max(traced_off + 2_000_000);
         if traced_wins && events_cheap {
             return;
         }

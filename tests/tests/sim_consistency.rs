@@ -250,7 +250,10 @@ fn traced_cg_analysis_count_is_flat_in_steady_state() {
     // Steps 3.. must not add analyzed tasks (steps 1–2 capture the
     // scalar-slot cycle's two shape variants).
     for w in analyzed_after[2..].windows(2) {
-        assert_eq!(w[0], w[1], "analysis ran in steady state: {analyzed_after:?}");
+        assert_eq!(
+            w[0], w[1],
+            "analysis ran in steady state: {analyzed_after:?}"
+        );
     }
 }
 
@@ -287,7 +290,8 @@ fn gmres_shape_changes_fall_back_to_analyzed_and_stay_correct() {
             &mut planner,
             &mut solver,
             SolveControl::to_tolerance(1e-10, 2_000),
-        );
+        )
+        .expect("solve failed");
         assert!(report.converged);
         planner.read_component(SOL, 0)
     };
@@ -340,14 +344,16 @@ fn scalar_arena_stays_bounded_over_thousand_steps() {
 /// (kernel-efficiency derating), for any stencil.
 #[test]
 fn trilinos_never_faster_than_petsc() {
-    for kind in [kdr_sparse::StencilKind::Lap2D5, kdr_sparse::StencilKind::Lap3D7] {
+    for kind in [
+        kdr_sparse::StencilKind::Lap2D5,
+        kdr_sparse::StencilKind::Lap3D7,
+    ] {
         let s = if kind == kdr_sparse::StencilKind::Lap2D5 {
             Stencil::lap2d(1 << 11, 1 << 11)
         } else {
             Stencil::lap3d7(1 << 8, 1 << 7, 1 << 7)
         };
-        let t_pet =
-            per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Petsc, 4, 2, 3);
+        let t_pet = per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Petsc, 4, 2, 3);
         let t_tri =
             per_iteration_seconds(s, KsmKind::BiCgStab, 16, LibraryProfile::Trilinos, 4, 2, 3);
         assert!(t_tri >= t_pet, "{kind:?}: {t_tri} vs {t_pet}");
