@@ -1,0 +1,261 @@
+//! `service_stress` — multi-tenant solve-service load generator.
+//!
+//! Drives `kdr-service` at 1, 4, 16, and 64 tenants over one shared
+//! runtime and reports, per scale:
+//!
+//! * throughput (completed jobs/s) and job-latency percentiles
+//!   (p50/p99 of submit→response);
+//! * cold vs warm time-to-first-iteration (the plan-cache payoff:
+//!   each tenant's first job pays registration + lowering + analysis,
+//!   later jobs replay the cached plan);
+//! * the fairness ratio (max/min completed iterations across tenants
+//!   at equal weights).
+//!
+//! Every scale asserts the service contracts outright: zero lost and
+//! zero duplicated responses, every job converged, fairness ratio
+//! <= 2.0, and (at 16 tenants) a bit-identical completion order when
+//! the run repeats under the same scheduler seed.
+//!
+//! Results go to stdout and `BENCH_service.json` at the repo root.
+//! `--ci` runs a trimmed single-scale (16-tenant) variant with the
+//! same assertions and writes nothing: the CI leg.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kdr_core::SolveControl;
+use kdr_service::{
+    JobId, ServiceConfig, SessionSpec, SolveRequest, SolveService, SolverKind, TenantId,
+};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+const SEED: u64 = 42;
+
+struct ScaleResult {
+    tenants: u32,
+    jobs: usize,
+    wall_s: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cold_ttfi_ms: f64,
+    warm_ttfi_ms: f64,
+    fairness_ratio: f64,
+    fingerprint: Vec<(JobId, TenantId, u64)>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// One full scale point: `tenants` tenants, one session each,
+/// `jobs_per_tenant` converging CG jobs each, all submitted up
+/// front, drained by a single driver.
+fn run_scale(tenants: u32, jobs_per_tenant: usize, grid: u64, workers: usize) -> ScaleResult {
+    let svc = SolveService::new(ServiceConfig {
+        workers,
+        queue_capacity: (tenants as usize * jobs_per_tenant).max(64),
+        slice_iters: 8,
+        seed: SEED,
+        ..ServiceConfig::default()
+    });
+    let stencil = Stencil::lap2d(grid, grid);
+    let n = stencil.unknowns();
+    let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u64>());
+    let control = SolveControl::to_tolerance(1e-10, 2000);
+
+    let mut submitted: Vec<JobId> = Vec::new();
+    for t in 1..=tenants {
+        svc.register_tenant(t, 1);
+        let sid = svc.create_session(
+            t,
+            SessionSpec {
+                matrix: Arc::clone(&matrix),
+                unknowns: n,
+                pieces: 4,
+                solver: SolverKind::Cg,
+            },
+        );
+        for j in 0..jobs_per_tenant {
+            let rhs = rhs_vector::<f64>(n, t as u64 * 1000 + j as u64);
+            let job = svc
+                .submit(t, SolveRequest::new(sid, rhs, control.clone()))
+                .expect("queue sized for the full load");
+            submitted.push(job);
+        }
+    }
+
+    let t0 = Instant::now();
+    svc.run_until_idle();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let responses = svc.take_responses();
+
+    // Contract: zero lost, zero duplicated, everything converged.
+    assert_eq!(
+        responses.len(),
+        submitted.len(),
+        "{tenants} tenants: lost responses"
+    );
+    let mut seen: Vec<JobId> = responses.iter().map(|r| r.job).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), submitted.len(), "{tenants} tenants: duplicated responses");
+    for r in &responses {
+        assert!(
+            r.outcome.is_converged(),
+            "{tenants} tenants: job {} did not converge: {:?}",
+            r.job,
+            r.outcome
+        );
+    }
+
+    // Latency: submit -> response, per job.
+    let mut latencies_ms: Vec<f64> = responses
+        .iter()
+        .map(|r| (r.queue_wait + r.turnaround).as_secs_f64() * 1e3)
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Plan-cache payoff: first job per session is cold, the rest warm.
+    let cold: Vec<f64> = responses
+        .iter()
+        .filter(|r| !r.warm)
+        .filter_map(|r| r.time_to_first_iteration)
+        .map(|d| d.as_secs_f64() * 1e3)
+        .collect();
+    let warm: Vec<f64> = responses
+        .iter()
+        .filter(|r| r.warm)
+        .filter_map(|r| r.time_to_first_iteration)
+        .map(|d| d.as_secs_f64() * 1e3)
+        .collect();
+
+    // Fairness at equal weights: completed iterations per tenant.
+    let m = svc.metrics();
+    let counts: Vec<u64> = (1..=tenants)
+        .map(|t| m.get(&t).map_or(0, |x| x.iterations))
+        .collect();
+    let min = *counts.iter().min().unwrap();
+    let max = *counts.iter().max().unwrap();
+    let fairness_ratio = max as f64 / min.max(1) as f64;
+    assert!(
+        fairness_ratio <= 2.0,
+        "{tenants} tenants: fairness ratio {fairness_ratio} exceeds 2.0 ({counts:?})"
+    );
+
+    let fingerprint = responses
+        .iter()
+        .map(|r| (r.job, r.tenant, r.iterations))
+        .collect();
+
+    ScaleResult {
+        tenants,
+        jobs: submitted.len(),
+        wall_s,
+        throughput: submitted.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        cold_ttfi_ms: mean(&cold),
+        warm_ttfi_ms: mean(&warm),
+        fairness_ratio,
+        fingerprint,
+    }
+}
+
+fn main() {
+    let ci = std::env::args().any(|a| a == "--ci");
+    let workers = 4;
+    let (scales, jobs_per_tenant, grid): (&[u32], usize, u64) = if ci {
+        (&[16], 2, 16)
+    } else {
+        (&[1, 4, 16, 64], 4, 24)
+    };
+
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>10} {:>10} {:>11} {:>11} {:>9}",
+        "tenants", "jobs", "wall s", "jobs/s", "p50 ms", "p99 ms", "cold-ttfi", "warm-ttfi", "fairness"
+    );
+    let mut results = Vec::new();
+    for &t in scales {
+        let r = run_scale(t, jobs_per_tenant, grid, workers);
+        println!(
+            "{:<8} {:>6} {:>9.2} {:>10.1} {:>10.2} {:>10.2} {:>9.2}ms {:>9.2}ms {:>9.3}",
+            r.tenants,
+            r.jobs,
+            r.wall_s,
+            r.throughput,
+            r.p50_ms,
+            r.p99_ms,
+            r.cold_ttfi_ms,
+            r.warm_ttfi_ms,
+            r.fairness_ratio
+        );
+        // The plan-cache contract: warm time-to-first-iteration beats
+        // cold (which pays registration, lowering, and first
+        // dependence analysis).
+        assert!(
+            r.warm_ttfi_ms < r.cold_ttfi_ms,
+            "{t} tenants: warm TTFI {:.3}ms did not beat cold {:.3}ms",
+            r.warm_ttfi_ms,
+            r.cold_ttfi_ms
+        );
+        results.push(r);
+    }
+
+    // Determinism: the 16-tenant scale repeated under the same seed
+    // must complete in an identical order with identical iteration
+    // counts.
+    let reference = results
+        .iter()
+        .find(|r| r.tenants == 16)
+        .expect("16-tenant scale always runs");
+    let repeat = run_scale(16, jobs_per_tenant, grid, workers);
+    assert_eq!(
+        reference.fingerprint, repeat.fingerprint,
+        "seeded scheduler must reproduce the completion order exactly"
+    );
+    println!("determinism: 16-tenant rerun reproduced all {} responses", repeat.jobs);
+
+    if ci {
+        println!("service_stress --ci: all contracts held");
+        return;
+    }
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"tenants\": {}, \"jobs\": {}, \"wall_s\": {:.4}, \"jobs_per_s\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"cold_ttfi_ms\": {:.3}, \"warm_ttfi_ms\": {:.3}, \"fairness_ratio\": {:.4}}}",
+                r.tenants,
+                r.jobs,
+                r.wall_s,
+                r.throughput,
+                r.p50_ms,
+                r.p99_ms,
+                r.cold_ttfi_ms,
+                r.warm_ttfi_ms,
+                r.fairness_ratio
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"service_stress\",\n  \"workers\": {workers},\n  \"grid\": \"{grid}x{grid} lap2d\",\n  \"jobs_per_tenant\": {jobs_per_tenant},\n  \"seed\": {SEED},\n  \"solver\": \"cg to 1e-10\",\n  \"latency\": \"submit->response, single driver thread\",\n  \"determinism\": \"16-tenant rerun bitwise-identical completion order\",\n  \"scales\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

@@ -197,6 +197,18 @@ pub trait Backend<T: Scalar>: Send {
     /// `dst ← src` componentwise.
     fn copy(&mut self, dst: BVec, src: BVec);
 
+    /// `dst ← 0` componentwise. Unlike `scal` by a zero constant,
+    /// this is a true overwrite: stale NaN/Inf contents (e.g. a
+    /// pooled workspace vector from an aborted solve) do not survive
+    /// via `0 · NaN = NaN`.
+    fn set_zero(&mut self, dst: BVec);
+
+    /// Stamp all subsequently issued tasks with a scheduling
+    /// priority (`0` = normal; `>0` routes through the runtime's
+    /// express lanes ahead of the normal backlog). Backends without
+    /// a task runtime ignore it.
+    fn set_task_priority(&mut self, _priority: u8) {}
+
     /// `dst ← alpha · dst`.
     fn scal(&mut self, dst: BVec, alpha: SRef);
 
@@ -295,6 +307,14 @@ impl<T: Scalar> Backend<T> for Box<dyn Backend<T>> {
 
     fn copy(&mut self, dst: BVec, src: BVec) {
         (**self).copy(dst, src)
+    }
+
+    fn set_zero(&mut self, dst: BVec) {
+        (**self).set_zero(dst)
+    }
+
+    fn set_task_priority(&mut self, priority: u8) {
+        (**self).set_task_priority(priority)
     }
 
     fn scal(&mut self, dst: BVec, alpha: SRef) {

@@ -196,6 +196,11 @@ struct ExecTile<T> {
     in_union: IntervalSet,
     /// Affinity color: `piece_color(rhs_comp, range_color)`.
     color: usize,
+    /// Affinity color of the tile's *dominant input piece*
+    /// (`piece_color(sol_comp, c)` for the domain color `c`
+    /// contributing the most ghost points) — the tile's second legal
+    /// home under the paper's §6.3 two-candidate giveaway model.
+    in_color: usize,
     kernel: Arc<TileKernel<T>>,
 }
 
@@ -277,7 +282,16 @@ struct ExecOpSet<T> {
 
 /// Threaded execution backend over `kdr-runtime`.
 pub struct ExecBackend<T: Scalar> {
-    rt: Runtime,
+    rt: Arc<Runtime>,
+    /// The affinity mapper the runtime routes through, when this
+    /// backend was built with one — kept so live load balancing
+    /// ([`crate::loadbalance::Rebalancer`]) can re-map colors.
+    affinity: Option<Arc<ColorAffinityMapper>>,
+    /// Priority stamped on every task this backend dispatches
+    /// (0 = normal lane; >0 routes through the executor's express
+    /// lane). Constant between steps, so it never perturbs a step's
+    /// shape signature.
+    priority: u8,
     vectors: Vec<ExecVec<T>>,
     opsets: Vec<ExecOpSet<T>>,
     /// Scalar slot arena: one single-element buffer per slot.
@@ -311,10 +325,9 @@ impl<T: Scalar> ExecBackend<T> {
     /// vector tasks stay on a stable worker (idle workers still
     /// steal).
     pub fn new(workers: usize) -> Self {
-        Self::build(Runtime::with_mapper(
-            workers,
-            Arc::new(ColorAffinityMapper::new(workers)),
-        ))
+        let mapper = Arc::new(ColorAffinityMapper::new(workers));
+        let rt = Arc::new(Runtime::with_mapper(workers, mapper.clone()));
+        Self::build(rt, Some(mapper))
     }
 
     /// Create sized to the machine.
@@ -325,9 +338,21 @@ impl<T: Scalar> ExecBackend<T> {
         Self::new(n)
     }
 
-    fn build(rt: Runtime) -> Self {
+    /// Create over an existing shared runtime (many backends, one
+    /// worker pool — the multi-tenant service configuration). Pass
+    /// the [`ColorAffinityMapper`] the runtime was built with to let
+    /// this backend participate in live re-mapping; buffer ids are
+    /// globally unique, so backends sharing a runtime never alias
+    /// each other's dependences.
+    pub fn with_shared_runtime(rt: Arc<Runtime>, affinity: Option<Arc<ColorAffinityMapper>>) -> Self {
+        Self::build(rt, affinity)
+    }
+
+    fn build(rt: Arc<Runtime>, affinity: Option<Arc<ColorAffinityMapper>>) -> Self {
         ExecBackend {
             rt,
+            affinity,
+            priority: 0,
             vectors: Vec::new(),
             opsets: Vec::new(),
             scalars: Vec::new(),
@@ -377,6 +402,33 @@ impl<T: Scalar> ExecBackend<T> {
     /// application tasks ordered only where they actually share data.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+
+    /// A cloneable handle to the underlying runtime, for building
+    /// further backends over the same worker pool (see
+    /// [`ExecBackend::with_shared_runtime`]).
+    pub fn shared_runtime(&self) -> Arc<Runtime> {
+        Arc::clone(&self.rt)
+    }
+
+    /// The affinity mapper this backend routes through, if any — the
+    /// handle live load balancing uses to re-map colors.
+    pub fn affinity_mapper(&self) -> Option<Arc<ColorAffinityMapper>> {
+        self.affinity.clone()
+    }
+
+    /// Placement facts for every registered tile of operator `op`:
+    /// `(out_color, in_color, nnz)` per tile, where `out_color` is
+    /// the affinity color the tile's tasks are tagged with,
+    /// `in_color` the color of its dominant input piece (its second
+    /// legal home), and `nnz` the stored-entry count (its cost
+    /// proxy). The load balancer's model input.
+    pub fn tile_placements(&self, op: OpHandle) -> Vec<(usize, usize, u64)> {
+        self.opsets[op]
+            .tiles
+            .iter()
+            .map(|t| (t.color, t.in_color, t.kernel.nnz() as u64))
+            .collect()
     }
 
     /// Enable or disable the traced-stepping fast path (on by
@@ -450,6 +502,7 @@ impl<T: Scalar> ExecBackend<T> {
     }
 
     fn dispatch(&mut self, tb: TaskBuilder) {
+        let tb = tb.priority(self.priority);
         if self.deferring {
             self.pending.push(tb);
         } else {
@@ -619,12 +672,19 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                     // residual zero task.
                     continue;
                 }
+                let in_color = t
+                    .in_by_color
+                    .iter()
+                    .max_by_key(|(_, ghost)| ghost.cardinality())
+                    .map(|(c, _)| *c)
+                    .unwrap_or(t.range_color);
                 tiles.push(ExecTile {
                     rhs_comp: t.rhs_comp,
                     sol_comp: t.sol_comp,
                     out_subset: t.out_subset.clone(),
                     in_union: t.in_union.clone(),
                     color: piece_color(t.rhs_comp, t.range_color),
+                    in_color: piece_color(t.sol_comp, in_color),
                     kernel: Arc::new(kernel),
                 });
             }
@@ -640,6 +700,21 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     fn copy(&mut self, dst: BVec, src: BVec) {
         let tasks = self.elementwise("copy", dst, Some(src), None, |_, s, _| s);
         self.dispatch_all(tasks);
+    }
+
+    fn set_zero(&mut self, dst: BVec) {
+        let tasks = self.elementwise("set_zero", dst, None, None, |_, _, _| T::ZERO);
+        self.dispatch_all(tasks);
+    }
+
+    /// Stamp every task this backend dispatches from now on with a
+    /// scheduling priority (0 = normal, >0 = the executor's express
+    /// lane). The priority is not part of a step's shape signature,
+    /// so changing it between solves does not invalidate cached
+    /// traces — but tasks replayed from a trace still carry the
+    /// priority current at dispatch time.
+    fn set_task_priority(&mut self, priority: u8) {
+        self.priority = priority;
     }
 
     fn scal(&mut self, dst: BVec, alpha: SRef) {
@@ -775,6 +850,7 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
         let (p, f) = promise::<T>();
         let tb = TaskBuilder::new("scalar_get")
             .read_all(&self.scalars[s])
+            .priority(self.priority)
             .body(move |ctx| {
                 p.set(ctx.read::<T>(0).get(0));
             });

@@ -43,13 +43,14 @@ pub mod solvers;
 pub use backend::{Backend, BackendFault, CompSpec, OpSetSpec, StepOutcome, TileSpec};
 pub use exec::{ExecBackend, ExecMetrics};
 pub use instrument::{IterationRecord, PhaseSplit, SolveTrace, SolverPhase};
+pub use loadbalance::{IterationModel, Rebalancer, ThermoBalancer};
 pub use kdr_sparse::{KernelChoice, KernelKind};
 pub use planner::{Planner, VecId, RHS, SOL};
 pub use scalar_handle::ScalarHandle;
 pub use simbackend::SimBackend;
 pub use solvers::{
     solve, solve_recoverable, solve_traced, BiCgSolver, BiCgStabSolver, BreakdownGuard,
-    BreakdownKind, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, GuardTrigger, MinresSolver,
-    PBiCgStabSolver, PcgSolver, RecoveryPolicy, SolveControl, SolveError, SolveOutcome,
-    SolveReport, Solver, TfqmrSolver,
+    BreakdownKind, CancelToken, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, GuardTrigger,
+    MinresSolver, PBiCgStabSolver, PcgSolver, RecoveryPolicy, SolveControl, SolveError,
+    SolveOutcome, SolveReport, Solver, StepDriver, StepStatus, TfqmrSolver,
 };

@@ -67,6 +67,13 @@ pub struct Planner<T: Scalar> {
     pending_data: Vec<(bool, usize, Vec<T>)>,
     kernel_choice: KernelChoice,
     finalized: bool,
+    /// Released workspace vectors by structure, reused
+    /// lowest-id-first so a rebuilt solver sees the *same* backend
+    /// buffer ids as its predecessor (and therefore the same trace
+    /// shape signature — warm solves replay cached traces instead of
+    /// re-analyzing).
+    ws_free_sol: Vec<VecId>,
+    ws_free_rhs: Vec<VecId>,
 }
 
 impl<T: Scalar> Planner<T> {
@@ -84,6 +91,8 @@ impl<T: Scalar> Planner<T> {
             pending_data: Vec::new(),
             kernel_choice: KernelChoice::default(),
             finalized: false,
+            ws_free_sol: Vec::new(),
+            ws_free_rhs: Vec::new(),
         }
     }
 
@@ -306,17 +315,81 @@ impl<T: Scalar> Planner<T> {
     }
 
     /// Allocate a workspace vector with the solution structure.
+    ///
+    /// Prefers a vector released via
+    /// [`Planner::release_workspace_from`] (lowest id first, zeroed on
+    /// reuse) over a fresh backend allocation, so repeated solver
+    /// constructions see identical buffer ids.
     pub fn allocate_workspace_vector(&mut self) -> VecId {
         self.ensure_finalized();
+        if let Some(v) = Self::pop_lowest(&mut self.ws_free_sol) {
+            let bv = self.bvec(v);
+            self.backend.lock().set_zero(bv);
+            return v;
+        }
         let bv = self.backend.lock().alloc_vector(&self.sol_comps.clone());
         self.register_vec_id(bv, VecStructure::Sol).0
     }
 
     /// Allocate a workspace vector with the right-hand-side structure.
+    /// Pools like [`Planner::allocate_workspace_vector`].
     pub fn allocate_workspace_vector_rhs(&mut self) -> VecId {
         self.ensure_finalized();
+        if let Some(v) = Self::pop_lowest(&mut self.ws_free_rhs) {
+            let bv = self.bvec(v);
+            self.backend.lock().set_zero(bv);
+            return v;
+        }
         let bv = self.backend.lock().alloc_vector(&self.rhs_comps.clone());
         self.register_vec_id(bv, VecStructure::Rhs).0
+    }
+
+    fn pop_lowest(pool: &mut Vec<VecId>) -> Option<VecId> {
+        let (i, _) = pool.iter().enumerate().min_by_key(|&(_, v)| *v)?;
+        Some(pool.swap_remove(i))
+    }
+
+    /// Snapshot the current vector-id high-water mark. Pass to
+    /// [`Planner::release_workspace_from`] after a solve to return
+    /// every workspace vector allocated since the mark to the reuse
+    /// pool.
+    pub fn workspace_mark(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Return all workspace vectors with id `>= mark` to the reuse
+    /// pool. Their backend buffers stay alive (the ids remain valid),
+    /// but their contents are dead: the next
+    /// [`Planner::allocate_workspace_vector`] hands the lowest id back
+    /// zeroed. Releasing the same range twice is a no-op.
+    pub fn release_workspace_from(&mut self, mark: usize) {
+        for v in mark..self.vectors.len() {
+            if v == SOL || v == RHS {
+                continue;
+            }
+            let pool = match self.vectors[v].1 {
+                VecStructure::Sol => &mut self.ws_free_sol,
+                VecStructure::Rhs => &mut self.ws_free_rhs,
+            };
+            if !pool.contains(&v) {
+                pool.push(v);
+            }
+        }
+    }
+
+    /// `dst ← 0` componentwise (a true overwrite — stale NaN/Inf from
+    /// an aborted solve does not survive, unlike scaling by zero).
+    pub fn zero(&mut self, dst: VecId) {
+        self.ensure_finalized();
+        let d = self.bvec(dst);
+        self.backend.lock().set_zero(d);
+    }
+
+    /// Stamp all subsequently issued tasks with a scheduling priority
+    /// (`0` = normal; `>0` routes through the runtime's express
+    /// lanes). A no-op on backends without a task runtime.
+    pub fn set_task_priority(&mut self, priority: u8) {
+        self.backend.lock().set_task_priority(priority);
     }
 
     fn bvec(&self, v: VecId) -> BVec {

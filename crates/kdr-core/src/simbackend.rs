@@ -349,6 +349,10 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
         self.elementwise("scal", dst, None, Some(alpha), 1.0, 2.0);
     }
 
+    fn set_zero(&mut self, dst: BVec) {
+        self.elementwise("set_zero", dst, None, None, 0.0, 1.0);
+    }
+
     fn axpy(&mut self, dst: BVec, alpha: SRef, src: BVec) {
         self.elementwise("axpy", dst, Some(src), Some(alpha), 2.0, 3.0);
     }

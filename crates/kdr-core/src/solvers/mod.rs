@@ -29,6 +29,8 @@ pub use minres::MinresSolver;
 pub use recovery::{solve_recoverable, RecoveryPolicy};
 pub use tfqmr::TfqmrSolver;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use kdr_sparse::Scalar;
@@ -36,6 +38,61 @@ use kdr_sparse::Scalar;
 use crate::instrument::{IterationRecord, SolveTrace};
 use crate::planner::Planner;
 use crate::scalar_handle::ScalarHandle;
+
+/// Cooperative cancellation (and deadline) token for a running solve.
+///
+/// Cloning shares the underlying flag, so a controller thread can
+/// hold one clone while [`SolveControl::cancel_token`] carries
+/// another into the solve loop. The driver polls the token once per
+/// iteration (a superset of the `check_every` cadence) and stops with
+/// [`SolveError::Cancelled`] when it fires — between iterations, so
+/// the backend is left quiescent and reusable. A deadline, fixed at
+/// construction, makes the token fire by itself once the instant
+/// passes.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires on its own once `deadline`
+    /// passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly or via its deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The deadline this token was built with, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
 
 /// Why a solve stopped making mathematical progress; carried by
 /// [`SolveError::Breakdown`].
@@ -112,6 +169,13 @@ pub enum SolveError {
         /// Panic message.
         message: String,
     },
+    /// The solve's [`SolveControl::cancel_token`] fired (explicit
+    /// cancellation or a passed deadline). The backend was fenced
+    /// before returning, so the planner remains reusable.
+    Cancelled {
+        /// Iterations completed when cancellation was observed.
+        iteration: usize,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -140,6 +204,9 @@ impl std::fmt::Display for SolveError {
                 f,
                 "task '{task}' failed at iteration {iteration}: {message}"
             ),
+            SolveError::Cancelled { iteration } => {
+                write!(f, "cancelled at iteration {iteration}")
+            }
         }
     }
 }
@@ -174,7 +241,11 @@ pub struct BreakdownGuard<T: Scalar> {
 }
 
 /// A Krylov subspace method driving a [`Planner`].
-pub trait Solver<T: Scalar> {
+///
+/// `Send` is required so boxed solvers can live inside state shared
+/// across threads (e.g. a solve service's active jobs); methods hold
+/// only vector ids and deferred-scalar handles, so this is free.
+pub trait Solver<T: Scalar>: Send {
     /// Perform one iteration.
     fn step(&mut self, planner: &mut Planner<T>);
 
@@ -224,7 +295,7 @@ impl<T: Scalar> Solver<T> for Box<dyn Solver<T>> {
 }
 
 /// Iteration control for [`solve`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveControl {
     /// Hard iteration cap.
     pub max_iters: usize,
@@ -246,6 +317,10 @@ pub struct SolveControl {
     /// consecutive convergence checks pass without a new best
     /// residual; `0` disables.
     pub stagnation_window: usize,
+    /// Cooperative cancellation/deadline token, polled once per
+    /// iteration; when it fires the solve stops with
+    /// [`SolveError::Cancelled`]. `None` disables.
+    pub cancel_token: Option<CancelToken>,
 }
 
 impl Default for SolveControl {
@@ -257,6 +332,7 @@ impl Default for SolveControl {
             breakdown_eps: 1e-30,
             divergence_factor: 1e8,
             stagnation_window: 0,
+            cancel_token: None,
         }
     }
 }
@@ -387,54 +463,151 @@ pub fn solve_traced<T: Scalar>(
     (outcome, trace)
 }
 
-/// The common solve loop; `trace`, when present, receives
-/// per-iteration records and residual samples.
+/// What one [`StepDriver::step`] call concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The iteration ran and the solve should continue.
+    Running,
+    /// A convergence check met the tolerance; call
+    /// [`StepDriver::finish`].
+    Converged,
+    /// The iteration cap was reached before the call could step; call
+    /// [`StepDriver::finish`].
+    Capped,
+}
+
+/// The solve loop, decomposed into resumable single-iteration calls.
+///
+/// [`solve`] and [`solve_traced`] are thin wrappers over this type:
+/// [`StepDriver::preflight`] runs the already-converged guard, each
+/// [`StepDriver::step`] performs one `step_begin`/`step`/`step_end`
+/// iteration plus the cadence health checks, and
+/// [`StepDriver::finish`] applies deferred solution updates and the
+/// final fence. Callers that interleave many solves on one runtime
+/// (the solve service's fair-share scheduler) drive iterations
+/// directly, yielding between slices — the per-iteration semantics,
+/// including error ordering, are identical to a blocking [`solve`].
 ///
 /// Health checks run at convergence-check cadence in a fixed order —
 /// convergence first (quantities legitimately vanish as the residual
 /// does), then absorbed task failures (the root cause behind any NaN
 /// the backend substituted), then non-finite residuals, breakdown
-/// guards, divergence, and stagnation.
-fn drive<T: Scalar>(
-    planner: &mut Planner<T>,
-    solver: &mut dyn Solver<T>,
-    control: SolveControl,
-    mut trace: Option<&mut SolveTrace>,
-) -> SolveOutcome {
-    let mut iters = 0;
-    let mut final_residual = f64::NAN;
-    let mut converged = false;
-    let mut baseline = f64::NAN;
-    let mut best = f64::INFINITY;
-    let mut since_best = 0usize;
-    // Already-converged guard (e.g. a zero right-hand side): stepping
-    // a Krylov method from an exactly zero residual divides by zero.
-    if control.tol > 0.0 && control.check_every > 0 {
-        if let Some(m) = solver.convergence_measure() {
-            let r = m.get().to_f64().abs().sqrt();
-            if r < control.tol {
-                if let Some(t) = trace.as_deref_mut() {
-                    t.residual_history.push((0, r));
+/// guards, divergence, and stagnation. The cancellation token, when
+/// present, is polled at the top of every iteration.
+#[derive(Debug, Default)]
+pub struct StepDriver {
+    iters: usize,
+    final_residual: f64,
+    converged: bool,
+    baseline: f64,
+    best: f64,
+    since_best: usize,
+}
+
+impl StepDriver {
+    /// A fresh driver at iteration zero.
+    pub fn new() -> Self {
+        StepDriver {
+            iters: 0,
+            final_residual: f64::NAN,
+            converged: false,
+            baseline: f64::NAN,
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// Iterations performed so far.
+    pub fn iters(&self) -> usize {
+        self.iters
+    }
+
+    /// Most recent sampled residual (`NaN` before the first
+    /// convergence check).
+    pub fn last_residual(&self) -> f64 {
+        self.final_residual
+    }
+
+    /// Whether a convergence check has met the tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Already-converged guard (e.g. a zero right-hand side):
+    /// stepping a Krylov method from an exactly zero residual divides
+    /// by zero. Returns `Some(report)` when the solve is already done
+    /// and must not be stepped; call once, before the first
+    /// [`StepDriver::step`].
+    pub fn preflight<T: Scalar>(
+        &mut self,
+        planner: &mut Planner<T>,
+        solver: &mut dyn Solver<T>,
+        control: &SolveControl,
+        trace: Option<&mut SolveTrace>,
+    ) -> Result<Option<SolveReport>, SolveError> {
+        if control.tol > 0.0 && control.check_every > 0 {
+            if let Some(m) = solver.convergence_measure() {
+                let r = m.get().to_f64().abs().sqrt();
+                if r < control.tol {
+                    if let Some(t) = trace {
+                        t.residual_history.push((0, r));
+                    }
+                    planner.fence();
+                    if let Some(f) = planner.take_fault() {
+                        return Err(SolveError::TaskFailed {
+                            iteration: 0,
+                            task: f.task,
+                            message: f.message,
+                        });
+                    }
+                    self.converged = true;
+                    self.final_residual = r;
+                    return Ok(Some(SolveReport {
+                        iters: 0,
+                        final_residual: r,
+                        converged: true,
+                        restarts: 0,
+                        checkpoints: 0,
+                    }));
                 }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Perform one iteration (unless converged or at the cap) plus
+    /// the cadence health checks.
+    pub fn step<T: Scalar>(
+        &mut self,
+        planner: &mut Planner<T>,
+        solver: &mut dyn Solver<T>,
+        control: &SolveControl,
+        mut trace: Option<&mut SolveTrace>,
+    ) -> Result<StepStatus, SolveError> {
+        if self.converged {
+            return Ok(StepStatus::Converged);
+        }
+        if self.iters >= control.max_iters {
+            return Ok(StepStatus::Capped);
+        }
+        if let Some(tok) = &control.cancel_token {
+            if tok.is_cancelled() {
+                // Leave the backend quiescent so the planner stays
+                // reusable; an absorbed task failure is the root
+                // cause and outranks the cancellation.
                 planner.fence();
                 if let Some(f) = planner.take_fault() {
                     return Err(SolveError::TaskFailed {
-                        iteration: 0,
+                        iteration: self.iters,
                         task: f.task,
                         message: f.message,
                     });
                 }
-                return Ok(SolveReport {
-                    iters: 0,
-                    final_residual: r,
-                    converged: true,
-                    restarts: 0,
-                    checkpoints: 0,
+                return Err(SolveError::Cancelled {
+                    iteration: self.iters,
                 });
             }
         }
-    }
-    while iters < control.max_iters {
         // Bracketing each iteration lets tracing backends defer its
         // tasks and replay the recorded dependence graph when the
         // step shape repeats (convergence checks between steps force
@@ -443,7 +616,8 @@ fn drive<T: Scalar>(
         planner.step_begin();
         solver.step(planner);
         let outcome = planner.step_end();
-        iters += 1;
+        self.iters += 1;
+        let iters = self.iters;
         if let (Some(t), Some(t0)) = (trace.as_deref_mut(), t0) {
             t.iterations.push(IterationRecord {
                 iter: iters,
@@ -457,13 +631,13 @@ fn drive<T: Scalar>(
             if let Some(m) = solver.convergence_measure() {
                 has_measure = true;
                 r = m.get().to_f64().abs().sqrt();
-                final_residual = r;
-                if let Some(t) = trace.as_deref_mut() {
+                self.final_residual = r;
+                if let Some(t) = trace {
                     t.residual_history.push((iters, r));
                 }
                 if control.tol > 0.0 && r < control.tol {
-                    converged = true;
-                    break;
+                    self.converged = true;
+                    return Ok(StepStatus::Converged);
                 }
             }
             // A failed task surfaces as NaN scalars; report the
@@ -495,10 +669,10 @@ fn drive<T: Scalar>(
                 }
             }
             if !r.is_nan() {
-                if baseline.is_nan() {
-                    baseline = r.max(f64::MIN_POSITIVE);
+                if self.baseline.is_nan() {
+                    self.baseline = r.max(f64::MIN_POSITIVE);
                 } else if control.divergence_factor > 0.0
-                    && r > control.divergence_factor * baseline
+                    && r > control.divergence_factor * self.baseline
                 {
                     return Err(SolveError::Diverged {
                         iteration: iters,
@@ -506,12 +680,12 @@ fn drive<T: Scalar>(
                     });
                 }
                 if control.stagnation_window > 0 {
-                    if r < best * (1.0 - 1e-12) {
-                        best = r;
-                        since_best = 0;
+                    if r < self.best * (1.0 - 1e-12) {
+                        self.best = r;
+                        self.since_best = 0;
                     } else {
-                        since_best += 1;
-                        if since_best >= control.stagnation_window {
+                        self.since_best += 1;
+                        if self.since_best >= control.stagnation_window {
                             return Err(SolveError::Breakdown {
                                 kind: BreakdownKind::Stagnation,
                                 iteration: iters,
@@ -521,35 +695,72 @@ fn drive<T: Scalar>(
                 }
             }
         }
+        Ok(StepStatus::Running)
     }
-    solver.finalize_solution(planner);
-    let mut measured = !final_residual.is_nan();
-    if !measured {
-        if let Some(m) = solver.convergence_measure() {
-            measured = true;
-            final_residual = m.get().to_f64().abs().sqrt();
-            converged = control.tol > 0.0 && final_residual < control.tol;
-            if let Some(t) = trace {
-                t.residual_history.push((iters, final_residual));
+
+    /// Apply deferred solution updates, take (or force) the final
+    /// residual, fence, and build the report. Call once, after
+    /// [`StepDriver::step`] returns [`StepStatus::Converged`] or
+    /// [`StepStatus::Capped`].
+    pub fn finish<T: Scalar>(
+        self,
+        planner: &mut Planner<T>,
+        solver: &mut dyn Solver<T>,
+        control: &SolveControl,
+        trace: Option<&mut SolveTrace>,
+    ) -> SolveOutcome {
+        let StepDriver {
+            iters,
+            mut final_residual,
+            mut converged,
+            ..
+        } = self;
+        solver.finalize_solution(planner);
+        let mut measured = !final_residual.is_nan();
+        if !measured {
+            if let Some(m) = solver.convergence_measure() {
+                measured = true;
+                final_residual = m.get().to_f64().abs().sqrt();
+                converged = control.tol > 0.0 && final_residual < control.tol;
+                if let Some(t) = trace {
+                    t.residual_history.push((iters, final_residual));
+                }
             }
         }
+        planner.fence();
+        if let Some(f) = planner.take_fault() {
+            return Err(SolveError::TaskFailed {
+                iteration: iters,
+                task: f.task,
+                message: f.message,
+            });
+        }
+        if measured && !final_residual.is_finite() {
+            return Err(SolveError::NonFinite { iteration: iters });
+        }
+        Ok(SolveReport {
+            iters,
+            final_residual,
+            converged,
+            restarts: 0,
+            checkpoints: 0,
+        })
     }
-    planner.fence();
-    if let Some(f) = planner.take_fault() {
-        return Err(SolveError::TaskFailed {
-            iteration: iters,
-            task: f.task,
-            message: f.message,
-        });
+}
+
+/// The common solve loop; `trace`, when present, receives
+/// per-iteration records and residual samples. A thin wrapper over
+/// [`StepDriver`].
+fn drive<T: Scalar>(
+    planner: &mut Planner<T>,
+    solver: &mut dyn Solver<T>,
+    control: SolveControl,
+    mut trace: Option<&mut SolveTrace>,
+) -> SolveOutcome {
+    let mut driver = StepDriver::new();
+    if let Some(report) = driver.preflight(planner, solver, &control, trace.as_deref_mut())? {
+        return Ok(report);
     }
-    if measured && !final_residual.is_finite() {
-        return Err(SolveError::NonFinite { iteration: iters });
-    }
-    Ok(SolveReport {
-        iters,
-        final_residual,
-        converged,
-        restarts: 0,
-        checkpoints: 0,
-    })
+    while let StepStatus::Running = driver.step(planner, solver, &control, trace.as_deref_mut())? {}
+    driver.finish(planner, solver, &control, trace)
 }

@@ -100,7 +100,7 @@ where
         };
         let seg_control = SolveControl {
             max_iters: seg,
-            ..control
+            ..control.clone()
         };
         let mut pending: Option<SolveError> = None;
         match solve(planner, &mut solver, seg_control) {

@@ -1,0 +1,134 @@
+//! Cooperative cancellation: every solver family must honor
+//! [`SolveControl::cancel_token`] — checked once per iteration, a
+//! superset of the `check_every` cadence — and return
+//! [`SolveError::Cancelled`] with the iteration it stopped at,
+//! leaving the planner fenced and reusable.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kdr_core::{
+    solve, BiCgSolver, BiCgStabSolver, CancelToken, CgSolver, CgsSolver, ChebyshevSolver,
+    ExecBackend, GmresSolver, MinresSolver, Planner, SolveControl, SolveError, Solver,
+    TfqmrSolver, SOL,
+};
+use kdr_index::Partition;
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+fn poisson_planner(nx: u64, ny: u64, pieces: usize, workers: usize) -> Planner<f64> {
+    let s = Stencil::lap2d(nx, ny);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    let part = Partition::equal_blocks(n, pieces);
+    let mut planner = Planner::new(Box::new(ExecBackend::<f64>::new(workers)));
+    let d = planner.add_sol_vector(n, Some(part.clone()));
+    let r = planner.add_rhs_vector(n, Some(part));
+    planner.add_operator(m, d, r);
+    let b = rhs_vector::<f64>(n, 42);
+    planner.set_rhs_data(r, &b);
+    planner
+}
+
+fn cancelled_control(token: CancelToken) -> SolveControl {
+    let mut c = SolveControl::to_tolerance(1e-10, 500);
+    c.cancel_token = Some(token);
+    c
+}
+
+/// A pre-cancelled token stops every solver family before its first
+/// iteration — proving the check sits in the shared drive loop, not
+/// in any individual solver.
+type MakeSolver = fn(&mut Planner<f64>) -> Box<dyn Solver<f64>>;
+
+#[test]
+fn pre_cancelled_token_stops_all_eight_solvers() {
+    let make: Vec<(&str, MakeSolver)> = vec![
+        ("cg", |p| Box::new(CgSolver::new(p))),
+        ("bicg", |p| Box::new(BiCgSolver::new(p))),
+        ("bicgstab", |p| Box::new(BiCgStabSolver::new(p))),
+        ("cgs", |p| Box::new(CgsSolver::new(p))),
+        ("minres", |p| Box::new(MinresSolver::new(p))),
+        ("gmres", |p| Box::new(GmresSolver::with_restart(p, 10))),
+        ("tfqmr", |p| Box::new(TfqmrSolver::new(p))),
+        ("chebyshev", |p| {
+            Box::new(ChebyshevSolver::with_bounds(p, 0.1, 8.0))
+        }),
+    ];
+    for (name, mk) in make {
+        let mut planner = poisson_planner(8, 8, 2, 2);
+        let mut solver = mk(&mut planner);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = solve(&mut planner, solver.as_mut(), cancelled_control(token))
+            .expect_err(&format!("{name}: cancelled solve must not succeed"));
+        match err {
+            SolveError::Cancelled { iteration } => {
+                assert_eq!(iteration, 0, "{name}: cancelled before the first iteration")
+            }
+            other => panic!("{name}: expected Cancelled, got {other}"),
+        }
+    }
+}
+
+/// Cancelling from another thread mid-solve stops the iteration at
+/// the next check, and the planner stays usable: the same planner
+/// then solves to convergence.
+#[test]
+fn mid_solve_cancel_leaves_planner_reusable() {
+    let mut planner = poisson_planner(32, 32, 4, 4);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            token.cancel();
+        })
+    };
+    // No tolerance: without cancellation this would run all 200_000
+    // iterations (far longer than the cancel delay).
+    let mut control = SolveControl {
+        max_iters: 200_000,
+        ..SolveControl::default()
+    };
+    control.cancel_token = Some(token);
+    let mut solver = CgSolver::new(&mut planner);
+    let err = solve(&mut planner, &mut solver, control).expect_err("must be cancelled");
+    canceller.join().unwrap();
+    let at = match err {
+        SolveError::Cancelled { iteration } => iteration,
+        other => panic!("expected Cancelled, got {other}"),
+    };
+    assert!(at < 200_000, "cancelled well before the budget ({at})");
+
+    // The driver fences before surfacing Cancelled, so the planner is
+    // quiescent: restart and converge on the same planner.
+    let n = 32 * 32;
+    planner.set_sol_data(0, &vec![0.0; n]);
+    let mut solver = CgSolver::new(&mut planner);
+    let report = solve(
+        &mut planner,
+        &mut solver,
+        SolveControl::to_tolerance(1e-10, 5000),
+    )
+    .expect("post-cancel solve failed");
+    assert!(report.converged, "planner must stay usable after a cancel");
+    let x = planner.read_component(SOL, 0);
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
+/// A deadline token cancels without anyone calling `cancel()`.
+#[test]
+fn deadline_token_expires_mid_solve() {
+    let mut planner = poisson_planner(32, 32, 4, 4);
+    let token = CancelToken::with_deadline(Instant::now() + Duration::from_millis(10));
+    assert!(!token.is_cancelled(), "fresh deadline not yet expired");
+    let mut control = SolveControl {
+        max_iters: 200_000,
+        ..SolveControl::default()
+    };
+    control.cancel_token = Some(token);
+    let mut solver = CgSolver::new(&mut planner);
+    let err = solve(&mut planner, &mut solver, control).expect_err("deadline must cancel");
+    assert!(matches!(err, SolveError::Cancelled { .. }), "got {err}");
+}

@@ -108,6 +108,11 @@ struct ExecShared {
     injector: SegQueue<Runnable>,
     /// Per-worker affinity queues.
     pinned: Vec<SegQueue<Runnable>>,
+    /// Express lane for unpinned tasks with `priority > 0`; drained
+    /// before every normal-lane queue.
+    injector_hi: SegQueue<Runnable>,
+    /// Express-lane affinity queues, one per worker.
+    pinned_hi: Vec<SegQueue<Runnable>>,
     /// Parking for idle workers.
     sleep_lock: Mutex<()>,
     wake_cv: Condvar,
@@ -162,6 +167,8 @@ impl Executor {
             mapper,
             injector: SegQueue::new(),
             pinned: (0..workers).map(|_| SegQueue::new()).collect(),
+            injector_hi: SegQueue::new(),
+            pinned_hi: (0..workers).map(|_| SegQueue::new()).collect(),
             sleep_lock: Mutex::new(()),
             wake_cv: Condvar::new(),
             idle_cv: Condvar::new(),
@@ -334,6 +341,14 @@ impl Executor {
         self.workers.len()
     }
 
+    /// Tasks submitted but not yet retired. A snapshot: racing
+    /// submitters can change it immediately, so callers needing a
+    /// stable answer must hold their own serialization (the runtime's
+    /// state lock serializes submissions).
+    pub fn outstanding(&self) -> usize {
+        self.shared.state.lock().outstanding
+    }
+
     /// Executed-task tallies keyed by kernel name.
     pub fn task_counts(&self) -> BTreeMap<&'static str, u64> {
         self.shared.state.lock().counts.clone()
@@ -366,27 +381,46 @@ impl Drop for Executor {
 }
 
 /// Push a ready runnable to its mapped worker's affinity queue, or to
-/// the injector when no mapper is installed.
+/// the injector when no mapper is installed. Tasks with `priority > 0`
+/// go to the express-lane twins of those queues instead.
 fn route(shared: &ExecShared, runnable: Runnable) {
+    let express = runnable.meta.priority > 0;
     match &shared.mapper {
         Some(m) => {
             let w = m.map_task(&runnable.meta.to_meta()) % shared.pinned.len();
-            shared.pinned[w].push(runnable);
+            if express {
+                shared.pinned_hi[w].push(runnable);
+            } else {
+                shared.pinned[w].push(runnable);
+            }
         }
+        None if express => shared.injector_hi.push(runnable),
         None => shared.injector.push(runnable),
     }
 }
 
-/// Pop the next runnable for worker `me`: own queue, injector, then
-/// steal (round-robin from the next worker up).
+/// Pop the next runnable for worker `me`: the express lanes first
+/// (own queue, injector, then steal), then the same order through the
+/// normal lanes.
 fn find_work(shared: &ExecShared, me: usize) -> Option<(Runnable, bool)> {
+    let n = shared.pinned.len();
+    if let Some(r) = shared.pinned_hi[me].pop() {
+        return Some((r, false));
+    }
+    if let Some(r) = shared.injector_hi.pop() {
+        return Some((r, false));
+    }
+    for off in 1..n {
+        if let Some(r) = shared.pinned_hi[(me + off) % n].pop() {
+            return Some((r, true));
+        }
+    }
     if let Some(r) = shared.pinned[me].pop() {
         return Some((r, false));
     }
     if let Some(r) = shared.injector.pop() {
         return Some((r, false));
     }
-    let n = shared.pinned.len();
     for off in 1..n {
         if let Some(r) = shared.pinned[(me + off) % n].pop() {
             return Some((r, true));
@@ -709,10 +743,10 @@ fn watchdog_loop(shared: Arc<ExecShared>) {
 
 /// Cheap emptiness probe across all queues.
 fn find_probe(shared: &ExecShared) -> bool {
-    if !shared.injector.is_empty() {
+    if !shared.injector.is_empty() || !shared.injector_hi.is_empty() {
         return true;
     }
-    shared.pinned.iter().any(|q| !q.is_empty())
+    shared.pinned.iter().any(|q| !q.is_empty()) || shared.pinned_hi.iter().any(|q| !q.is_empty())
 }
 
 #[cfg(test)]
@@ -990,9 +1024,50 @@ mod tests {
             color: Some(3),
             flops: 10,
             bytes: 20,
+            priority: 1,
         };
         let m = lite.to_meta();
         assert_eq!(m.color, Some(3));
         assert_eq!(m.flops, 10);
+        assert_eq!(m.priority, 1);
+    }
+
+    #[test]
+    fn express_lane_runs_before_normal_backlog() {
+        // One worker, blocked on a gate while we build a backlog of
+        // normal-lane tasks and one express task. When the gate
+        // opens, the express task must run before any backlog task.
+        let ex = Executor::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&gate);
+        ex.submit(
+            runnable(0, move || {
+                while g.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+            }),
+            &[],
+        );
+        for id in 1..=8u64 {
+            let o = Arc::clone(&order);
+            ex.submit(
+                runnable(id, move || {
+                    o.lock().push(id);
+                }),
+                &[],
+            );
+        }
+        let o = Arc::clone(&order);
+        let mut hi = runnable(99, move || {
+            o.lock().push(99);
+        });
+        hi.meta.priority = 1;
+        ex.submit(hi, &[]);
+        gate.store(1, Ordering::Release);
+        ex.fence().unwrap();
+        let seen = order.lock().clone();
+        assert_eq!(seen.len(), 9);
+        assert_eq!(seen[0], 99, "express task must jump the backlog");
     }
 }

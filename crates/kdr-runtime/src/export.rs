@@ -70,6 +70,68 @@ pub fn chrome_trace_json(spans: &[TaskSpan]) -> String {
     out
 }
 
+/// Render labeled span groups as Chrome `trace_event` JSON, one
+/// *process* per group.
+///
+/// Same event shape as [`chrome_trace_json`], but each `(label,
+/// spans)` pair is assigned its own `pid` (the group index) with a
+/// `process_name` metadata record, so Perfetto shows one collapsible
+/// track group per label. The solve service uses this to emit
+/// tenant-tagged traces: one process per tenant, worker tracks
+/// within.
+pub fn chrome_trace_json_grouped(groups: &[(String, Vec<TaskSpan>)]) -> String {
+    let total: usize = groups.iter().map(|(_, s)| s.len()).sum();
+    let mut out = String::with_capacity(256 + total * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (label, spans)) in groups.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(label)
+        );
+        let mut workers: Vec<usize> = spans.iter().map(|s| s.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            );
+        }
+        for s in spans {
+            let prov = match s.provenance {
+                Provenance::Analyzed => "analyzed",
+                Provenance::Replayed => "replayed",
+            };
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\
+                 \"args\":{{\"task\":{},\"provenance\":\"{}\",\"queue_wait_us\":{}.{:03}}}}}",
+                escape_json(s.name),
+                s.worker,
+                s.start_ns / 1000,
+                s.start_ns % 1000,
+                s.execute_ns() / 1000,
+                s.execute_ns() % 1000,
+                s.id,
+                prov,
+                s.queue_wait_ns() / 1000,
+                s.queue_wait_ns() % 1000,
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Escape a string for inclusion in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -274,6 +336,21 @@ mod tests {
         assert!(json.contains("\"provenance\":\"replayed\""));
         // ts is µs with ns fraction: 1000 ns -> 1.000 µs.
         assert!(json.contains("\"ts\":1.000"), "{json}");
+    }
+
+    #[test]
+    fn grouped_json_assigns_one_pid_per_group() {
+        let groups = vec![
+            ("tenant 0".to_string(), vec![span(0, "spmv", 0, 100, vec![])]),
+            ("tenant 1".to_string(), vec![span(1, "dot", 0, 50, vec![])]),
+        ];
+        let json = chrome_trace_json_grouped(&groups);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0"));
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"));
+        assert!(json.contains("\"args\":{\"name\":\"tenant 1\"}"));
+        assert!(json.contains("\"name\":\"dot\",\"ph\":\"X\",\"pid\":1"));
     }
 
     #[test]

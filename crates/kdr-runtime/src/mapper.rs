@@ -19,6 +19,10 @@ pub struct TaskMeta {
     pub flops: u64,
     /// Estimated bytes of memory traffic.
     pub bytes: u64,
+    /// Scheduling priority: 0 is the normal lane, anything greater
+    /// routes the task through the executor's express lane, which
+    /// workers drain before normal work.
+    pub priority: u8,
 }
 
 impl TaskMeta {
@@ -30,6 +34,7 @@ impl TaskMeta {
             color: None,
             flops: 0,
             bytes: 0,
+            priority: 0,
         }
     }
 
@@ -43,6 +48,13 @@ impl TaskMeta {
     pub fn with_cost(mut self, flops: u64, bytes: u64) -> Self {
         self.flops = flops;
         self.bytes = bytes;
+        self
+    }
+
+    /// Attach a scheduling priority (0 = normal lane, >0 = express
+    /// lane drained ahead of normal work).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -98,10 +110,24 @@ impl Mapper for RoundRobinMapper {
 /// 3. **Advisory only** — idle workers still steal, so a pinned
 ///    queue never becomes a throughput bottleneck; affinity is a
 ///    locality hint, not a placement constraint.
+/// 4. **Re-mappable** — [`ColorAffinityMapper::remap_color`] installs
+///    a per-color override (the hook the live load balancer in
+///    `kdr-core::loadbalance` uses to migrate a tile's color to a
+///    different worker between iterations). Overrides are consulted
+///    on every `map_task` call, so a remap takes effect for the very
+///    next task carrying that color; with no overrides installed the
+///    lookup costs one relaxed atomic load.
 pub struct ColorAffinityMapper {
     procs: usize,
     /// Cursor for dealing colorless tasks.
     next_uncolored: std::sync::atomic::AtomicUsize,
+    /// Per-color worker overrides installed by `remap_color`.
+    overrides: parking_lot::Mutex<std::collections::HashMap<usize, usize>>,
+    /// Fast-path flag: true iff `overrides` is nonempty, so the
+    /// common no-override case never touches the lock.
+    has_overrides: std::sync::atomic::AtomicBool,
+    /// Count of `remap_color` calls, for observability.
+    remaps: std::sync::atomic::AtomicU64,
 }
 
 impl ColorAffinityMapper {
@@ -111,7 +137,54 @@ impl ColorAffinityMapper {
         ColorAffinityMapper {
             procs,
             next_uncolored: std::sync::atomic::AtomicUsize::new(0),
+            overrides: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            has_overrides: std::sync::atomic::AtomicBool::new(false),
+            remaps: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Override the home worker of `color`: every subsequent task
+    /// carrying that color maps to `worker % num_procs` instead of
+    /// the default `color % num_procs`. Takes effect on the next
+    /// `map_task` call — i.e. the next iteration's tasks.
+    pub fn remap_color(&self, color: usize, worker: usize) {
+        let mut ov = self.overrides.lock();
+        ov.insert(color, worker % self.procs);
+        self.has_overrides
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.remaps
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drop the override for `color`, restoring the stable default
+    /// placement `color % num_procs`.
+    pub fn reset_color(&self, color: usize) {
+        let mut ov = self.overrides.lock();
+        ov.remove(&color);
+        if ov.is_empty() {
+            self.has_overrides
+                .store(false, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// The worker tasks of `color` currently map to (override if one
+    /// is installed, otherwise the stable default).
+    pub fn current_worker(&self, color: usize) -> usize {
+        if self
+            .has_overrides
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            if let Some(&w) = self.overrides.lock().get(&color) {
+                return w;
+            }
+        }
+        color % self.procs
+    }
+
+    /// How many `remap_color` calls have been made over the mapper's
+    /// lifetime.
+    pub fn remap_count(&self) -> u64 {
+        self.remaps.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -122,7 +195,7 @@ impl Mapper for ColorAffinityMapper {
 
     fn map_task(&self, meta: &TaskMeta) -> usize {
         match meta.color {
-            Some(c) => c % self.procs,
+            Some(c) => self.current_worker(c),
             None => {
                 self.next_uncolored
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
@@ -162,10 +235,33 @@ mod tests {
 
     #[test]
     fn meta_builders() {
-        let m = TaskMeta::new("spmv").with_color(3).with_cost(100, 800);
+        let m = TaskMeta::new("spmv")
+            .with_color(3)
+            .with_cost(100, 800)
+            .with_priority(2);
         assert_eq!(m.name, "spmv");
         assert_eq!(m.color, Some(3));
         assert_eq!(m.flops, 100);
         assert_eq!(m.bytes, 800);
+        assert_eq!(m.priority, 2);
+    }
+
+    #[test]
+    fn remap_overrides_and_reset_restores() {
+        let m = ColorAffinityMapper::new(4);
+        let mk = |c| TaskMeta::new("t").with_color(c);
+        assert_eq!(m.map_task(&mk(6)), 2);
+        assert_eq!(m.current_worker(6), 2);
+        m.remap_color(6, 1);
+        assert_eq!(m.map_task(&mk(6)), 1);
+        assert_eq!(m.current_worker(6), 1);
+        // Other colors are untouched.
+        assert_eq!(m.map_task(&mk(7)), 3);
+        // Worker index is reduced modulo the pool size.
+        m.remap_color(5, 9);
+        assert_eq!(m.map_task(&mk(5)), 1);
+        assert_eq!(m.remap_count(), 2);
+        m.reset_color(6);
+        assert_eq!(m.map_task(&mk(6)), 2);
     }
 }

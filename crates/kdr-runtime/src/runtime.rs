@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::events::{Provenance, SubmitRecord, TaskSpan};
 use crate::executor::{Executor, Runnable};
@@ -32,6 +32,11 @@ struct RtState {
     analyzer: Analyzer,
     next_id: TaskId,
     capture: Option<TraceCapture>,
+    /// Thread that opened the active capture. Submissions and
+    /// replays from other threads block until the capture closes, so
+    /// a shared runtime cannot interleave a foreign task into a
+    /// trace (which would corrupt the recorded frontier).
+    capture_owner: Option<std::thread::ThreadId>,
     analysis_ns: u64,
     tasks_submitted: u64,
     tasks_replayed: u64,
@@ -39,9 +44,18 @@ struct RtState {
 }
 
 /// A task-oriented runtime instance owning a worker pool.
+///
+/// Every method takes `&self`, so one runtime can be shared across
+/// threads behind an `Arc`: dependence analysis is serialized by an
+/// internal lock, buffer ids are globally unique, and trace capture
+/// is gated per-thread (a capture opened on one thread blocks
+/// submissions from other threads until it closes, instead of
+/// recording their tasks into the wrong trace).
 pub struct Runtime {
     exec: Executor,
     state: Mutex<RtState>,
+    /// Signaled when the active trace capture closes.
+    capture_cv: Condvar,
 }
 
 impl Runtime {
@@ -73,12 +87,24 @@ impl Runtime {
                 analyzer: Analyzer::new(),
                 next_id: 0,
                 capture: None,
+                capture_owner: None,
                 analysis_ns: 0,
                 tasks_submitted: 0,
                 tasks_replayed: 0,
                 tasks_analyzed: 0,
             }),
+            capture_cv: Condvar::new(),
         }
+    }
+
+    /// Lock the state, blocking while another thread holds an open
+    /// trace capture (the capture owner itself passes through).
+    fn lock_past_foreign_capture(&self) -> parking_lot::MutexGuard<'_, RtState> {
+        let mut st = self.state.lock();
+        while st.capture.is_some() && st.capture_owner != Some(std::thread::current().id()) {
+            self.capture_cv.wait(&mut st);
+        }
+        st
     }
 
     /// Create a runtime sized to the machine's available parallelism.
@@ -106,7 +132,7 @@ impl Runtime {
         };
         let reqs = Arc::new(task.reqs);
 
-        let mut st = self.state.lock();
+        let mut st = self.lock_past_foreign_capture();
         let id = st.next_id;
         st.next_id += 1;
         st.tasks_submitted += 1;
@@ -197,18 +223,43 @@ impl Runtime {
     /// Begin capturing a trace. Fences first (traces start from a
     /// quiescent runtime) and resets the analyzer, which is sound
     /// because every frontier entry then refers to a finished task.
+    ///
+    /// On a shared runtime, captures are exclusive: if another thread
+    /// has a capture open, this call blocks until it closes; while
+    /// this thread's capture is open, submissions and replays from
+    /// other threads block. Re-entry from the capture-owning thread
+    /// still fails with [`RuntimeError::NestedTrace`].
     pub fn begin_trace(&self) -> Result<(), RuntimeError> {
-        self.exec.fence().map_err(RuntimeError::TaskFailed)?;
-        let mut st = self.state.lock();
-        if st.capture.is_some() {
-            return Err(RuntimeError::NestedTrace);
+        loop {
+            self.exec.fence().map_err(RuntimeError::TaskFailed)?;
+            let mut st = self.state.lock();
+            if st.capture.is_some() {
+                if st.capture_owner == Some(std::thread::current().id()) {
+                    return Err(RuntimeError::NestedTrace);
+                }
+                // Foreign capture in flight: wait for it to close,
+                // then retry from the fence.
+                self.capture_cv.wait(&mut st);
+                drop(st);
+                continue;
+            }
+            // Between the fence and taking the lock, another thread
+            // may have submitted work; the analyzer reset below is
+            // only sound from a quiescent runtime, so re-check under
+            // the lock (submissions hold this lock, so quiescence
+            // observed here holds until we install the capture).
+            if self.exec.outstanding() > 0 {
+                drop(st);
+                continue;
+            }
+            st.analyzer.clear();
+            st.capture = Some(TraceCapture {
+                id_to_local: HashMap::new(),
+                deps: Vec::new(),
+            });
+            st.capture_owner = Some(std::thread::current().id());
+            return Ok(());
         }
-        st.analyzer.clear();
-        st.capture = Some(TraceCapture {
-            id_to_local: HashMap::new(),
-            deps: Vec::new(),
-        });
-        Ok(())
     }
 
     /// Finish capturing; returns the trace. Fences so the recorded
@@ -216,10 +267,18 @@ impl Runtime {
     pub fn end_trace(&self) -> Result<Trace, RuntimeError> {
         self.exec.fence().map_err(RuntimeError::TaskFailed)?;
         let mut st = self.state.lock();
+        // Only the thread that opened the capture may close it; from
+        // any other thread there is no active trace to end.
+        if st.capture_owner != Some(std::thread::current().id()) {
+            return Err(RuntimeError::NoActiveTrace);
+        }
         let cap = match st.capture.take() {
             Some(c) => c,
             None => return Err(RuntimeError::NoActiveTrace),
         };
+        st.capture_owner = None;
+        // Unblock threads parked behind the capture gate.
+        self.capture_cv.notify_all();
         let frontier = st
             .analyzer
             .snapshot()
@@ -260,7 +319,7 @@ impl Runtime {
             return Err(RuntimeError::MissingBody { task: t.name });
         }
         self.exec.fence().map_err(RuntimeError::TaskFailed)?;
-        let mut st = self.state.lock();
+        let mut st = self.lock_past_foreign_capture();
         let base = st.next_id;
         st.next_id += tasks.len() as TaskId;
         st.tasks_submitted += tasks.len() as u64;

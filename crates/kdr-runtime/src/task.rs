@@ -20,6 +20,8 @@ pub struct TaskMetaLite {
     pub flops: u64,
     /// Estimated bytes moved, for cost-aware mappers.
     pub bytes: u64,
+    /// Scheduling priority (0 = normal lane, >0 = express lane).
+    pub priority: u8,
 }
 
 impl TaskMetaLite {
@@ -30,6 +32,7 @@ impl TaskMetaLite {
             color: self.color,
             flops: self.flops,
             bytes: self.bytes,
+            priority: self.priority,
         }
     }
 
@@ -38,6 +41,7 @@ impl TaskMetaLite {
             color: m.color,
             flops: m.flops,
             bytes: m.bytes,
+            priority: m.priority,
         }
     }
 }
@@ -161,6 +165,13 @@ impl TaskBuilder {
     /// Attach scheduling metadata (cost estimates, color).
     pub fn meta(mut self, meta: TaskMeta) -> Self {
         self.meta = meta;
+        self
+    }
+
+    /// Set the scheduling priority without replacing the rest of the
+    /// metadata (0 = normal lane, >0 = express lane).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.meta.priority = priority;
         self
     }
 

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # kdr-service
+//!
+//! A multi-tenant solve service over one shared KDRSolvers runtime.
+//!
+//! The paper's runtime executes one application's solves; this crate
+//! turns it into a *service*: many tenants submit [`SolveRequest`]s
+//! against long-lived, plan-cached [`Session`]s, and the service
+//! executes them over a single shared worker pool with
+//!
+//! - **admission control** — a bounded queue with immediate, typed
+//!   backpressure ([`RejectReason::QueueFull`]) and deadline
+//!   screening ([`RejectReason::DeadlineUnmeetable`]);
+//! - **weighted fair-share scheduling** — a deterministic, seeded
+//!   stride scheduler time-slicing the pool across tenants at
+//!   iteration granularity (a slice is `slice_iters` iterations of
+//!   one tenant's [`kdr_core::StepDriver`]);
+//! - **plan-cached sessions** — operator registration, dependent
+//!   partitioning, tile-kernel lowering, and captured iteration
+//!   traces persist across jobs, so warm solves skip the expensive
+//!   prologue (measured as time-to-first-iteration, cold vs warm);
+//! - **cooperative cancellation** — per-job [`kdr_core::CancelToken`]
+//!   combining request deadlines with explicit
+//!   [`SolveService::cancel_job`], honored at iteration boundaries
+//!   by every solver family;
+//! - **per-tenant observability** — metrics-counter slices
+//!   ([`TenantMetrics`]) and tenant-tagged Chrome-trace export (one
+//!   Perfetto process per tenant).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kdr_core::SolveControl;
+//! use kdr_service::{ServiceConfig, SessionSpec, SolveRequest, SolveService, SolverKind};
+//! use kdr_sparse::{SparseMatrix, Stencil};
+//! use kdr_sparse::stencil::rhs_vector;
+//!
+//! let svc = SolveService::new(ServiceConfig::default());
+//! svc.register_tenant(1, 1);
+//! let s = Stencil::lap2d(8, 8);
+//! let n = s.unknowns();
+//! let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+//! let sid = svc.create_session(1, SessionSpec {
+//!     matrix: m, unknowns: n, pieces: 2, solver: SolverKind::Cg,
+//! });
+//! let job = svc
+//!     .submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, 7),
+//!         SolveControl::to_tolerance(1e-10, 500)))
+//!     .unwrap();
+//! svc.run_until_idle();
+//! let responses = svc.take_responses();
+//! assert_eq!(responses.len(), 1);
+//! assert_eq!(responses[0].job, job);
+//! assert!(responses[0].outcome.is_converged());
+//! ```
+
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+pub mod session;
+
+pub use metrics::{ServiceMetrics, TenantMetrics};
+pub use queue::{AdmissionQueue, QueuedJob};
+pub use request::{
+    JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
+};
+pub use scheduler::FairScheduler;
+pub use service::{ServiceConfig, SolveService};
+pub use session::{Session, SessionSpec, SolverKind};

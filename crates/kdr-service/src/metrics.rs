@@ -1,0 +1,134 @@
+//! Per-tenant accounting and tenant-tagged trace export.
+//!
+//! The driver fences at slice boundaries, so every runtime task span
+//! and metrics-counter delta observed at the end of a slice belongs
+//! to the tenant that owned the slice. Spans accumulate per tenant
+//! and export through
+//! [`kdr_runtime::chrome_trace_json_grouped`] — one Perfetto process
+//! per tenant, workers as threads — and counter deltas accumulate
+//! into one [`TenantMetrics`] slice per tenant.
+
+use std::collections::BTreeMap;
+
+use kdr_runtime::{MetricsSnapshot, TaskSpan};
+
+use crate::request::TenantId;
+
+/// One tenant's slice of the service's runtime metrics.
+#[derive(Clone, Debug, Default)]
+pub struct TenantMetrics {
+    /// Jobs completed (any outcome except admission rejection).
+    pub jobs_completed: u64,
+    /// Requests rejected at admission.
+    pub jobs_rejected: u64,
+    /// Scheduler slices granted.
+    pub slices: u64,
+    /// Solver iterations executed.
+    pub iterations: u64,
+    /// Runtime tasks submitted during this tenant's slices.
+    pub tasks_submitted: u64,
+    /// Runtime task bodies executed during this tenant's slices.
+    pub tasks_executed: u64,
+    /// Tasks replayed from captured traces (analysis skipped) during
+    /// this tenant's slices — the plan-cache hit counter.
+    pub tasks_replayed: u64,
+    /// Driver wall-clock seconds spent in this tenant's slices.
+    pub busy_seconds: f64,
+}
+
+/// Mutable per-tenant accounting plus span retention.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    tenants: BTreeMap<TenantId, TenantMetrics>,
+    spans: BTreeMap<TenantId, Vec<TaskSpan>>,
+}
+
+impl ServiceMetrics {
+    /// Accounting entry for a tenant, created on first touch.
+    pub fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantMetrics {
+        self.tenants.entry(tenant).or_default()
+    }
+
+    /// A tenant's current metrics slice (zeros if never active).
+    pub fn tenant(&self, tenant: TenantId) -> TenantMetrics {
+        self.tenants.get(&tenant).cloned().unwrap_or_default()
+    }
+
+    /// All tenant slices.
+    pub fn all(&self) -> BTreeMap<TenantId, TenantMetrics> {
+        self.tenants.clone()
+    }
+
+    /// Attribute a slice's runtime-counter delta (`after - before`)
+    /// to a tenant.
+    pub fn record_slice_delta(
+        &mut self,
+        tenant: TenantId,
+        before: &MetricsSnapshot,
+        after: &MetricsSnapshot,
+    ) {
+        let m = self.tenant_mut(tenant);
+        m.tasks_submitted += after.tasks_submitted.saturating_sub(before.tasks_submitted);
+        m.tasks_executed += after.tasks_executed.saturating_sub(before.tasks_executed);
+        m.tasks_replayed += after.tasks_replayed.saturating_sub(before.tasks_replayed);
+    }
+
+    /// Retain a slice's task spans under its tenant.
+    pub fn record_spans(&mut self, tenant: TenantId, spans: Vec<TaskSpan>) {
+        if !spans.is_empty() {
+            self.spans.entry(tenant).or_default().extend(spans);
+        }
+    }
+
+    /// Spans retained for a tenant.
+    pub fn spans_for(&self, tenant: TenantId) -> &[TaskSpan] {
+        self.spans.get(&tenant).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Render every tenant's retained spans as Chrome `trace_event`
+    /// JSON: one process (`pid`) per tenant, named `tenant-{id}`,
+    /// workers as named threads. Loadable in Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        let groups: Vec<(String, Vec<TaskSpan>)> = self
+            .spans
+            .iter()
+            .map(|(t, spans)| (format!("tenant-{t}"), spans.clone()))
+            .collect();
+        kdr_runtime::chrome_trace_json_grouped(&groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_delta_accumulates() {
+        let mut m = ServiceMetrics::default();
+        let mut before = MetricsSnapshot::default();
+        let after = MetricsSnapshot {
+            tasks_submitted: 10,
+            tasks_executed: 8,
+            tasks_replayed: 5,
+            ..Default::default()
+        };
+        m.record_slice_delta(7, &before, &after);
+        before = after.clone();
+        let mut after2 = after.clone();
+        after2.tasks_executed = 11;
+        m.record_slice_delta(7, &before, &after2);
+        let t = m.tenant(7);
+        assert_eq!(t.tasks_submitted, 10);
+        assert_eq!(t.tasks_executed, 11);
+        assert_eq!(t.tasks_replayed, 5);
+    }
+
+    #[test]
+    fn chrome_trace_groups_by_tenant() {
+        let mut m = ServiceMetrics::default();
+        m.record_spans(1, Vec::new()); // empty: dropped
+        let json = m.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(!json.contains("tenant-1"), "empty span sets are dropped");
+    }
+}

@@ -1,0 +1,218 @@
+//! Bounded admission queue with backpressure and deadline screening.
+//!
+//! Admission is the service's only unbounded-work valve: the queue
+//! holds at most `capacity` jobs, and a submit against a full queue
+//! fails *immediately* with [`RejectReason::QueueFull`] rather than
+//! blocking the client or growing without bound. Deadline screening
+//! ([`RejectReason::DeadlineUnmeetable`]) uses an exponentially
+//! weighted moving average of observed job service times to estimate
+//! when a new job would first run; deadlines earlier than that are
+//! rejected at admission instead of wasting queue space on work that
+//! is already doomed.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::request::{JobId, RejectReason, SolveRequest, TenantId};
+
+/// EWMA smoothing for observed job service times.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// One admitted, not-yet-started job.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Admission-order id.
+    pub job: JobId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The request as submitted.
+    pub request: SolveRequest,
+    /// When admission succeeded.
+    pub submitted_at: Instant,
+}
+
+/// The bounded admission queue (FIFO per tenant).
+pub struct AdmissionQueue {
+    capacity: usize,
+    jobs: VecDeque<QueuedJob>,
+    /// EWMA of job service seconds; `0` until the first completion
+    /// (deadline screening then only rejects already-past deadlines).
+    ewma_job_seconds: f64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue bounded at `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity,
+            jobs: VecDeque::new(),
+            ewma_job_seconds: 0.0,
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated wait before a job admitted *now* would first be
+    /// scheduled: backlog depth times the average service time.
+    pub fn estimated_start(&self) -> Duration {
+        Duration::from_secs_f64(self.jobs.len() as f64 * self.ewma_job_seconds)
+    }
+
+    /// Admit a job or reject it with a typed reason. `QueueFull` and
+    /// `DeadlineUnmeetable` are the backpressure signals; both leave
+    /// the queue unchanged.
+    pub fn try_admit(
+        &mut self,
+        job: JobId,
+        tenant: TenantId,
+        request: SolveRequest,
+        now: Instant,
+    ) -> Result<(), RejectReason> {
+        if self.jobs.len() >= self.capacity {
+            return Err(RejectReason::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        if let Some(deadline) = request.deadline {
+            let deadline_in = deadline.saturating_duration_since(now);
+            let estimated_start = self.estimated_start();
+            if deadline_in.is_zero() || deadline_in < estimated_start {
+                return Err(RejectReason::DeadlineUnmeetable {
+                    deadline_in,
+                    estimated_start,
+                });
+            }
+        }
+        self.jobs.push_back(QueuedJob {
+            job,
+            tenant,
+            request,
+            submitted_at: now,
+        });
+        Ok(())
+    }
+
+    /// Tenants with at least one queued job, in queue order without
+    /// duplicates.
+    pub fn tenants_with_work(&self) -> Vec<TenantId> {
+        let mut seen = Vec::new();
+        for j in &self.jobs {
+            if !seen.contains(&j.tenant) {
+                seen.push(j.tenant);
+            }
+        }
+        seen
+    }
+
+    /// Pop the oldest queued job of `tenant`, if any.
+    pub fn pop_for_tenant(&mut self, tenant: TenantId) -> Option<QueuedJob> {
+        let idx = self.jobs.iter().position(|j| j.tenant == tenant)?;
+        self.jobs.remove(idx)
+    }
+
+    /// Remove a queued job by id (explicit cancellation before it
+    /// ever ran).
+    pub fn remove_job(&mut self, job: JobId) -> Option<QueuedJob> {
+        let idx = self.jobs.iter().position(|j| j.job == job)?;
+        self.jobs.remove(idx)
+    }
+
+    /// Feed one completed job's service time into the deadline
+    /// estimator.
+    pub fn observe_job_seconds(&mut self, seconds: f64) {
+        if self.ewma_job_seconds == 0.0 {
+            self.ewma_job_seconds = seconds;
+        } else {
+            self.ewma_job_seconds =
+                EWMA_ALPHA * seconds + (1.0 - EWMA_ALPHA) * self.ewma_job_seconds;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdr_core::SolveControl;
+
+    fn req() -> SolveRequest {
+        SolveRequest::new(0, vec![1.0], SolveControl::default())
+    }
+
+    #[test]
+    fn queue_full_rejects_without_mutation() {
+        let mut q = AdmissionQueue::new(2);
+        let now = Instant::now();
+        assert!(q.try_admit(0, 1, req(), now).is_ok());
+        assert!(q.try_admit(1, 2, req(), now).is_ok());
+        let err = q.try_admit(2, 1, req(), now).unwrap_err();
+        assert_eq!(err, RejectReason::QueueFull { capacity: 2 });
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn past_deadline_rejected_at_admission() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        let mut r = req();
+        r.deadline = Some(now - Duration::from_millis(1));
+        let err = q.try_admit(0, 1, r, now).unwrap_err();
+        assert!(matches!(err, RejectReason::DeadlineUnmeetable { .. }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_screening_uses_backlog_estimate() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        q.observe_job_seconds(1.0);
+        assert!(q.try_admit(0, 1, req(), now).is_ok());
+        assert!(q.try_admit(1, 1, req(), now).is_ok());
+        // Two 1-second jobs queued; a 500 ms deadline is hopeless.
+        let mut r = req();
+        r.deadline = Some(now + Duration::from_millis(500));
+        assert!(matches!(
+            q.try_admit(2, 2, r, now).unwrap_err(),
+            RejectReason::DeadlineUnmeetable { .. }
+        ));
+        // A 10-second deadline clears the estimate.
+        let mut r = req();
+        r.deadline = Some(now + Duration::from_secs(10));
+        assert!(q.try_admit(3, 2, r, now).is_ok());
+    }
+
+    #[test]
+    fn pop_is_fifo_per_tenant() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        q.try_admit(10, 1, req(), now).unwrap();
+        q.try_admit(11, 2, req(), now).unwrap();
+        q.try_admit(12, 1, req(), now).unwrap();
+        assert_eq!(q.pop_for_tenant(1).unwrap().job, 10);
+        assert_eq!(q.pop_for_tenant(1).unwrap().job, 12);
+        assert!(q.pop_for_tenant(1).is_none());
+        assert_eq!(q.pop_for_tenant(2).unwrap().job, 11);
+    }
+
+    #[test]
+    fn tenants_with_work_deduplicates_in_order() {
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        q.try_admit(0, 3, req(), now).unwrap();
+        q.try_admit(1, 1, req(), now).unwrap();
+        q.try_admit(2, 3, req(), now).unwrap();
+        assert_eq!(q.tenants_with_work(), vec![3, 1]);
+    }
+}

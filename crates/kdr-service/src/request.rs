@@ -1,0 +1,174 @@
+//! Request/response types at the service boundary.
+
+use std::time::{Duration, Instant};
+
+use kdr_core::SolveControl;
+
+/// Tenant identifier: one paying client of the service, with its own
+/// fair-share weight, sessions, and metrics slice.
+pub type TenantId = u32;
+
+/// Session identifier: one plan-cached problem setup (operator,
+/// partition, solver kind) owned by a tenant.
+pub type SessionId = usize;
+
+/// Job identifier: one admitted [`SolveRequest`], assigned at
+/// admission in submission order.
+pub type JobId = u64;
+
+/// One solve job against a session's registered operator.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// Which session (operator + solver plan) to solve against.
+    pub session: SessionId,
+    /// Right-hand sides, solved in order within the job. Each must
+    /// match the session's unknown count.
+    pub rhs_batch: Vec<Vec<f64>>,
+    /// Iteration budget, tolerance, and guard thresholds. The
+    /// service installs its own cancellation token (combining the
+    /// request deadline with explicit [`cancel_job`]); a token
+    /// already present in the control is honored too.
+    ///
+    /// [`cancel_job`]: crate::SolveService::cancel_job
+    pub control: SolveControl,
+    /// Scheduling priority (`0` = normal; `>0` additionally routes
+    /// the job's runtime tasks through the executor's express lanes).
+    pub priority: u8,
+    /// Absolute completion deadline. Admission rejects deadlines the
+    /// queue cannot plausibly meet; past admission, the deadline
+    /// cancels the job cooperatively at iteration granularity.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveRequest {
+    /// A normal-priority, deadline-free request with one RHS.
+    pub fn new(session: SessionId, rhs: Vec<f64>, control: SolveControl) -> Self {
+        SolveRequest {
+            session,
+            rhs_batch: vec![rhs],
+            control,
+            priority: 0,
+            deadline: None,
+        }
+    }
+}
+
+/// Typed admission rejection: the request never became a job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RejectReason {
+    /// The bounded admission queue is at capacity — backpressure;
+    /// retry after draining responses.
+    QueueFull {
+        /// The queue's configured bound.
+        capacity: usize,
+    },
+    /// The deadline cannot plausibly be met: it is already past, or
+    /// earlier than the estimated start time given the current
+    /// backlog.
+    DeadlineUnmeetable {
+        /// Time until the deadline (zero if already past).
+        deadline_in: Duration,
+        /// Estimated wait before this job would first be scheduled.
+        estimated_start: Duration,
+    },
+    /// The named session does not exist or belongs to another tenant.
+    UnknownSession {
+        /// The offending session id.
+        session: SessionId,
+    },
+    /// The tenant was never registered.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: TenantId,
+    },
+    /// The request carried no right-hand sides.
+    EmptyBatch,
+    /// A right-hand side's length does not match the session.
+    BadRhsLength {
+        /// The session's unknown count.
+        expected: u64,
+        /// The offending RHS length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            RejectReason::DeadlineUnmeetable {
+                deadline_in,
+                estimated_start,
+            } => write!(
+                f,
+                "deadline in {deadline_in:?} unmeetable (estimated start in {estimated_start:?})"
+            ),
+            RejectReason::UnknownSession { session } => write!(f, "unknown session {session}"),
+            RejectReason::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            RejectReason::EmptyBatch => write!(f, "empty rhs batch"),
+            RejectReason::BadRhsLength { expected, got } => {
+                write!(f, "rhs length {got} != session unknowns {expected}")
+            }
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Every RHS in the batch converged.
+    Converged {
+        /// Residual of the last RHS at its final check.
+        final_residual: f64,
+    },
+    /// The iteration budget ran out before the tolerance was met.
+    Capped {
+        /// Residual of the last RHS when the budget ran out.
+        final_residual: f64,
+    },
+    /// Cancelled (explicitly or by deadline) mid-iteration.
+    Cancelled {
+        /// Iteration count of the in-flight RHS at cancellation.
+        iteration: usize,
+    },
+    /// The solve failed (task fault, breakdown, divergence, …).
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// True for the fully-converged outcome.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, JobOutcome::Converged { .. })
+    }
+}
+
+/// Completion record for one admitted job.
+#[derive(Clone, Debug)]
+pub struct SolveResponse {
+    /// The job this response answers.
+    pub job: JobId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Session the job ran against.
+    pub session: SessionId,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Iterations executed across the whole batch.
+    pub iterations: u64,
+    /// Admission → first scheduling.
+    pub queue_wait: Duration,
+    /// First scheduling → first completed iteration. Cold sessions
+    /// pay operator registration, tile lowering, and dependence
+    /// analysis here; warm (plan-cached) sessions skip all three.
+    pub time_to_first_iteration: Option<Duration>,
+    /// First scheduling → completion (driver time, including yields
+    /// to other tenants' slices).
+    pub turnaround: Duration,
+    /// Whether the session was warm (had completed a job before).
+    pub warm: bool,
+}

@@ -1,0 +1,498 @@
+//! The solve service: one shared runtime, many tenants.
+//!
+//! Clients register tenants (with fair-share weights), create
+//! plan-cached [`Session`]s, and submit [`SolveRequest`]s from any
+//! thread. A single *driver* (any thread calling
+//! [`SolveService::run_until_idle`]) executes admitted jobs by
+//! time-slicing the shared worker pool across tenants at iteration
+//! granularity: each scheduler pick runs at most `slice_iters`
+//! iterations of one tenant's job through a [`StepDriver`], fences,
+//! attributes the slice's runtime spans and counter deltas to the
+//! tenant, and yields back to the scheduler. Parallelism lives
+//! *inside* a slice (the runtime's workers execute each iteration's
+//! task DAG concurrently); determinism across runs comes from the
+//! single driver plus the seeded stride scheduler.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use kdr_core::{CancelToken, SolveError, Solver, StepDriver, StepStatus};
+use kdr_runtime::{ColorAffinityMapper, Runtime};
+
+use crate::metrics::ServiceMetrics;
+use crate::queue::AdmissionQueue;
+use crate::request::{
+    JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
+};
+use crate::scheduler::FairScheduler;
+use crate::session::{Session, SessionSpec};
+
+/// Service construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the shared runtime pool.
+    pub workers: usize,
+    /// Admission queue bound (backpressure past this).
+    pub queue_capacity: usize,
+    /// Iterations per scheduler slice (the fair-share quantum).
+    pub slice_iters: usize,
+    /// Scheduler tie-break seed: same seed + same submission sequence
+    /// → same schedule.
+    pub seed: u64,
+    /// Record runtime task spans and attribute them per tenant (for
+    /// [`SolveService::chrome_trace`]). Costs one atomic per task.
+    pub capture_events: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            slice_iters: 8,
+            seed: 0,
+            capture_events: false,
+        }
+    }
+}
+
+/// A job being time-sliced right now (at most one per tenant; later
+/// jobs of the same tenant wait in the admission queue behind it).
+struct ActiveJob {
+    job: JobId,
+    tenant: TenantId,
+    session: SessionId,
+    request: SolveRequest,
+    token: CancelToken,
+    /// Index of the RHS currently being solved.
+    rhs_idx: usize,
+    /// Driver + solver for the in-flight RHS (`None` between RHS).
+    driver: Option<StepDriver>,
+    solver: Option<Box<dyn Solver<f64>>>,
+    ws_mark: usize,
+    preflighted: bool,
+    iterations: u64,
+    submitted_at: Instant,
+    started_at: Option<Instant>,
+    ttfi: Option<Duration>,
+    warm: bool,
+    last_residual: f64,
+}
+
+struct ServiceState {
+    queue: AdmissionQueue,
+    scheduler: FairScheduler,
+    sessions: Vec<Session>,
+    active: Vec<ActiveJob>,
+    responses: Vec<SolveResponse>,
+    metrics: ServiceMetrics,
+    next_job: JobId,
+}
+
+/// The multi-tenant solve service.
+pub struct SolveService {
+    rt: Arc<Runtime>,
+    mapper: Arc<ColorAffinityMapper>,
+    cfg: ServiceConfig,
+    state: Mutex<ServiceState>,
+}
+
+impl SolveService {
+    /// Spin up the shared runtime and an empty service.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let mapper = Arc::new(ColorAffinityMapper::new(workers));
+        let rt = Arc::new(Runtime::with_mapper(workers, mapper.clone()));
+        if cfg.capture_events {
+            rt.enable_events(true);
+        }
+        SolveService {
+            rt,
+            mapper,
+            state: Mutex::new(ServiceState {
+                queue: AdmissionQueue::new(cfg.queue_capacity),
+                scheduler: FairScheduler::new(cfg.seed),
+                sessions: Vec::new(),
+                active: Vec::new(),
+                responses: Vec::new(),
+                metrics: ServiceMetrics::default(),
+                next_job: 0,
+            }),
+            cfg,
+        }
+    }
+
+    /// The shared runtime (e.g. to arm fault injection in tests).
+    pub fn runtime(&self) -> Arc<Runtime> {
+        Arc::clone(&self.rt)
+    }
+
+    /// The live color-affinity mapper (e.g. to attach a
+    /// [`kdr_core::Rebalancer`]).
+    pub fn mapper(&self) -> Arc<ColorAffinityMapper> {
+        Arc::clone(&self.mapper)
+    }
+
+    /// Register (or re-weight) a tenant with a fair-share weight.
+    pub fn register_tenant(&self, tenant: TenantId, weight: u64) {
+        self.state.lock().scheduler.register(tenant, weight);
+    }
+
+    /// Create a plan-cached session for a tenant. Cheap; the
+    /// expensive plan construction happens on the session's first
+    /// job (cold) and is skipped thereafter (warm).
+    pub fn create_session(&self, tenant: TenantId, spec: SessionSpec) -> SessionId {
+        let mut st = self.state.lock();
+        let sess = Session::new(
+            Arc::clone(&self.rt),
+            Arc::clone(&self.mapper),
+            tenant,
+            spec,
+        );
+        st.sessions.push(sess);
+        st.sessions.len() - 1
+    }
+
+    /// Submit a request. Returns the admitted job id, or a typed
+    /// rejection ([`RejectReason::QueueFull`] /
+    /// [`RejectReason::DeadlineUnmeetable`] are the backpressure
+    /// signals). Callable from any thread.
+    pub fn submit(&self, tenant: TenantId, request: SolveRequest) -> Result<JobId, RejectReason> {
+        let mut st = self.state.lock();
+        if !st.scheduler.is_registered(tenant) {
+            return Err(RejectReason::UnknownTenant { tenant });
+        }
+        let session = request.session;
+        match st.sessions.get(session) {
+            None => {
+                st.metrics.tenant_mut(tenant).jobs_rejected += 1;
+                return Err(RejectReason::UnknownSession { session });
+            }
+            Some(s) if s.tenant() != tenant => {
+                st.metrics.tenant_mut(tenant).jobs_rejected += 1;
+                return Err(RejectReason::UnknownSession { session });
+            }
+            Some(s) => {
+                if request.rhs_batch.is_empty() {
+                    st.metrics.tenant_mut(tenant).jobs_rejected += 1;
+                    return Err(RejectReason::EmptyBatch);
+                }
+                let expected = s.unknowns();
+                if let Some(bad) = request
+                    .rhs_batch
+                    .iter()
+                    .find(|r| r.len() as u64 != expected)
+                {
+                    st.metrics.tenant_mut(tenant).jobs_rejected += 1;
+                    return Err(RejectReason::BadRhsLength {
+                        expected,
+                        got: bad.len(),
+                    });
+                }
+            }
+        }
+        let job = st.next_job;
+        match st.queue.try_admit(job, tenant, request, Instant::now()) {
+            Ok(()) => {
+                st.next_job += 1;
+                Ok(job)
+            }
+            Err(e) => {
+                st.metrics.tenant_mut(tenant).jobs_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Cooperatively cancel a job, queued or running. Queued jobs
+    /// complete immediately with [`JobOutcome::Cancelled`]; running
+    /// jobs stop at their next iteration boundary. Unknown ids are
+    /// ignored (the job may already have completed).
+    pub fn cancel_job(&self, job: JobId) {
+        let mut st = self.state.lock();
+        if let Some(q) = st.queue.remove_job(job) {
+            st.responses.push(SolveResponse {
+                job: q.job,
+                tenant: q.tenant,
+                session: q.request.session,
+                outcome: JobOutcome::Cancelled { iteration: 0 },
+                iterations: 0,
+                queue_wait: q.submitted_at.elapsed(),
+                time_to_first_iteration: None,
+                turnaround: Duration::ZERO,
+                warm: false,
+            });
+            return;
+        }
+        if let Some(a) = st.active.iter().find(|a| a.job == job) {
+            a.token.cancel();
+        }
+    }
+
+    /// Completed responses accumulated since the last call.
+    pub fn take_responses(&self) -> Vec<SolveResponse> {
+        std::mem::take(&mut self.state.lock().responses)
+    }
+
+    /// Per-tenant metrics slices.
+    pub fn metrics(&self) -> std::collections::BTreeMap<TenantId, crate::metrics::TenantMetrics> {
+        self.state.lock().metrics.all()
+    }
+
+    /// Scheduler slices granted to a tenant so far.
+    pub fn slices(&self, tenant: TenantId) -> u64 {
+        self.state.lock().scheduler.slices(tenant)
+    }
+
+    /// Tenant-tagged Chrome trace JSON (one process per tenant).
+    /// Meaningful only with [`ServiceConfig::capture_events`] on.
+    pub fn chrome_trace(&self) -> String {
+        self.state.lock().metrics.chrome_trace()
+    }
+
+    /// Drive admitted work to completion: loop { pick tenant, run
+    /// one slice } until no tenant has queued or active work. The
+    /// calling thread is the driver; concurrent callers serialize on
+    /// the service lock slice-by-slice.
+    pub fn run_until_idle(&self) {
+        while self.run_one_slice() {}
+    }
+
+    /// Drive at most `n` scheduler slices, stopping early if the
+    /// service goes idle. Returns the slices actually run. Lets
+    /// callers observe fair-share progress at a deterministic
+    /// mid-run point instead of sampling on a timer.
+    pub fn run_slices(&self, n: usize) -> usize {
+        for k in 0..n {
+            if !self.run_one_slice() {
+                return k;
+            }
+        }
+        n
+    }
+
+    /// One scheduling quantum: pick a runnable tenant and run its
+    /// slice. Returns false when no tenant has queued or active
+    /// work.
+    fn run_one_slice(&self) -> bool {
+        let mut st = self.state.lock();
+        // Runnable: tenants with an active job, plus tenants with
+        // queued work (one active job per tenant keeps per-tenant
+        // FIFO order; extra queued jobs wait).
+        let mut runnable: Vec<TenantId> = st.active.iter().map(|a| a.tenant).collect();
+        for t in st.queue.tenants_with_work() {
+            if !runnable.contains(&t) {
+                runnable.push(t);
+            }
+        }
+        runnable.sort_unstable();
+        let Some(tenant) = st.scheduler.pick(&runnable) else {
+            return false;
+        };
+        self.run_slice(&mut st, tenant);
+        // The lock drops between slices: submitters and cancellers
+        // interleave at slice granularity.
+        true
+    }
+
+    /// Run one scheduling quantum for a tenant: find (or admit) its
+    /// active job, step it, then fence and attribute the slice.
+    fn run_slice(&self, st: &mut ServiceState, tenant: TenantId) {
+        let slice_start = Instant::now();
+        let before = self.rt.metrics();
+        st.metrics.tenant_mut(tenant).slices += 1;
+
+        let idx = match st.active.iter().position(|a| a.tenant == tenant) {
+            Some(i) => i,
+            None => {
+                let Some(q) = st.queue.pop_for_tenant(tenant) else {
+                    return; // nothing active, nothing queued
+                };
+                let token = match q.request.control.cancel_token.clone() {
+                    Some(t) => t,
+                    None => match q.request.deadline {
+                        Some(d) => CancelToken::with_deadline(d),
+                        None => CancelToken::new(),
+                    },
+                };
+                let warm = st.sessions[q.request.session].warm();
+                st.active.push(ActiveJob {
+                    job: q.job,
+                    tenant: q.tenant,
+                    session: q.request.session,
+                    token,
+                    rhs_idx: 0,
+                    driver: None,
+                    solver: None,
+                    ws_mark: 0,
+                    preflighted: false,
+                    iterations: 0,
+                    submitted_at: q.submitted_at,
+                    started_at: None,
+                    ttfi: None,
+                    warm,
+                    last_residual: f64::NAN,
+                    request: q.request,
+                });
+                st.active.len() - 1
+            }
+        };
+
+        let (iters_run, finished) = Self::step_slice(
+            &mut st.active[idx],
+            &mut st.sessions,
+            self.cfg.slice_iters.max(1),
+        );
+        st.metrics.tenant_mut(tenant).iterations += iters_run;
+
+        if let Some(outcome) = finished {
+            let a = st.active.swap_remove(idx);
+            let started = a.started_at.unwrap_or(a.submitted_at);
+            let turnaround = started.elapsed();
+            st.queue.observe_job_seconds(turnaround.as_secs_f64());
+            st.metrics.tenant_mut(a.tenant).jobs_completed += 1;
+            st.sessions[a.session].end_solve(a.ws_mark);
+            st.responses.push(SolveResponse {
+                job: a.job,
+                tenant: a.tenant,
+                session: a.session,
+                outcome,
+                iterations: a.iterations,
+                queue_wait: started.saturating_duration_since(a.submitted_at),
+                time_to_first_iteration: a.ttfi,
+                turnaround,
+                warm: a.warm,
+            });
+        }
+
+        // Slice boundary: quiesce, then attribute spans and counter
+        // deltas. The fence makes the attribution exact — every task
+        // retired since `before` ran on behalf of this tenant.
+        let _ = self.rt.fence();
+        let after = self.rt.metrics();
+        st.metrics.record_slice_delta(tenant, &before, &after);
+        if self.cfg.capture_events {
+            let spans = self.rt.take_spans();
+            st.metrics.record_spans(tenant, spans);
+        }
+        st.metrics.tenant_mut(tenant).busy_seconds += slice_start.elapsed().as_secs_f64();
+    }
+
+    /// Step one active job for up to `budget` iterations. Returns
+    /// the iterations actually run and `Some(outcome)` once the
+    /// whole job (all RHS) finished.
+    fn step_slice(
+        a: &mut ActiveJob,
+        sessions: &mut [Session],
+        budget: usize,
+    ) -> (u64, Option<JobOutcome>) {
+        let session = &mut sessions[a.session];
+        let mut remaining = budget;
+        let mut ran = 0u64;
+
+        while remaining > 0 {
+            if a.driver.is_none() {
+                if a.started_at.is_none() {
+                    a.started_at = Some(Instant::now());
+                }
+                let rhs = &a.request.rhs_batch[a.rhs_idx];
+                let (solver, mark) = session.begin_solve(rhs, a.request.priority);
+                a.solver = Some(solver);
+                a.ws_mark = mark;
+                a.driver = Some(StepDriver::new());
+                a.preflighted = false;
+            }
+            let mut control = a.request.control.clone();
+            control.cancel_token = Some(a.token.clone());
+
+            if !a.preflighted {
+                let driver = a.driver.as_mut().expect("installed above");
+                let solver = a.solver.as_mut().expect("installed above");
+                match driver.preflight(session.planner_mut(), solver.as_mut(), &control, None) {
+                    Ok(None) => a.preflighted = true,
+                    Ok(Some(report)) => {
+                        a.last_residual = report.final_residual;
+                        if let Some(out) = Self::advance_rhs(a, session) {
+                            return (ran, Some(out));
+                        }
+                        continue;
+                    }
+                    Err(e) => return (ran, Some(error_outcome(e))),
+                }
+            }
+
+            let driver = a.driver.as_mut().expect("installed above");
+            let solver = a.solver.as_mut().expect("installed above");
+            let before_iters = driver.iters();
+            let status = driver.step(session.planner_mut(), solver.as_mut(), &control, None);
+            let delta = (driver.iters() - before_iters) as u64;
+            a.iterations += delta;
+            ran += delta;
+            remaining = remaining.saturating_sub(delta as usize);
+            if delta > 0 && a.ttfi.is_none() {
+                a.ttfi = Some(a.started_at.expect("set above").elapsed());
+            }
+            match status {
+                Ok(StepStatus::Running) => {}
+                Ok(StepStatus::Converged) | Ok(StepStatus::Capped) => {
+                    let drv = a.driver.take().expect("in flight");
+                    let capped = !drv.converged();
+                    let mut solver = a.solver.take().expect("in flight");
+                    match drv.finish(session.planner_mut(), solver.as_mut(), &control, None) {
+                        Ok(report) => {
+                            a.last_residual = report.final_residual;
+                            if capped && !report.converged {
+                                return (
+                                    ran,
+                                    Some(JobOutcome::Capped {
+                                        final_residual: report.final_residual,
+                                    }),
+                                );
+                            }
+                            if let Some(out) = Self::advance_rhs(a, session) {
+                                return (ran, Some(out));
+                            }
+                        }
+                        Err(e) => return (ran, Some(error_outcome(e))),
+                    }
+                }
+                Err(e) => {
+                    a.driver = None;
+                    a.solver = None;
+                    return (ran, Some(error_outcome(e)));
+                }
+            }
+        }
+        (ran, None)
+    }
+
+    /// One RHS done: release its pooled workspace (keeping ids
+    /// stable for the next rebuild) and move on, or report the whole
+    /// batch converged.
+    fn advance_rhs(a: &mut ActiveJob, session: &mut Session) -> Option<JobOutcome> {
+        a.driver = None;
+        a.solver = None;
+        session
+            .planner_mut()
+            .release_workspace_from(a.ws_mark.max(kdr_core::RHS + 1));
+        a.rhs_idx += 1;
+        if a.rhs_idx >= a.request.rhs_batch.len() {
+            Some(JobOutcome::Converged {
+                final_residual: a.last_residual,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+fn error_outcome(e: SolveError) -> JobOutcome {
+    match e {
+        SolveError::Cancelled { iteration } => JobOutcome::Cancelled { iteration },
+        other => JobOutcome::Failed {
+            message: other.to_string(),
+        },
+    }
+}

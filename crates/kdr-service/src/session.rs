@@ -1,0 +1,175 @@
+//! Plan-cached sessions: one long-lived problem setup per session.
+//!
+//! A session owns a [`Planner`] built over the service's *shared*
+//! runtime. The expensive solve prologue — operator registration,
+//! dependent partitioning, tile-kernel lowering, and first-iteration
+//! dependence analysis — happens once, on the session's first job;
+//! every later job against the same session reuses the registered
+//! tiles and (via the planner's pooled workspace vectors, which keep
+//! buffer ids stable across solver rebuilds) replays the captured
+//! iteration traces. That is the warm-path contract the service's
+//! cold-vs-warm time-to-first-iteration numbers measure.
+
+use std::sync::Arc;
+
+use kdr_core::{
+    BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, MinresSolver,
+    Planner, Solver, TfqmrSolver, RHS, SOL,
+};
+use kdr_index::Partition;
+use kdr_runtime::{ColorAffinityMapper, Runtime};
+use kdr_sparse::SparseMatrix;
+
+use crate::request::TenantId;
+
+/// Which Krylov method a session's jobs run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolverKind {
+    /// Conjugate gradients (SPD operators).
+    Cg,
+    /// Biconjugate gradients.
+    BiCg,
+    /// BiCG-stabilized.
+    BiCgStab,
+    /// Conjugate gradients squared.
+    Cgs,
+    /// Minimum residual (symmetric indefinite).
+    Minres,
+    /// Restarted GMRES.
+    Gmres {
+        /// Restart length `m`.
+        restart: usize,
+    },
+    /// Transpose-free QMR.
+    Tfqmr,
+    /// Chebyshev iteration with explicit spectral bounds.
+    Chebyshev {
+        /// Smallest eigenvalue bound (`> 0`).
+        lmin: f64,
+        /// Largest eigenvalue bound (`>= lmin`).
+        lmax: f64,
+    },
+}
+
+impl SolverKind {
+    /// Construct the solver against a planner (finalizing it on first
+    /// use).
+    pub fn build(&self, planner: &mut Planner<f64>) -> Box<dyn Solver<f64>> {
+        match *self {
+            SolverKind::Cg => Box::new(CgSolver::new(planner)),
+            SolverKind::BiCg => Box::new(BiCgSolver::new(planner)),
+            SolverKind::BiCgStab => Box::new(BiCgStabSolver::new(planner)),
+            SolverKind::Cgs => Box::new(CgsSolver::new(planner)),
+            SolverKind::Minres => Box::new(MinresSolver::new(planner)),
+            SolverKind::Gmres { restart } => Box::new(GmresSolver::with_restart(planner, restart)),
+            SolverKind::Tfqmr => Box::new(TfqmrSolver::new(planner)),
+            SolverKind::Chebyshev { lmin, lmax } => {
+                Box::new(ChebyshevSolver::with_bounds(planner, lmin, lmax))
+            }
+        }
+    }
+}
+
+/// Everything needed to set a session up.
+pub struct SessionSpec {
+    /// The operator (square, single-component).
+    pub matrix: Arc<dyn SparseMatrix<f64>>,
+    /// Unknown count (must match the matrix spaces).
+    pub unknowns: u64,
+    /// Domain/range pieces for dependent partitioning.
+    pub pieces: usize,
+    /// The method jobs against this session run.
+    pub solver: SolverKind,
+}
+
+/// One tenant's long-lived, plan-cached problem setup.
+pub struct Session {
+    tenant: TenantId,
+    unknowns: u64,
+    solver: SolverKind,
+    planner: Planner<f64>,
+    jobs_completed: u64,
+}
+
+impl Session {
+    /// Build a session over the service's shared runtime. Cheap: the
+    /// expensive finalization (tiling, registration, lowering) is
+    /// deferred to the first job's solver construction.
+    pub fn new(
+        rt: Arc<Runtime>,
+        mapper: Arc<ColorAffinityMapper>,
+        tenant: TenantId,
+        spec: SessionSpec,
+    ) -> Self {
+        let backend = kdr_core::ExecBackend::<f64>::with_shared_runtime(rt, Some(mapper));
+        let mut planner = Planner::new(Box::new(backend));
+        let part = Partition::equal_blocks(spec.unknowns, spec.pieces);
+        let d = planner.add_sol_vector(spec.unknowns, Some(part.clone()));
+        let r = planner.add_rhs_vector(spec.unknowns, Some(part));
+        planner.add_operator(spec.matrix, d, r);
+        Session {
+            tenant,
+            unknowns: spec.unknowns,
+            solver: spec.solver,
+            planner,
+            jobs_completed: 0,
+        }
+    }
+
+    /// Owning tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The session's unknown count (RHS length contract).
+    pub fn unknowns(&self) -> u64 {
+        self.unknowns
+    }
+
+    /// Whether the session has completed at least one job (warm: the
+    /// plan, tiles, and traces are cached).
+    pub fn warm(&self) -> bool {
+        self.jobs_completed > 0
+    }
+
+    /// Jobs completed against this session.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Mutable access to the session's planner (the service driver
+    /// steps solvers through it).
+    pub fn planner_mut(&mut self) -> &mut Planner<f64> {
+        &mut self.planner
+    }
+
+    /// Start one solve within a job: install the RHS, zero the
+    /// iterate, stamp the task priority, and build the solver.
+    /// Returns the solver and the workspace mark to release in
+    /// [`Session::end_solve`].
+    pub fn begin_solve(&mut self, rhs: &[f64], priority: u8) -> (Box<dyn Solver<f64>>, usize) {
+        self.planner.set_rhs_data(0, rhs);
+        self.planner.set_task_priority(priority);
+        let mark = self.planner.workspace_mark();
+        // Zero the iterate only after finalization has happened at
+        // least once; before it, SOL starts zeroed anyway and the
+        // solver constructor finalizes.
+        if mark > 0 {
+            self.planner.zero(SOL);
+        }
+        let solver = self.solver.build(&mut self.planner);
+        (solver, mark)
+    }
+
+    /// Finish one solve: release pooled workspace (keeping buffer
+    /// ids stable for the next solver rebuild) and restore normal
+    /// priority.
+    pub fn end_solve(&mut self, mark: usize) {
+        // A pre-finalization mark of 0 would release SOL/RHS's
+        // siblings from 0; release_workspace_from skips SOL/RHS
+        // itself, so the call is safe either way.
+        self.planner.release_workspace_from(mark.max(RHS + 1));
+        self.planner.set_task_priority(0);
+        self.jobs_completed += 1;
+    }
+}

@@ -1,0 +1,362 @@
+//! Functional tests for the multi-tenant solve service: admission,
+//! sessions (cold vs warm), cancellation, priorities, batches, and
+//! per-tenant observability.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kdr_core::SolveControl;
+use kdr_service::{
+    JobOutcome, RejectReason, ServiceConfig, SessionSpec, SolveRequest, SolveService, SolverKind,
+};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{SparseMatrix, Stencil};
+
+fn spec(nx: u64, ny: u64, pieces: usize, solver: SolverKind) -> SessionSpec {
+    let s = Stencil::lap2d(nx, ny);
+    let n = s.unknowns();
+    let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+    SessionSpec {
+        matrix: m,
+        unknowns: n,
+        pieces,
+        solver,
+    }
+}
+
+fn control() -> SolveControl {
+    SolveControl::to_tolerance(1e-10, 1000)
+}
+
+#[test]
+fn two_tenants_interleave_and_both_converge() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        slice_iters: 4,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    svc.register_tenant(2, 1);
+    let s1 = svc.create_session(1, spec(16, 16, 4, SolverKind::Cg));
+    let s2 = svc.create_session(2, spec(12, 12, 3, SolverKind::BiCgStab));
+    let n1 = 16 * 16;
+    let n2 = 12 * 12;
+    let j1 = svc
+        .submit(1, SolveRequest::new(s1, rhs_vector::<f64>(n1, 42), control()))
+        .unwrap();
+    let j2 = svc
+        .submit(2, SolveRequest::new(s2, rhs_vector::<f64>(n2, 7), control()))
+        .unwrap();
+    svc.run_until_idle();
+    let mut responses = svc.take_responses();
+    responses.sort_by_key(|r| r.job);
+    assert_eq!(responses.len(), 2);
+    assert_eq!(responses[0].job, j1);
+    assert_eq!(responses[1].job, j2);
+    for r in &responses {
+        assert!(r.outcome.is_converged(), "job {} failed: {:?}", r.job, r.outcome);
+        assert!(r.iterations > 0);
+    }
+    // Interleaving proof: with slice_iters = 4 and both jobs needing
+    // many more iterations than one slice, both tenants were granted
+    // multiple slices.
+    assert!(svc.slices(1) >= 2, "tenant 1 slices: {}", svc.slices(1));
+    assert!(svc.slices(2) >= 2, "tenant 2 slices: {}", svc.slices(2));
+}
+
+#[test]
+fn warm_session_skips_the_cold_prologue() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        slice_iters: 64,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(24, 24, 4, SolverKind::Cg));
+    let n = 24 * 24;
+    for seed in [1u64, 2, 3] {
+        svc.submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, seed), control()))
+            .unwrap();
+    }
+    svc.run_until_idle();
+    let responses = svc.take_responses();
+    assert_eq!(responses.len(), 3);
+    let cold = &responses[0];
+    assert!(!cold.warm, "first job on a session is cold");
+    assert!(cold.outcome.is_converged());
+    let cold_ttfi = cold.time_to_first_iteration.expect("iterated");
+    for warm in &responses[1..] {
+        assert!(warm.warm, "later jobs are warm");
+        assert!(warm.outcome.is_converged());
+        let warm_ttfi = warm.time_to_first_iteration.expect("iterated");
+        assert!(
+            warm_ttfi < cold_ttfi,
+            "warm TTFI {warm_ttfi:?} must beat cold {cold_ttfi:?} \
+             (plan cache skipped registration + analysis)"
+        );
+    }
+    // The warm path must actually hit the trace cache.
+    let m = svc.metrics();
+    assert!(
+        m[&1].tasks_replayed > 0,
+        "warm solves should replay captured traces: {:?}",
+        m[&1]
+    );
+}
+
+#[test]
+fn queue_full_backpressure_is_typed_and_immediate() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(8, 8, 2, SolverKind::Cg));
+    let n = 8 * 8;
+    let mk = || SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control());
+    assert!(svc.submit(1, mk()).is_ok());
+    assert!(svc.submit(1, mk()).is_ok());
+    match svc.submit(1, mk()) {
+        Err(RejectReason::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // Draining the queue restores admission.
+    svc.run_until_idle();
+    assert_eq!(svc.take_responses().len(), 2);
+    assert!(svc.submit(1, mk()).is_ok());
+}
+
+#[test]
+fn hopeless_deadlines_rejected_at_admission() {
+    let svc = SolveService::new(ServiceConfig::default());
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(8, 8, 2, SolverKind::Cg));
+    let n = 8 * 8;
+    let mut r = SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control());
+    r.deadline = Some(Instant::now() - Duration::from_millis(1));
+    assert!(matches!(
+        svc.submit(1, r),
+        Err(RejectReason::DeadlineUnmeetable { .. })
+    ));
+}
+
+#[test]
+fn malformed_requests_rejected_with_types() {
+    let svc = SolveService::new(ServiceConfig::default());
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(8, 8, 2, SolverKind::Cg));
+    let n = 8 * 8;
+    // Unregistered tenant.
+    assert!(matches!(
+        svc.submit(9, SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control())),
+        Err(RejectReason::UnknownTenant { tenant: 9 })
+    ));
+    // Unknown session.
+    assert!(matches!(
+        svc.submit(1, SolveRequest::new(99, rhs_vector::<f64>(n, 1), control())),
+        Err(RejectReason::UnknownSession { session: 99 })
+    ));
+    // Foreign session: tenant 2 may not use tenant 1's session.
+    svc.register_tenant(2, 1);
+    assert!(matches!(
+        svc.submit(2, SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control())),
+        Err(RejectReason::UnknownSession { .. })
+    ));
+    // Wrong RHS length.
+    assert!(matches!(
+        svc.submit(1, SolveRequest::new(sid, vec![1.0; 3], control())),
+        Err(RejectReason::BadRhsLength { got: 3, .. })
+    ));
+    // Empty batch.
+    let mut r = SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control());
+    r.rhs_batch.clear();
+    assert!(matches!(svc.submit(1, r), Err(RejectReason::EmptyBatch)));
+}
+
+#[test]
+fn queued_job_cancels_immediately_running_job_cooperatively() {
+    let svc = Arc::new(SolveService::new(ServiceConfig {
+        workers: 2,
+        slice_iters: 4,
+        ..ServiceConfig::default()
+    }));
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(16, 16, 4, SolverKind::Cg));
+    let n = 16 * 16;
+    // Queued cancellation: cancel before any driver runs.
+    let j0 = svc
+        .submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control()))
+        .unwrap();
+    svc.cancel_job(j0);
+    let r = svc.take_responses();
+    assert_eq!(r.len(), 1);
+    assert!(matches!(r[0].outcome, JobOutcome::Cancelled { iteration: 0 }));
+
+    // Running cancellation: an unbounded job, cancelled from another
+    // thread while the driver is inside run_until_idle.
+    let unbounded = SolveControl {
+        max_iters: usize::MAX / 2,
+        ..SolveControl::default()
+    };
+    let j1 = svc
+        .submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, 2), unbounded))
+        .unwrap();
+    let canceller = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            svc.cancel_job(j1);
+        })
+    };
+    svc.run_until_idle();
+    canceller.join().unwrap();
+    let r = svc.take_responses();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0].job, j1);
+    assert!(
+        matches!(r[0].outcome, JobOutcome::Cancelled { .. }),
+        "got {:?}",
+        r[0].outcome
+    );
+}
+
+#[test]
+fn deadline_cancels_admitted_job_mid_run() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        slice_iters: 4,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(16, 16, 4, SolverKind::Cg));
+    let n = 16 * 16;
+    let mut r = SolveRequest::new(
+        sid,
+        rhs_vector::<f64>(n, 2),
+        SolveControl {
+            max_iters: usize::MAX / 2,
+            ..SolveControl::default()
+        },
+    );
+    // Far enough out to pass admission (empty queue estimates zero
+    // wait), close enough to fire mid-solve.
+    r.deadline = Some(Instant::now() + Duration::from_millis(50));
+    svc.submit(1, r).unwrap();
+    svc.run_until_idle();
+    let resp = svc.take_responses();
+    assert_eq!(resp.len(), 1);
+    assert!(
+        matches!(resp[0].outcome, JobOutcome::Cancelled { .. }),
+        "got {:?}",
+        resp[0].outcome
+    );
+}
+
+#[test]
+fn rhs_batches_solve_sequentially_in_one_job() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(12, 12, 3, SolverKind::Cg));
+    let n = 12 * 12;
+    let mut r = SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control());
+    r.rhs_batch.push(rhs_vector::<f64>(n, 2));
+    r.rhs_batch.push(rhs_vector::<f64>(n, 3));
+    svc.submit(1, r).unwrap();
+    svc.run_until_idle();
+    let resp = svc.take_responses();
+    assert_eq!(resp.len(), 1, "one batch = one response");
+    assert!(resp[0].outcome.is_converged());
+    // Three solves' worth of iterations.
+    assert!(resp[0].iterations > 30, "iterations: {}", resp[0].iterations);
+}
+
+#[test]
+fn priority_jobs_route_through_express_lanes() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, spec(12, 12, 3, SolverKind::Cg));
+    let n = 12 * 12;
+    let mut r = SolveRequest::new(sid, rhs_vector::<f64>(n, 1), control());
+    r.priority = 1;
+    svc.submit(1, r).unwrap();
+    svc.run_until_idle();
+    let resp = svc.take_responses();
+    assert!(resp[0].outcome.is_converged(), "express-lane job solves");
+}
+
+#[test]
+fn chrome_trace_tags_spans_per_tenant() {
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        slice_iters: 8,
+        capture_events: true,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    svc.register_tenant(2, 1);
+    let s1 = svc.create_session(1, spec(12, 12, 3, SolverKind::Cg));
+    let s2 = svc.create_session(2, spec(12, 12, 3, SolverKind::Cg));
+    let n = 12 * 12;
+    svc.submit(1, SolveRequest::new(s1, rhs_vector::<f64>(n, 1), control()))
+        .unwrap();
+    svc.submit(2, SolveRequest::new(s2, rhs_vector::<f64>(n, 2), control()))
+        .unwrap();
+    svc.run_until_idle();
+    let json = svc.chrome_trace();
+    assert!(json.contains("\"tenant-1\""), "tenant 1 process group");
+    assert!(json.contains("\"tenant-2\""), "tenant 2 process group");
+    assert!(json.contains("\"ph\":\"X\""), "duration events present");
+    // Per-tenant metrics saw the work too.
+    let m = svc.metrics();
+    assert!(m[&1].tasks_executed > 0);
+    assert!(m[&2].tasks_executed > 0);
+    assert!(m[&1].slices > 0 && m[&2].slices > 0);
+}
+
+#[test]
+fn every_solver_kind_runs_as_a_session() {
+    let kinds = [
+        SolverKind::Cg,
+        SolverKind::BiCg,
+        SolverKind::BiCgStab,
+        SolverKind::Cgs,
+        SolverKind::Minres,
+        SolverKind::Gmres { restart: 20 },
+        SolverKind::Tfqmr,
+        SolverKind::Chebyshev {
+            lmin: 0.05,
+            lmax: 8.0,
+        },
+    ];
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let n = 10 * 10;
+    for kind in kinds {
+        let sid = svc.create_session(1, spec(10, 10, 2, kind));
+        let ctl = match kind {
+            // Chebyshev's rate is bound-limited; give it headroom.
+            SolverKind::Chebyshev { .. } => SolveControl::to_tolerance(1e-8, 4000),
+            _ => control(),
+        };
+        svc.submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, 5), ctl))
+            .unwrap();
+        svc.run_until_idle();
+        let resp = svc.take_responses();
+        assert_eq!(resp.len(), 1);
+        assert!(
+            resp[0].outcome.is_converged(),
+            "{kind:?} failed: {:?}",
+            resp[0].outcome
+        );
+    }
+}

@@ -22,3 +22,10 @@ cargo test -q --release -p kdr-core --test fault_tolerance
 # structure grid vs. the forced-CSR baseline) and asserts bitwise
 # agreement between every specialized kernel and the CSR lowering.
 cargo run --release -p kdr-bench --bin spmv_kernels
+
+# Multi-tenant service leg (dev profile): 16 tenants over one shared
+# runtime with the seeded scheduler, asserting zero lost and zero
+# duplicated responses, fairness (max/min completed-iteration ratio
+# <= 2.0 at equal weights), warm-beats-cold time-to-first-iteration,
+# and a bit-identical completion order on a same-seed rerun.
+cargo run -p kdr-bench --bin service_stress -- --ci
