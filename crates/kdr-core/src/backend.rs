@@ -221,6 +221,17 @@ pub trait Backend<T: Scalar>: Send {
     /// Inner product across all components.
     fn dot(&mut self, a: BVec, b: BVec) -> SRef;
 
+    /// Fused multi-reduction: all pairs' inner products launched as
+    /// one DAG stage with a single combine, returning one scalar per
+    /// pair (in order). Backends that can fuse override this to count
+    /// the whole batch as one reduction stage — and must preserve the
+    /// per-pair partial accumulation order so each result is bitwise
+    /// identical to a standalone [`Backend::dot`]. The default lowers
+    /// to sequential `dot` calls.
+    fn dot_many(&mut self, pairs: &[(BVec, BVec)]) -> Vec<SRef> {
+        pairs.iter().map(|&(a, b)| self.dot(a, b)).collect()
+    }
+
     /// Materialize a scalar constant.
     fn scalar_const(&mut self, v: T) -> SRef;
 
@@ -331,6 +342,10 @@ impl<T: Scalar> Backend<T> for Box<dyn Backend<T>> {
 
     fn dot(&mut self, a: BVec, b: BVec) -> SRef {
         (**self).dot(a, b)
+    }
+
+    fn dot_many(&mut self, pairs: &[(BVec, BVec)]) -> Vec<SRef> {
+        (**self).dot_many(pairs)
     }
 
     fn scalar_const(&mut self, v: T) -> SRef {

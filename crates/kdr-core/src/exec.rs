@@ -123,6 +123,16 @@ pub struct ExecMetrics {
     pub steps_captured: u64,
     /// Steps replayed from the trace cache.
     pub steps_replayed: u64,
+    /// Global reduction stages this backend launched (each
+    /// `dot`/`dot_many` call counts once, however many scalars it
+    /// fuses).
+    pub reduction_stages: u64,
+    /// Reduction stages launched inside `step_begin`/`step_end`
+    /// brackets, i.e. per solver iteration.
+    pub fences_per_iteration: f64,
+    /// Nanoseconds the driver spent blocked in `scalar_get` waiting
+    /// for reduction results — the fence tax, directly.
+    pub reduction_stall_ns: u64,
     /// Registered tiles per lowered kernel kind (`"csr"`, `"dia"`,
     /// `"ell"`, `"bcsr"`), across all opsets. Empty tiles are dropped
     /// at registration and not counted.
@@ -313,6 +323,15 @@ pub struct ExecBackend<T: Scalar> {
     steps_analyzed: u64,
     steps_captured: u64,
     steps_replayed: u64,
+    /// Inside a `step_begin`/`step_end` bracket (regardless of
+    /// whether tracing defers tasks) — attributes reduction stages to
+    /// iterations for the fences-per-iteration metric.
+    in_step: bool,
+    /// Reduction stages launched, total and within steps.
+    reduction_stages: u64,
+    reductions_in_steps: u64,
+    /// Nanoseconds spent blocked in `scalar_get`.
+    reduction_stall_ns: u64,
     /// First task failure absorbed since the last
     /// [`Backend::take_fault`]. Task panics never abort the backend;
     /// they surface here (and as NaN placeholder scalars).
@@ -368,8 +387,22 @@ impl<T: Scalar> ExecBackend<T> {
             steps_analyzed: 0,
             steps_captured: 0,
             steps_replayed: 0,
+            in_step: false,
+            reduction_stages: 0,
+            reductions_in_steps: 0,
+            reduction_stall_ns: 0,
             fault: None,
         }
+    }
+
+    /// Count one launched reduction stage (a fused `dot_many` counts
+    /// once), locally and on the shared runtime.
+    fn note_reduction(&mut self) {
+        self.reduction_stages += 1;
+        if self.in_step {
+            self.reductions_in_steps += 1;
+        }
+        self.rt.record_reduction_stage();
     }
 
     /// Drain the runtime's recorded task failure (if any) into this
@@ -497,6 +530,16 @@ impl<T: Scalar> ExecBackend<T> {
             steps_analyzed: self.steps_analyzed,
             steps_captured: self.steps_captured,
             steps_replayed: self.steps_replayed,
+            reduction_stages: self.reduction_stages,
+            fences_per_iteration: {
+                let steps = self.steps_analyzed + self.steps_captured + self.steps_replayed;
+                if steps == 0 {
+                    0.0
+                } else {
+                    self.reductions_in_steps as f64 / steps as f64
+                }
+            },
+            reduction_stall_ns: self.reduction_stall_ns,
             tiles_by_kernel,
         }
     }
@@ -798,8 +841,95 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                     out.set(0, acc);
                 }),
         );
+        self.note_reduction();
         self.dispatch_all(tasks);
         sref
+    }
+
+    /// Fused multi-dot: every pair's partial tasks launch as one DAG
+    /// stage sharing one pooled partials buffer, and a single
+    /// `dot_reduce_many` combine task produces all result scalars —
+    /// one reduction stage for the whole batch. Each pair's partials
+    /// occupy a contiguous slot range and are summed in ascending
+    /// slot order, so every result is bitwise identical to a
+    /// standalone [`Backend::dot`] of the same pair.
+    fn dot_many(&mut self, pairs: &[(BVec, BVec)]) -> Vec<SRef> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        // Per-pair slot offsets into the shared partials buffer.
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        let mut total_slots = 0usize;
+        for &(a, b) in pairs {
+            let av = &self.vectors[a];
+            let bv = &self.vectors[b];
+            assert_eq!(av.comps.len(), bv.comps.len(), "dot structure mismatch");
+            offsets.push(total_slots);
+            total_slots += av.comps.iter().map(|c| c.part.num_colors()).sum::<usize>();
+        }
+        offsets.push(total_slots);
+        let partials = self.dot_partials_buffer(total_slots);
+        let srefs: Vec<SRef> = pairs.iter().map(|_| self.alloc_slot()).collect();
+        let mut tasks = Vec::new();
+        for (j, &(a, b)) in pairs.iter().enumerate() {
+            let av = &self.vectors[a];
+            let bv = &self.vectors[b];
+            let mut slot = offsets[j];
+            for (ci, ac) in av.comps.iter().enumerate() {
+                let bc = &bv.comps[ci];
+                assert_eq!(ac.buf.len(), bc.buf.len(), "dot component {ci} mismatch");
+                for color in 0..ac.part.num_colors() {
+                    let subset = ac.part.piece(color).clone();
+                    let my_slot = slot;
+                    slot += 1;
+                    if subset.is_empty() {
+                        continue;
+                    }
+                    tasks.push(
+                        TaskBuilder::new("dot_partial")
+                            .meta(TaskMeta::new("dot_partial").with_color(piece_color(ci, color)))
+                            .read(&ac.buf, subset.clone())
+                            .read(&bc.buf, subset.clone())
+                            .write(
+                                &partials,
+                                IntervalSet::from_range(my_slot as u64, my_slot as u64 + 1),
+                            )
+                            .body(move |ctx| {
+                                let x = ctx.read::<T>(0);
+                                let y = ctx.read::<T>(1);
+                                let out = ctx.write::<T>(2);
+                                let mut acc = T::ZERO;
+                                for run in ctx.subset(0).runs() {
+                                    for i in run.lo as usize..run.hi as usize {
+                                        acc = x.get(i).mul_add(y.get(i), acc);
+                                    }
+                                }
+                                out.set(my_slot, acc);
+                            }),
+                    );
+                }
+            }
+        }
+        let ranges: Vec<(usize, usize)> = (0..pairs.len())
+            .map(|j| (offsets[j], offsets[j + 1]))
+            .collect();
+        let mut combine = TaskBuilder::new("dot_reduce_many").read_all(&partials);
+        for &s in &srefs {
+            combine = combine.write_all(&self.scalars[s]);
+        }
+        tasks.push(combine.body(move |ctx| {
+            let p = ctx.read::<T>(0);
+            for (j, &(lo, hi)) in ranges.iter().enumerate() {
+                let mut acc = T::ZERO;
+                for i in lo..hi {
+                    acc += p.get(i);
+                }
+                ctx.write::<T>(j + 1).set(0, acc);
+            }
+        }));
+        self.note_reduction();
+        self.dispatch_all(tasks);
+        srefs
     }
 
     fn scalar_const(&mut self, v: T) -> SRef {
@@ -857,7 +987,12 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
         self.rt
             .submit(tb)
             .expect("backend tasks always carry a body");
-        match f.wait() {
+        let t0 = std::time::Instant::now();
+        let waited = f.wait();
+        let stall = t0.elapsed().as_nanos() as u64;
+        self.reduction_stall_ns += stall;
+        self.rt.record_reduction_stall_ns(stall);
+        match waited {
             Ok(v) => v,
             Err(_) => {
                 // The read task (or a predecessor) failed: record the
@@ -959,6 +1094,7 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     }
 
     fn step_begin(&mut self) {
+        self.in_step = true;
         if !self.tracing {
             return;
         }
@@ -970,6 +1106,7 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     }
 
     fn step_end(&mut self) -> StepOutcome {
+        self.in_step = false;
         if !self.deferring {
             // Tracing disabled, or the step was flushed by a forcing
             // operation.
@@ -1161,6 +1298,80 @@ mod tests {
         let direct = run(false);
         let traced = run(true);
         assert_eq!(direct, traced, "traced steps must be bitwise identical");
+    }
+
+    #[test]
+    fn dot_many_matches_separate_dots_bitwise() {
+        let n = 23u64;
+        let xv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.5).collect();
+        let yv: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() - 0.25).collect();
+        let zv: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut b = backend();
+        let x = b.alloc_vector(&[spec(n, 3)]);
+        let y = b.alloc_vector(&[spec(n, 3)]);
+        let z = b.alloc_vector(&[spec(n, 3)]);
+        b.fill_component(x, 0, &xv);
+        b.fill_component(y, 0, &yv);
+        b.fill_component(z, 0, &zv);
+        let separate = [b.dot(x, y), b.dot(x, z), b.dot(z, z)].map(|s| b.scalar_get(s));
+        let fused = b.dot_many(&[(x, y), (x, z), (z, z)]);
+        let fused = [fused[0], fused[1], fused[2]].map(|s| b.scalar_get(s));
+        for (f, s) in fused.iter().zip(&separate) {
+            assert_eq!(
+                f.to_bits(),
+                s.to_bits(),
+                "fused dot must be bitwise identical to standalone"
+            );
+        }
+        assert!(b.dot_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn dot_many_counts_one_reduction_stage() {
+        let mut b = backend();
+        let x = b.alloc_vector(&[spec(16, 4)]);
+        let y = b.alloc_vector(&[spec(16, 4)]);
+        b.fill_component(x, 0, &[1.0; 16]);
+        b.fill_component(y, 0, &[2.0; 16]);
+        let base = b.metrics().reduction_stages;
+        b.step_begin();
+        let d = b.dot_many(&[(x, y), (x, x), (y, y)]);
+        b.step_end();
+        let m = b.metrics();
+        assert_eq!(m.reduction_stages - base, 1, "one stage for three dots");
+        assert_eq!(m.fences_per_iteration, 1.0);
+        assert_eq!(b.scalar_get(d[0]), 32.0);
+        assert_eq!(b.scalar_get(d[1]), 16.0);
+        assert_eq!(b.scalar_get(d[2]), 64.0);
+        assert!(b.metrics().reduction_stall_ns > 0, "waits were timed");
+        for s in d {
+            b.scalar_release(s);
+        }
+    }
+
+    #[test]
+    fn dot_many_steps_replay_from_the_trace_cache() {
+        let mut b = backend();
+        let x = b.alloc_vector(&[spec(16, 4)]);
+        let y = b.alloc_vector(&[spec(16, 4)]);
+        b.fill_component(x, 0, &[1.0; 16]);
+        b.fill_component(y, 0, &[2.0; 16]);
+        let mut outcomes = Vec::new();
+        for _ in 0..4 {
+            b.step_begin();
+            let d = b.dot_many(&[(x, y), (y, y)]);
+            outcomes.push(b.step_end());
+            assert_eq!(b.scalar_get(d[0]), 32.0);
+            assert_eq!(b.scalar_get(d[1]), 64.0);
+            for s in d {
+                b.scalar_release(s);
+            }
+        }
+        assert_eq!(outcomes[0], StepOutcome::Captured);
+        assert!(
+            outcomes[1..].iter().all(|&o| o == StepOutcome::Replayed),
+            "fused-dot steps must be shape-stable: {outcomes:?}"
+        );
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //!   `dot`/`matmul`/`psolve`) with deferred scalars, and never see
 //!   formats, components, partitions, or data movement.
 //! * **Interchangeable KSMs** ([`solvers`]): CG, preconditioned CG,
-//!   BiCG, BiCGStab, CGS, GMRES(m), MINRES.
+//!   BiCG, BiCGStab, CGS, GMRES(m), MINRES, plus fence-minimal
+//!   variants — fused-reduction CG, pipelined CG/CR, and s-step CG.
 //! * **Two backends**: [`exec::ExecBackend`] executes for real on the
 //!   `kdr-runtime` task runtime; [`simbackend::SimBackend`] lowers
 //!   the identical operation stream onto the `kdr-machine` cluster
@@ -50,7 +51,8 @@ pub use scalar_handle::ScalarHandle;
 pub use simbackend::SimBackend;
 pub use solvers::{
     solve, solve_recoverable, solve_traced, BiCgSolver, BiCgStabSolver, BreakdownGuard,
-    BreakdownKind, CancelToken, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, GuardTrigger,
-    MinresSolver, PBiCgStabSolver, PcgSolver, RecoveryPolicy, SolveControl, SolveError,
-    SolveOutcome, SolveReport, Solver, StepDriver, StepStatus, TfqmrSolver,
+    BreakdownKind, CancelToken, CgSolver, CgsSolver, ChebyshevSolver, FusedCgSolver, GmresSolver,
+    GuardTrigger, MinresSolver, PBiCgStabSolver, PcgSolver, PipelinedCgSolver, PipelinedCrSolver,
+    RecoveryPolicy, SStepCgSolver, SolveControl, SolveError, SolveOutcome, SolveReport, Solver,
+    StepDriver, StepStatus, TfqmrSolver,
 };

@@ -446,6 +446,27 @@ impl<T: Scalar> Planner<T> {
         ScalarHandle::new(Arc::clone(&self.backend), sref)
     }
 
+    /// Fused multi-reduction: all pairs' inner products as one DAG
+    /// stage with a single combine task — one global fence for the
+    /// whole batch instead of one per dot. Results come back in pair
+    /// order and are bitwise identical to separate [`Planner::dot`]
+    /// calls; only the synchronization count changes. Solvers batch
+    /// their per-iteration algorithmic and residual dots through this
+    /// to halve (or better) their fences per iteration.
+    pub fn dot_many(&mut self, pairs: &[(VecId, VecId)]) -> Vec<ScalarHandle<T>> {
+        self.ensure_finalized();
+        for &(v, w) in pairs {
+            self.check_compatible(v, w);
+        }
+        let bpairs: Vec<(usize, usize)> =
+            pairs.iter().map(|&(v, w)| (self.bvec(v), self.bvec(w))).collect();
+        let srefs = self.backend.lock().dot_many(&bpairs);
+        srefs
+            .into_iter()
+            .map(|s| ScalarHandle::new(Arc::clone(&self.backend), s))
+            .collect()
+    }
+
     /// Materialize a scalar constant as a deferred scalar.
     pub fn scalar(&mut self, v: T) -> ScalarHandle<T> {
         self.ensure_finalized();

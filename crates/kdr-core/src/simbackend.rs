@@ -403,6 +403,64 @@ impl<T: Scalar> Backend<T> for SimBackend<T> {
         self.scalars.len() - 1
     }
 
+    fn dot_many(&mut self, pairs: &[(BVec, BVec)]) -> Vec<SRef> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        // All pairs' partial nodes feed ONE all-reduce collective —
+        // the fused batch costs a single communication stage, which
+        // is exactly what the fusion buys on real machines.
+        let eb = self.elem_bytes();
+        let mut partials = Vec::new();
+        for &(a, b) in pairs {
+            let ncomps = self.vectors[a].comps.len();
+            for ci in 0..ncomps {
+                let ncolors = self.vectors[a].comps[ci].piece_lens.len();
+                for color in 0..ncolors {
+                    let len = self.vectors[a].comps[ci].piece_lens[color];
+                    if len == 0 {
+                        continue;
+                    }
+                    let owner = self.vectors[a].comps[ci].owners[color];
+                    let mut deps = Self::read_deps(&self.vectors[a].comps[ci].state[color]);
+                    deps.extend(Self::read_deps(&self.vectors[b].comps[ci].state[color]));
+                    deps.extend(self.phase_deps());
+                    deps.sort_unstable();
+                    deps.dedup();
+                    let node = self.graph.compute(
+                        owner,
+                        2.0 * len as f64,
+                        2.0 * eb * len as f64,
+                        "dot_partial",
+                        deps,
+                    );
+                    self.vectors[a].comps[ci].state[color].readers.push(node);
+                    self.vectors[b].comps[ci].state[color].readers.push(node);
+                    partials.push(node);
+                }
+            }
+        }
+        // The payload grows with the pair count, the latency is paid
+        // once.
+        let col = self.graph.collective(
+            self.machine.nodes,
+            eb * pairs.len() as f64,
+            "dot_allreduce",
+            partials,
+        );
+        if self.bulk_sync {
+            self.phase_nodes.clear();
+            self.phase_barrier = Some(col);
+        }
+        pairs
+            .iter()
+            .map(|_| {
+                self.scalars.push(Some(col));
+                self.scalars.len() - 1
+            })
+            .collect()
+    }
+
     fn scalar_const(&mut self, _v: T) -> SRef {
         self.scalars.push(None);
         self.scalars.len() - 1

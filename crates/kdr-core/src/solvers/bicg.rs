@@ -67,12 +67,14 @@ impl<T: Scalar> Solver<T> for BiCgSolver<T> {
         planner.axpy(SOL, &alpha, self.p);
         planner.axpy(self.r, &(-&alpha), self.q);
         planner.axpy(self.rt, &(-&alpha), self.qt);
-        let new_rho = planner.dot(self.rt, self.r);
+        // Both dots read the updated residual: one fused reduction.
+        let mut d = planner.dot_many(&[(self.rt, self.r), (self.r, self.r)]);
+        self.res = d.pop().expect("two results");
+        let new_rho = d.pop().expect("two results");
         let beta = new_rho.clone() / self.rho.clone();
         planner.xpay(self.p, &beta, self.r);
         planner.xpay(self.pt, &beta, self.rt);
         self.rho = new_rho;
-        self.res = planner.dot(self.r, self.r);
     }
 
     fn convergence_measure(&self) -> Option<ScalarHandle<T>> {

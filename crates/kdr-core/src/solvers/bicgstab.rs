@@ -102,10 +102,12 @@ impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
         // s = r - alpha v.
         planner.copy(self.s, self.r);
         planner.axpy(self.s, &(-&alpha), self.v);
-        // t = A s ; omega = (t · s) / (t · t).
+        // t = A s ; omega = (t · s) / (t · t) — both dots read t and
+        // s, so they fuse into one reduction stage.
         planner.matmul(self.t, self.s);
-        let ts = planner.dot(self.t, self.s);
-        let tt = planner.dot(self.t, self.t);
+        let mut d = planner.dot_many(&[(self.t, self.s), (self.t, self.t)]);
+        let tt = d.pop().expect("two results");
+        let ts = d.pop().expect("two results");
         // The `tiny` guard turns the exact lucky-breakdown 0/0 (s = 0
         // after the first half-step) into omega = 0 instead of NaN.
         let tiny = planner.scalar(T::tiny());
@@ -118,12 +120,14 @@ impl<T: Scalar> Solver<T> for BiCgStabSolver<T> {
         planner.copy(self.r, self.s);
         planner.axpy(self.r, &(-&omega), self.t);
         // beta = (rho' / rho) (alpha / omega) ; p = r + beta (p - omega v).
-        let new_rho = planner.dot(self.r0hat, self.r);
+        // The new rho and the residual measure fuse likewise.
+        let mut d = planner.dot_many(&[(self.r0hat, self.r), (self.r, self.r)]);
+        self.res = d.pop().expect("two results");
+        let new_rho = d.pop().expect("two results");
         let beta = (new_rho.clone() / self.rho.clone()) * (alpha / omega.clone());
         planner.axpy(self.p, &(-&omega), self.v);
         planner.xpay(self.p, &beta, self.r);
         self.rho = new_rho;
-        self.res = planner.dot(self.r, self.r);
     }
 
     fn convergence_measure(&self) -> Option<ScalarHandle<T>> {
@@ -212,8 +216,9 @@ impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
         planner.axpy(self.s, &(-&alpha), self.v);
         planner.psolve(self.shat, self.s);
         planner.matmul(self.t, self.shat);
-        let ts = planner.dot(self.t, self.s);
-        let tt = planner.dot(self.t, self.t);
+        let mut d = planner.dot_many(&[(self.t, self.s), (self.t, self.t)]);
+        let tt = d.pop().expect("two results");
+        let ts = d.pop().expect("two results");
         let tiny = planner.scalar(T::tiny());
         let omega = ts / (tt + tiny);
         self.last_omega = Some(omega.clone());
@@ -222,12 +227,13 @@ impl<T: Scalar> Solver<T> for PBiCgStabSolver<T> {
         planner.axpy(SOL, &omega, self.shat);
         planner.copy(self.r, self.s);
         planner.axpy(self.r, &(-&omega), self.t);
-        let new_rho = planner.dot(self.r0hat, self.r);
+        let mut d = planner.dot_many(&[(self.r0hat, self.r), (self.r, self.r)]);
+        self.res = d.pop().expect("two results");
+        let new_rho = d.pop().expect("two results");
         let beta = (new_rho.clone() / self.rho.clone()) * (alpha / omega.clone());
         planner.axpy(self.p, &(-&omega), self.v);
         planner.xpay(self.p, &beta, self.r);
         self.rho = new_rho;
-        self.res = planner.dot(self.r, self.r);
     }
 
     fn convergence_measure(&self) -> Option<ScalarHandle<T>> {

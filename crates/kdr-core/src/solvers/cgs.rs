@@ -76,14 +76,16 @@ impl<T: Scalar> Solver<T> for CgsSolver<T> {
         planner.matmul(self.v, self.w);
         planner.axpy(self.r, &(-&alpha), self.v);
         // beta = rho' / rho ; u = r + beta q ; p = u + beta (q + beta p).
-        let new_rho = planner.dot(self.rt, self.r);
+        // Both dots read the final r: one fused reduction stage.
+        let mut d = planner.dot_many(&[(self.rt, self.r), (self.r, self.r)]);
+        self.res = d.pop().expect("two results");
+        let new_rho = d.pop().expect("two results");
         let beta = new_rho.clone() / self.rho.clone();
         planner.copy(self.u, self.r);
         planner.axpy(self.u, &beta, self.q);
         planner.xpay(self.p, &beta, self.q);
         planner.xpay(self.p, &beta, self.u);
         self.rho = new_rho;
-        self.res = planner.dot(self.r, self.r);
     }
 
     fn convergence_measure(&self) -> Option<ScalarHandle<T>> {

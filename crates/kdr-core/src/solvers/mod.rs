@@ -16,7 +16,9 @@ pub mod cgs;
 pub mod chebyshev;
 pub mod gmres;
 pub mod minres;
+pub mod pipelined;
 pub mod recovery;
+pub mod sstep;
 pub mod tfqmr;
 
 pub use bicg::BiCgSolver;
@@ -26,7 +28,9 @@ pub use cgs::CgsSolver;
 pub use chebyshev::ChebyshevSolver;
 pub use gmres::GmresSolver;
 pub use minres::MinresSolver;
+pub use pipelined::{FusedCgSolver, PipelinedCgSolver, PipelinedCrSolver};
 pub use recovery::{solve_recoverable, RecoveryPolicy};
+pub use sstep::SStepCgSolver;
 pub use tfqmr::TfqmrSolver;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -270,6 +274,14 @@ pub trait Solver<T: Scalar>: Send {
     fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
         Vec::new()
     }
+
+    /// Request an s-step (communication-avoiding) block size. Called
+    /// by the driver from [`SolveControl::s_step`] before the first
+    /// iteration; methods without an s-step formulation ignore it.
+    /// Default: no-op.
+    fn set_s_step(&mut self, s: usize) {
+        let _ = s;
+    }
 }
 
 impl<T: Scalar> Solver<T> for Box<dyn Solver<T>> {
@@ -291,6 +303,10 @@ impl<T: Scalar> Solver<T> for Box<dyn Solver<T>> {
 
     fn breakdown_guards(&self) -> Vec<BreakdownGuard<T>> {
         (**self).breakdown_guards()
+    }
+
+    fn set_s_step(&mut self, s: usize) {
+        (**self).set_s_step(s)
     }
 }
 
@@ -321,6 +337,12 @@ pub struct SolveControl {
     /// iteration; when it fires the solve stops with
     /// [`SolveError::Cancelled`]. `None` disables.
     pub cancel_token: Option<CancelToken>,
+    /// s-step (communication-avoiding) block size, forwarded to
+    /// [`Solver::set_s_step`] before the first iteration; `0` (the
+    /// default) leaves the method in its one-iteration-per-step
+    /// formulation. Only methods with an s-step formulation (e.g.
+    /// [`SStepCgSolver`]) react.
+    pub s_step: usize,
 }
 
 impl Default for SolveControl {
@@ -333,6 +355,7 @@ impl Default for SolveControl {
             divergence_factor: 1e8,
             stagnation_window: 0,
             cancel_token: None,
+            s_step: 0,
         }
     }
 }
@@ -545,6 +568,9 @@ impl StepDriver {
         control: &SolveControl,
         trace: Option<&mut SolveTrace>,
     ) -> Result<Option<SolveReport>, SolveError> {
+        if control.s_step > 0 {
+            solver.set_s_step(control.s_step);
+        }
         if control.tol > 0.0 && control.check_every > 0 {
             if let Some(m) = solver.convergence_measure() {
                 let r = m.get().to_f64().abs().sqrt();

@@ -102,8 +102,17 @@ impl<T: Scalar> Solver<T> for TfqmrSolver<T> {
         let coeff = self.theta.clone() * self.theta.clone() * self.eta.clone() / self.alpha.clone();
         planner.xpay(self.d, &coeff, self.u);
         planner.axpy(self.w, &(-&self.alpha), self.au);
-        // Quasi-residual rotation.
-        let wnorm = planner.dot(self.w, self.w).sqrt();
+        // Quasi-residual rotation. On odd half-steps the upcoming
+        // ρ' = (w, r*) reads the same updated w as the rotation's
+        // ‖w‖² — fuse the two into one reduction stage.
+        let (wnorm2, rho_new) = if self.m_even {
+            (planner.dot(self.w, self.w), None)
+        } else {
+            let mut d = planner.dot_many(&[(self.w, self.w), (self.w, self.rstar)]);
+            let rho_new = d.pop().expect("two results");
+            (d.pop().expect("two results"), Some(rho_new))
+        };
+        let wnorm = wnorm2.sqrt();
         let theta_new = wnorm / self.tau.clone();
         let one = planner.scalar(T::ONE);
         let c2 = one.clone() / (one + theta_new.clone() * theta_new.clone());
@@ -117,8 +126,9 @@ impl<T: Scalar> Solver<T> for TfqmrSolver<T> {
             // u_{m+1} = u_m − α v.
             planner.axpy(self.u, &(-&self.alpha), self.v);
         } else {
-            // ρ' = (w, r*) ; β = ρ'/ρ ; u = w + β u ; v deferred.
-            let rho_new = planner.dot(self.w, self.rstar);
+            // β = ρ'/ρ ; u = w + β u ; v deferred (ρ' was fused into
+            // the rotation's reduction above).
+            let rho_new = rho_new.expect("odd half-steps compute rho'");
             let beta = rho_new.clone() / self.rho.clone();
             planner.xpay(self.u, &beta, self.w);
             self.pending_beta = Some(beta);

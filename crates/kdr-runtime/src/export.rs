@@ -132,6 +132,39 @@ pub fn chrome_trace_json_grouped(groups: &[(String, Vec<TaskSpan>)]) -> String {
     out
 }
 
+/// Render labeled span groups plus named counter samples as Chrome
+/// `trace_event` JSON.
+///
+/// Same shape as [`chrome_trace_json_grouped`], with one `"C"`
+/// (counter) event appended per `(name, value)` pair — Perfetto shows
+/// them as counter tracks alongside the slices. The solve service
+/// uses this to surface runtime-wide fence accounting
+/// (`reduction_stages`, `reduction_stall_ms`) next to the
+/// tenant-tagged task spans.
+pub fn chrome_trace_json_with_counters(
+    groups: &[(String, Vec<TaskSpan>)],
+    counters: &[(&str, f64)],
+) -> String {
+    let mut out = chrome_trace_json_grouped(groups);
+    // Splice counter events in before the closing "]}" of the
+    // grouped render.
+    out.truncate(out.len() - 2);
+    let had_events = !out.ends_with('[');
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if had_events || i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0,\
+             \"args\":{{\"value\":{value}}}}}",
+            escape_json(name)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Escape a string for inclusion in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -351,6 +384,20 @@ mod tests {
         assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1"));
         assert!(json.contains("\"args\":{\"name\":\"tenant 1\"}"));
         assert!(json.contains("\"name\":\"dot\",\"ph\":\"X\",\"pid\":1"));
+    }
+
+    #[test]
+    fn counters_append_c_events() {
+        let groups = vec![("tenant 0".to_string(), vec![span(0, "spmv", 0, 100, vec![])])];
+        let json = chrome_trace_json_with_counters(&groups, &[("reduction_stages", 42.0)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"reduction_stages\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":42}"));
+        // Counters on an empty group list still produce valid JSON.
+        let empty = chrome_trace_json_with_counters(&[], &[("x", 1.5)]);
+        assert!(empty.contains("\"ph\":\"C\""));
+        assert!(!empty.contains("[,"), "{empty}");
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub mod trace;
 pub use buffer::{Buffer, ReadView, WriteView};
 pub use events::{Provenance, TaskOutcome, TaskSpan, DEFAULT_RING_CAPACITY};
 pub use export::{
-    chrome_trace_json, chrome_trace_json_grouped, critical_path, phase_rows, phase_summary,
+    chrome_trace_json, chrome_trace_json_grouped, chrome_trace_json_with_counters, critical_path,
+    phase_rows, phase_summary,
     CriticalPath, PhaseRow,
 };
 pub use fault::{

@@ -184,6 +184,12 @@ pub struct MetricsSnapshot {
     /// Spans lost to ring-buffer wraparound (recording never blocks;
     /// the oldest records are overwritten instead).
     pub events_dropped: u64,
+    /// Global reduction stages launched (each `dot`/`dot_many` call
+    /// counts as one stage regardless of how many scalars it fuses).
+    pub reduction_stages: u64,
+    /// Nanoseconds the driver spent blocked waiting for a reduction
+    /// result (`scalar_get` wait time) — the fence tax.
+    pub reduction_stall_ns: u64,
     /// Distribution of ready-queue wait times (ready → start), ns.
     pub queue_wait_ns: HistogramSnapshot,
     /// Distribution of task execution times (start → end), ns.

@@ -9,6 +9,7 @@
 //! [`Runtime::set_stall_budget`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,6 +57,11 @@ pub struct Runtime {
     state: Mutex<RtState>,
     /// Signaled when the active trace capture closes.
     capture_cv: Condvar,
+    /// Reduction stages launched (one per fused multi-dot, however
+    /// many scalars it combines).
+    reduction_stages: AtomicU64,
+    /// Nanoseconds callers spent blocked on reduction results.
+    reduction_stall_ns: AtomicU64,
 }
 
 impl Runtime {
@@ -94,7 +100,22 @@ impl Runtime {
                 tasks_analyzed: 0,
             }),
             capture_cv: Condvar::new(),
+            reduction_stages: AtomicU64::new(0),
+            reduction_stall_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Count one global reduction stage (a fused multi-dot counts
+    /// once, however many scalars it combines). Backends call this
+    /// when they launch a combine task.
+    pub fn record_reduction_stage(&self) {
+        self.reduction_stages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account nanoseconds a caller spent blocked waiting for a
+    /// reduction result to materialize.
+    pub fn record_reduction_stall_ns(&self, ns: u64) {
+        self.reduction_stall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Lock the state, blocking while another thread holds an open
@@ -404,6 +425,8 @@ impl Runtime {
             faults_injected: self.exec.faults_injected(),
             events_recorded: events.events_recorded(),
             events_dropped: events.events_dropped(),
+            reduction_stages: self.reduction_stages.load(Ordering::Relaxed),
+            reduction_stall_ns: self.reduction_stall_ns.load(Ordering::Relaxed),
             queue_wait_ns: events.queue_wait_ns.snapshot(),
             execute_ns: events.execute_ns.snapshot(),
             task_counts: self.exec.task_counts(),

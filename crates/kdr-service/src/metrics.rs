@@ -1,9 +1,12 @@
 //! Per-tenant accounting and tenant-tagged trace export.
 //!
-//! The driver fences at slice boundaries, so every runtime task span
-//! and metrics-counter delta observed at the end of a slice belongs
-//! to the tenant that owned the slice. Spans accumulate per tenant
-//! and export through
+//! Counter deltas observed at the end of a slice are attributed to
+//! the tenant that owned the slice. With `fence_slices` (or span
+//! capture) on, the driver quiesces the runtime at each boundary and
+//! the attribution is exact; in the default unfenced mode, tasks
+//! still in flight at the boundary retire under a later slice, so
+//! per-tenant deltas are approximate (totals across tenants remain
+//! exact). Spans accumulate per tenant and export through
 //! [`kdr_runtime::chrome_trace_json_grouped`] — one Perfetto process
 //! per tenant, workers as threads — and counter deltas accumulate
 //! into one [`TenantMetrics`] slice per tenant.
@@ -32,6 +35,11 @@ pub struct TenantMetrics {
     /// Tasks replayed from captured traces (analysis skipped) during
     /// this tenant's slices — the plan-cache hit counter.
     pub tasks_replayed: u64,
+    /// Global reduction stages launched during this tenant's slices.
+    pub reduction_stages: u64,
+    /// Nanoseconds blocked waiting on reduction results during this
+    /// tenant's slices — the fence tax.
+    pub reduction_stall_ns: u64,
     /// Driver wall-clock seconds spent in this tenant's slices.
     pub busy_seconds: f64,
 }
@@ -71,6 +79,10 @@ impl ServiceMetrics {
         m.tasks_submitted += after.tasks_submitted.saturating_sub(before.tasks_submitted);
         m.tasks_executed += after.tasks_executed.saturating_sub(before.tasks_executed);
         m.tasks_replayed += after.tasks_replayed.saturating_sub(before.tasks_replayed);
+        m.reduction_stages += after.reduction_stages.saturating_sub(before.reduction_stages);
+        m.reduction_stall_ns += after
+            .reduction_stall_ns
+            .saturating_sub(before.reduction_stall_ns);
     }
 
     /// Retain a slice's task spans under its tenant.
@@ -95,6 +107,17 @@ impl ServiceMetrics {
             .map(|(t, spans)| (format!("tenant-{t}"), spans.clone()))
             .collect();
         kdr_runtime::chrome_trace_json_grouped(&groups)
+    }
+
+    /// [`ServiceMetrics::chrome_trace`] plus service-wide counter
+    /// events (Chrome `"ph": "C"`) appended to the stream.
+    pub fn chrome_trace_with_counters(&self, counters: &[(&str, f64)]) -> String {
+        let groups: Vec<(String, Vec<TaskSpan>)> = self
+            .spans
+            .iter()
+            .map(|(t, spans)| (format!("tenant-{t}"), spans.clone()))
+            .collect();
+        kdr_runtime::chrome_trace_json_with_counters(&groups, counters)
     }
 }
 

@@ -6,9 +6,11 @@
 //! [`SolveService::run_until_idle`]) executes admitted jobs by
 //! time-slicing the shared worker pool across tenants at iteration
 //! granularity: each scheduler pick runs at most `slice_iters`
-//! iterations of one tenant's job through a [`StepDriver`], fences,
+//! iterations of one tenant's job through a [`StepDriver`],
 //! attributes the slice's runtime spans and counter deltas to the
-//! tenant, and yields back to the scheduler. Parallelism lives
+//! tenant, and yields back to the scheduler (fencing at the boundary
+//! only when [`ServiceConfig::fence_slices`] or span capture asks
+//! for it). Parallelism lives
 //! *inside* a slice (the runtime's workers execute each iteration's
 //! task DAG concurrently); determinism across runs comes from the
 //! single driver plus the seeded stride scheduler.
@@ -44,6 +46,13 @@ pub struct ServiceConfig {
     /// Record runtime task spans and attribute them per tenant (for
     /// [`SolveService::chrome_trace`]). Costs one atomic per task.
     pub capture_events: bool,
+    /// Fence the shared runtime at every slice boundary. Off by
+    /// default: the boundary then only reschedules, in-flight tasks
+    /// (including reductions) keep draining under the next tenant's
+    /// slice, and counter-delta attribution becomes approximate.
+    /// Turn on for exact per-tenant attribution; implied by
+    /// `capture_events` (span attribution needs the quiesce).
+    pub fence_slices: bool,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +63,7 @@ impl Default for ServiceConfig {
             slice_iters: 8,
             seed: 0,
             capture_events: false,
+            fence_slices: false,
         }
     }
 }
@@ -246,10 +256,20 @@ impl SolveService {
         self.state.lock().scheduler.slices(tenant)
     }
 
-    /// Tenant-tagged Chrome trace JSON (one process per tenant).
+    /// Tenant-tagged Chrome trace JSON (one process per tenant),
+    /// with service-wide reduction-fence counters (`reduction_stages`,
+    /// `reduction_stall_ms`) appended as Perfetto counter events.
     /// Meaningful only with [`ServiceConfig::capture_events`] on.
     pub fn chrome_trace(&self) -> String {
-        self.state.lock().metrics.chrome_trace()
+        let snap = self.rt.metrics();
+        let counters = [
+            ("reduction_stages", snap.reduction_stages as f64),
+            (
+                "reduction_stall_ms",
+                snap.reduction_stall_ns as f64 / 1.0e6,
+            ),
+        ];
+        self.state.lock().metrics.chrome_trace_with_counters(&counters)
     }
 
     /// Drive admitted work to completion: loop { pick tenant, run
@@ -298,7 +318,7 @@ impl SolveService {
     }
 
     /// Run one scheduling quantum for a tenant: find (or admit) its
-    /// active job, step it, then fence and attribute the slice.
+    /// active job, step it, then attribute the slice.
     fn run_slice(&self, st: &mut ServiceState, tenant: TenantId) {
         let slice_start = Instant::now();
         let before = self.rt.metrics();
@@ -367,10 +387,14 @@ impl SolveService {
             });
         }
 
-        // Slice boundary: quiesce, then attribute spans and counter
-        // deltas. The fence makes the attribution exact — every task
-        // retired since `before` ran on behalf of this tenant.
-        let _ = self.rt.fence();
+        // Slice boundary. Fencing here would force every in-flight
+        // reduction to drain before the next tenant runs; by default
+        // we skip it so pipelined solvers keep their overlap across
+        // slice boundaries, at the cost of approximate counter-delta
+        // attribution. Span capture still needs the quiesce.
+        if self.cfg.fence_slices || self.cfg.capture_events {
+            let _ = self.rt.fence();
+        }
         let after = self.rt.metrics();
         st.metrics.record_slice_delta(tenant, &before, &after);
         if self.cfg.capture_events {

@@ -13,8 +13,9 @@
 use std::sync::Arc;
 
 use kdr_core::{
-    BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver, GmresSolver, MinresSolver,
-    Planner, Solver, TfqmrSolver, RHS, SOL,
+    BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ChebyshevSolver, FusedCgSolver, GmresSolver,
+    MinresSolver, PipelinedCgSolver, PipelinedCrSolver, Planner, SStepCgSolver, Solver,
+    TfqmrSolver, RHS, SOL,
 };
 use kdr_index::Partition;
 use kdr_runtime::{ColorAffinityMapper, Runtime};
@@ -42,6 +43,20 @@ pub enum SolverKind {
     },
     /// Transpose-free QMR.
     Tfqmr,
+    /// Chronopoulos–Gear CG: both per-iteration dots fused into one
+    /// reduction stage.
+    FusedCg,
+    /// Ghysels–Vanroose pipelined CG: one reduction per iteration,
+    /// overlapped with the matrix-vector product.
+    PipelinedCg,
+    /// Ghysels–Vanroose pipelined CR (symmetric systems).
+    PipelinedCr,
+    /// s-step CG: blocks of `s` iterations with a single fused Gram
+    /// reduction per block.
+    SStepCg {
+        /// Iterations per block (`>= 1`).
+        s: usize,
+    },
     /// Chebyshev iteration with explicit spectral bounds.
     Chebyshev {
         /// Smallest eigenvalue bound (`> 0`).
@@ -63,6 +78,10 @@ impl SolverKind {
             SolverKind::Minres => Box::new(MinresSolver::new(planner)),
             SolverKind::Gmres { restart } => Box::new(GmresSolver::with_restart(planner, restart)),
             SolverKind::Tfqmr => Box::new(TfqmrSolver::new(planner)),
+            SolverKind::FusedCg => Box::new(FusedCgSolver::new(planner)),
+            SolverKind::PipelinedCg => Box::new(PipelinedCgSolver::new(planner)),
+            SolverKind::PipelinedCr => Box::new(PipelinedCrSolver::new(planner)),
+            SolverKind::SStepCg { s } => Box::new(SStepCgSolver::with_s(planner, s)),
             SolverKind::Chebyshev { lmin, lmax } => {
                 Box::new(ChebyshevSolver::with_bounds(planner, lmin, lmax))
             }

@@ -3,18 +3,22 @@
 //! Because solvers speak only the planner's Figure-6 operation set,
 //! any of them runs on any system description unchanged — the
 //! "libraries of interchangeable KSMs" the paper's §2.1 calls
-//! essential for prototyping. This example runs all seven on the
-//! same Poisson problem (with a Jacobi preconditioner for PCG) and
-//! tabulates iterations to tolerance (Chebyshev included: it needs
-//! spectral bounds but no inner products at all).
+//! essential for prototyping. This example runs all fifteen on the
+//! same Poisson problem (with a Jacobi preconditioner for the P*
+//! variants) and tabulates iterations to tolerance. Chebyshev needs
+//! spectral bounds but no inner products at all; the fence-minimal
+//! variants (fusedcg, pipelinedcg, pipelinedcr, sstepcg) spend one
+//! reduction stage per iteration — or per s-iteration block — where
+//! classic CG spends two.
 //!
 //! Run: `cargo run --release -p kdr-examples --example solver_tour`
 
 use std::sync::Arc;
 
 use kdr_core::{
-    precond, solve, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ExecBackend, GmresSolver,
-    MinresSolver, PBiCgStabSolver, PcgSolver, Planner, SolveControl, Solver, TfqmrSolver,
+    precond, solve, BiCgSolver, BiCgStabSolver, CgSolver, CgsSolver, ExecBackend, FusedCgSolver,
+    GmresSolver, MinresSolver, PBiCgStabSolver, PcgSolver, PipelinedCgSolver, PipelinedCrSolver,
+    Planner, SStepCgSolver, SolveControl, Solver, TfqmrSolver,
 };
 use kdr_index::Partition;
 use kdr_sparse::stencil::rhs_vector;
@@ -54,6 +58,10 @@ fn main() {
         }),
         ("minres", false, |p| Box::new(MinresSolver::new(p))),
         ("tfqmr", false, |p| Box::new(TfqmrSolver::new(p))),
+        ("fusedcg", false, |p| Box::new(FusedCgSolver::new(p))),
+        ("pipelinedcg", false, |p| Box::new(PipelinedCgSolver::new(p))),
+        ("pipelinedcr", false, |p| Box::new(PipelinedCrSolver::new(p))),
+        ("sstepcg(3)", false, |p| Box::new(SStepCgSolver::new(p))),
         ("pbicgstab", true, |p| Box::new(PBiCgStabSolver::new(p))),
         ("pgmres(10)", true, |p| {
             Box::new(GmresSolver::preconditioned(p, 10))

@@ -29,3 +29,10 @@ cargo run --release -p kdr-bench --bin spmv_kernels
 # <= 2.0 at equal weights), warm-beats-cold time-to-first-iteration,
 # and a bit-identical completion order on a same-seed rerun.
 cargo run -p kdr-bench --bin service_stress -- --ci
+
+# Fence-minimal Krylov leg: asserts classic CG spends exactly 2
+# reduction stages per iteration, the fused/pipelined variants
+# exactly 1, and that every fence-minimal variant converges to the
+# classic-CG solution. Structural contracts only — no timing
+# assertions in CI.
+cargo run --release -p kdr-bench --bin pipelined_bench -- --ci
