@@ -17,7 +17,9 @@ use crate::spmd::{run_spmd, SharedVec, SpmdContext};
 /// Which baseline method to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BaselineKsm {
+    /// Conjugate gradients.
     Cg,
+    /// BiCG-stabilized.
     BiCgStab,
     /// GMRES with a static restart length (the paper uses 10).
     Gmres(usize),

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-baselines
 //!
 //! The comparison libraries of the paper's §6.1, rebuilt as the

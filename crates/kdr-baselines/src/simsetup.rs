@@ -23,12 +23,16 @@ use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
 /// Which library's execution model and kernel profile to simulate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LibraryProfile {
+    /// LegionSolvers: task-based, asynchronous execution.
     LegionSolvers,
+    /// PETSc: bulk-synchronous MPI execution.
     Petsc,
+    /// Trilinos: bulk-synchronous MPI execution.
     Trilinos,
 }
 
 impl LibraryProfile {
+    /// Short name used in reports and JSON.
     pub fn name(&self) -> &'static str {
         match self {
             LibraryProfile::LegionSolvers => "legionsolvers",
@@ -56,7 +60,9 @@ impl LibraryProfile {
 /// The three KSMs of the paper's §6.1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum KsmKind {
+    /// Conjugate gradients.
     Cg,
+    /// BiCG-stabilized.
     BiCgStab,
     /// GMRES(10), the static restart schedule shared by LegionSolvers
     /// and Trilinos.
@@ -64,6 +70,7 @@ pub enum KsmKind {
 }
 
 impl KsmKind {
+    /// Short name used in reports and JSON.
     pub fn name(&self) -> &'static str {
         match self {
             KsmKind::Cg => "cg",

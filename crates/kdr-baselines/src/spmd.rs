@@ -23,6 +23,7 @@ pub struct SpmdContext<T> {
 }
 
 impl<T: Scalar> SpmdContext<T> {
+    /// A context coordinating `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
         SpmdContext {
             nranks,
@@ -72,16 +73,19 @@ pub struct SharedVec<T> {
 }
 
 impl<T: Scalar> SharedVec<T> {
+    /// An `n`-element vector of zeros.
     pub fn zeros(n: u64) -> Self {
         SharedVec {
             buf: Buffer::filled(n as usize, T::ZERO),
         }
     }
 
+    /// Element count.
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
+    /// True for a zero-length vector.
     pub fn is_empty(&self) -> bool {
         self.buf.len() == 0
     }

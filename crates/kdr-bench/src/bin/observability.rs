@@ -5,7 +5,7 @@
 //! * `results/cg_trace.json` — Chrome `trace_event` JSON; open it at
 //!   <https://ui.perfetto.dev> or in `chrome://tracing` to see one
 //!   lane per worker with a slice per task.
-//! * stdout — the [`MetricsSnapshot`]/[`ExecMetrics`] counters, the
+//! * stdout — the `MetricsSnapshot`/[`ExecMetrics`] counters, the
 //!   per-phase summary table, the solver-level phase split, and the
 //!   critical-path estimate with its parallelism bound.
 //!

@@ -38,18 +38,26 @@ pub type OpHandle = usize;
 /// Binary scalar operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ScalarOp {
+    /// `a + b`.
     Add,
+    /// `a - b`.
     Sub,
+    /// `a * b`.
     Mul,
+    /// `a / b`.
     Div,
 }
 
 /// Unary scalar operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ScalarUnop {
+    /// `-a`.
     Neg,
+    /// `sqrt(a)`.
     Sqrt,
+    /// `|a|`.
     Abs,
+    /// `1 / a`.
     Recip,
 }
 
@@ -97,7 +105,9 @@ impl ScalarUnop {
 /// canonical partition (complete and disjoint, per §5).
 #[derive(Clone, Debug)]
 pub struct CompSpec {
+    /// Index-space size of the component.
     pub len: u64,
+    /// Canonical partition of the component's index space.
     pub partition: Partition,
 }
 
@@ -147,14 +157,19 @@ pub struct TileSpec {
 /// One operator component `(K_ℓ, A_ℓ, i_ℓ, j_ℓ)` with its derived
 /// tiles.
 pub struct OpComponentSpec<T> {
+    /// The component's matrix `A_ℓ`.
     pub matrix: Arc<dyn SparseMatrix<T>>,
+    /// Domain-side (input) component index `j_ℓ`.
     pub sol_comp: usize,
+    /// Range-side (output) component index `i_ℓ`.
     pub rhs_comp: usize,
+    /// Tiles derived by dependent partitioning.
     pub tiles: Vec<TileSpec>,
 }
 
 /// A full operator set (all components of `A_total` or `P_total`).
 pub struct OpSetSpec<T> {
+    /// Every component of the operator set.
     pub components: Vec<OpComponentSpec<T>>,
     /// How execution backends pick each tile's specialized kernel
     /// (banded/DIA, padded-lane ELL, register-blocked BCSR, or CSR):

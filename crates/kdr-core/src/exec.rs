@@ -17,7 +17,7 @@
 //! solve.
 //!
 //! Task placement uses the runtime's
-//! [`ColorAffinityMapper`](kdr_runtime::ColorAffinityMapper): tile
+//! [`ColorAffinityMapper`]: tile
 //! tasks and the vector tasks touching the same piece carry one piece
 //! color, so a tile's kernel payload and its vector piece stay hot in
 //! a single worker's cache across traced iterations.

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-core
 //!
 //! The KDRSolvers framework: scalable, flexible, task-oriented Krylov

@@ -32,6 +32,8 @@ pub struct Tile {
 }
 
 impl Tile {
+    /// A tile owned by `out_owner`, reading from `in_owner`, costing
+    /// `flops`.
     pub fn new(out_owner: usize, in_owner: usize, flops: f64) -> Self {
         Tile {
             out_owner,

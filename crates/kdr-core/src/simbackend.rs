@@ -81,6 +81,7 @@ pub struct SimBackend<T> {
 }
 
 impl<T: Scalar> SimBackend<T> {
+    /// A simulation backend lowering onto `machine`'s cost model.
     pub fn new(machine: MachineConfig) -> Self {
         SimBackend {
             machine,

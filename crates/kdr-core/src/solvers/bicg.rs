@@ -10,6 +10,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// Biconjugate gradients: unsymmetric systems via the two-sided
+/// Lanczos process (a transpose solve per iteration).
 pub struct BiCgSolver<T: Scalar> {
     r: usize,
     rt: usize,
@@ -24,6 +26,7 @@ pub struct BiCgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> BiCgSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "BiCG requires a square system");

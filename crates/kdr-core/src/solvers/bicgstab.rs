@@ -9,6 +9,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// BiCG-stabilized: unsymmetric systems without the transpose
+/// product, smoothing BiCG's residual oscillations.
 pub struct BiCgStabSolver<T: Scalar> {
     r0hat: usize,
     r: usize,
@@ -59,6 +61,7 @@ fn bicgstab_guards<T: Scalar>(
 }
 
 impl<T: Scalar> BiCgStabSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "BiCGStab requires a square system");
@@ -163,6 +166,7 @@ pub struct PBiCgStabSolver<T: Scalar> {
 }
 
 impl<T: Scalar> PBiCgStabSolver<T> {
+    /// Build against a planner with a registered preconditioner.
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "BiCGStab requires a square system");

@@ -25,6 +25,7 @@ pub struct CgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> CgSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "CG requires a square system");
@@ -101,6 +102,7 @@ pub struct PcgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> PcgSolver<T> {
+    /// Build against a planner with a registered preconditioner.
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "PCG requires a square system");

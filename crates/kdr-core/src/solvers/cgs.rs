@@ -9,6 +9,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// Conjugate gradients squared: unsymmetric systems, applying the
+/// BiCG contraction twice per iteration without the transpose.
 pub struct CgsSolver<T: Scalar> {
     r: usize,
     rt: usize,
@@ -24,6 +26,7 @@ pub struct CgsSolver<T: Scalar> {
 }
 
 impl<T: Scalar> CgsSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "CGS requires a square system");

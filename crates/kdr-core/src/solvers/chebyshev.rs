@@ -18,6 +18,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::Solver;
 
+/// Chebyshev iteration: fixed scalar recurrence from explicit
+/// spectral bounds — no inner products, so no global reductions.
 pub struct ChebyshevSolver<T: Scalar> {
     r: usize,
     d: usize,

@@ -15,6 +15,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// Restarted GMRES(m): general systems via an Arnoldi basis of `m`
+/// vectors, minimizing the residual over the Krylov subspace.
 pub struct GmresSolver<T: Scalar> {
     /// Right preconditioning: Arnoldi runs on `A P`, and the update
     /// applies `x += P (V y)`.

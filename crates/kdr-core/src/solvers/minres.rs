@@ -10,6 +10,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// MINRES: symmetric (possibly indefinite) systems via the Lanczos
+/// process with on-the-fly Givens QR.
 pub struct MinresSolver<T: Scalar> {
     /// Lanczos vectors: previous, current, and scratch for the next.
     v_prev: usize,
@@ -33,6 +35,7 @@ pub struct MinresSolver<T: Scalar> {
 }
 
 impl<T: Scalar> MinresSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "MINRES requires a square system");

@@ -53,6 +53,7 @@ pub struct FusedCgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> FusedCgSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "CG requires a square system");
@@ -170,6 +171,7 @@ pub struct PipelinedCgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> PipelinedCgSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "CG requires a square system");
@@ -288,6 +290,7 @@ pub struct PipelinedCrSolver<T: Scalar> {
 }
 
 impl<T: Scalar> PipelinedCrSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "CR requires a square system");

@@ -1,6 +1,6 @@
 //! Checkpoint/restart recovery around the solve loop.
 //!
-//! [`solve_recoverable`] wraps [`solve`](super::solve) with periodic
+//! [`solve_recoverable`] wraps [`solve`] with periodic
 //! checkpoints (a `SOL` snapshot validated against the *true* residual
 //! `‖Ax − b‖`, recomputed outside the solver's recurrence) and
 //! restarts from the last checkpoint when a runtime task fails or the

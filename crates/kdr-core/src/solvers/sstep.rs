@@ -53,6 +53,9 @@ enum BlockOutcome {
     RankLoss,
 }
 
+/// s-step CG: blocks of `s` iterations with a single fused Gram
+/// reduction per block, falling back to pipelined CG on basis rank
+/// loss.
 pub struct SStepCgSolver<T: Scalar> {
     /// Block size; fixed once the first block has run.
     s: usize,
@@ -69,6 +72,7 @@ pub struct SStepCgSolver<T: Scalar> {
 }
 
 impl<T: Scalar> SStepCgSolver<T> {
+    /// Build with the default block size.
     pub fn new(planner: &mut Planner<T>) -> Self {
         Self::with_s(planner, DEFAULT_S)
     }

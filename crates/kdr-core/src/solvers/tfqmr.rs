@@ -18,6 +18,8 @@ use crate::planner::{Planner, RHS, SOL};
 use crate::scalar_handle::ScalarHandle;
 use crate::solvers::{BreakdownGuard, BreakdownKind, GuardTrigger, Solver};
 
+/// Transpose-free QMR: unsymmetric systems with quasi-minimized
+/// residual updates over CGS half-steps.
 pub struct TfqmrSolver<T: Scalar> {
     u: usize,
     w: usize,
@@ -38,6 +40,7 @@ pub struct TfqmrSolver<T: Scalar> {
 }
 
 impl<T: Scalar> TfqmrSolver<T> {
+    /// Build against a planner (finalizing it on first use).
     pub fn new(planner: &mut Planner<T>) -> Self {
         planner.finalize();
         assert!(planner.is_square(), "TFQMR requires a square system");

@@ -10,7 +10,9 @@
 /// aggregate lane).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct ProcId {
+    /// Cluster node index.
     pub node: usize,
+    /// Lane within the node (GPU index, or the CPU aggregate lane).
     pub lane: usize,
 }
 
@@ -22,15 +24,30 @@ pub type SimNodeId = usize;
 pub enum SimWork {
     /// A kernel on one processor with roofline cost.
     Compute {
+        /// Processor the kernel runs on.
         proc: ProcId,
+        /// Floating-point operations performed.
         flops: f64,
+        /// Bytes moved through memory.
         bytes: f64,
     },
     /// A point-to-point transfer between nodes. Same-node copies are
     /// free (they model instance aliasing, not data movement).
-    Copy { from: usize, to: usize, bytes: f64 },
+    Copy {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Payload size.
+        bytes: f64,
+    },
     /// An all-reduce-style collective among `participants` nodes.
-    Collective { participants: usize, bytes: f64 },
+    Collective {
+        /// Number of participating nodes.
+        participants: usize,
+        /// Per-participant payload size.
+        bytes: f64,
+    },
     /// A pure synchronization point (no cost beyond dependences); the
     /// bulk-synchronous frontends insert one per phase.
     Barrier,
@@ -39,8 +56,11 @@ pub enum SimWork {
 /// One node of the graph: its work, label, and dependence list.
 #[derive(Clone, Debug)]
 pub struct SimNode {
+    /// The priced work item.
     pub work: SimWork,
+    /// Human-readable kernel class (for breakdowns).
     pub label: &'static str,
+    /// Graph nodes that must finish first.
     pub deps: Vec<SimNodeId>,
 }
 
@@ -51,6 +71,7 @@ pub struct TaskGraph {
 }
 
 impl TaskGraph {
+    /// An empty graph.
     pub fn new() -> Self {
         TaskGraph::default()
     }
@@ -112,14 +133,17 @@ impl TaskGraph {
         self.add(SimWork::Barrier, label, deps)
     }
 
+    /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// True when no nodes have been added.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
+    /// The nodes, indexed by [`SimNodeId`].
     pub fn nodes(&self) -> &[SimNode] {
         &self.nodes
     }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-machine
 //!
 //! A discrete-event simulator of a GPU cluster, standing in for the

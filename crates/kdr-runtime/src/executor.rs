@@ -20,8 +20,8 @@
 //! successors are retired without running (their bodies are dropped,
 //! which poisons any [`Promise`](crate::Promise) they captured), and
 //! the first failure is recorded as a [`TaskError`] that
-//! [`Executor::fence`] keeps returning until
-//! [`Executor::take_failure`] clears it. A seeded [`FaultInjector`]
+//! `Executor::fence` keeps returning until
+//! `Executor::take_failure` clears it. A seeded `FaultInjector`
 //! can plant deterministic panic / stall / corrupted-write faults at
 //! submission time, and an optional watchdog thread flags tasks that
 //! exceed a configurable stall budget. All of it is pay-as-you-go:

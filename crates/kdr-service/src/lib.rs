@@ -25,7 +25,11 @@
 //!   by every solver family;
 //! - **per-tenant observability** — metrics-counter slices
 //!   ([`TenantMetrics`]) and tenant-tagged Chrome-trace export (one
-//!   Perfetto process per tenant).
+//!   Perfetto process per tenant);
+//! - **scale-out** — [`ShardedService`] runs N independent service
+//!   runtimes behind one admission front door, with consistent-hash
+//!   tenant placement and live cross-shard migration built on the
+//!   checkpoint/restart machinery (see the [`sharded`] module docs).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -59,6 +63,7 @@ pub mod request;
 pub mod scheduler;
 pub mod service;
 pub mod session;
+pub mod sharded;
 
 pub use metrics::{ServiceMetrics, TenantMetrics};
 pub use queue::{AdmissionQueue, QueuedJob};
@@ -66,5 +71,6 @@ pub use request::{
     JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
 };
 pub use scheduler::FairScheduler;
-pub use service::{ServiceConfig, SolveService};
+pub use service::{ServiceConfig, ShardLoad, SolveService, TenantBundle};
 pub use session::{Session, SessionSpec, SolverKind};
+pub use sharded::{Placement, ShardConfig, ShardedService};

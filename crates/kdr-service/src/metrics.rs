@@ -44,6 +44,24 @@ pub struct TenantMetrics {
     pub busy_seconds: f64,
 }
 
+impl TenantMetrics {
+    /// Accumulate another slice of the same tenant into this one
+    /// (cross-shard aggregation: a migrated tenant leaves completed
+    /// accounting behind on every shard it visited).
+    pub fn merge(&mut self, other: &TenantMetrics) {
+        self.jobs_completed += other.jobs_completed;
+        self.jobs_rejected += other.jobs_rejected;
+        self.slices += other.slices;
+        self.iterations += other.iterations;
+        self.tasks_submitted += other.tasks_submitted;
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_replayed += other.tasks_replayed;
+        self.reduction_stages += other.reduction_stages;
+        self.reduction_stall_ns += other.reduction_stall_ns;
+        self.busy_seconds += other.busy_seconds;
+    }
+}
+
 /// Mutable per-tenant accounting plus span retention.
 #[derive(Default)]
 pub struct ServiceMetrics {
@@ -95,6 +113,16 @@ impl ServiceMetrics {
     /// Spans retained for a tenant.
     pub fn spans_for(&self, tenant: TenantId) -> &[TaskSpan] {
         self.spans.get(&tenant).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every tenant's retained spans, cloned out for cross-shard
+    /// merging: the sharded service concatenates each tenant's spans
+    /// across shards before rendering one combined trace.
+    pub fn span_groups(&self) -> Vec<(TenantId, Vec<TaskSpan>)> {
+        self.spans
+            .iter()
+            .map(|(&t, spans)| (t, spans.clone()))
+            .collect()
     }
 
     /// Render every tenant's retained spans as Chrome `trace_event`

@@ -130,6 +130,45 @@ impl AdmissionQueue {
         self.jobs.remove(idx)
     }
 
+    /// Remove and return every queued job of `tenant`, preserving
+    /// queue order. Used by cross-shard migration: the jobs re-enter
+    /// the destination shard's queue via [`AdmissionQueue::restore`].
+    pub fn remove_tenant(&mut self, tenant: TenantId) -> Vec<QueuedJob> {
+        let mut moved = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.jobs.len());
+        for j in self.jobs.drain(..) {
+            if j.tenant == tenant {
+                moved.push(j);
+            } else {
+                kept.push_back(j);
+            }
+        }
+        self.jobs = kept;
+        moved
+    }
+
+    /// The owning tenant of every queued job, in queue order with
+    /// duplicates preserved — the rebalancer's per-tenant backlog
+    /// signal.
+    pub fn queued_tenants(&self) -> Vec<TenantId> {
+        self.jobs.iter().map(|j| j.tenant).collect()
+    }
+
+    /// Re-admit an already-admitted job (migration restore). Bypasses
+    /// the capacity bound and deadline screen: the job passed
+    /// admission once on its original shard, and dropping it here
+    /// would violate the zero-lost-jobs contract.
+    pub fn restore(&mut self, job: QueuedJob) {
+        self.jobs.push_back(job);
+    }
+
+    /// The current EWMA of observed job service seconds (`0.0` until
+    /// the first completion). Shard placement and rebalancing read
+    /// this as the per-shard turnaround signal.
+    pub fn ewma_job_seconds(&self) -> f64 {
+        self.ewma_job_seconds
+    }
+
     /// Feed one completed job's service time into the deadline
     /// estimator.
     pub fn observe_job_seconds(&mut self, seconds: f64) {

@@ -38,6 +38,14 @@ pub struct SolveRequest {
     /// queue cannot plausibly meet; past admission, the deadline
     /// cancels the job cooperatively at iteration granularity.
     pub deadline: Option<Instant>,
+    /// Record the `(iteration, residual)` samples taken at
+    /// convergence checks and return them in
+    /// [`SolveResponse::residual_history`]. Off by default (the
+    /// history costs one record per check and a per-iteration
+    /// timestamp). The migration tests use this to prove a migrated
+    /// job's numerical trajectory matches an unmigrated restart's,
+    /// sample for sample.
+    pub capture_history: bool,
 }
 
 impl SolveRequest {
@@ -49,6 +57,7 @@ impl SolveRequest {
             control,
             priority: 0,
             deadline: None,
+            capture_history: false,
         }
     }
 }
@@ -171,4 +180,15 @@ pub struct SolveResponse {
     pub turnaround: Duration,
     /// Whether the session was warm (had completed a job before).
     pub warm: bool,
+    /// `(iteration, residual)` samples from the solve's convergence
+    /// checks, concatenated across right-hand sides (iteration
+    /// numbering restarts per RHS, and per restart after a
+    /// migration). Empty unless [`SolveRequest::capture_history`] was
+    /// set.
+    pub residual_history: Vec<(usize, f64)>,
+    /// How many times the job was migrated between shards while in
+    /// flight (always `0` on an unsharded [`SolveService`]).
+    ///
+    /// [`SolveService`]: crate::SolveService
+    pub migrations: u32,
 }

@@ -69,6 +69,16 @@ impl FairScheduler {
         self.tenants.contains_key(&tenant)
     }
 
+    /// Remove a tenant (migration detach), returning its weight so
+    /// the destination shard can re-register it identically. The
+    /// tenant's pass value is deliberately *not* carried: passes are
+    /// relative to one shard's pass table, so the tenant rejoins the
+    /// destination at its minimum pass — the same late-joiner rule as
+    /// [`FairScheduler::register`].
+    pub fn unregister(&mut self, tenant: TenantId) -> Option<u64> {
+        self.tenants.remove(&tenant).map(|t| t.weight)
+    }
+
     /// A tenant's configured weight (`None` if unregistered).
     pub fn weight(&self, tenant: TenantId) -> Option<u64> {
         self.tenants.get(&tenant).map(|t| t.weight)

@@ -14,17 +14,25 @@
 //! *inside* a slice (the runtime's workers execute each iteration's
 //! task DAG concurrently); determinism across runs comes from the
 //! single driver plus the seeded stride scheduler.
+//!
+//! One `SolveService` is also the *shard engine* of the scaled-out
+//! [`ShardedService`](crate::ShardedService): N independent
+//! `SolveService`s (each with its own runtime, driver, scheduler, and
+//! sessions) behind one admission front door, with
+//! [`SolveService::detach_tenant`] / [`SolveService::attach_tenant`]
+//! moving a tenant — sessions, queued jobs, and checkpointed
+//! in-flight jobs — between shards.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use kdr_core::{CancelToken, SolveError, Solver, StepDriver, StepStatus};
-use kdr_runtime::{ColorAffinityMapper, Runtime};
+use kdr_core::{CancelToken, SolveError, SolveTrace, Solver, StepDriver, StepStatus};
+use kdr_runtime::{ColorAffinityMapper, Runtime, TaskSpan};
 
 use crate::metrics::ServiceMetrics;
-use crate::queue::AdmissionQueue;
+use crate::queue::{AdmissionQueue, QueuedJob};
 use crate::request::{
     JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
 };
@@ -46,12 +54,62 @@ pub struct ServiceConfig {
     /// Record runtime task spans and attribute them per tenant (for
     /// [`SolveService::chrome_trace`]). Costs one atomic per task.
     pub capture_events: bool,
-    /// Fence the shared runtime at every slice boundary. Off by
-    /// default: the boundary then only reschedules, in-flight tasks
-    /// (including reductions) keep draining under the next tenant's
-    /// slice, and counter-delta attribution becomes approximate.
-    /// Turn on for exact per-tenant attribution; implied by
-    /// `capture_events` (span attribution needs the quiesce).
+    /// Fence the shared runtime at every slice boundary.
+    ///
+    /// **Off by default** (since the fence-minimal solver work): the
+    /// boundary then only reschedules — in-flight tasks, including
+    /// overlapped reductions issued by the pipelined solvers, keep
+    /// draining while the next tenant's slice runs, so pipelined
+    /// CG/CR keep their communication/computation overlap across
+    /// tenant switches. The price is that per-tenant *counter-delta*
+    /// attribution becomes approximate: tasks still in flight at the
+    /// boundary retire under a later (possibly other-tenant) slice.
+    /// Totals across tenants remain exact either way.
+    ///
+    /// **Turn it on** for exact per-tenant attribution — every slice
+    /// quiesces the runtime before the deltas are read. Span capture
+    /// ([`ServiceConfig::capture_events`]) implies the quiesce
+    /// regardless of this flag, because span attribution needs all of
+    /// the slice's spans to have landed.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use kdr_core::SolveControl;
+    /// use kdr_service::{ServiceConfig, SessionSpec, SolveRequest, SolveService, SolverKind};
+    /// use kdr_sparse::{stencil::rhs_vector, SparseMatrix, Stencil};
+    ///
+    /// let stencil = Stencil::lap2d(8, 8);
+    /// let n = stencil.unknowns();
+    /// let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u64>());
+    ///
+    /// // Same two-tenant workload under both settings.
+    /// for fence_slices in [false, true] {
+    ///     let svc = SolveService::new(ServiceConfig {
+    ///         workers: 2,
+    ///         fence_slices,
+    ///         ..ServiceConfig::default()
+    ///     });
+    ///     for t in [1, 2] {
+    ///         svc.register_tenant(t, 1);
+    ///         let sid = svc.create_session(t, SessionSpec {
+    ///             matrix: Arc::clone(&matrix), unknowns: n, pieces: 2,
+    ///             solver: SolverKind::Cg,
+    ///         });
+    ///         svc.submit(t, SolveRequest::new(sid, rhs_vector::<f64>(n, t as u64),
+    ///             SolveControl::to_tolerance(1e-10, 500))).unwrap();
+    ///     }
+    ///     svc.run_until_idle();
+    ///     // Results are identical either way; only attribution
+    ///     // exactness and reduction overlap differ.
+    ///     assert!(svc.take_responses().iter().all(|r| r.outcome.is_converged()));
+    ///     let m = svc.metrics();
+    ///     if fence_slices {
+    ///         // Exact attribution: every slice quiesced, so each
+    ///         // tenant's executed-task delta is its own.
+    ///         assert!(m[&1].tasks_executed > 0 && m[&2].tasks_executed > 0);
+    ///     }
+    /// }
+    /// ```
     pub fence_slices: bool,
 }
 
@@ -84,6 +142,16 @@ struct ActiveJob {
     ws_mark: usize,
     preflighted: bool,
     iterations: u64,
+    /// Iterations consumed on the *current* RHS by drivers dropped in
+    /// a migration; the remaining budget is `max_iters - rhs_done`.
+    rhs_done: usize,
+    /// Checkpointed iterate to restore on the next activation
+    /// (present exactly when the job was detached mid-RHS).
+    resume_sol: Option<Vec<Vec<f64>>>,
+    migrations: u32,
+    /// Residual-history recorder, present when the request asked for
+    /// it.
+    trace: Option<SolveTrace>,
     submitted_at: Instant,
     started_at: Option<Instant>,
     ttfi: Option<Duration>,
@@ -91,14 +159,105 @@ struct ActiveJob {
     last_residual: f64,
 }
 
+/// A job checkpointed mid-flight for migration: everything needed to
+/// resume it on another shard's runtime.
+struct JobSnapshot {
+    job: JobId,
+    session: SessionId,
+    request: SolveRequest,
+    token: CancelToken,
+    rhs_idx: usize,
+    iterations: u64,
+    rhs_done: usize,
+    sol: Option<Vec<Vec<f64>>>,
+    migrations: u32,
+    trace: Option<SolveTrace>,
+    submitted_at: Instant,
+    started_at: Option<Instant>,
+    ttfi: Option<Duration>,
+    warm: bool,
+    last_residual: f64,
+}
+
+/// One tenant's complete detachable state: fair-share weight,
+/// sessions (as rebuildable specs), queued jobs, and checkpointed
+/// in-flight jobs. Produced by [`SolveService::detach_tenant`] on the
+/// source shard, consumed by [`SolveService::attach_tenant`] on the
+/// destination. Opaque: the bundle must be attached exactly once or
+/// its jobs are lost.
+pub struct TenantBundle {
+    tenant: TenantId,
+    weight: u64,
+    sessions: Vec<(SessionId, SessionSpec)>,
+    queued: Vec<QueuedJob>,
+    in_flight: Vec<JobSnapshot>,
+}
+
+impl TenantBundle {
+    /// The tenant this bundle detached.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Sessions carried (id + rebuildable spec).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Queued (not yet started) jobs carried.
+    pub fn queued_count(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Checkpointed in-flight jobs carried.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+/// A shard's instantaneous load signal, read by the sharded front
+/// door for load-aware placement and by the rebalancer for skew
+/// detection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardLoad {
+    /// Jobs admitted but not yet started.
+    pub queued: usize,
+    /// Jobs currently being time-sliced.
+    pub active: usize,
+    /// EWMA of observed job turnaround seconds on this shard (`0.0`
+    /// until the first completion).
+    pub ewma_job_seconds: f64,
+}
+
+impl ShardLoad {
+    /// Outstanding jobs (queued + active).
+    pub fn depth(&self) -> usize {
+        self.queued + self.active
+    }
+
+    /// Scalar load score: outstanding jobs weighted by the shard's
+    /// observed per-job turnaround, so a shard with slow jobs counts
+    /// as more loaded than one with the same depth of fast jobs.
+    /// Falls back to pure depth before any job has completed.
+    pub fn score(&self) -> f64 {
+        let per_job = if self.ewma_job_seconds > 0.0 {
+            self.ewma_job_seconds
+        } else {
+            1.0
+        };
+        self.depth() as f64 * per_job
+    }
+}
+
 struct ServiceState {
     queue: AdmissionQueue,
     scheduler: FairScheduler,
-    sessions: Vec<Session>,
+    sessions: std::collections::BTreeMap<SessionId, Session>,
     active: Vec<ActiveJob>,
     responses: Vec<SolveResponse>,
     metrics: ServiceMetrics,
     next_job: JobId,
+    next_session: SessionId,
 }
 
 /// The multi-tenant solve service.
@@ -124,11 +283,12 @@ impl SolveService {
             state: Mutex::new(ServiceState {
                 queue: AdmissionQueue::new(cfg.queue_capacity),
                 scheduler: FairScheduler::new(cfg.seed),
-                sessions: Vec::new(),
+                sessions: std::collections::BTreeMap::new(),
                 active: Vec::new(),
                 responses: Vec::new(),
                 metrics: ServiceMetrics::default(),
                 next_job: 0,
+                next_session: 0,
             }),
             cfg,
         }
@@ -155,14 +315,31 @@ impl SolveService {
     /// job (cold) and is skipped thereafter (warm).
     pub fn create_session(&self, tenant: TenantId, spec: SessionSpec) -> SessionId {
         let mut st = self.state.lock();
+        let id = st.next_session;
+        st.next_session += 1;
+        drop(st);
+        self.create_session_with_id(id, tenant, spec);
+        id
+    }
+
+    /// Install a session under a caller-chosen id (the sharded front
+    /// door allocates globally unique ids so a session keeps its id
+    /// across migrations).
+    pub(crate) fn create_session_with_id(
+        &self,
+        id: SessionId,
+        tenant: TenantId,
+        spec: SessionSpec,
+    ) {
+        let mut st = self.state.lock();
         let sess = Session::new(
             Arc::clone(&self.rt),
             Arc::clone(&self.mapper),
             tenant,
             spec,
         );
-        st.sessions.push(sess);
-        st.sessions.len() - 1
+        st.sessions.insert(id, sess);
+        st.next_session = st.next_session.max(id + 1);
     }
 
     /// Submit a request. Returns the admitted job id, or a typed
@@ -170,12 +347,26 @@ impl SolveService {
     /// [`RejectReason::DeadlineUnmeetable`] are the backpressure
     /// signals). Callable from any thread.
     pub fn submit(&self, tenant: TenantId, request: SolveRequest) -> Result<JobId, RejectReason> {
+        let job = self.state.lock().next_job;
+        self.submit_with_id(job, tenant, request).map(|()| job)
+    }
+
+    /// Submit under a caller-chosen job id (the sharded front door
+    /// allocates ids across shards). `job` must be `>=` every id this
+    /// shard has seen; on success the shard's own counter advances
+    /// past it.
+    pub(crate) fn submit_with_id(
+        &self,
+        job: JobId,
+        tenant: TenantId,
+        request: SolveRequest,
+    ) -> Result<(), RejectReason> {
         let mut st = self.state.lock();
         if !st.scheduler.is_registered(tenant) {
             return Err(RejectReason::UnknownTenant { tenant });
         }
         let session = request.session;
-        match st.sessions.get(session) {
+        match st.sessions.get(&session) {
             None => {
                 st.metrics.tenant_mut(tenant).jobs_rejected += 1;
                 return Err(RejectReason::UnknownSession { session });
@@ -203,11 +394,10 @@ impl SolveService {
                 }
             }
         }
-        let job = st.next_job;
         match st.queue.try_admit(job, tenant, request, Instant::now()) {
             Ok(()) => {
-                st.next_job += 1;
-                Ok(job)
+                st.next_job = st.next_job.max(job + 1);
+                Ok(())
             }
             Err(e) => {
                 st.metrics.tenant_mut(tenant).jobs_rejected += 1;
@@ -233,6 +423,8 @@ impl SolveService {
                 time_to_first_iteration: None,
                 turnaround: Duration::ZERO,
                 warm: false,
+                residual_history: Vec::new(),
+                migrations: 0,
             });
             return;
         }
@@ -256,6 +448,36 @@ impl SolveService {
         self.state.lock().scheduler.slices(tenant)
     }
 
+    /// Whether any job is queued or in flight.
+    pub fn has_work(&self) -> bool {
+        let st = self.state.lock();
+        !st.queue.is_empty() || !st.active.is_empty()
+    }
+
+    /// This shard's instantaneous load signal (queue depth, active
+    /// jobs, turnaround EWMA).
+    pub fn load(&self) -> ShardLoad {
+        let st = self.state.lock();
+        ShardLoad {
+            queued: st.queue.len(),
+            active: st.active.len(),
+            ewma_job_seconds: st.queue.ewma_job_seconds(),
+        }
+    }
+
+    /// The owning tenant of every queued job, duplicates preserved —
+    /// the sharded rebalancer's backlog signal.
+    pub fn queued_tenants(&self) -> Vec<TenantId> {
+        self.state.lock().queue.queued_tenants()
+    }
+
+    /// Every tenant's retained task spans, cloned out (the sharded
+    /// service merges these across shards before rendering one
+    /// combined trace).
+    pub fn span_groups(&self) -> Vec<(TenantId, Vec<TaskSpan>)> {
+        self.state.lock().metrics.span_groups()
+    }
+
     /// Tenant-tagged Chrome trace JSON (one process per tenant),
     /// with service-wide reduction-fence counters (`reduction_stages`,
     /// `reduction_stall_ms`) appended as Perfetto counter events.
@@ -270,6 +492,148 @@ impl SolveService {
             ),
         ];
         self.state.lock().metrics.chrome_trace_with_counters(&counters)
+    }
+
+    /// Detach a tenant for migration: its scheduler entry, sessions
+    /// (reduced to rebuildable specs — the cached plan stays behind),
+    /// queued jobs, and in-flight jobs checkpointed at their current
+    /// iterate (`SOL` snapshot after a fence, the same checkpoint
+    /// [`kdr_core::solve_recoverable`] takes). Returns `None` for an
+    /// unregistered tenant. The tenant stops existing on this shard;
+    /// a submit racing the cutover is rejected with a typed
+    /// [`RejectReason::UnknownTenant`] / `UnknownSession`, never
+    /// lost or crashed.
+    pub fn detach_tenant(&self, tenant: TenantId) -> Option<TenantBundle> {
+        let mut st = self.state.lock();
+        let weight = st.scheduler.unregister(tenant)?;
+        let queued = st.queue.remove_tenant(tenant);
+        let mut in_flight = Vec::new();
+        let mut i = 0;
+        while i < st.active.len() {
+            if st.active[i].tenant != tenant {
+                i += 1;
+                continue;
+            }
+            let mut a = st.active.remove(i);
+            // Checkpoint a mid-RHS job at its current iterate. The
+            // fence inside snapshot_sol drains the job's in-flight
+            // tasks first; a between-RHS job has nothing to snapshot
+            // (the next RHS starts from zero anyway).
+            let (sol, segment_iters) = match a.driver.as_ref() {
+                Some(d) => {
+                    let iters = d.iters();
+                    let sess = st
+                        .sessions
+                        .get_mut(&a.session)
+                        .expect("active job references a live session");
+                    (Some(sess.snapshot_sol()), iters)
+                }
+                None => (a.resume_sol.take(), 0),
+            };
+            // Drop the driver/solver *before* the session: their
+            // deferred-scalar handles release arena slots into the
+            // still-live backend.
+            a.driver = None;
+            a.solver = None;
+            in_flight.push(JobSnapshot {
+                job: a.job,
+                session: a.session,
+                request: a.request,
+                token: a.token,
+                rhs_idx: a.rhs_idx,
+                iterations: a.iterations,
+                rhs_done: a.rhs_done + segment_iters,
+                sol,
+                migrations: a.migrations,
+                trace: a.trace,
+                submitted_at: a.submitted_at,
+                started_at: a.started_at,
+                ttfi: a.ttfi,
+                warm: a.warm,
+                last_residual: a.last_residual,
+            });
+        }
+        let session_ids: Vec<SessionId> = st
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.tenant() == tenant)
+            .map(|(&id, _)| id)
+            .collect();
+        let sessions = session_ids
+            .into_iter()
+            .map(|id| {
+                let sess = st.sessions.remove(&id).expect("collected above");
+                (id, sess.spec().clone())
+            })
+            .collect();
+        Some(TenantBundle {
+            tenant,
+            weight,
+            sessions,
+            queued,
+            in_flight,
+        })
+    }
+
+    /// Attach a detached tenant to this shard: re-register it in the
+    /// fair scheduler (joining at minimum pass, the late-joiner
+    /// rule), rebuild its sessions over this shard's runtime, restore
+    /// its queued jobs (capacity-exempt: they were admitted once),
+    /// and install its checkpointed in-flight jobs for resumption.
+    /// Each resumed job rebuilds its solver from the checkpointed
+    /// iterate on first activation — restart semantics, identical to
+    /// a local checkpoint/restart at the same iteration.
+    pub fn attach_tenant(&self, bundle: TenantBundle) {
+        // Build sessions outside the state lock: construction touches
+        // only this shard's runtime handles.
+        let rebuilt: Vec<(SessionId, Session)> = bundle
+            .sessions
+            .into_iter()
+            .map(|(id, spec)| {
+                (
+                    id,
+                    Session::new(
+                        Arc::clone(&self.rt),
+                        Arc::clone(&self.mapper),
+                        bundle.tenant,
+                        spec,
+                    ),
+                )
+            })
+            .collect();
+        let mut st = self.state.lock();
+        st.scheduler.register(bundle.tenant, bundle.weight);
+        for (id, sess) in rebuilt {
+            st.sessions.insert(id, sess);
+            st.next_session = st.next_session.max(id + 1);
+        }
+        for snap in bundle.in_flight {
+            st.active.push(ActiveJob {
+                job: snap.job,
+                tenant: bundle.tenant,
+                session: snap.session,
+                request: snap.request,
+                token: snap.token,
+                rhs_idx: snap.rhs_idx,
+                driver: None,
+                solver: None,
+                ws_mark: 0,
+                preflighted: false,
+                iterations: snap.iterations,
+                rhs_done: snap.rhs_done,
+                resume_sol: snap.sol,
+                migrations: snap.migrations + 1,
+                trace: snap.trace,
+                submitted_at: snap.submitted_at,
+                started_at: snap.started_at,
+                ttfi: snap.ttfi,
+                warm: snap.warm,
+                last_residual: snap.last_residual,
+            });
+        }
+        for q in bundle.queued {
+            st.queue.restore(q);
+        }
     }
 
     /// Drive admitted work to completion: loop { pick tenant, run
@@ -337,7 +701,8 @@ impl SolveService {
                         None => CancelToken::new(),
                     },
                 };
-                let warm = st.sessions[q.request.session].warm();
+                let warm = st.sessions[&q.request.session].warm();
+                let trace = q.request.capture_history.then(SolveTrace::new);
                 st.active.push(ActiveJob {
                     job: q.job,
                     tenant: q.tenant,
@@ -349,6 +714,10 @@ impl SolveService {
                     ws_mark: 0,
                     preflighted: false,
                     iterations: 0,
+                    rhs_done: 0,
+                    resume_sol: None,
+                    migrations: 0,
+                    trace,
                     submitted_at: q.submitted_at,
                     started_at: None,
                     ttfi: None,
@@ -373,7 +742,9 @@ impl SolveService {
             let turnaround = started.elapsed();
             st.queue.observe_job_seconds(turnaround.as_secs_f64());
             st.metrics.tenant_mut(a.tenant).jobs_completed += 1;
-            st.sessions[a.session].end_solve(a.ws_mark);
+            if let Some(sess) = st.sessions.get_mut(&a.session) {
+                sess.end_solve(a.ws_mark);
+            }
             st.responses.push(SolveResponse {
                 job: a.job,
                 tenant: a.tenant,
@@ -384,6 +755,8 @@ impl SolveService {
                 time_to_first_iteration: a.ttfi,
                 turnaround,
                 warm: a.warm,
+                residual_history: a.trace.map(|t| t.residual_history).unwrap_or_default(),
+                migrations: a.migrations,
             });
         }
 
@@ -409,10 +782,12 @@ impl SolveService {
     /// whole job (all RHS) finished.
     fn step_slice(
         a: &mut ActiveJob,
-        sessions: &mut [Session],
+        sessions: &mut std::collections::BTreeMap<SessionId, Session>,
         budget: usize,
     ) -> (u64, Option<JobOutcome>) {
-        let session = &mut sessions[a.session];
+        let session = sessions
+            .get_mut(&a.session)
+            .expect("active job references a live session");
         let mut remaining = budget;
         let mut ran = 0u64;
 
@@ -422,7 +797,13 @@ impl SolveService {
                     a.started_at = Some(Instant::now());
                 }
                 let rhs = &a.request.rhs_batch[a.rhs_idx];
-                let (solver, mark) = session.begin_solve(rhs, a.request.priority);
+                let (solver, mark) = match a.resume_sol.take() {
+                    // Migration restore: rebuild the solver from the
+                    // checkpointed iterate (r = b − A·x recomputed by
+                    // the constructor — restart semantics).
+                    Some(sol) => session.begin_solve_resumed(rhs, a.request.priority, &sol),
+                    None => session.begin_solve(rhs, a.request.priority),
+                };
                 a.solver = Some(solver);
                 a.ws_mark = mark;
                 a.driver = Some(StepDriver::new());
@@ -430,11 +811,15 @@ impl SolveService {
             }
             let mut control = a.request.control.clone();
             control.cancel_token = Some(a.token.clone());
+            // A restarted RHS resumes with its remaining budget: the
+            // fresh driver counts from zero, so subtract what earlier
+            // segments already consumed.
+            control.max_iters = control.max_iters.saturating_sub(a.rhs_done);
 
             if !a.preflighted {
                 let driver = a.driver.as_mut().expect("installed above");
                 let solver = a.solver.as_mut().expect("installed above");
-                match driver.preflight(session.planner_mut(), solver.as_mut(), &control, None) {
+                match driver.preflight(session.planner_mut(), solver.as_mut(), &control, a.trace.as_mut()) {
                     Ok(None) => a.preflighted = true,
                     Ok(Some(report)) => {
                         a.last_residual = report.final_residual;
@@ -450,7 +835,7 @@ impl SolveService {
             let driver = a.driver.as_mut().expect("installed above");
             let solver = a.solver.as_mut().expect("installed above");
             let before_iters = driver.iters();
-            let status = driver.step(session.planner_mut(), solver.as_mut(), &control, None);
+            let status = driver.step(session.planner_mut(), solver.as_mut(), &control, a.trace.as_mut());
             let delta = (driver.iters() - before_iters) as u64;
             a.iterations += delta;
             ran += delta;
@@ -464,7 +849,7 @@ impl SolveService {
                     let drv = a.driver.take().expect("in flight");
                     let capped = !drv.converged();
                     let mut solver = a.solver.take().expect("in flight");
-                    match drv.finish(session.planner_mut(), solver.as_mut(), &control, None) {
+                    match drv.finish(session.planner_mut(), solver.as_mut(), &control, a.trace.as_mut()) {
                         Ok(report) => {
                             a.last_residual = report.final_residual;
                             if capped && !report.converged {
@@ -502,6 +887,8 @@ impl SolveService {
             .planner_mut()
             .release_workspace_from(a.ws_mark.max(kdr_core::RHS + 1));
         a.rhs_idx += 1;
+        a.rhs_done = 0;
+        a.resume_sol = None;
         if a.rhs_idx >= a.request.rhs_batch.len() {
             Some(JobOutcome::Converged {
                 final_residual: a.last_residual,

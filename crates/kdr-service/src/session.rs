@@ -89,7 +89,10 @@ impl SolverKind {
     }
 }
 
-/// Everything needed to set a session up.
+/// Everything needed to set a session up. Cloning is cheap (the
+/// operator is behind an [`Arc`]); cross-shard migration clones the
+/// spec to rebuild the session over the destination shard's runtime.
+#[derive(Clone)]
 pub struct SessionSpec {
     /// The operator (square, single-component).
     pub matrix: Arc<dyn SparseMatrix<f64>>,
@@ -104,10 +107,10 @@ pub struct SessionSpec {
 /// One tenant's long-lived, plan-cached problem setup.
 pub struct Session {
     tenant: TenantId,
-    unknowns: u64,
-    solver: SolverKind,
+    spec: SessionSpec,
     planner: Planner<f64>,
     jobs_completed: u64,
+    started_jobs: u64,
 }
 
 impl Session {
@@ -125,13 +128,13 @@ impl Session {
         let part = Partition::equal_blocks(spec.unknowns, spec.pieces);
         let d = planner.add_sol_vector(spec.unknowns, Some(part.clone()));
         let r = planner.add_rhs_vector(spec.unknowns, Some(part));
-        planner.add_operator(spec.matrix, d, r);
+        planner.add_operator(Arc::clone(&spec.matrix), d, r);
         Session {
             tenant,
-            unknowns: spec.unknowns,
-            solver: spec.solver,
+            spec,
             planner,
             jobs_completed: 0,
+            started_jobs: 0,
         }
     }
 
@@ -140,9 +143,17 @@ impl Session {
         self.tenant
     }
 
+    /// The spec this session was built from. Migration clones it to
+    /// rebuild an equivalent session over the destination shard's
+    /// runtime (the cached plan and traces stay behind — the rebuilt
+    /// session pays one cold finalize on its first post-move job).
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
     /// The session's unknown count (RHS length contract).
     pub fn unknowns(&self) -> u64 {
-        self.unknowns
+        self.spec.unknowns
     }
 
     /// Whether the session has completed at least one job (warm: the
@@ -167,6 +178,7 @@ impl Session {
     /// Returns the solver and the workspace mark to release in
     /// [`Session::end_solve`].
     pub fn begin_solve(&mut self, rhs: &[f64], priority: u8) -> (Box<dyn Solver<f64>>, usize) {
+        self.started_jobs += 1;
         self.planner.set_rhs_data(0, rhs);
         self.planner.set_task_priority(priority);
         let mark = self.planner.workspace_mark();
@@ -176,8 +188,62 @@ impl Session {
         if mark > 0 {
             self.planner.zero(SOL);
         }
-        let solver = self.solver.build(&mut self.planner);
+        let solver = self.solver_kind().build(&mut self.planner);
         (solver, mark)
+    }
+
+    /// [`Session::begin_solve`], but restart from a checkpointed
+    /// iterate instead of zero: the migration restore path. `sol` is
+    /// one slice per solution component, as produced by
+    /// [`Session::snapshot_sol`] on the source shard. The rebuilt
+    /// solver's constructor recomputes `r = b − A·x` from the restored
+    /// iterate — the same restart contract as
+    /// [`kdr_core::solve_recoverable`] — so a migrated continuation is
+    /// numerically identical to a local checkpoint/restart at the same
+    /// iteration.
+    pub fn begin_solve_resumed(
+        &mut self,
+        rhs: &[f64],
+        priority: u8,
+        sol: &[Vec<f64>],
+    ) -> (Box<dyn Solver<f64>>, usize) {
+        self.started_jobs += 1;
+        self.planner.set_rhs_data(0, rhs);
+        self.planner.set_task_priority(priority);
+        let mark = self.planner.workspace_mark();
+        for (c, data) in sol.iter().enumerate() {
+            // Pre-finalization the planner parks this as pending data
+            // and applies it when the solver constructor finalizes, so
+            // the restore works on a freshly rebuilt (cold) session
+            // exactly as on a warm one.
+            self.planner.set_sol_data(c, data);
+        }
+        let solver = self.solver_kind().build(&mut self.planner);
+        (solver, mark)
+    }
+
+    /// Snapshot the current iterate: one `Vec` per solution
+    /// component, read back after a fence so every in-flight update
+    /// has landed. This is the migration checkpoint (the same
+    /// `SOL`-snapshot the PR's checkpoint/restart recovery takes);
+    /// only call it while a solve is in flight or finished —
+    /// on a never-started session there is nothing meaningful to
+    /// snapshot.
+    pub fn snapshot_sol(&mut self) -> Vec<Vec<f64>> {
+        self.planner.fence();
+        (0..self.planner.num_sol_components())
+            .map(|c| self.planner.read_component(SOL, c))
+            .collect()
+    }
+
+    /// Whether any job ever started against this session (if not, it
+    /// can migrate as pure spec, with no snapshot to carry).
+    pub fn ever_started(&self) -> bool {
+        self.started_jobs > 0
+    }
+
+    fn solver_kind(&self) -> SolverKind {
+        self.spec.solver
     }
 
     /// Finish one solve: release pooled workspace (keeping buffer

@@ -1,0 +1,486 @@
+//! Scale-out: N independent shard runtimes behind one front door.
+//!
+//! One [`SolveService`] scales *within* a worker pool; past that, the
+//! single driver thread and the single runtime's reduction tree
+//! become the ceiling. [`ShardedService`] runs N complete
+//! `SolveService`s — each with its own runtime, worker pool, planner
+//! sessions, and fair scheduler — and one shared **admission front
+//! door** that owns tenant placement and global id allocation.
+//!
+//! Placement is **consistent-hash** by default (a splitmix64 ring
+//! with virtual nodes: adding a shard moves `~1/N` of tenants,
+//! everyone else stays put) with an optional **load-aware** override
+//! that places new tenants on the shard with the lowest load score
+//! (queue depth + active jobs, weighted by the shard's turnaround
+//! EWMA). A **rebalancer** — invoked between scheduling rounds of
+//! [`ShardedService::run_rounds`], never concurrently with a shard's
+//! slice — migrates one tenant from the most- to the least-loaded
+//! shard when the skew exceeds a configurable factor.
+//!
+//! **Migration** reuses the checkpoint/restart machinery: detach on
+//! the source shard (scheduler entry out, queued jobs out, in-flight
+//! jobs checkpointed at their current iterate via a fenced `SOL`
+//! snapshot), attach on the destination (sessions rebuilt from spec,
+//! solver rebuilt from the checkpoint on next activation — restart
+//! semantics, `r = b − A·x` recomputed). Because every kernel is
+//! bitwise deterministic, a migrated job's numerical trajectory is
+//! *identical* to a local checkpoint/restart at the same iteration.
+//! The front-door lock makes the cutover atomic: a submit racing a
+//! migration either lands before detach (and the job migrates with
+//! the tenant) or after attach (and routes to the new shard); an
+//! unknown session is rejected with a typed error, never lost.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use kdr_runtime::TaskSpan;
+
+use crate::metrics::TenantMetrics;
+use crate::request::{JobId, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId};
+use crate::service::{ServiceConfig, ShardLoad, SolveService};
+use crate::session::SessionSpec;
+
+/// Virtual nodes per shard on the consistent-hash ring. More points
+/// → smoother split at the cost of a larger (still tiny) ring.
+const VNODES_PER_SHARD: u64 = 64;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// How the front door places a newly seen tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Hash the tenant onto a consistent-hash ring of shard virtual
+    /// nodes. Deterministic: placement depends only on the ring seed,
+    /// the tenant id, and the shard count.
+    ConsistentHash,
+    /// Place on the shard with the lowest current load score
+    /// ([`ShardLoad::score`]), falling back to the hash ring among
+    /// equally loaded shards. Placement then depends on arrival order
+    /// and observed timing — use [`Placement::ConsistentHash`] when
+    /// cross-run placement determinism matters.
+    LoadAware,
+}
+
+/// Sharded-service construction knobs.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of independent shard runtimes (`>= 1`).
+    pub shards: usize,
+    /// New-tenant placement policy.
+    pub placement: Placement,
+    /// Rebalance when the busiest shard's load score exceeds the
+    /// least busy shard's by more than this factor (and by at least
+    /// two outstanding jobs). `0.0` disables the rebalancer —
+    /// required for bit-identical same-seed reruns, since load
+    /// scores observe wall-clock turnaround.
+    pub rebalance_factor: f64,
+    /// Per-shard service configuration. Each shard runs
+    /// `base.workers` workers; `base.seed` is salted with the shard
+    /// index so sibling schedulers don't break ties identically.
+    pub base: ServiceConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 2,
+            placement: Placement::ConsistentHash,
+            rebalance_factor: 0.0,
+            base: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Front-door bookkeeping: placement, global id allocation, and the
+/// migration cutover lock.
+struct FrontDoor {
+    /// Where each registered tenant currently lives.
+    placements: BTreeMap<TenantId, usize>,
+    /// Fair-share weight of each registered tenant (re-applied on the
+    /// destination shard when the tenant migrates).
+    weights: BTreeMap<TenantId, u64>,
+    /// Which tenant owns each session. Sessions follow their tenant
+    /// across shards, so a session's shard is `placements[owner]`.
+    session_owner: BTreeMap<SessionId, TenantId>,
+    /// Consistent-hash ring: sorted `(point, shard)` pairs.
+    ring: Vec<(u64, usize)>,
+    next_session: SessionId,
+    next_job: JobId,
+    migrations: u64,
+}
+
+impl FrontDoor {
+    /// The ring's shard for a tenant: first virtual node at or after
+    /// the tenant's hash point, wrapping.
+    fn ring_place(&self, tenant: TenantId) -> usize {
+        let point = splitmix64(u64::from(tenant).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        let i = self.ring.partition_point(|&(p, _)| p < point);
+        self.ring[i % self.ring.len()].1
+    }
+}
+
+/// N independent solve-service shards behind one admission front
+/// door. See the [module docs](self) for the architecture.
+///
+/// All front-door operations (`register_tenant`, `create_session`,
+/// `submit`, `migrate_tenant`) serialize on one lock; shard *drivers*
+/// ([`ShardedService::run_until_idle`] spawns one thread per shard
+/// with work) run outside it and only contend on their own shard's
+/// state lock, slice by slice.
+pub struct ShardedService {
+    shards: Vec<SolveService>,
+    front: Mutex<FrontDoor>,
+    cfg: ShardConfig,
+}
+
+impl ShardedService {
+    /// Spin up `cfg.shards` independent runtimes and an empty front
+    /// door.
+    pub fn new(cfg: ShardConfig) -> Self {
+        let n = cfg.shards.max(1);
+        let shards: Vec<SolveService> = (0..n)
+            .map(|i| {
+                let mut base = cfg.base.clone();
+                base.seed = splitmix64(base.seed ^ ((i as u64) << 32));
+                SolveService::new(base)
+            })
+            .collect();
+        let mut ring: Vec<(u64, usize)> = (0..n as u64)
+            .flat_map(|s| {
+                (0..VNODES_PER_SHARD)
+                    .map(move |v| (splitmix64((s << 20) | v), s as usize))
+            })
+            .collect();
+        ring.sort_unstable();
+        ShardedService {
+            shards,
+            front: Mutex::new(FrontDoor {
+                placements: BTreeMap::new(),
+                weights: BTreeMap::new(),
+                session_owner: BTreeMap::new(),
+                ring,
+                next_session: 0,
+                next_job: 0,
+                migrations: 0,
+            }),
+            cfg,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard engine (tests use this to arm fault
+    /// injection or inspect per-shard state).
+    pub fn shard(&self, idx: usize) -> &SolveService {
+        &self.shards[idx]
+    }
+
+    /// The shard a tenant currently lives on (`None` if
+    /// unregistered).
+    pub fn shard_of(&self, tenant: TenantId) -> Option<usize> {
+        self.front.lock().placements.get(&tenant).copied()
+    }
+
+    /// Completed cross-shard migrations so far (self-migrations are
+    /// not counted).
+    pub fn migrations(&self) -> u64 {
+        self.front.lock().migrations
+    }
+
+    /// Register (or re-weight) a tenant. First registration places
+    /// the tenant per the configured [`Placement`] policy;
+    /// re-registration only updates the weight, in place.
+    pub fn register_tenant(&self, tenant: TenantId, weight: u64) {
+        let mut front = self.front.lock();
+        let shard = match front.placements.get(&tenant) {
+            Some(&s) => s,
+            None => {
+                let s = self.place(&front, tenant);
+                front.placements.insert(tenant, s);
+                s
+            }
+        };
+        front.weights.insert(tenant, weight.max(1));
+        self.shards[shard].register_tenant(tenant, weight);
+    }
+
+    /// Pick a shard for a new tenant under the configured policy.
+    fn place(&self, front: &FrontDoor, tenant: TenantId) -> usize {
+        match self.cfg.placement {
+            Placement::ConsistentHash => front.ring_place(tenant),
+            Placement::LoadAware => {
+                let hash_choice = front.ring_place(tenant);
+                let loads: Vec<ShardLoad> =
+                    self.shards.iter().map(|s| s.load()).collect();
+                let min = loads
+                    .iter()
+                    .map(ShardLoad::score)
+                    .fold(f64::INFINITY, f64::min);
+                // Among the least-loaded shards, prefer the hash
+                // ring's choice so an idle fleet degenerates to pure
+                // consistent hashing.
+                if loads[hash_choice].score() <= min {
+                    hash_choice
+                } else {
+                    loads
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))
+                        .map(|(i, _)| i)
+                        .expect("at least one shard")
+                }
+            }
+        }
+    }
+
+    /// Create a plan-cached session for a registered tenant on its
+    /// current shard. Returns `Err(UnknownTenant)` for unregistered
+    /// tenants (the front door cannot place a session it could not
+    /// route jobs to).
+    pub fn create_session(
+        &self,
+        tenant: TenantId,
+        spec: SessionSpec,
+    ) -> Result<SessionId, RejectReason> {
+        let mut front = self.front.lock();
+        let Some(&shard) = front.placements.get(&tenant) else {
+            return Err(RejectReason::UnknownTenant { tenant });
+        };
+        let id = front.next_session;
+        front.next_session += 1;
+        front.session_owner.insert(id, tenant);
+        self.shards[shard].create_session_with_id(id, tenant, spec);
+        Ok(id)
+    }
+
+    /// Submit a request, routing it to the shard its session lives
+    /// on. Job ids are globally unique across shards. The routing
+    /// decision holds the front-door lock, so a submit racing a
+    /// migration cutover serializes against it: it either lands
+    /// before detach (the job migrates with its tenant) or after
+    /// attach (it routes to the new shard) — never in between.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        request: SolveRequest,
+    ) -> Result<JobId, RejectReason> {
+        let mut front = self.front.lock();
+        let Some(&shard) = front.placements.get(&tenant) else {
+            return Err(RejectReason::UnknownTenant { tenant });
+        };
+        match front.session_owner.get(&request.session) {
+            Some(&owner) if owner == tenant => {}
+            _ => {
+                return Err(RejectReason::UnknownSession {
+                    session: request.session,
+                });
+            }
+        }
+        let job = front.next_job;
+        self.shards[shard].submit_with_id(job, tenant, request)?;
+        front.next_job += 1;
+        Ok(job)
+    }
+
+    /// Cooperatively cancel a job on whichever shard holds it (a
+    /// no-op for unknown or already-completed ids).
+    pub fn cancel_job(&self, job: JobId) {
+        for shard in &self.shards {
+            shard.cancel_job(job);
+        }
+    }
+
+    /// Migrate a tenant — scheduler entry, sessions, queued jobs, and
+    /// checkpointed in-flight jobs — to `dst`. Atomic under the
+    /// front-door lock; safe to call while shard drivers are running
+    /// (detach serializes with the source driver's slice boundary).
+    /// Returns `false` for unregistered tenants or out-of-range
+    /// destinations; a self-migration still round-trips through
+    /// detach/attach (checkpointing in-flight work) but does not
+    /// count in [`ShardedService::migrations`].
+    pub fn migrate_tenant(&self, tenant: TenantId, dst: usize) -> bool {
+        if dst >= self.shards.len() {
+            return false;
+        }
+        let mut front = self.front.lock();
+        let Some(&src) = front.placements.get(&tenant) else {
+            return false;
+        };
+        let Some(bundle) = self.shards[src].detach_tenant(tenant) else {
+            return false;
+        };
+        self.shards[dst].attach_tenant(bundle);
+        front.placements.insert(tenant, dst);
+        if src != dst {
+            front.migrations += 1;
+        }
+        true
+    }
+
+    /// One rebalance pass: if the busiest shard's load score exceeds
+    /// the least busy one's by more than `rebalance_factor` (and by
+    /// at least two outstanding jobs), migrate the busiest shard's
+    /// heaviest-backlog tenant to the least busy shard. Returns the
+    /// migrated tenant, if any. No-op when `rebalance_factor == 0.0`.
+    pub fn rebalance(&self) -> Option<TenantId> {
+        if self.cfg.rebalance_factor <= 0.0 || self.shards.len() < 2 {
+            return None;
+        }
+        let loads: Vec<ShardLoad> = self.shards.iter().map(|s| s.load()).collect();
+        let (busy, _) = loads
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))?;
+        let (idle, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))?;
+        if busy == idle
+            || loads[busy].depth() < loads[idle].depth() + 2
+            || loads[busy].score() <= self.cfg.rebalance_factor * loads[idle].score().max(1e-9)
+        {
+            return None;
+        }
+        // Heaviest-backlog tenant on the busiest shard: most queued
+        // jobs, ties to the smallest id for determinism.
+        let candidate = {
+            let front = self.front.lock();
+            let mut counts: BTreeMap<TenantId, usize> = BTreeMap::new();
+            for (&t, &s) in front.placements.iter() {
+                if s == busy {
+                    counts.insert(t, 0);
+                }
+            }
+            drop(front);
+            for r in self.shards[busy].queued_tenants() {
+                if let Some(c) = counts.get_mut(&r) {
+                    *c += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
+                .map(|(t, _)| t)
+        };
+        let tenant = candidate?;
+        if self.migrate_tenant(tenant, idle) {
+            Some(tenant)
+        } else {
+            None
+        }
+    }
+
+    /// Drive every shard to completion: each round spawns one driver
+    /// thread per shard that has work, joins them, runs a rebalance
+    /// pass, and repeats until the whole fleet is idle. With the
+    /// rebalancer disabled a single round suffices; with it enabled,
+    /// later rounds drain migrated work.
+    pub fn run_until_idle(&self) {
+        loop {
+            let busy: Vec<usize> = (0..self.shards.len())
+                .filter(|&i| self.shards[i].has_work())
+                .collect();
+            if busy.is_empty() {
+                return;
+            }
+            std::thread::scope(|scope| {
+                for &i in &busy {
+                    let shard = &self.shards[i];
+                    scope.spawn(move || shard.run_until_idle());
+                }
+            });
+            self.rebalance();
+        }
+    }
+
+    /// Drive at most `rounds` rounds of `slices_per_shard` scheduler
+    /// slices on every shard with work (in parallel), with a
+    /// rebalance pass between rounds. Stops early when the fleet goes
+    /// idle; returns the rounds actually run. This is the incremental
+    /// flavor of [`ShardedService::run_until_idle`], giving the
+    /// rebalancer a deterministic cadence.
+    pub fn run_rounds(&self, rounds: usize, slices_per_shard: usize) -> usize {
+        for k in 0..rounds {
+            let busy: Vec<usize> = (0..self.shards.len())
+                .filter(|&i| self.shards[i].has_work())
+                .collect();
+            if busy.is_empty() {
+                return k;
+            }
+            std::thread::scope(|scope| {
+                for &i in &busy {
+                    let shard = &self.shards[i];
+                    scope.spawn(move || shard.run_slices(slices_per_shard));
+                }
+            });
+            self.rebalance();
+        }
+        rounds
+    }
+
+    /// Completed responses accumulated since the last call, collected
+    /// shard by shard in shard order (deterministic for a
+    /// deterministic schedule).
+    pub fn take_responses(&self) -> Vec<SolveResponse> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.take_responses());
+        }
+        all
+    }
+
+    /// Per-tenant metrics merged across shards: a migrated tenant's
+    /// counters accumulate on every shard it visited and sum here.
+    pub fn metrics(&self) -> BTreeMap<TenantId, TenantMetrics> {
+        let mut merged: BTreeMap<TenantId, TenantMetrics> = BTreeMap::new();
+        for shard in &self.shards {
+            for (tenant, m) in shard.metrics() {
+                merged.entry(tenant).or_default().merge(&m);
+            }
+        }
+        merged
+    }
+
+    /// Per-shard load signals (index = shard).
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        self.shards.iter().map(|s| s.load()).collect()
+    }
+
+    /// Tenant-tagged Chrome trace JSON merged across shards: one
+    /// Perfetto process per tenant (spans concatenated from every
+    /// shard the tenant ran on), with fleet-wide reduction counters
+    /// summed over shard runtimes. Meaningful only with
+    /// [`ServiceConfig::capture_events`] on in the base config.
+    pub fn chrome_trace(&self) -> String {
+        let mut per_tenant: BTreeMap<TenantId, Vec<TaskSpan>> = BTreeMap::new();
+        for shard in &self.shards {
+            for (tenant, spans) in shard.span_groups() {
+                per_tenant.entry(tenant).or_default().extend(spans);
+            }
+        }
+        let groups: Vec<(String, Vec<TaskSpan>)> = per_tenant
+            .into_iter()
+            .map(|(t, spans)| (format!("tenant-{t}"), spans))
+            .collect();
+        let (mut stages, mut stall_ns) = (0u64, 0u64);
+        for shard in &self.shards {
+            let snap = shard.runtime().metrics();
+            stages += snap.reduction_stages;
+            stall_ns += snap.reduction_stall_ns;
+        }
+        let counters = [
+            ("reduction_stages", stages as f64),
+            ("reduction_stall_ms", stall_ns as f64 / 1.0e6),
+        ];
+        kdr_runtime::chrome_trace_json_with_counters(&groups, &counters)
+    }
+}

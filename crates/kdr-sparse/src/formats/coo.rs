@@ -47,10 +47,12 @@ impl<T: Scalar, I: IndexInt> Coo<T, I> {
         }
     }
 
+    /// Row count.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// Column count.
     pub fn cols(&self) -> u64 {
         self.cols
     }
@@ -114,8 +116,11 @@ impl<T: Scalar, I: IndexInt> SparseMatrix<T> for Coo<T, I> {
 /// One COO record: entry plus its grid coordinates.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CooRecord<T, I> {
+    /// Row index.
     pub row: I,
+    /// Column index.
     pub col: I,
+    /// Stored value.
     pub value: T,
 }
 
@@ -148,6 +153,7 @@ impl<T: Scalar, I: IndexInt> CooAos<T, I> {
         }
     }
 
+    /// The stored records, in insertion order.
     pub fn records(&self) -> &[CooRecord<T, I>] {
         &self.records
     }

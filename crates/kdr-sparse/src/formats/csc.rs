@@ -50,14 +50,17 @@ impl<T: Scalar, I: IndexInt> Csc<T, I> {
         }
     }
 
+    /// Row count.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// Column count.
     pub fn cols(&self) -> u64 {
         self.colptr.len() as u64 - 1
     }
 
+    /// Column-pointer array (`cols + 1` entries).
     pub fn colptr(&self) -> &[u64] {
         &self.colptr
     }

@@ -47,10 +47,12 @@ impl<T: Scalar> Dense<T> {
         Dense { data, rows, cols }
     }
 
+    /// Row count.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// Column count.
     pub fn cols(&self) -> u64 {
         self.cols
     }

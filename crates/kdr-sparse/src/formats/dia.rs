@@ -68,10 +68,12 @@ impl<T: Scalar> Dia<T> {
         &self.offsets
     }
 
+    /// Row count.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// Column count.
     pub fn cols(&self) -> u64 {
         self.cols
     }

@@ -68,10 +68,12 @@ impl<T: Scalar, I: IndexInt> Ell<T, I> {
         }
     }
 
+    /// Row count.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// Column count.
     pub fn cols(&self) -> u64 {
         self.cols
     }

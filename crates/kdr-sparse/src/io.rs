@@ -14,7 +14,9 @@ use crate::triples::Triples;
 /// Errors from Matrix Market parsing.
 #[derive(Debug)]
 pub enum MmError {
+    /// The file could not be read.
     Io(std::io::Error),
+    /// The contents were not valid Matrix Market data.
     Parse(String),
 }
 

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # kdr-sparse
 //!
 //! Sparse matrix storage formats for the KDRSolvers framework.

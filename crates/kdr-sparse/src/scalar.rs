@@ -32,7 +32,9 @@ pub trait Scalar:
     + Sum
     + 'static
 {
+    /// Additive identity.
     const ZERO: Self;
+    /// Multiplicative identity.
     const ONE: Self;
 
     /// Lossy conversion from `f64` (used by generators and tolerances).

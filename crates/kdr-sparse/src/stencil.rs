@@ -53,13 +53,19 @@ impl StencilKind {
 /// must be 1.
 #[derive(Clone, Copy, Debug)]
 pub struct Stencil {
+    /// Which stencil.
     pub kind: StencilKind,
+    /// Grid extent in x.
     pub nx: u64,
+    /// Grid extent in y (1 for 1-D stencils).
     pub ny: u64,
+    /// Grid extent in z (1 below 3-D).
     pub nz: u64,
 }
 
 impl Stencil {
+    /// A stencil problem over an `nx × ny × nz` grid; extents of
+    /// unused dimensions must be 1.
     pub fn new(kind: StencilKind, nx: u64, ny: u64, nz: u64) -> Self {
         match kind.dims() {
             1 => assert!(
@@ -333,6 +339,7 @@ pub struct StencilOperator<T> {
 }
 
 impl<T: Scalar> StencilOperator<T> {
+    /// A matrix-free operator for `stencil`.
     pub fn new(stencil: Stencil) -> Self {
         let (ny, nz) = (stencil.ny, stencil.nz);
         let mut pairs: Vec<(i64, (i64, i64, i64))> = Vec::new();

@@ -8,6 +8,11 @@ cargo test -q
 cargo test --doc -q
 cargo clippy --all-targets -- -D warnings
 
+# Documentation gate: every public item documented (missing_docs is
+# warn at the crate level, promoted to an error here) and no broken
+# intra-doc links anywhere in the workspace.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 # Fault-injection matrix, as an explicit leg so a fault-path
 # regression fails loudly on its own: panic isolation, deterministic
 # injection, breakdown detection, checkpoint/restart. The dev profile
@@ -29,6 +34,13 @@ cargo run --release -p kdr-bench --bin spmv_kernels
 # <= 2.0 at equal weights), warm-beats-cold time-to-first-iteration,
 # and a bit-identical completion order on a same-seed rerun.
 cargo run -p kdr-bench --bin service_stress -- --ci
+
+# Sharded-service leg (dev profile): 16 tenants across 4 shard
+# runtimes behind one front door, fixed-budget jobs, asserting zero
+# lost and zero duplicated jobs, exact iteration budgets, per-shard
+# fairness <= 1.05 over a continuously-runnable window, and a
+# bit-identical fleet-wide response fingerprint on a same-seed rerun.
+cargo run -p kdr-bench --bin service_stress -- --ci-sharded
 
 # Fence-minimal Krylov leg: asserts classic CG spends exactly 2
 # reduction stages per iteration, the fused/pipelined variants
