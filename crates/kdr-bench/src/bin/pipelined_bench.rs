@@ -198,6 +198,7 @@ fn run_service(v: Variant, grid: u64, jobs_per_tenant: usize) -> f64 {
                 unknowns: n,
                 pieces: 4,
                 solver: v.service_kind(),
+                stencil: None,
             },
         );
         for j in 0..jobs_per_tenant {

@@ -108,6 +108,7 @@ fn run_scale(tenants: u32, jobs_per_tenant: usize, grid: u64, workers: usize) ->
                 unknowns: n,
                 pieces: 4,
                 solver: SolverKind::Cg,
+                stencil: None,
             },
         );
         for j in 0..jobs_per_tenant {
@@ -263,6 +264,7 @@ fn run_sharded_scale(
                     unknowns: n,
                     pieces: 2,
                     solver: SolverKind::Cg,
+                    stencil: None,
                 },
             )
             .expect("registered tenant");

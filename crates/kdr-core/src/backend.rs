@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use kdr_index::{IntervalSet, Partition};
-use kdr_sparse::{KernelChoice, Scalar, SparseMatrix};
+use kdr_sparse::{KernelChoice, Scalar, SparseMatrix, Stencil};
 
 /// Backend vector handle (a multi-component vector instance).
 pub type BVec = usize;
@@ -165,6 +165,16 @@ pub struct OpComponentSpec<T> {
     pub rhs_comp: usize,
     /// Tiles derived by dependent partitioning.
     pub tiles: Vec<TileSpec>,
+    /// When `Some`, the component is *implicit*: a stencil descriptor
+    /// fully determines every tile's entries, so execution backends
+    /// build matrix-free kernels straight from each tile's
+    /// `out_subset` row runs and **skip triplet extraction entirely**
+    /// — zero value arrays, zero COO→CSR conversion. `matrix` is
+    /// still present (it drives dependent partitioning and the
+    /// simulator), but an execution backend never reads its entries.
+    /// Zero-fill planning is unchanged: `out_subset`/`in_union`
+    /// footprints are exact either way.
+    pub stencil: Option<Stencil>,
 }
 
 /// A full operator set (all components of `A_total` or `P_total`).

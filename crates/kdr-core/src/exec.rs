@@ -51,7 +51,7 @@ use kdr_runtime::{
 };
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
-use kdr_sparse::{KernelKind, Scalar, TileKernel, VecIn, VecOut};
+use kdr_sparse::{KernelChoice, KernelKind, Scalar, StencilTile, TileKernel, VecIn, VecOut};
 
 use crate::backend::{
     BVec, Backend, BackendFault, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
@@ -94,6 +94,10 @@ fn kernel_task_name(kind: KernelKind, transpose: bool, zero: bool) -> &'static s
         (KernelKind::Bcsr, false, true) => "spmv_bcsr_z",
         (KernelKind::Bcsr, true, false) => "spmv_t_bcsr",
         (KernelKind::Bcsr, true, true) => "spmv_t_bcsr_z",
+        (KernelKind::Stencil, false, false) => "spmv_stencil",
+        (KernelKind::Stencil, false, true) => "spmv_stencil_z",
+        (KernelKind::Stencil, true, false) => "spmv_t_stencil",
+        (KernelKind::Stencil, true, true) => "spmv_t_stencil_z",
     }
 }
 
@@ -134,9 +138,14 @@ pub struct ExecMetrics {
     /// for reduction results — the fence tax, directly.
     pub reduction_stall_ns: u64,
     /// Registered tiles per lowered kernel kind (`"csr"`, `"dia"`,
-    /// `"ell"`, `"bcsr"`), across all opsets. Empty tiles are dropped
-    /// at registration and not counted.
+    /// `"ell"`, `"bcsr"`, `"stencil"`), across all opsets. Empty
+    /// tiles are dropped at registration and not counted.
     pub tiles_by_kernel: BTreeMap<&'static str, usize>,
+    /// Bytes of operator *value* storage across all registered
+    /// opsets, format padding included. Matrix-free stencil tiles
+    /// contribute zero — this is the storage side of the matrix-free
+    /// win, next to the apply-time side in BENCH_spmv.json.
+    pub operator_value_bytes: u64,
 }
 
 impl ExecMetrics {
@@ -179,6 +188,10 @@ impl<T: Scalar> VecIn<T> for RV<T> {
     fn load(&self, i: usize) -> T {
         self.0.get(i)
     }
+    #[inline(always)]
+    fn range(&self, lo: usize, n: usize) -> Option<&[T]> {
+        Some(self.0.range(lo, n))
+    }
 }
 
 /// Adapter giving tile kernels read-modify-write access to a runtime
@@ -193,6 +206,10 @@ impl<T: Scalar> VecOut<T> for WV<T> {
     #[inline(always)]
     fn store(&mut self, i: usize, v: T) {
         self.0.set(i, v);
+    }
+    #[inline(always)]
+    fn range_mut(&mut self, lo: usize, n: usize) -> Option<&mut [T]> {
+        Some(self.0.range_mut(lo, n))
     }
 }
 
@@ -514,11 +531,13 @@ impl<T: Scalar> ExecBackend<T> {
     /// backend's scalar-arena, trace-cache, and step-outcome state.
     pub fn metrics(&self) -> ExecMetrics {
         let mut tiles_by_kernel = BTreeMap::new();
+        let mut operator_value_bytes = 0u64;
         for opset in &self.opsets {
             for tile in &opset.tiles {
                 if let Some(kind) = tile.kernel.kind() {
                     *tiles_by_kernel.entry(kind.name()).or_insert(0) += 1;
                 }
+                operator_value_bytes += tile.kernel.value_bytes() as u64;
             }
         }
         ExecMetrics {
@@ -541,6 +560,7 @@ impl<T: Scalar> ExecBackend<T> {
             },
             reduction_stall_ns: self.reduction_stall_ns,
             tiles_by_kernel,
+            operator_value_bytes,
         }
     }
 
@@ -702,8 +722,51 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
     }
 
     fn register_operator(&mut self, spec: OpSetSpec<T>) -> OpHandle {
+        // Forcing an *assembled* kind extracts and lowers even
+        // stencil-described components — the caller explicitly asked
+        // for stored values (the bitwise comparison legs do). Auto or
+        // `Force(Stencil)` keeps descriptor components matrix-free.
+        let forced_assembled =
+            matches!(spec.kernel_choice, KernelChoice::Force(k) if k != KernelKind::Stencil);
         let mut tiles: Vec<ExecTile<T>> = Vec::new();
         for comp in &spec.components {
+            if let (Some(desc), false) = (comp.stencil, forced_assembled) {
+                // Implicit component: the descriptor plus each tile's
+                // out-subset row runs fully determine the kernel — no
+                // triplet extraction, no value arrays, no COO→CSR
+                // conversion. The zero-fill plan below still sees the
+                // exact out/in footprints from dependent partitioning.
+                for t in &comp.tiles {
+                    let runs: Vec<(u64, u64)> =
+                        t.out_subset.runs().iter().map(|r| (r.lo, r.hi)).collect();
+                    let st = StencilTile::new(desc, runs);
+                    if st.nnz() == 0 {
+                        continue;
+                    }
+                    let in_color = t
+                        .in_by_color
+                        .iter()
+                        .max_by_key(|(_, ghost)| ghost.cardinality())
+                        .map(|(c, _)| *c)
+                        .unwrap_or(t.range_color);
+                    tiles.push(ExecTile {
+                        rhs_comp: t.rhs_comp,
+                        sol_comp: t.sol_comp,
+                        out_subset: t.out_subset.clone(),
+                        in_union: t.in_union.clone(),
+                        color: piece_color(t.rhs_comp, t.range_color),
+                        in_color: piece_color(t.sol_comp, in_color),
+                        kernel: Arc::new(TileKernel::Stencil(st)),
+                    });
+                }
+                continue;
+            }
+            // An implicit spec must never reach triplet extraction
+            // unless an assembled kind was explicitly forced.
+            debug_assert!(
+                comp.stencil.is_none() || forced_assembled,
+                "implicit operator spec reached triplet extraction"
+            );
             // One format-independent pass gathers each tile's
             // triplets; lowering then picks the specialized kernel.
             let trips = extract_tile_triplets(comp.matrix.as_ref(), &comp.tiles);
@@ -1430,6 +1493,7 @@ mod tests {
                 sol_comp: 0,
                 rhs_comp: 0,
                 tiles,
+                stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
         });
@@ -1473,6 +1537,7 @@ mod tests {
                     matrix: Arc::clone(&m),
                     sol_comp: 0,
                     rhs_comp: 0,
+                    stencil: None,
                     tiles,
                 }],
                 kernel_choice: choice,
@@ -1516,6 +1581,7 @@ mod tests {
                 sol_comp: 0,
                 rhs_comp: 0,
                 tiles,
+                stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
         });
@@ -1540,6 +1606,7 @@ mod tests {
                 sol_comp: 0,
                 rhs_comp: 0,
                 tiles,
+                stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
         });
@@ -1575,6 +1642,7 @@ mod tests {
                 sol_comp: 0,
                 rhs_comp: 0,
                 tiles,
+                stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
         });

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use kdr_index::Partition;
-use kdr_sparse::{KernelChoice, Scalar, SparseMatrix};
+use kdr_sparse::{KernelChoice, Scalar, SparseMatrix, Stencil, StencilOperator};
 
 use crate::backend::{BVec, Backend, CompSpec, OpComponentSpec, OpHandle, OpSetSpec, StepOutcome};
 use crate::partitioning::compute_tiles;
@@ -50,6 +50,10 @@ struct PendingOp<T> {
     matrix: Arc<dyn SparseMatrix<T>>,
     sol_comp: usize,
     rhs_comp: usize,
+    /// `Some` marks the operator as *implicit*: execution backends
+    /// rebuild its entries from this stencil descriptor on the fly
+    /// instead of extracting and storing them.
+    stencil: Option<Stencil>,
 }
 
 /// The KDRSolvers planner.
@@ -156,6 +160,38 @@ impl<T: Scalar> Planner<T> {
             matrix,
             sol_comp: sol_id,
             rhs_comp: rhs_id,
+            stencil: None,
+        });
+    }
+
+    /// Add an *implicit* operator component described by a stencil
+    /// descriptor rather than assembled storage. Partitioning and the
+    /// simulation backend see an ordinary [`StencilOperator`] (its
+    /// relations are exact), but execution backends skip triplet
+    /// extraction entirely and apply the stencil matrix-free from each
+    /// tile's row runs — zero stored value bytes, bitwise identical
+    /// results to the assembled path. Under
+    /// [`KernelChoice::Force`] of an assembled kind the descriptor is
+    /// assembled normally instead (explicit request for stored
+    /// values).
+    pub fn add_stencil_operator(&mut self, desc: Stencil, sol_id: usize, rhs_id: usize) {
+        assert!(!self.finalized, "planner already finalized");
+        let matrix: Arc<dyn SparseMatrix<T>> = Arc::new(StencilOperator::new(desc));
+        assert_eq!(
+            matrix.domain_space().size(),
+            self.sol_comps[sol_id].len,
+            "operator domain does not match sol component {sol_id}"
+        );
+        assert_eq!(
+            matrix.range_space().size(),
+            self.rhs_comps[rhs_id].len,
+            "operator range does not match rhs component {rhs_id}"
+        );
+        self.ops.push(PendingOp {
+            matrix,
+            sol_comp: sol_id,
+            rhs_comp: rhs_id,
+            stencil: Some(desc),
         });
     }
 
@@ -183,6 +219,7 @@ impl<T: Scalar> Planner<T> {
             matrix,
             sol_comp: sol_id,
             rhs_comp: rhs_id,
+            stencil: None,
         });
     }
 
@@ -206,6 +243,7 @@ impl<T: Scalar> Planner<T> {
                     matrix: Arc::clone(&op.matrix),
                     sol_comp: op.sol_comp,
                     rhs_comp: op.rhs_comp,
+                    stencil: op.stencil,
                     tiles: compute_tiles(
                         op.matrix.as_ref(),
                         &self.sol_comps[op.sol_comp].partition,
@@ -227,6 +265,7 @@ impl<T: Scalar> Planner<T> {
                     // rhs component, output the sol component.
                     sol_comp: op.rhs_comp,
                     rhs_comp: op.sol_comp,
+                    stencil: op.stencil,
                     tiles: compute_tiles(
                         op.matrix.as_ref(),
                         &self.rhs_comps[op.rhs_comp].partition,

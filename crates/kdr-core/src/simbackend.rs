@@ -704,6 +704,7 @@ mod tests {
                 matrix: op,
                 sol_comp: 0,
                 rhs_comp: 0,
+                stencil: None,
                 tiles,
             }],
             kernel_choice: kdr_sparse::KernelChoice::Auto,

@@ -177,6 +177,26 @@ impl IntervalSet {
             .is_ok()
     }
 
+    /// True iff the whole half-open range `[lo, hi)` is contained in
+    /// the set (equivalently, in a single run — runs are maximal).
+    /// Empty ranges are trivially contained.
+    pub fn contains_range(&self, lo: u64, hi: u64) -> bool {
+        if lo >= hi {
+            return true;
+        }
+        self.runs
+            .binary_search_by(|r| {
+                if r.hi <= lo {
+                    std::cmp::Ordering::Less
+                } else if r.lo > lo {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok_and(|k| hi <= self.runs[k].hi)
+    }
+
     /// Iterate over the individual points of the set.
     pub fn iter_points(&self) -> impl Iterator<Item = u64> + '_ {
         self.runs.iter().flat_map(|r| r.lo..r.hi)

@@ -193,6 +193,27 @@ impl<T: Copy> ReadView<T> {
         unsafe { std::ptr::read(self.ptr.add(i)) }
     }
 
+    /// Borrow the contiguous elements `[lo, lo + n)` as a slice, for
+    /// vectorized kernel sweeps. Same access discipline as
+    /// [`ReadView::get`], asserted once for the whole range in debug
+    /// builds instead of per element.
+    #[inline]
+    pub fn range(&self, lo: usize, n: usize) -> &[T] {
+        debug_assert!(
+            lo + n <= self.len,
+            "range [{lo}, {}) out of bounds {}",
+            lo + n,
+            self.len
+        );
+        debug_assert!(
+            self.subset.contains_range(lo as u64, (lo + n) as u64),
+            "read of undeclared range [{lo}, {})",
+            lo + n
+        );
+        // SAFETY: in bounds; data-race freedom per module docs.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(lo), n) }
+    }
+
     /// The declared subset of this view.
     pub fn subset(&self) -> &IntervalSet {
         &self.subset
@@ -252,6 +273,29 @@ impl<T: Copy> WriteView<T> {
         );
         // SAFETY: in bounds; exclusivity per module docs.
         unsafe { std::ptr::write(self.ptr.add(i), v) };
+    }
+
+    /// Borrow the contiguous elements `[lo, lo + n)` as a mutable
+    /// slice, for vectorized kernel sweeps. Same access discipline as
+    /// [`WriteView::set`], asserted once for the whole range in debug
+    /// builds instead of per element.
+    #[inline]
+    pub fn range_mut(&mut self, lo: usize, n: usize) -> &mut [T] {
+        debug_assert!(
+            lo + n <= self.len,
+            "range [{lo}, {}) out of bounds {}",
+            lo + n,
+            self.len
+        );
+        debug_assert!(
+            self.subset.contains_range(lo as u64, (lo + n) as u64),
+            "write of undeclared range [{lo}, {})",
+            lo + n
+        );
+        // SAFETY: in bounds; exclusivity per module docs (the runtime
+        // hands each task disjoint write subsets, so no two slices
+        // returned here alias live mutable access).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), n) }
     }
 
     /// The declared subset of this view.

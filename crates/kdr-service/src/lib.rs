@@ -32,20 +32,20 @@
 //!   checkpoint/restart machinery (see the [`sharded`] module docs).
 //!
 //! ```
-//! use std::sync::Arc;
 //! use kdr_core::SolveControl;
 //! use kdr_service::{ServiceConfig, SessionSpec, SolveRequest, SolveService, SolverKind};
-//! use kdr_sparse::{SparseMatrix, Stencil};
+//! use kdr_sparse::Stencil;
 //! use kdr_sparse::stencil::rhs_vector;
 //!
 //! let svc = SolveService::new(ServiceConfig::default());
 //! svc.register_tenant(1, 1);
 //! let s = Stencil::lap2d(8, 8);
 //! let n = s.unknowns();
-//! let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
-//! let sid = svc.create_session(1, SessionSpec {
-//!     matrix: m, unknowns: n, pieces: 2, solver: SolverKind::Cg,
-//! });
+//! // Stencil-described session: the operator is never assembled —
+//! // every tile applies matrix-free from the descriptor. Assembled
+//! // operators instead construct the spec literally with
+//! // `matrix: ..., stencil: None`.
+//! let sid = svc.create_session(1, SessionSpec::stencil(s, 2, SolverKind::Cg));
 //! let job = svc
 //!     .submit(1, SolveRequest::new(sid, rhs_vector::<f64>(n, 7),
 //!         SolveControl::to_tolerance(1e-10, 500)))

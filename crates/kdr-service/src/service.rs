@@ -93,7 +93,7 @@ pub struct ServiceConfig {
     ///         svc.register_tenant(t, 1);
     ///         let sid = svc.create_session(t, SessionSpec {
     ///             matrix: Arc::clone(&matrix), unknowns: n, pieces: 2,
-    ///             solver: SolverKind::Cg,
+    ///             solver: SolverKind::Cg, stencil: None,
     ///         });
     ///         svc.submit(t, SolveRequest::new(sid, rhs_vector::<f64>(n, t as u64),
     ///             SolveControl::to_tolerance(1e-10, 500))).unwrap();

@@ -19,7 +19,7 @@ use kdr_core::{
 };
 use kdr_index::Partition;
 use kdr_runtime::{ColorAffinityMapper, Runtime};
-use kdr_sparse::SparseMatrix;
+use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
 
 use crate::request::TenantId;
 
@@ -102,6 +102,29 @@ pub struct SessionSpec {
     pub pieces: usize,
     /// The method jobs against this session run.
     pub solver: SolverKind,
+    /// When `Some`, the operator is registered *implicitly* from this
+    /// stencil descriptor: the runtime applies it matrix-free (zero
+    /// stored value bytes) and `matrix` is never read for entries.
+    /// Build such specs with [`SessionSpec::stencil`].
+    pub stencil: Option<Stencil>,
+}
+
+impl SessionSpec {
+    /// Build a spec whose operator is described by a stencil
+    /// descriptor alone — no assembly, no stored values. The session
+    /// registers it through
+    /// [`kdr_core::Planner::add_stencil_operator`], so every tile of
+    /// the operator applies matrix-free, bitwise identical to the
+    /// assembled equivalent.
+    pub fn stencil(desc: Stencil, pieces: usize, solver: SolverKind) -> Self {
+        SessionSpec {
+            matrix: Arc::new(StencilOperator::<f64>::new(desc)),
+            unknowns: desc.unknowns(),
+            pieces,
+            solver,
+            stencil: Some(desc),
+        }
+    }
 }
 
 /// One tenant's long-lived, plan-cached problem setup.
@@ -128,7 +151,10 @@ impl Session {
         let part = Partition::equal_blocks(spec.unknowns, spec.pieces);
         let d = planner.add_sol_vector(spec.unknowns, Some(part.clone()));
         let r = planner.add_rhs_vector(spec.unknowns, Some(part));
-        planner.add_operator(Arc::clone(&spec.matrix), d, r);
+        match spec.stencil {
+            Some(desc) => planner.add_stencil_operator(desc, d, r),
+            None => planner.add_operator(Arc::clone(&spec.matrix), d, r),
+        }
         Session {
             tenant,
             spec,

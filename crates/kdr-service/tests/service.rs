@@ -21,6 +21,7 @@ fn spec(nx: u64, ny: u64, pieces: usize, solver: SolverKind) -> SessionSpec {
         unknowns: n,
         pieces,
         solver,
+        stencil: None,
     }
 }
 
@@ -359,4 +360,43 @@ fn every_solver_kind_runs_as_a_session() {
             resp[0].outcome
         );
     }
+}
+
+#[test]
+fn stencil_session_matches_assembled_bitwise() {
+    // A stencil-described session (matrix-free operator, zero stored
+    // value bytes) must reproduce the assembled session's numerical
+    // trajectory sample for sample, bit for bit.
+    let s = Stencil::lap3d7(8, 8, 8);
+    let n = s.unknowns();
+    let run = |spec: SessionSpec| -> Vec<(usize, u64)> {
+        let svc = SolveService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        svc.register_tenant(1, 1);
+        let sid = svc.create_session(1, spec);
+        let mut req = SolveRequest::new(sid, rhs_vector::<f64>(n, 9), control());
+        req.capture_history = true;
+        svc.submit(1, req).unwrap();
+        svc.run_until_idle();
+        let mut resp = svc.take_responses();
+        assert_eq!(resp.len(), 1);
+        let r = resp.pop().unwrap();
+        assert!(r.outcome.is_converged(), "{:?}", r.outcome);
+        r.residual_history
+            .iter()
+            .map(|&(i, v)| (i, v.to_bits()))
+            .collect()
+    };
+    let implicit = run(SessionSpec::stencil(s, 4, SolverKind::Cg));
+    let assembled = run(SessionSpec {
+        matrix: Arc::new(s.to_csr::<f64, u64>()) as Arc<dyn SparseMatrix<f64>>,
+        unknowns: n,
+        pieces: 4,
+        solver: SolverKind::Cg,
+        stencil: None,
+    });
+    assert!(!implicit.is_empty());
+    assert_eq!(implicit, assembled, "residual histories diverge");
 }

@@ -21,6 +21,7 @@ fn spec(nx: u64, ny: u64, pieces: usize, solver: SolverKind) -> SessionSpec {
         unknowns: n,
         pieces,
         solver,
+        stencil: None,
     }
 }
 

@@ -24,6 +24,7 @@ fn spec(nx: u64, ny: u64, pieces: usize) -> SessionSpec {
         unknowns: n,
         pieces,
         solver: SolverKind::Cg,
+        stencil: None,
     }
 }
 

@@ -33,6 +33,7 @@
 pub mod convert;
 pub mod formats;
 pub mod io;
+pub mod matfree;
 pub mod matrix;
 pub mod scalar;
 pub mod stencil;
@@ -47,6 +48,7 @@ pub use formats::dense::Dense;
 pub use formats::dia::Dia;
 pub use formats::ell::{Ell, EllT};
 pub use formats::hyb::Hyb;
+pub use matfree::StencilTile;
 pub use matrix::SparseMatrix;
 pub use scalar::{IndexInt, Scalar};
 pub use stencil::{Stencil, StencilKind, StencilOperator, VirtualBanded};

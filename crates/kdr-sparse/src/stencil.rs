@@ -140,62 +140,83 @@ impl Stencil {
         self.nnz() as f64 / self.unknowns() as f64
     }
 
-    /// Visit the entries of one matrix row as `(col, value)`.
+    /// The stencil's points as coordinate displacements
+    /// `(dx, dy, dz)`, in lexicographic order, plus the live count.
+    /// Lexicographic displacement order is ascending *column* order
+    /// for every surviving (in-grid) neighbor — columns compare
+    /// lexicographically on the coordinate triple, and coordinates are
+    /// monotone in the displacements — so every emitter below shares
+    /// this one ordering and [`Stencil::point_weight`] for values.
+    /// This is the single source of truth for the stencil geometry.
+    fn points(&self) -> ([(i64, i64, i64); 27], usize) {
+        let mut pts = [(0i64, 0i64, 0i64); 27];
+        let mut k = 0;
+        match self.kind {
+            StencilKind::Lap1D3 | StencilKind::Lap2D5 | StencilKind::Lap3D7 => {
+                let dims = self.kind.dims();
+                // Lexicographic: -x, -y, -z, center, +z, +y, +x.
+                pts[k] = (-1, 0, 0);
+                k += 1;
+                if dims >= 2 {
+                    pts[k] = (0, -1, 0);
+                    k += 1;
+                }
+                if dims >= 3 {
+                    pts[k] = (0, 0, -1);
+                    k += 1;
+                }
+                pts[k] = (0, 0, 0);
+                k += 1;
+                if dims >= 3 {
+                    pts[k] = (0, 0, 1);
+                    k += 1;
+                }
+                if dims >= 2 {
+                    pts[k] = (0, 1, 0);
+                    k += 1;
+                }
+                pts[k] = (1, 0, 0);
+                k += 1;
+            }
+            StencilKind::Lap3D27 => {
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            pts[k] = (dx, dy, dz);
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (pts, k)
+    }
+
+    /// Visit the entries of one matrix row as `(col, value)`, in
+    /// ascending column order. This is the one boundary-clipping
+    /// implementation every materialization shares — `tile_csr`,
+    /// `slab_nnz`, [`StencilOperator`] extraction, and the matrix-free
+    /// kernel's boundary rows all route through here.
     pub fn row_entries<T: Scalar>(&self, row: u64, out: &mut Vec<(u64, T)>) {
         out.clear();
         let (ny, nz) = (self.ny, self.nz);
-        let x = row / (ny * nz);
-        let y = (row / nz) % ny;
-        let z = row % nz;
-        match self.kind {
-            StencilKind::Lap1D3 | StencilKind::Lap2D5 | StencilKind::Lap3D7 => {
-                let diag = T::from_f64(2.0 * self.kind.dims() as f64);
-                let off = T::from_f64(-1.0);
-                // Emit in column order: -x, -y, -z, center, +z, +y, +x.
-                if x > 0 {
-                    out.push((row - ny * nz, off));
-                }
-                if self.kind.dims() >= 2 && y > 0 {
-                    out.push((row - nz, off));
-                }
-                if self.kind.dims() >= 3 && z > 0 {
-                    out.push((row - 1, off));
-                }
-                out.push((row, diag));
-                if self.kind.dims() >= 3 && z + 1 < nz {
-                    out.push((row + 1, off));
-                }
-                if self.kind.dims() >= 2 && y + 1 < ny {
-                    out.push((row + nz, off));
-                }
-                if x + 1 < self.nx {
-                    out.push((row + ny * nz, off));
-                }
+        let x = (row / (ny * nz)) as i64;
+        let y = ((row / nz) % ny) as i64;
+        let z = (row % nz) as i64;
+        let (pts, k) = self.points();
+        for &(dx, dy, dz) in &pts[..k] {
+            let (xx, yy, zz) = (x + dx, y + dy, z + dz);
+            if xx < 0
+                || xx >= self.nx as i64
+                || yy < 0
+                || yy >= ny as i64
+                || zz < 0
+                || zz >= nz as i64
+            {
+                continue;
             }
-            StencilKind::Lap3D27 => {
-                let diag = T::from_f64(26.0);
-                let off = T::from_f64(-1.0);
-                for dx in -1i64..=1 {
-                    let xx = x as i64 + dx;
-                    if xx < 0 || xx >= self.nx as i64 {
-                        continue;
-                    }
-                    for dy in -1i64..=1 {
-                        let yy = y as i64 + dy;
-                        if yy < 0 || yy >= ny as i64 {
-                            continue;
-                        }
-                        for dz in -1i64..=1 {
-                            let zz = z as i64 + dz;
-                            if zz < 0 || zz >= nz as i64 {
-                                continue;
-                            }
-                            let col = (xx as u64 * ny + yy as u64) * nz + zz as u64;
-                            out.push((col, if col == row { diag } else { off }));
-                        }
-                    }
-                }
-            }
+            let col = (xx as u64 * ny + yy as u64) * nz + zz as u64;
+            out.push((col, self.point_weight((dx, dy, dz))));
         }
     }
 
@@ -249,6 +270,39 @@ impl Stencil {
         Csr::from_raw(rowptr, colidx, values, col_hi - col_lo)
     }
 
+    /// The stencil's diagonal offset table: one entry per stencil
+    /// point as `(linear_offset, (dx, dy, dz))`, sorted ascending by
+    /// linear offset. Because the grid is linearized row-major
+    /// (x-major, z-fastest), ascending linear offset is exactly
+    /// ascending column order for an interior row — the same order
+    /// [`Stencil::row_entries`] emits — so every consumer of this
+    /// table (the matrix-free [`StencilOperator`] kernel space, the
+    /// [`crate::matfree::StencilTile`] interior fast path) shares one
+    /// accumulation order with the assembled CSR reference.
+    pub fn offset_table(&self) -> Vec<(i64, (i64, i64, i64))> {
+        let (ny, nz) = (self.ny, self.nz);
+        let (pts, k) = self.points();
+        let mut pairs: Vec<(i64, (i64, i64, i64))> = pts[..k]
+            .iter()
+            .map(|&(dx, dy, dz)| (dx * (ny * nz) as i64 + dy * nz as i64 + dz, (dx, dy, dz)))
+            .collect();
+        pairs.sort_unstable_by_key(|&(o, _)| o);
+        pairs
+    }
+
+    /// The matrix value carried by displacement `(dx, dy, dz)`:
+    /// the Dirichlet diagonal weight at the center, `-1` off it.
+    pub fn point_weight<T: Scalar>(&self, d: (i64, i64, i64)) -> T {
+        if d == (0, 0, 0) {
+            match self.kind {
+                StencilKind::Lap3D27 => T::from_f64(26.0),
+                k => T::from_f64(2.0 * k.dims() as f64),
+            }
+        } else {
+            T::from_f64(-1.0)
+        }
+    }
+
     /// Exact entry count of a row-slab tile `[row_lo, row_hi) × D`
     /// without materialization (cost model helper).
     pub fn slab_nnz(&self, row_lo: u64, row_hi: u64) -> u64 {
@@ -270,7 +324,8 @@ impl Stencil {
         let full_layers_lo = row_lo.div_ceil(layer);
         let full_layers_hi = row_hi / layer;
         // Partial head.
-        for i in row_lo..(full_layers_lo * layer).min(row_hi) {
+        let head_end = (full_layers_lo * layer).min(row_hi);
+        for i in row_lo..head_end {
             self.row_entries::<f64>(i, &mut row);
             nnz += row.len() as u64;
         }
@@ -304,8 +359,10 @@ impl Stencil {
                 }
             }
         }
-        // Partial tail.
-        for i in (full_layers_hi * layer).max(row_lo)..row_hi {
+        // Partial tail. Starting no earlier than the head's end keeps
+        // a slab that lives entirely inside one layer (head already
+        // counted it) from being counted twice.
+        for i in (full_layers_hi * layer).max(head_end)..row_hi {
             self.row_entries::<f64>(i, &mut row);
             nnz += row.len() as u64;
         }
@@ -341,35 +398,7 @@ pub struct StencilOperator<T> {
 impl<T: Scalar> StencilOperator<T> {
     /// A matrix-free operator for `stencil`.
     pub fn new(stencil: Stencil) -> Self {
-        let (ny, nz) = (stencil.ny, stencil.nz);
-        let mut pairs: Vec<(i64, (i64, i64, i64))> = Vec::new();
-        match stencil.kind {
-            StencilKind::Lap1D3 | StencilKind::Lap2D5 | StencilKind::Lap3D7 => {
-                let dims = stencil.kind.dims();
-                pairs.push((0, (0, 0, 0)));
-                pairs.push((-((ny * nz) as i64), (-1, 0, 0)));
-                pairs.push(((ny * nz) as i64, (1, 0, 0)));
-                if dims >= 2 {
-                    pairs.push((-(nz as i64), (0, -1, 0)));
-                    pairs.push((nz as i64, (0, 1, 0)));
-                }
-                if dims >= 3 {
-                    pairs.push((-1, (0, 0, -1)));
-                    pairs.push((1, (0, 0, 1)));
-                }
-            }
-            StencilKind::Lap3D27 => {
-                for dx in -1i64..=1 {
-                    for dy in -1i64..=1 {
-                        for dz in -1i64..=1 {
-                            let off = dx * (ny * nz) as i64 + dy * nz as i64 + dz;
-                            pairs.push((off, (dx, dy, dz)));
-                        }
-                    }
-                }
-            }
-        }
-        pairs.sort_unstable_by_key(|&(o, _)| o);
+        let pairs = stencil.offset_table();
         StencilOperator {
             stencil,
             offsets: pairs.iter().map(|&(o, _)| o).collect(),
@@ -419,14 +448,7 @@ impl<T: Scalar> StencilOperator<T> {
             return T::ZERO;
         }
         debug_assert_eq!((cx as u64 * ny + cy as u64) * nz + cz as u64, i);
-        if off == 0 {
-            match self.stencil.kind {
-                StencilKind::Lap3D27 => T::from_f64(26.0),
-                k => T::from_f64(2.0 * k.dims() as f64),
-            }
-        } else {
-            T::from_f64(-1.0)
-        }
+        self.stencil.point_weight((dx, dy, dz))
     }
 }
 
@@ -920,6 +942,32 @@ mod tests {
                     "kind {:?} slab {lo}..{hi}",
                     s.kind
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn slab_nnz_mid_layer_slab_not_double_counted() {
+        // Regression: a slab strictly inside one x-layer that does not
+        // start on a layer boundary used to be counted by both the
+        // partial-head and partial-tail loops.
+        for s in [
+            Stencil::lap2d(1, 3),
+            Stencil::lap3d7(1, 1, 3),
+            Stencil::lap3d27(1, 1, 3),
+            Stencil::lap3d7(4, 4, 4),
+        ] {
+            let n = s.unknowns();
+            for lo in 0..n {
+                for hi in lo..=n {
+                    let tile: Csr<f64> = s.tile_csr(lo, hi, 0, n);
+                    assert_eq!(
+                        s.slab_nnz(lo, hi),
+                        tile.nnz(),
+                        "kind {:?} slab {lo}..{hi}",
+                        s.kind
+                    );
+                }
             }
         }
     }

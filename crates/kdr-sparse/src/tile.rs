@@ -50,6 +50,12 @@ pub enum KernelKind {
     /// `b × b` blocks; the block's input slice is loaded once per
     /// block and reused across its rows.
     Bcsr,
+    /// Matrix-free stencil apply from grid geometry alone — zero
+    /// stored values (see [`crate::matfree::StencilTile`]). Only
+    /// reachable through an explicit stencil *descriptor*; lowering
+    /// assembled triplets with `Force(Stencil)` falls back to CSR, so
+    /// assembled input is never silently reinterpreted as a stencil.
+    Stencil,
 }
 
 impl KernelKind {
@@ -60,11 +66,15 @@ impl KernelKind {
             KernelKind::Dia => "dia",
             KernelKind::Ell => "ell",
             KernelKind::Bcsr => "bcsr",
+            KernelKind::Stencil => "stencil",
         }
     }
 
-    /// All kinds, in lowering-preference order.
-    pub const ALL: [KernelKind; 4] = [
+    /// All kinds, in lowering-preference order. `Stencil` comes
+    /// first: it beats every assembled layout when available, but
+    /// only a descriptor registration can produce it.
+    pub const ALL: [KernelKind; 5] = [
+        KernelKind::Stencil,
         KernelKind::Bcsr,
         KernelKind::Dia,
         KernelKind::Ell,
@@ -112,6 +122,18 @@ const AUTO_ELL_MIN_FILL: f64 = 0.8;
 pub trait VecIn<T> {
     /// Element `i`.
     fn load(&self, i: usize) -> T;
+
+    /// Borrow the contiguous elements `[lo, lo + n)` as a slice, if
+    /// the backing storage is contiguous. Kernels with long stride-1
+    /// sweeps (the matrix-free stencil interior) use this to run over
+    /// real slices — the compiler can then elide per-element bounds
+    /// checks and vectorize — and fall back to [`VecIn::load`] when it
+    /// returns `None`. The default is `None`; the values observed must
+    /// match `load` exactly.
+    #[inline(always)]
+    fn range(&self, _lo: usize, _n: usize) -> Option<&[T]> {
+        None
+    }
 }
 
 /// Read-write access to a conceptual `T`-vector (the SpMV output
@@ -121,12 +143,25 @@ pub trait VecOut<T> {
     fn load(&self, i: usize) -> T;
     /// Overwrite element `i`.
     fn store(&mut self, i: usize, v: T);
+
+    /// Borrow the contiguous elements `[lo, lo + n)` as a mutable
+    /// slice, if the backing storage is contiguous — the write-side
+    /// counterpart of [`VecIn::range`], with the same contract
+    /// relative to [`VecOut::load`]/[`VecOut::store`].
+    #[inline(always)]
+    fn range_mut(&mut self, _lo: usize, _n: usize) -> Option<&mut [T]> {
+        None
+    }
 }
 
 impl<T: Scalar> VecIn<T> for &[T] {
     #[inline(always)]
     fn load(&self, i: usize) -> T {
         self[i]
+    }
+    #[inline(always)]
+    fn range(&self, lo: usize, n: usize) -> Option<&[T]> {
+        Some(&self[lo..lo + n])
     }
 }
 
@@ -138,6 +173,10 @@ impl<T: Scalar> VecOut<T> for &mut [T] {
     #[inline(always)]
     fn store(&mut self, i: usize, v: T) {
         self[i] = v;
+    }
+    #[inline(always)]
+    fn range_mut(&mut self, lo: usize, n: usize) -> Option<&mut [T]> {
+        Some(&mut self[lo..lo + n])
     }
 }
 
@@ -378,6 +417,10 @@ pub enum TileKernel<T> {
     Ell(EllTile<T>),
     /// See [`BcsrTile`].
     Bcsr(BcsrTile<T>),
+    /// Matrix-free: see [`crate::matfree::StencilTile`]. Never
+    /// produced by [`TileKernel::lower`]; built directly from a
+    /// stencil descriptor by the execution backend.
+    Stencil(crate::matfree::StencilTile<T>),
 }
 
 /// Order triplet indices by `(row, col)`, stable in input order for
@@ -415,6 +458,11 @@ impl<T: Scalar> TileKernel<T> {
             KernelKind::Ell => Self::lower_ell(rows, cols, vals, &structure)
                 .unwrap_or_else(|| TileKernel::Csr(Self::lower_csr(rows, cols, vals))),
             KernelKind::Csr => TileKernel::Csr(Self::lower_csr(rows, cols, vals)),
+            // Assembled triplets carry no grid geometry; honoring the
+            // bitwise contract means never guessing one. Registering
+            // via a stencil descriptor is the only route to the
+            // matrix-free kernel.
+            KernelKind::Stencil => TileKernel::Csr(Self::lower_csr(rows, cols, vals)),
         }
     }
 
@@ -594,10 +642,14 @@ impl<T: Scalar> TileKernel<T> {
             TileKernel::Dia(_) => Some(KernelKind::Dia),
             TileKernel::Ell(_) => Some(KernelKind::Ell),
             TileKernel::Bcsr(_) => Some(KernelKind::Bcsr),
+            TileKernel::Stencil(_) => Some(KernelKind::Stencil),
         }
     }
 
-    /// Stored entries (padding excluded).
+    /// Stored entries (padding excluded). For the matrix-free kernel
+    /// this is the entry count of the assembled *equivalent* — what
+    /// the apply computes, not what memory holds (which is zero; see
+    /// [`TileKernel::value_bytes`]).
     pub fn nnz(&self) -> usize {
         match self {
             TileKernel::Empty => 0,
@@ -605,6 +657,23 @@ impl<T: Scalar> TileKernel<T> {
             TileKernel::Dia(t) => t.runs.iter().map(|&(lo, hi)| (hi - lo) as usize).sum(),
             TileKernel::Ell(t) => t.row_len.iter().map(|&l| l as usize).sum(),
             TileKernel::Bcsr(t) => t.vals.len(),
+            TileKernel::Stencil(t) => t.nnz(),
+        }
+    }
+
+    /// Bytes of *value* storage this kernel holds, padding included —
+    /// the memory-traffic side of the matrix-free story. DIA and ELL
+    /// count their dense padding slots (they are streamed); the
+    /// stencil kernel counts zero.
+    pub fn value_bytes(&self) -> usize {
+        let w = std::mem::size_of::<T>();
+        match self {
+            TileKernel::Empty => 0,
+            TileKernel::Csr(t) => t.vals.len() * w,
+            TileKernel::Dia(t) => t.vals.len() * w,
+            TileKernel::Ell(t) => t.vals.len() * w,
+            TileKernel::Bcsr(t) => t.vals.len() * w,
+            TileKernel::Stencil(_) => 0,
         }
     }
 
@@ -648,6 +717,7 @@ impl<T: Scalar> TileKernel<T> {
                     t.apply(x, y)
                 }
             }
+            TileKernel::Stencil(t) => t.apply(x, y, transpose),
         }
     }
 

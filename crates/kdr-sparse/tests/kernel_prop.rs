@@ -9,7 +9,7 @@
 //! on every structure the generators can produce: random scatter
 //! (with duplicates), banded, blocked, uniform-row, empty, singleton.
 
-use kdr_sparse::{KernelChoice, KernelKind, TileKernel, TileStructure};
+use kdr_sparse::{KernelChoice, KernelKind, Stencil, StencilTile, TileKernel, TileStructure};
 use proptest::prelude::*;
 
 /// The accumulation-order reference every kernel must reproduce
@@ -46,6 +46,9 @@ fn check_all_lowerings(rows: &[u64], cols: &[u64], vals: &[f64]) {
         KernelChoice::Force(KernelKind::Dia),
         KernelChoice::Force(KernelKind::Ell),
         KernelChoice::Force(KernelKind::Bcsr),
+        // Stencil cannot be lowered from triplets (no geometry to
+        // recover); forcing it must fall back to CSR, never guess.
+        KernelChoice::Force(KernelKind::Stencil),
     ];
     for transpose in [false, true] {
         let mut want = vec![0.125; span];
@@ -170,6 +173,70 @@ fn arb_uniform_rows() -> impl Strategy<Value = Trip> {
     })
 }
 
+/// A random stencil descriptor (all four paper kinds, degenerate
+/// extents included) plus random ascending, disjoint row runs whose
+/// boundaries deliberately straddle grid lines and planes.
+fn arb_stencil_tile() -> impl Strategy<Value = (Stencil, Vec<(u64, u64)>)> {
+    (0usize..4, 1u64..7, 1u64..7, 1u64..7).prop_flat_map(|(kind, a, b, c)| {
+        let s = match kind {
+            0 => Stencil::lap1d(a * b * c),
+            1 => Stencil::lap2d(a * b, c),
+            2 => Stencil::lap3d7(a, b, c),
+            _ => Stencil::lap3d27(a, b, c),
+        };
+        let n = s.unknowns();
+        prop::collection::vec((0..n, 1u64..24), 0..4).prop_map(move |seed| {
+            let mut runs: Vec<(u64, u64)> =
+                seed.into_iter().map(|(lo, len)| (lo, (lo + len).min(n))).collect();
+            runs.sort_unstable();
+            let mut rows: Vec<(u64, u64)> = Vec::new();
+            for (lo, hi) in runs {
+                let lo = rows.last().map_or(lo, |&(_, prev_hi)| lo.max(prev_hi));
+                if lo < hi {
+                    rows.push((lo, hi));
+                }
+            }
+            (s, rows)
+        })
+    })
+}
+
+/// Bitwise-check a [`StencilTile`] against the forced-CSR lowering of
+/// the same rows' generated entries, both directions.
+fn check_stencil_tile(s: Stencil, rows: &[(u64, u64)]) {
+    let n = s.unknowns() as usize;
+    let mut tr = Vec::new();
+    let mut tc = Vec::new();
+    let mut tv = Vec::new();
+    let mut scratch: Vec<(u64, f64)> = Vec::new();
+    for &(lo, hi) in rows {
+        for r in lo..hi {
+            s.row_entries(r, &mut scratch);
+            for &(col, val) in &scratch {
+                tr.push(r);
+                tc.push(col);
+                tv.push(val);
+            }
+        }
+    }
+    let csr = TileKernel::lower(&tr, &tc, &tv, KernelChoice::Force(KernelKind::Csr));
+    let matfree = TileKernel::Stencil(StencilTile::new(s, rows.to_vec()));
+    assert_eq!(matfree.nnz(), tv.len(), "descriptor nnz disagrees with generator");
+    let x: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * i as f64).collect();
+    for transpose in [false, true] {
+        let mut want = vec![0.125; n];
+        let mut got = vec![0.125; n];
+        csr.apply_slices(&x, &mut want, transpose);
+        matfree.apply_slices(&x, &mut got, transpose);
+        let want_bits: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            got_bits, want_bits,
+            "{s:?} rows {rows:?} transpose {transpose}: matrix-free diverges from CSR"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -203,6 +270,11 @@ proptest! {
     }
 
     #[test]
+    fn stencil_tile_matches_csr_bitwise((s, rows) in arb_stencil_tile()) {
+        check_stencil_tile(s, &rows);
+    }
+
+    #[test]
     fn auto_agrees_with_structure_selection((r, c, v) in arb_scatter()) {
         let k = TileKernel::lower(&r, &c, &v, KernelChoice::Auto);
         if v.is_empty() {
@@ -223,6 +295,7 @@ fn empty_tile_is_empty_under_every_choice() {
         KernelChoice::Force(KernelKind::Dia),
         KernelChoice::Force(KernelKind::Ell),
         KernelChoice::Force(KernelKind::Bcsr),
+        KernelChoice::Force(KernelKind::Stencil),
     ] {
         let k = TileKernel::<f64>::lower(&[], &[], &[], choice);
         assert!(k.is_empty());

@@ -24,9 +24,14 @@ cargo test -q -p kdr-runtime -- fault poison panic
 cargo test -q --release -p kdr-core --test fault_tolerance
 
 # Kernel-dispatch benchmark: regenerates BENCH_spmv.json (kernel x
-# structure grid vs. the forced-CSR baseline) and asserts bitwise
-# agreement between every specialized kernel and the CSR lowering.
-cargo run --release -p kdr-bench --bin spmv_kernels
+# structure grid vs. the forced-CSR baseline, plus the matrix-free
+# stencil legs) and asserts bitwise agreement between every
+# specialized kernel and the CSR lowering. `--ci` arms the regression
+# gates: auto-selection within 1% of forced CSR on random_scatter,
+# matrix-free >= 1.5x assembled-auto on the large 3D grid, zero
+# stored operator value bytes for stencil-described registration, and
+# a matrix-free CG residual history bitwise identical to assembled.
+cargo run --release -p kdr-bench --bin spmv_kernels -- --ci
 
 # Multi-tenant service leg (dev profile): 16 tenants over one shared
 # runtime with the seeded scheduler, asserting zero lost and zero
