@@ -33,20 +33,33 @@
 //!   threaded backend can reach — asserting >= 2.5x modeled
 //!   aggregate throughput at 4 shards vs 1.
 //!
+//! A third family is the **chaos** leg: the same 64-tenant sharded
+//! workload run twice, once fault-free (the oracle) and once under
+//! seeded per-shard fault plans (injected task panics, watchdog-level
+//! stalls, silent NaN write corruption) plus one forced `kill_shard`
+//! mid-solve. The supervisor absorbs every failure — quarantine +
+//! evacuation, checkpointed resubmission, bounded retry — and the leg
+//! asserts zero lost and zero duplicated jobs and that the delivered
+//! (iterations, residual-history) pairs are *bitwise identical* to
+//! the oracle's. Recovery latency (the `kill_shard` rescue: session
+//! rebuilds plus resubmission) is reported to the JSON.
+//!
 //! Results go to stdout and `BENCH_service.json` at the repo root.
 //! `--ci` runs a trimmed single-scale (16-tenant) variant with the
 //! same assertions and writes nothing: the CI leg. `--ci-sharded`
 //! runs a trimmed 4-shard variant (zero-loss, fairness, determinism)
-//! the same way.
+//! the same way, and `--ci-chaos` a trimmed oracle-vs-chaos pair
+//! (faults + shard kill, bit-identity required).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kdr_core::SolveControl;
 use kdr_machine::{simulate, MachineConfig, ProcId, TaskGraph};
+use kdr_runtime::{FaultKind, FaultPlan, FaultSpec, FireSchedule};
 use kdr_service::{
-    JobId, JobOutcome, ServiceConfig, SessionSpec, ShardConfig, ShardedService, SolveRequest,
-    SolveService, SolverKind, TenantId,
+    HealthBudget, JobId, JobOutcome, RetryPolicy, ServiceConfig, SessionSpec, ShardConfig,
+    ShardedService, SolveRequest, SolveService, SolverKind, SupervisorConfig, TenantId,
 };
 use kdr_sparse::stencil::rhs_vector;
 use kdr_sparse::{SparseMatrix, Stencil};
@@ -347,6 +360,203 @@ fn run_sharded_scale(
     }
 }
 
+/// One delivered job's identity row: `(job, tenant, iterations,
+/// residual-history bits)`. Sorted vectors of these are the
+/// bit-identity contract between oracle and chaos runs.
+type FingerprintRow = (JobId, TenantId, u64, Vec<(usize, u64)>);
+
+struct ChaosRun {
+    jobs: usize,
+    wall_s: f64,
+    /// Wall time of the `kill_shard` rescue itself: session rebuilds
+    /// on the surviving shards plus resubmission of every outstanding
+    /// job (0 on the oracle run).
+    kill_recovery_ms: f64,
+    quarantines: u64,
+    kills: u64,
+    tenants_evacuated: u64,
+    jobs_resubmitted: u64,
+    retries_scheduled: u64,
+    faults_injected: u64,
+    tasks_stalled: u64,
+    task_failures: u64,
+    fingerprint: Vec<FingerprintRow>,
+}
+
+/// One oracle-or-chaos run: `tenants` tenants across `shards` shards,
+/// `jobs_per_tenant` converging history-capturing CG jobs each. With
+/// `chaos` set, every shard gets a seeded fault plan — injected task
+/// panics, watchdog-visible stalls, and one silent NaN corruption
+/// (caught by the step driver's non-finite residual check, so it
+/// fails the attempt instead of shipping wrong bits) — and the shard
+/// hosting tenant 1 is crash-killed after the first supervision
+/// round. The supervisor's retry/resubmission machinery must deliver
+/// every job exactly once with results bitwise equal to the oracle's.
+fn run_chaos_fleet(shards: usize, tenants: u32, jobs_per_tenant: usize, grid: u64, chaos: bool) -> ChaosRun {
+    let svc = ShardedService::new(ShardConfig {
+        shards,
+        supervisor: SupervisorConfig {
+            budget: HealthBudget {
+                // Two watchdog trips inside one window quarantine the
+                // stalling shard (evacuation + rerun keep bit-identity
+                // because in-flight recovery defaults to Restart).
+                max_tasks_stalled: Some(1),
+                ..HealthBudget::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_rounds: 1,
+            },
+            ..SupervisorConfig::default()
+        },
+        base: ServiceConfig {
+            workers: 1,
+            queue_capacity: (tenants as usize * jobs_per_tenant).max(64),
+            slice_iters: 8,
+            seed: SEED,
+            stall_budget: Some(Duration::from_millis(5)),
+            ..ServiceConfig::default()
+        },
+        ..ShardConfig::default()
+    });
+    let stencil = Stencil::lap2d(grid, grid);
+    let n = stencil.unknowns();
+    let matrix: Arc<dyn SparseMatrix<f64>> = Arc::new(stencil.to_csr::<f64, u64>());
+    let control = SolveControl::to_tolerance(1e-10, 2000);
+
+    let mut submitted: Vec<JobId> = Vec::new();
+    for t in 1..=tenants {
+        svc.register_tenant(t, 1);
+        let sid = svc
+            .create_session(
+                t,
+                SessionSpec {
+                    matrix: Arc::clone(&matrix),
+                    unknowns: n,
+                    pieces: 2,
+                    solver: SolverKind::Cg,
+                    stencil: None,
+                },
+            )
+            .expect("registered tenant");
+        for j in 0..jobs_per_tenant {
+            let mut req = SolveRequest::new(
+                sid,
+                rhs_vector::<f64>(n, t as u64 * 1000 + j as u64),
+                control.clone(),
+            );
+            req.capture_history = true;
+            submitted.push(svc.submit(t, req).expect("queue sized for the full load"));
+        }
+    }
+
+    if chaos {
+        // One seeded plan per shard, each a different failure mode.
+        // Fire counts are bounded so the retry budget (3 attempts)
+        // always covers the worst case.
+        for i in 0..shards {
+            let plan = FaultPlan::seeded(SEED ^ i as u64);
+            let plan = match i % 3 {
+                0 => plan.with(FaultSpec {
+                    name_contains: "spmv".to_string(),
+                    kind: FaultKind::Panic,
+                    schedule: FireSchedule::EveryNth(700),
+                    max_fires: 2,
+                }),
+                1 => plan.with(FaultSpec {
+                    name_contains: "axpy".to_string(),
+                    kind: FaultKind::Stall { millis: 60 },
+                    schedule: FireSchedule::EveryNth(900),
+                    max_fires: 2,
+                }),
+                _ => plan.with(FaultSpec {
+                    name_contains: "dot_partial".to_string(),
+                    kind: FaultKind::CorruptWrite,
+                    schedule: FireSchedule::EveryNth(1100),
+                    max_fires: 1,
+                }),
+            };
+            svc.shard(i).runtime().set_fault_plan(Some(plan));
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut kill_recovery_ms = 0.0;
+    if chaos {
+        // A little progress, then a hard crash of the shard hosting
+        // tenant 1: nothing is read from the dying runtime.
+        svc.run_rounds(1, 2);
+        let victim = svc.shard_of(1).expect("tenant 1 registered");
+        let k0 = Instant::now();
+        assert!(svc.kill_shard(victim), "victim shard was live");
+        kill_recovery_ms = k0.elapsed().as_secs_f64() * 1e3;
+    }
+    svc.run_until_idle();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let responses = svc.take_responses();
+
+    // The zero-loss contract, under fire.
+    assert_eq!(responses.len(), submitted.len(), "chaos={chaos}: lost responses");
+    let mut seen: Vec<JobId> = responses.iter().map(|r| r.job).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), submitted.len(), "chaos={chaos}: duplicated responses");
+    let mut fingerprint: Vec<FingerprintRow> = responses
+        .iter()
+        .map(|r| {
+            assert!(
+                r.outcome.is_converged(),
+                "chaos={chaos}: job {} did not converge: {:?}",
+                r.job,
+                r.outcome
+            );
+            let hist = r
+                .residual_history
+                .iter()
+                .map(|&(i, v)| (i, v.to_bits()))
+                .collect();
+            (r.job, r.tenant, r.iterations, hist)
+        })
+        .collect();
+    fingerprint.sort();
+
+    let stats = svc.supervisor_stats();
+    let m = svc.metrics();
+    let sum = |f: fn(&kdr_service::TenantMetrics) -> u64| m.values().map(f).sum::<u64>();
+    ChaosRun {
+        jobs: submitted.len(),
+        wall_s,
+        kill_recovery_ms,
+        quarantines: stats.quarantines,
+        kills: stats.kills,
+        tenants_evacuated: stats.tenants_evacuated,
+        jobs_resubmitted: stats.jobs_resubmitted,
+        retries_scheduled: stats.retries_scheduled,
+        faults_injected: sum(|t| t.faults_injected),
+        tasks_stalled: sum(|t| t.tasks_stalled),
+        task_failures: sum(|t| t.task_failures),
+        fingerprint,
+    }
+}
+
+/// Run the oracle/chaos pair and hold the recovery contracts:
+/// exactly-once delivery under injected faults plus a forced shard
+/// kill, with results bitwise equal to the fault-free run.
+fn chaos_pair(shards: usize, tenants: u32, jobs_per_tenant: usize, grid: u64) -> (ChaosRun, ChaosRun) {
+    let oracle = run_chaos_fleet(shards, tenants, jobs_per_tenant, grid, false);
+    let chaos = run_chaos_fleet(shards, tenants, jobs_per_tenant, grid, true);
+    assert_eq!(chaos.kills, 1, "exactly one forced shard kill");
+    assert!(
+        chaos.jobs_resubmitted >= 1,
+        "the killed shard had work in flight"
+    );
+    assert_eq!(
+        chaos.fingerprint, oracle.fingerprint,
+        "recovered fleet must replay the fault-free results bit for bit"
+    );
+    (oracle, chaos)
+}
+
 /// Nodes per shard in the simulated scaling leg.
 const SIM_NODES_PER_SHARD: usize = 16;
 
@@ -418,6 +628,23 @@ fn sim_shard_throughput(
 fn main() {
     let ci = std::env::args().any(|a| a == "--ci");
     let ci_sharded = std::env::args().any(|a| a == "--ci-sharded");
+    let ci_chaos = std::env::args().any(|a| a == "--ci-chaos");
+    if ci_chaos {
+        // The CI chaos leg: trimmed oracle-vs-chaos pair (injected
+        // faults plus a forced shard kill), full recovery contracts.
+        let (_, chaos) = chaos_pair(3, 16, 2, 12);
+        println!(
+            "service_stress --ci-chaos: {} jobs survived {} injected faults + {} kill(s) \
+             ({} resubmitted, {} retries, {} evacuated), bit-identical to fault-free",
+            chaos.jobs,
+            chaos.faults_injected,
+            chaos.kills,
+            chaos.jobs_resubmitted,
+            chaos.retries_scheduled,
+            chaos.tenants_evacuated
+        );
+        return;
+    }
     if ci_sharded {
         // The CI shard leg: 4 shards, trimmed load, full contracts
         // (zero lost/duplicate jobs, per-shard fairness <= 1.05,
@@ -524,6 +751,32 @@ fn main() {
         repeat.jobs
     );
 
+    // Chaos: the same sharded fleet under seeded fault plans (task
+    // panics, watchdog stalls, NaN corruption) plus one forced shard
+    // kill mid-solve. The supervisor must deliver every job exactly
+    // once with results bitwise equal to the fault-free oracle.
+    println!();
+    let (oracle, chaos) = chaos_pair(3, 64, 2, 16);
+    println!(
+        "chaos (3 shards, 64 tenants, {} jobs): {} faults injected, {} stalls, \
+         {} task failures absorbed",
+        chaos.jobs, chaos.faults_injected, chaos.tasks_stalled, chaos.task_failures
+    );
+    println!(
+        "  supervisor: {} kill, {} quarantine(s), {} tenants evacuated, \
+         {} jobs resubmitted, {} retries",
+        chaos.kills,
+        chaos.quarantines,
+        chaos.tenants_evacuated,
+        chaos.jobs_resubmitted,
+        chaos.retries_scheduled
+    );
+    println!(
+        "  kill recovery {:.2}ms; wall {:.2}s vs oracle {:.2}s; \
+         zero loss, bit-identical to fault-free",
+        chaos.kill_recovery_ms, chaos.wall_s, oracle.wall_s
+    );
+
     // Sharded scale-out, simulated: the scaling curve at node counts
     // the threaded backend can't reach (16 nodes per shard, up to 256
     // nodes). Modeled, not measured — and labeled as such in the
@@ -593,10 +846,27 @@ fn main() {
             )
         })
         .collect();
+    let chaos_json = format!(
+        "  \"chaos\": {{\n    \"note\": \"oracle-vs-chaos pair: seeded per-shard fault plans (task panics, {}ms watchdog stalls, silent NaN write corruption caught by the non-finite residual check) plus one forced kill_shard mid-solve; asserted zero lost/duplicated jobs and delivered (iterations, residual-history) pairs bitwise identical to the fault-free oracle\",\n    \"shards\": 3,\n    \"tenants\": 64,\n    \"jobs\": {},\n    \"faults_injected\": {},\n    \"tasks_stalled\": {},\n    \"task_failures_absorbed\": {},\n    \"kills\": {},\n    \"quarantines\": {},\n    \"tenants_evacuated\": {},\n    \"jobs_resubmitted\": {},\n    \"retries_scheduled\": {},\n    \"kill_recovery_ms\": {:.3},\n    \"wall_s\": {:.4},\n    \"oracle_wall_s\": {:.4},\n    \"zero_loss\": true,\n    \"bit_identical_to_fault_free\": true\n  }}",
+        60,
+        chaos.jobs,
+        chaos.faults_injected,
+        chaos.tasks_stalled,
+        chaos.task_failures,
+        chaos.kills,
+        chaos.quarantines,
+        chaos.tenants_evacuated,
+        chaos.jobs_resubmitted,
+        chaos.retries_scheduled,
+        chaos.kill_recovery_ms,
+        chaos.wall_s,
+        oracle.wall_s
+    );
     let json = format!(
-        "{{\n  \"benchmark\": \"service_stress\",\n  \"workers\": {workers},\n  \"grid\": \"{grid}x{grid} lap2d\",\n  \"jobs_per_tenant\": {jobs_per_tenant},\n  \"seed\": {SEED},\n  \"solver\": \"cg to 1e-10\",\n  \"latency\": \"submit->response, single driver thread\",\n  \"determinism\": \"16-tenant rerun bitwise-identical completion order\",\n  \"scales\": [\n{}\n  ],\n  \"sharded\": {{\n    \"note\": \"threaded shard drivers on this single-core host time-share one CPU: wall-clock throughput is reported for honesty, not asserted; the asserted contracts are zero lost/duplicate jobs, exact iteration budgets, per-shard fairness <= 1.05, and a bit-identical 4-shard same-seed rerun\",\n    \"tenants\": 64,\n    \"fairness_window_slices_per_tenant\": {FAIRNESS_WINDOW_SLICES},\n    \"scales\": [\n{}\n    ]\n  }},\n  \"sharded_sim\": {{\n    \"note\": \"modeled on kdr-machine (Lassen roofline profile, {SIM_NODES_PER_SHARD}-node shard groups, fused-CG iteration chains, serialized front-door admits): the scaling curve at node counts the threaded backend cannot reach; asserted >= 2.5x modeled throughput at 4 shards vs 1\",\n    \"speedup_4_shards\": {sim_speedup_4:.3},\n    \"scales\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"service_stress\",\n  \"workers\": {workers},\n  \"grid\": \"{grid}x{grid} lap2d\",\n  \"jobs_per_tenant\": {jobs_per_tenant},\n  \"seed\": {SEED},\n  \"solver\": \"cg to 1e-10\",\n  \"latency\": \"submit->response, single driver thread\",\n  \"determinism\": \"16-tenant rerun bitwise-identical completion order\",\n  \"scales\": [\n{}\n  ],\n  \"sharded\": {{\n    \"note\": \"threaded shard drivers on this single-core host time-share one CPU: wall-clock throughput is reported for honesty, not asserted; the asserted contracts are zero lost/duplicate jobs, exact iteration budgets, per-shard fairness <= 1.05, and a bit-identical 4-shard same-seed rerun\",\n    \"tenants\": 64,\n    \"fairness_window_slices_per_tenant\": {FAIRNESS_WINDOW_SLICES},\n    \"scales\": [\n{}\n    ]\n  }},\n{},\n  \"sharded_sim\": {{\n    \"note\": \"modeled on kdr-machine (Lassen roofline profile, {SIM_NODES_PER_SHARD}-node shard groups, fused-CG iteration chains, serialized front-door admits): the scaling curve at node counts the threaded backend cannot reach; asserted >= 2.5x modeled throughput at 4 shards vs 1\",\n    \"speedup_4_shards\": {sim_speedup_4:.3},\n    \"scales\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
         shard_rows.join(",\n"),
+        chaos_json,
         sim_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");

@@ -285,8 +285,13 @@ impl Runtime {
 
     /// Finish capturing; returns the trace. Fences so the recorded
     /// frontier is final.
+    ///
+    /// The capture closes even when the fence reports a task failure
+    /// (the trace is void and the failure is returned) — a capture
+    /// left open by a failed step would gate every other thread's
+    /// submissions on this runtime forever.
     pub fn end_trace(&self) -> Result<Trace, RuntimeError> {
-        self.exec.fence().map_err(RuntimeError::TaskFailed)?;
+        let fenced = self.exec.fence();
         let mut st = self.state.lock();
         // Only the thread that opened the capture may close it; from
         // any other thread there is no active trace to end.
@@ -300,6 +305,9 @@ impl Runtime {
         st.capture_owner = None;
         // Unblock threads parked behind the capture gate.
         self.capture_cv.notify_all();
+        if let Err(e) = fenced {
+            return Err(RuntimeError::TaskFailed(e));
+        }
         let frontier = st
             .analyzer
             .snapshot()

@@ -29,7 +29,17 @@
 //! - **scale-out** — [`ShardedService`] runs N independent service
 //!   runtimes behind one admission front door, with consistent-hash
 //!   tenant placement and live cross-shard migration built on the
-//!   checkpoint/restart machinery (see the [`sharded`] module docs).
+//!   checkpoint/restart machinery (see the [`sharded`] module docs);
+//! - **supervision and self-healing** — the front door watches every
+//!   shard's health (task failures, poison cascades, watchdog trips,
+//!   injected faults, queue staleness), quarantines shards that blow
+//!   their [`HealthBudget`] with typed
+//!   [`RejectReason::ShardDegraded`] backpressure, evacuates tenants
+//!   onto healthy or freshly spawned shards, retries failed jobs
+//!   with bounded backoff ([`RetryPolicy`], typed
+//!   [`JobOutcome::RetryExhausted`] on exhaustion), and recovers
+//!   shard crashes from its job ledger with exactly-once delivery
+//!   (see the [`supervision`] module docs).
 //!
 //! ```
 //! use kdr_core::SolveControl;
@@ -64,13 +74,19 @@ pub mod scheduler;
 pub mod service;
 pub mod session;
 pub mod sharded;
+pub mod supervision;
 
 pub use metrics::{ServiceMetrics, TenantMetrics};
 pub use queue::{AdmissionQueue, QueuedJob};
 pub use request::{
-    JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
+    CancelOutcome, JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse,
+    TenantId,
 };
 pub use scheduler::FairScheduler;
 pub use service::{ServiceConfig, ShardLoad, SolveService, TenantBundle};
 pub use session::{Session, SessionSpec, SolverKind};
 pub use sharded::{Placement, ShardConfig, ShardedService};
+pub use supervision::{
+    EvacuationPolicy, HealthBudget, HealthReport, InFlightRecovery, RetryPolicy, ShardStatus,
+    SupervisorConfig, SupervisorStats,
+};

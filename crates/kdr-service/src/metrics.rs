@@ -40,6 +40,21 @@ pub struct TenantMetrics {
     /// Nanoseconds blocked waiting on reduction results during this
     /// tenant's slices — the fence tax.
     pub reduction_stall_ns: u64,
+    /// Runtime task bodies that panicked during this tenant's slices
+    /// (injected or genuine). Attribution caveat: in the default
+    /// unfenced mode a failure retiring after the slice boundary
+    /// lands on a later slice's tenant; totals stay exact.
+    pub task_failures: u64,
+    /// Tasks retired unrun because a dependency failed (the poison
+    /// cascade) during this tenant's slices.
+    pub tasks_poisoned: u64,
+    /// Watchdog stall trips observed during this tenant's slices.
+    /// Wall-clock dependent — diagnostic only, never part of a
+    /// bitwise determinism contract.
+    pub tasks_stalled: u64,
+    /// Deterministic injected faults fired during this tenant's
+    /// slices (zero unless a [`kdr_runtime::FaultPlan`] is armed).
+    pub faults_injected: u64,
     /// Driver wall-clock seconds spent in this tenant's slices.
     pub busy_seconds: f64,
 }
@@ -58,6 +73,10 @@ impl TenantMetrics {
         self.tasks_replayed += other.tasks_replayed;
         self.reduction_stages += other.reduction_stages;
         self.reduction_stall_ns += other.reduction_stall_ns;
+        self.task_failures += other.task_failures;
+        self.tasks_poisoned += other.tasks_poisoned;
+        self.tasks_stalled += other.tasks_stalled;
+        self.faults_injected += other.faults_injected;
         self.busy_seconds += other.busy_seconds;
     }
 }
@@ -101,6 +120,10 @@ impl ServiceMetrics {
         m.reduction_stall_ns += after
             .reduction_stall_ns
             .saturating_sub(before.reduction_stall_ns);
+        m.task_failures += after.task_failures.saturating_sub(before.task_failures);
+        m.tasks_poisoned += after.tasks_poisoned.saturating_sub(before.tasks_poisoned);
+        m.tasks_stalled += after.tasks_stalled.saturating_sub(before.tasks_stalled);
+        m.faults_injected += after.faults_injected.saturating_sub(before.faults_injected);
     }
 
     /// Retain a slice's task spans under its tenant.
@@ -172,6 +195,29 @@ mod tests {
         assert_eq!(t.tasks_submitted, 10);
         assert_eq!(t.tasks_executed, 11);
         assert_eq!(t.tasks_replayed, 5);
+    }
+
+    #[test]
+    fn fault_counters_attribute_and_merge() {
+        let mut m = ServiceMetrics::default();
+        let before = MetricsSnapshot::default();
+        let after = MetricsSnapshot {
+            task_failures: 2,
+            tasks_poisoned: 5,
+            tasks_stalled: 1,
+            faults_injected: 3,
+            ..Default::default()
+        };
+        m.record_slice_delta(4, &before, &after);
+        let mut t = m.tenant(4);
+        assert_eq!(t.task_failures, 2);
+        assert_eq!(t.tasks_poisoned, 5);
+        assert_eq!(t.tasks_stalled, 1);
+        assert_eq!(t.faults_injected, 3);
+        // Cross-shard merge sums the fault counters too.
+        t.merge(&m.tenant(4));
+        assert_eq!(t.task_failures, 4);
+        assert_eq!(t.faults_injected, 6);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! is already doomed.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::request::{JobId, RejectReason, SolveRequest, TenantId};
@@ -25,8 +26,10 @@ pub struct QueuedJob {
     pub job: JobId,
     /// Owning tenant.
     pub tenant: TenantId,
-    /// The request as submitted.
-    pub request: SolveRequest,
+    /// The request as submitted, shared with the sharded front
+    /// door's job ledger (which needs it to resubmit the job after a
+    /// shard crash or a failed attempt).
+    pub request: Arc<SolveRequest>,
     /// When admission succeeded.
     pub submitted_at: Instant,
 }
@@ -78,7 +81,7 @@ impl AdmissionQueue {
         &mut self,
         job: JobId,
         tenant: TenantId,
-        request: SolveRequest,
+        request: Arc<SolveRequest>,
         now: Instant,
     ) -> Result<(), RejectReason> {
         if self.jobs.len() >= self.capacity {
@@ -162,6 +165,17 @@ impl AdmissionQueue {
         self.jobs.push_back(job);
     }
 
+    /// Age of the oldest queued job at `now` (`None` when empty).
+    /// The shard supervisor reads this as the queue-staleness health
+    /// signal: a healthy shard drains its queue, so an ever-growing
+    /// oldest age means the shard has stopped making progress.
+    pub fn oldest_wait(&self, now: Instant) -> Option<Duration> {
+        self.jobs
+            .iter()
+            .map(|j| now.saturating_duration_since(j.submitted_at))
+            .max()
+    }
+
     /// The current EWMA of observed job service seconds (`0.0` until
     /// the first completion). Shard placement and rebalancing read
     /// this as the per-shard turnaround signal.
@@ -186,8 +200,8 @@ mod tests {
     use super::*;
     use kdr_core::SolveControl;
 
-    fn req() -> SolveRequest {
-        SolveRequest::new(0, vec![1.0], SolveControl::default())
+    fn req() -> Arc<SolveRequest> {
+        Arc::new(SolveRequest::new(0, vec![1.0], SolveControl::default()))
     }
 
     #[test]
@@ -205,9 +219,9 @@ mod tests {
     fn past_deadline_rejected_at_admission() {
         let mut q = AdmissionQueue::new(8);
         let now = Instant::now();
-        let mut r = req();
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now - Duration::from_millis(1));
-        let err = q.try_admit(0, 1, r, now).unwrap_err();
+        let err = q.try_admit(0, 1, Arc::new(r), now).unwrap_err();
         assert!(matches!(err, RejectReason::DeadlineUnmeetable { .. }));
         assert!(q.is_empty());
     }
@@ -220,16 +234,16 @@ mod tests {
         assert!(q.try_admit(0, 1, req(), now).is_ok());
         assert!(q.try_admit(1, 1, req(), now).is_ok());
         // Two 1-second jobs queued; a 500 ms deadline is hopeless.
-        let mut r = req();
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now + Duration::from_millis(500));
         assert!(matches!(
-            q.try_admit(2, 2, r, now).unwrap_err(),
+            q.try_admit(2, 2, Arc::new(r), now).unwrap_err(),
             RejectReason::DeadlineUnmeetable { .. }
         ));
         // A 10-second deadline clears the estimate.
-        let mut r = req();
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now + Duration::from_secs(10));
-        assert!(q.try_admit(3, 2, r, now).is_ok());
+        assert!(q.try_admit(3, 2, Arc::new(r), now).is_ok());
     }
 
     #[test]
@@ -243,6 +257,43 @@ mod tests {
         assert_eq!(q.pop_for_tenant(1).unwrap().job, 12);
         assert!(q.pop_for_tenant(1).is_none());
         assert_eq!(q.pop_for_tenant(2).unwrap().job, 11);
+    }
+
+    #[test]
+    fn restore_bypasses_capacity_and_deadline_screen() {
+        // Evacuation restore: a once-admitted job must re-enter the
+        // destination queue even when that queue is full and its
+        // deadline no longer clears the backlog estimate — dropping
+        // it would break the zero-lost-jobs contract.
+        let mut q = AdmissionQueue::new(1);
+        let now = Instant::now();
+        q.observe_job_seconds(100.0);
+        q.try_admit(0, 1, req(), now).unwrap();
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
+        r.deadline = Some(now + Duration::from_millis(1));
+        q.restore(QueuedJob {
+            job: 1,
+            tenant: 2,
+            request: Arc::new(r),
+            submitted_at: now,
+        });
+        assert_eq!(q.len(), 2, "restore ignores the capacity bound");
+        let restored = q.pop_for_tenant(2).unwrap();
+        assert_eq!(restored.job, 1);
+        assert!(restored.request.deadline.is_some(), "deadline preserved");
+    }
+
+    #[test]
+    fn oldest_wait_tracks_the_stalest_job() {
+        let mut q = AdmissionQueue::new(8);
+        let t0 = Instant::now();
+        assert_eq!(q.oldest_wait(t0), None);
+        q.try_admit(0, 1, req(), t0).unwrap();
+        q.try_admit(1, 2, req(), t0 + Duration::from_millis(50)).unwrap();
+        let now = t0 + Duration::from_millis(80);
+        assert_eq!(q.oldest_wait(now), Some(Duration::from_millis(80)));
+        q.remove_job(0);
+        assert_eq!(q.oldest_wait(now), Some(Duration::from_millis(30)));
     }
 
     #[test]

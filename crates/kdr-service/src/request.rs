@@ -99,6 +99,14 @@ pub enum RejectReason {
         /// The offending RHS length.
         got: usize,
     },
+    /// The tenant's shard is quarantined or being replaced — typed
+    /// backpressure from the shard supervisor. Transient: retry after
+    /// the supervisor finishes evacuating the tenant to a healthy
+    /// shard (usually one supervision round).
+    ShardDegraded {
+        /// The degraded shard's index.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -119,6 +127,9 @@ impl std::fmt::Display for RejectReason {
             RejectReason::EmptyBatch => write!(f, "empty rhs batch"),
             RejectReason::BadRhsLength { expected, got } => {
                 write!(f, "rhs length {got} != session unknowns {expected}")
+            }
+            RejectReason::ShardDegraded { shard } => {
+                write!(f, "shard {shard} is quarantined (retry after evacuation)")
             }
         }
     }
@@ -147,6 +158,18 @@ pub enum JobOutcome {
         /// Human-readable failure description.
         message: String,
     },
+    /// The front door's retry budget ran out: every attempt failed.
+    /// Only the sharded supervisor emits this (with
+    /// [`RetryPolicy::max_attempts`] > 0); an unsupervised failure
+    /// surfaces as [`JobOutcome::Failed`] on the first attempt.
+    ///
+    /// [`RetryPolicy::max_attempts`]: crate::supervision::RetryPolicy::max_attempts
+    RetryExhausted {
+        /// Total failed attempts (first run + retries).
+        attempts: u32,
+        /// Failure description of the last attempt.
+        message: String,
+    },
 }
 
 impl JobOutcome {
@@ -154,6 +177,22 @@ impl JobOutcome {
     pub fn is_converged(&self) -> bool {
         matches!(self, JobOutcome::Converged { .. })
     }
+}
+
+/// Typed result of a cancellation request: what the cancel actually
+/// did, instead of a silent no-op for unknown ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was found queued, in flight, or awaiting a front-door
+    /// retry, and was cancelled. Its [`SolveResponse`] (with
+    /// [`JobOutcome::Cancelled`]) arrives through the normal response
+    /// channel — cancellation never loses the job.
+    Cancelled,
+    /// The job already completed: its response was (or is about to
+    /// be) delivered, so there is nothing left to cancel.
+    AlreadyDone,
+    /// The job id was never admitted here.
+    UnknownJob,
 }
 
 /// Completion record for one admitted job.
@@ -191,4 +230,9 @@ pub struct SolveResponse {
     ///
     /// [`SolveService`]: crate::SolveService
     pub migrations: u32,
+    /// How many extra executions the front door gave this job: failed
+    /// attempts consumed by retry-with-backoff plus from-scratch
+    /// resubmissions after a shard crash. `0` everywhere except under
+    /// the sharded supervisor.
+    pub retries: u32,
 }

@@ -34,7 +34,8 @@ use kdr_runtime::{ColorAffinityMapper, Runtime, TaskSpan};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionQueue, QueuedJob};
 use crate::request::{
-    JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse, TenantId,
+    CancelOutcome, JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse,
+    TenantId,
 };
 use crate::scheduler::FairScheduler;
 use crate::session::{Session, SessionSpec};
@@ -111,6 +112,15 @@ pub struct ServiceConfig {
     /// }
     /// ```
     pub fence_slices: bool,
+    /// Arm the runtime watchdog: a task body running longer than this
+    /// budget counts one `tasks_stalled` trip (surfaced per tenant in
+    /// [`TenantMetrics::tasks_stalled`] and read by the sharded
+    /// supervisor's health model). `None` (the default) keeps the
+    /// watchdog off. Wall-clock based — trips are diagnostic, never
+    /// part of a determinism contract.
+    ///
+    /// [`TenantMetrics::tasks_stalled`]: crate::TenantMetrics::tasks_stalled
+    pub stall_budget: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +132,7 @@ impl Default for ServiceConfig {
             seed: 0,
             capture_events: false,
             fence_slices: false,
+            stall_budget: None,
         }
     }
 }
@@ -132,7 +143,7 @@ struct ActiveJob {
     job: JobId,
     tenant: TenantId,
     session: SessionId,
-    request: SolveRequest,
+    request: Arc<SolveRequest>,
     token: CancelToken,
     /// Index of the RHS currently being solved.
     rhs_idx: usize,
@@ -164,7 +175,7 @@ struct ActiveJob {
 struct JobSnapshot {
     job: JobId,
     session: SessionId,
-    request: SolveRequest,
+    request: Arc<SolveRequest>,
     token: CancelToken,
     rhs_idx: usize,
     iterations: u64,
@@ -212,6 +223,30 @@ impl TenantBundle {
     /// Checkpointed in-flight jobs carried.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Downgrade every checkpointed in-flight job to a queued job
+    /// restarting **from scratch**: the checkpointed iterate is
+    /// discarded and the full iteration budget restored, so the
+    /// reattached job's residual history is bit-identical to a run
+    /// that never started. This is the crash-safe recovery mode
+    /// ([`InFlightRecovery::Restart`]): a checkpoint taken on a shard
+    /// that was quarantined for data corruption cannot be trusted,
+    /// and a from-scratch rerun can — every kernel is bitwise
+    /// deterministic. Queue order is restored to global submission
+    /// order (job ids are allocated in submission order).
+    ///
+    /// [`InFlightRecovery::Restart`]: crate::supervision::InFlightRecovery::Restart
+    pub fn restart_in_flight(&mut self) {
+        for snap in self.in_flight.drain(..) {
+            self.queued.push(QueuedJob {
+                job: snap.job,
+                tenant: self.tenant,
+                request: snap.request,
+                submitted_at: snap.submitted_at,
+            });
+        }
+        self.queued.sort_by_key(|q| q.job);
     }
 }
 
@@ -276,6 +311,9 @@ impl SolveService {
         let rt = Arc::new(Runtime::with_mapper(workers, mapper.clone()));
         if cfg.capture_events {
             rt.enable_events(true);
+        }
+        if let Some(budget) = cfg.stall_budget {
+            rt.set_stall_budget(Some(budget));
         }
         SolveService {
             rt,
@@ -348,7 +386,8 @@ impl SolveService {
     /// signals). Callable from any thread.
     pub fn submit(&self, tenant: TenantId, request: SolveRequest) -> Result<JobId, RejectReason> {
         let job = self.state.lock().next_job;
-        self.submit_with_id(job, tenant, request).map(|()| job)
+        self.submit_with_id(job, tenant, Arc::new(request))
+            .map(|()| job)
     }
 
     /// Submit under a caller-chosen job id (the sharded front door
@@ -359,7 +398,7 @@ impl SolveService {
         &self,
         job: JobId,
         tenant: TenantId,
-        request: SolveRequest,
+        request: Arc<SolveRequest>,
     ) -> Result<(), RejectReason> {
         let mut st = self.state.lock();
         if !st.scheduler.is_registered(tenant) {
@@ -408,9 +447,16 @@ impl SolveService {
 
     /// Cooperatively cancel a job, queued or running. Queued jobs
     /// complete immediately with [`JobOutcome::Cancelled`]; running
-    /// jobs stop at their next iteration boundary. Unknown ids are
-    /// ignored (the job may already have completed).
-    pub fn cancel_job(&self, job: JobId) {
+    /// jobs stop at their next iteration boundary. Returns what the
+    /// cancel did: [`CancelOutcome::AlreadyDone`] distinguishes a job
+    /// that already completed (its id is below this service's
+    /// allocation watermark) from an id never admitted here
+    /// ([`CancelOutcome::UnknownJob`]). On a shard inside a
+    /// [`ShardedService`](crate::ShardedService) the watermark spans
+    /// ids routed to *other* shards too — the sharded front door's
+    /// `cancel_job` consults its job ledger instead of trusting a
+    /// single shard's answer.
+    pub fn cancel_job(&self, job: JobId) -> CancelOutcome {
         let mut st = self.state.lock();
         if let Some(q) = st.queue.remove_job(job) {
             st.responses.push(SolveResponse {
@@ -425,11 +471,18 @@ impl SolveService {
                 warm: false,
                 residual_history: Vec::new(),
                 migrations: 0,
+                retries: 0,
             });
-            return;
+            return CancelOutcome::Cancelled;
         }
         if let Some(a) = st.active.iter().find(|a| a.job == job) {
             a.token.cancel();
+            return CancelOutcome::Cancelled;
+        }
+        if job < st.next_job {
+            CancelOutcome::AlreadyDone
+        } else {
+            CancelOutcome::UnknownJob
         }
     }
 
@@ -452,6 +505,24 @@ impl SolveService {
     pub fn has_work(&self) -> bool {
         let st = self.state.lock();
         !st.queue.is_empty() || !st.active.is_empty()
+    }
+
+    /// Re-admit an already-admitted job, bypassing the capacity bound
+    /// and deadline screen (it passed admission once). The sharded
+    /// front door uses this to requeue a job after a failed attempt
+    /// (retry-with-backoff) or a shard crash; the shard's id
+    /// watermark advances past the job so a later cancel of a
+    /// genuinely unknown id still reports `UnknownJob` correctly.
+    pub(crate) fn restore_job(&self, q: QueuedJob) {
+        let mut st = self.state.lock();
+        st.next_job = st.next_job.max(q.job + 1);
+        st.queue.restore(q);
+    }
+
+    /// Age of the oldest queued job (`None` when the queue is empty).
+    /// The shard supervisor's queue-staleness health signal.
+    pub fn oldest_queue_wait(&self) -> Option<Duration> {
+        self.state.lock().queue.oldest_wait(Instant::now())
     }
 
     /// This shard's instantaneous load signal (queue depth, active
@@ -480,7 +551,10 @@ impl SolveService {
 
     /// Tenant-tagged Chrome trace JSON (one process per tenant),
     /// with service-wide reduction-fence counters (`reduction_stages`,
-    /// `reduction_stall_ms`) appended as Perfetto counter events.
+    /// `reduction_stall_ms`) and degradation counters
+    /// (`task_failures`, `tasks_poisoned`, `tasks_stalled`,
+    /// `faults_injected`) appended as Perfetto counter events, so a
+    /// degrading shard is visible on its own counter track.
     /// Meaningful only with [`ServiceConfig::capture_events`] on.
     pub fn chrome_trace(&self) -> String {
         let snap = self.rt.metrics();
@@ -490,6 +564,10 @@ impl SolveService {
                 "reduction_stall_ms",
                 snap.reduction_stall_ns as f64 / 1.0e6,
             ),
+            ("task_failures", snap.task_failures as f64),
+            ("tasks_poisoned", snap.tasks_poisoned as f64),
+            ("tasks_stalled", snap.tasks_stalled as f64),
+            ("faults_injected", snap.faults_injected as f64),
         ];
         self.state.lock().metrics.chrome_trace_with_counters(&counters)
     }
@@ -757,6 +835,7 @@ impl SolveService {
                 warm: a.warm,
                 residual_history: a.trace.map(|t| t.residual_history).unwrap_or_default(),
                 migrations: a.migrations,
+                retries: 0,
             });
         }
 

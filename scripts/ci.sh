@@ -47,6 +47,17 @@ cargo run -p kdr-bench --bin service_stress -- --ci
 # bit-identical fleet-wide response fingerprint on a same-seed rerun.
 cargo run -p kdr-bench --bin service_stress -- --ci-sharded
 
+# Service chaos leg: the sharded fleet under seeded per-shard fault
+# plans (injected task panics, watchdog stalls, silent NaN write
+# corruption) plus one forced shard kill mid-solve. Asserts the
+# supervisor's recovery contracts — zero lost and zero duplicated
+# jobs, bounded retry, and delivered (iterations, residual-history)
+# pairs bitwise identical to the fault-free oracle run. The dev leg
+# keeps debug assertions armed on the evacuation/resubmission paths;
+# the release leg re-runs the same matrix under optimized codegen.
+cargo run -p kdr-bench --bin service_stress -- --ci-chaos
+cargo run --release -p kdr-bench --bin service_stress -- --ci-chaos
+
 # Fence-minimal Krylov leg: asserts classic CG spends exactly 2
 # reduction stages per iteration, the fused/pipelined variants
 # exactly 1, and that every fence-minimal variant converges to the
