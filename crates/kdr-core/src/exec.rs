@@ -51,7 +51,10 @@ use kdr_runtime::{
 };
 #[cfg(test)]
 use kdr_sparse::SparseMatrix;
-use kdr_sparse::{KernelChoice, KernelKind, Scalar, StencilTile, TileKernel, VecIn, VecOut};
+use kdr_sparse::{
+    KernelChoice, KernelKind, Scalar, StencilTile, StructureKey, TileKernel, TileStructure, VecIn,
+    VecOut,
+};
 
 use crate::backend::{
     BVec, Backend, BackendFault, CompSpec, OpHandle, OpSetSpec, SRef, ScalarOp, ScalarUnop,
@@ -229,6 +232,9 @@ struct ExecTile<T> {
     /// home under the paper's §6.3 two-candidate giveaway model.
     in_color: usize,
     kernel: Arc<TileKernel<T>>,
+    /// Bucketed structural signature, the cost catalogue's key half
+    /// (paired with the lowered kind in the operator manifest).
+    key: StructureKey,
 }
 
 impl<T> ExecTile<T> {
@@ -564,6 +570,23 @@ impl<T: Scalar> ExecBackend<T> {
         }
     }
 
+    /// Per-tile manifest of every registered operator set:
+    /// `(structure key, lowered kernel kind, stored-entry count)`.
+    /// The service layer joins this against per-kernel-name execute
+    /// timings to refine the cost catalogue online, and persists it
+    /// so a reopened store can force the same lowering.
+    pub fn operator_manifest(&self) -> Vec<(StructureKey, KernelKind, u64)> {
+        let mut out = Vec::new();
+        for opset in &self.opsets {
+            for tile in &opset.tiles {
+                if let Some(kind) = tile.kernel.kind() {
+                    out.push((tile.key, kind, tile.kernel.nnz() as u64));
+                }
+            }
+        }
+        out
+    }
+
     fn dispatch(&mut self, tb: TaskBuilder) {
         let tb = tb.priority(self.priority);
         if self.deferring {
@@ -752,6 +775,11 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                     tiles.push(ExecTile {
                         rhs_comp: t.rhs_comp,
                         sol_comp: t.sol_comp,
+                        key: StructureKey::for_stencil(
+                            desc.kind.code(),
+                            desc.kind.points() as usize,
+                            t.out_subset.cardinality(),
+                        ),
                         out_subset: t.out_subset.clone(),
                         in_union: t.in_union.clone(),
                         color: piece_color(t.rhs_comp, t.range_color),
@@ -770,8 +798,16 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
             // One format-independent pass gathers each tile's
             // triplets; lowering then picks the specialized kernel.
             let trips = extract_tile_triplets(comp.matrix.as_ref(), &comp.tiles);
+            let pieces = comp.tiles.len();
             for (t, (rows, cols, vals)) in comp.tiles.iter().zip(trips) {
-                let kernel = TileKernel::lower(&rows, &cols, &vals, spec.kernel_choice);
+                let kernel = TileKernel::lower_advised(
+                    &rows,
+                    &cols,
+                    &vals,
+                    spec.kernel_choice,
+                    pieces,
+                    spec.advisor.as_deref(),
+                );
                 if kernel.is_empty() {
                     // Structurally empty tile: launch nothing, ever.
                     // Its output rows fall to the apply plan's
@@ -787,6 +823,7 @@ impl<T: Scalar> Backend<T> for ExecBackend<T> {
                 tiles.push(ExecTile {
                     rhs_comp: t.rhs_comp,
                     sol_comp: t.sol_comp,
+                    key: TileStructure::analyze(&rows, &cols, &vals).key(),
                     out_subset: t.out_subset.clone(),
                     in_union: t.in_union.clone(),
                     color: piece_color(t.rhs_comp, t.range_color),
@@ -1496,6 +1533,7 @@ mod tests {
                 stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
+            advisor: None,
         });
         let cs = CompSpec {
             len: 36,
@@ -1541,6 +1579,7 @@ mod tests {
                     tiles,
                 }],
                 kernel_choice: choice,
+            advisor: None,
             });
             let cs = CompSpec {
                 len: 64,
@@ -1584,6 +1623,7 @@ mod tests {
                 stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
+            advisor: None,
         });
         let tiles_by_kernel = b.metrics().tiles_by_kernel;
         // A 2D Laplacian slab is banded: every tile must lower to DIA.
@@ -1609,6 +1649,7 @@ mod tests {
                 stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
+            advisor: None,
         });
         let cs = CompSpec {
             len: 16,
@@ -1645,6 +1686,7 @@ mod tests {
                 stencil: None,
             }],
             kernel_choice: KernelChoice::Auto,
+            advisor: None,
         });
         let cs = CompSpec {
             len: 16,

@@ -112,6 +112,20 @@ impl MachineConfig {
         (flops / (self.flops_per_proc * eff)).max(bytes / (self.mem_bw_per_proc * eff))
     }
 
+    /// Roofline prior for one sparse-operator apply touching `nnz`
+    /// stored entries at `bytes_per_entry` amortized traffic (value +
+    /// index + its share of vector reads/writes): the compute roofline
+    /// of `2·nnz` flops against `nnz·bytes_per_entry` bytes, plus one
+    /// task launch. This is the cost catalogue's zero-sample seed —
+    /// deliberately optimistic (a lower bound a real kernel refines
+    /// upward online), which keeps cold-start admission screens from
+    /// rejecting feasible jobs.
+    pub fn kernel_prior_seconds(&self, nnz: u64, bytes_per_entry: f64) -> f64 {
+        let flops = 2.0 * nnz as f64;
+        let bytes = nnz as f64 * bytes_per_entry;
+        self.compute_seconds(flops, bytes) + self.task_overhead
+    }
+
     /// Duration of a point-to-point copy.
     pub fn copy_seconds(&self, bytes: f64) -> f64 {
         self.nic_latency + bytes / self.nic_bandwidth

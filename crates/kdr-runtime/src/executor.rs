@@ -30,7 +30,7 @@
 //! path.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -88,6 +88,10 @@ struct DepState {
     /// Executed-task tallies keyed by kernel name, bumped under this
     /// lock on the completion path (which already holds it).
     counts: BTreeMap<&'static str, u64>,
+    /// Accumulated execution nanoseconds per kernel name; only grows
+    /// while event logging or per-kernel timing is enabled (timestamps
+    /// are zero otherwise, contributing nothing).
+    exec_ns: BTreeMap<&'static str, u64>,
 }
 
 /// Per-worker watchdog slot: the task currently executing (id + 1;
@@ -126,6 +130,12 @@ struct ExecShared {
     /// Deterministic fault injector. Checked with one relaxed load
     /// per task at submission when disarmed.
     faults: FaultInjector,
+    /// Per-kernel execution timing without the full event log: when
+    /// set, workers stamp task start/end even with logging off, and
+    /// retirement accumulates per-kernel-name execute nanoseconds
+    /// (the cost catalogue's online observation feed). One relaxed
+    /// load per task when off.
+    kernel_timing: AtomicBool,
     /// Watchdog stall budget in nanoseconds (0 = watchdog off).
     stall_budget_ns: AtomicU64,
     /// One slot per worker for the watchdog to observe.
@@ -177,6 +187,7 @@ impl Executor {
             sleepers: AtomicUsize::new(0),
             events: EventSink::new(workers, ring_capacity),
             faults: FaultInjector::new(),
+            kernel_timing: AtomicBool::new(false),
             stall_budget_ns: AtomicU64::new(0),
             watch: (0..workers)
                 .map(|_| WatchSlot {
@@ -354,6 +365,18 @@ impl Executor {
         self.shared.state.lock().counts.clone()
     }
 
+    /// Accumulated execution nanoseconds per kernel name (only grows
+    /// while event logging or per-kernel timing is on).
+    pub fn task_execute_ns(&self) -> BTreeMap<&'static str, u64> {
+        self.shared.state.lock().exec_ns.clone()
+    }
+
+    /// Enable or disable per-kernel execution timing independently of
+    /// the event log.
+    pub fn set_kernel_timing(&self, on: bool) {
+        self.shared.kernel_timing.store(on, Ordering::Relaxed);
+    }
+
     /// The executor's event sink (spans, histograms, enable flag).
     pub fn events(&self) -> &EventSink {
         &self.shared.events
@@ -509,6 +532,14 @@ fn retire_locked(
         if rec.outcome != TaskOutcome::Poisoned {
             *st.counts.entry(rec.name).or_insert(0) += 1;
         }
+        if rec.outcome == TaskOutcome::Completed {
+            // Zero when neither logging nor kernel timing stamped the
+            // task, so the map stays cost-free on the disabled path.
+            let dt = rec.end_ns.saturating_sub(rec.start_ns);
+            if dt > 0 {
+                *st.exec_ns.entry(rec.name).or_insert(0) += dt;
+            }
+        }
         // Record the span while the task still counts as
         // outstanding: a fence observing `outstanding == 0` then
         // implies every executed task's span has landed, so
@@ -566,9 +597,11 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
             shared.sleepers.fetch_sub(1, Ordering::AcqRel);
         };
 
-        // One relaxed load when logging is off — the entire cost the
-        // event layer adds to the disabled execute path.
+        // One relaxed load each when logging and kernel timing are
+        // off — the entire cost those layers add to the disabled
+        // execute path.
         let logging = shared.events.enabled();
+        let timing = logging || shared.kernel_timing.load(Ordering::Relaxed);
         if runnable.poisoned {
             // Born poisoned (a dependence had already retired
             // failed): retire without running. Dropping the body
@@ -601,7 +634,7 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
         let ctx = TaskContext {
             reqs: Arc::clone(&runnable.reqs),
         };
-        let start_ns = if logging { shared.events.now_ns() } else { 0 };
+        let start_ns = if timing { shared.events.now_ns() } else { 0 };
         // One relaxed load when the watchdog is off — the fault
         // layer's entire cost on the disabled execute path (the
         // injected-fault check below is a plain field read).
@@ -641,7 +674,7 @@ fn worker_loop(shared: Arc<ExecShared>, me: usize) {
             }
         }
         shared.executed.fetch_add(1, Ordering::Relaxed);
-        let end_ns = if logging { shared.events.now_ns() } else { 0 };
+        let end_ns = if timing { shared.events.now_ns() } else { 0 };
 
         // Retire: record any failure, then release (or poison)
         // successors.

@@ -198,6 +198,19 @@ pub struct MetricsSnapshot {
     /// `spmv_dia` vs `spmv_csr`), so backends can report which
     /// specialized kernels actually ran.
     pub task_counts: BTreeMap<&'static str, u64>,
+    /// Accumulated execution nanoseconds per kernel name — the
+    /// per-kernel companion of [`MetricsSnapshot::execute_ns`]. Only
+    /// populated while event logging or per-kernel timing is on (see
+    /// [`Runtime::enable_kernel_timing`](crate::Runtime::enable_kernel_timing));
+    /// cost catalogues divide these by [`MetricsSnapshot::task_counts`]
+    /// to refine per-kernel latency estimates online.
+    pub task_execute_ns: BTreeMap<&'static str, u64>,
+    /// Cost-catalogue predictions served from observed samples
+    /// (incremented by the service layer at admission).
+    pub catalogue_hits: u64,
+    /// Cost-catalogue predictions that fell back to the roofline
+    /// prior (no observed samples for the key).
+    pub catalogue_misses: u64,
 }
 
 impl MetricsSnapshot {

@@ -39,7 +39,17 @@
 //!   with bounded backoff ([`RetryPolicy`], typed
 //!   [`JobOutcome::RetryExhausted`] on exhaustion), and recovers
 //!   shard crashes from its job ledger with exactly-once delivery
-//!   (see the [`supervision`] module docs).
+//!   (see the [`supervision`] module docs);
+//! - **cost-model scheduling and warm restarts** — a shared cost
+//!   catalogue ([`ServiceConfig::catalogue`], from `kdr-store`)
+//!   prices jobs by operator structure for admission screening,
+//!   opt-in cost-proportional fair-share weights
+//!   ([`ServiceConfig::cost_weights`]), and measured-sample kernel
+//!   advice to the planner; [`SolveService::save_store`] /
+//!   [`SolveService::open_store`] (and their [`ShardedService`]
+//!   counterparts) persist catalogue + tenants + sessions in a
+//!   versioned, checksummed on-disk store so a restarted service
+//!   starts warm with bit-identical residual histories.
 //!
 //! ```
 //! use kdr_core::SolveControl;
@@ -68,6 +78,7 @@
 //! ```
 
 pub mod metrics;
+mod persist;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
@@ -84,7 +95,7 @@ pub use request::{
 };
 pub use scheduler::FairScheduler;
 pub use service::{ServiceConfig, ShardLoad, SolveService, TenantBundle};
-pub use session::{Session, SessionSpec, SolverKind};
+pub use session::{Session, SessionSpec, SessionTuning, SolverKind};
 pub use sharded::{Placement, ShardConfig, ShardedService};
 pub use supervision::{
     EvacuationPolicy, HealthBudget, HealthReport, InFlightRecovery, RetryPolicy, ShardStatus,

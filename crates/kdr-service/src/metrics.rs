@@ -57,6 +57,23 @@ pub struct TenantMetrics {
     pub faults_injected: u64,
     /// Driver wall-clock seconds spent in this tenant's slices.
     pub busy_seconds: f64,
+    /// Admitted jobs whose admission-time cost prediction came from
+    /// an *observed* catalogue entry (refined online from at least
+    /// one execute-latency sample). Zero when the service runs
+    /// without a catalogue.
+    pub catalogue_hits: u64,
+    /// Admitted jobs whose prediction fell back to the roofline
+    /// prior (no observed entry yet). `catalogue_hits +
+    /// catalogue_misses` equals the tenant's admitted-job count when
+    /// a catalogue is configured.
+    pub catalogue_misses: u64,
+    /// Sum of per-job absolute prediction error, as a percentage of
+    /// observed turnaround. Divide by `prediction_samples` for the
+    /// mean (see [`TenantMetrics::prediction_error_pct`]).
+    pub prediction_err_pct_sum: f64,
+    /// Completed jobs with both a prediction and a nonzero observed
+    /// turnaround — the denominator of the prediction-error mean.
+    pub prediction_samples: u64,
 }
 
 impl TenantMetrics {
@@ -78,6 +95,21 @@ impl TenantMetrics {
         self.tasks_stalled += other.tasks_stalled;
         self.faults_injected += other.faults_injected;
         self.busy_seconds += other.busy_seconds;
+        self.catalogue_hits += other.catalogue_hits;
+        self.catalogue_misses += other.catalogue_misses;
+        self.prediction_err_pct_sum += other.prediction_err_pct_sum;
+        self.prediction_samples += other.prediction_samples;
+    }
+
+    /// Mean absolute prediction error as a percentage of observed
+    /// turnaround, over this tenant's completed jobs that carried a
+    /// catalogue prediction. `None` until the first such completion.
+    pub fn prediction_error_pct(&self) -> Option<f64> {
+        if self.prediction_samples == 0 {
+            None
+        } else {
+            Some(self.prediction_err_pct_sum / self.prediction_samples as f64)
+        }
     }
 }
 
@@ -218,6 +250,23 @@ mod tests {
         t.merge(&m.tenant(4));
         assert_eq!(t.task_failures, 4);
         assert_eq!(t.faults_injected, 6);
+    }
+
+    #[test]
+    fn catalogue_metrics_merge_and_mean() {
+        let mut a = TenantMetrics {
+            catalogue_hits: 3,
+            catalogue_misses: 1,
+            prediction_err_pct_sum: 50.0,
+            prediction_samples: 2,
+            ..Default::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.catalogue_hits, 6);
+        assert_eq!(a.catalogue_misses, 2);
+        assert_eq!(a.prediction_error_pct(), Some(25.0));
+        assert_eq!(TenantMetrics::default().prediction_error_pct(), None);
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! when a new job would first run; deadlines earlier than that are
 //! rejected at admission instead of wasting queue space on work that
 //! is already doomed.
+//!
+//! Before the first completion the EWMA is zero — historically that
+//! meant a *cold tenant's* backlog counted as free and its first job
+//! was admitted against any future deadline, however unmeetable. Jobs
+//! now carry an optional cost-catalogue prediction
+//! ([`QueuedJob::predicted_seconds`]): wherever the EWMA has no
+//! observation yet, the screen falls back to the predicted cost, so a
+//! cold tenant's first job is screened from the catalogue prior
+//! instead of waved through.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -32,6 +41,12 @@ pub struct QueuedJob {
     pub request: Arc<SolveRequest>,
     /// When admission succeeded.
     pub submitted_at: Instant,
+    /// Cost-catalogue prediction of this job's service seconds made
+    /// at admission (`None` when the service runs without a
+    /// catalogue). Stands in for the EWMA while it has no
+    /// observation, and is compared against the observed turnaround
+    /// at completion to feed the prediction-error metric.
+    pub predicted_seconds: Option<f64>,
 }
 
 /// The bounded admission queue (FIFO per tenant).
@@ -68,21 +83,43 @@ impl AdmissionQueue {
         self.capacity
     }
 
+    /// Expected service seconds of one queued job: the observed EWMA
+    /// once any job has completed, else the job's own catalogue
+    /// prediction (zero when neither exists — the pre-catalogue
+    /// behavior).
+    fn per_job_seconds(&self, predicted: Option<f64>) -> f64 {
+        if self.ewma_job_seconds > 0.0 {
+            self.ewma_job_seconds
+        } else {
+            predicted.unwrap_or(0.0).max(0.0)
+        }
+    }
+
     /// Estimated wait before a job admitted *now* would first be
-    /// scheduled: backlog depth times the average service time.
+    /// scheduled: the backlog's summed expected service times.
     pub fn estimated_start(&self) -> Duration {
-        Duration::from_secs_f64(self.jobs.len() as f64 * self.ewma_job_seconds)
+        let total: f64 = self
+            .jobs
+            .iter()
+            .map(|j| self.per_job_seconds(j.predicted_seconds))
+            .sum();
+        Duration::from_secs_f64(total)
     }
 
     /// Admit a job or reject it with a typed reason. `QueueFull` and
     /// `DeadlineUnmeetable` are the backpressure signals; both leave
-    /// the queue unchanged.
+    /// the queue unchanged. `predicted_seconds` is the cost
+    /// catalogue's estimate of the job's own service time: it screens
+    /// the deadline even when the EWMA has no observation yet (the
+    /// cold-tenant case), and is retained on the queued job for the
+    /// prediction-error metric at completion.
     pub fn try_admit(
         &mut self,
         job: JobId,
         tenant: TenantId,
         request: Arc<SolveRequest>,
         now: Instant,
+        predicted_seconds: Option<f64>,
     ) -> Result<(), RejectReason> {
         if self.jobs.len() >= self.capacity {
             return Err(RejectReason::QueueFull {
@@ -92,7 +129,8 @@ impl AdmissionQueue {
         if let Some(deadline) = request.deadline {
             let deadline_in = deadline.saturating_duration_since(now);
             let estimated_start = self.estimated_start();
-            if deadline_in.is_zero() || deadline_in < estimated_start {
+            let own = Duration::from_secs_f64(self.per_job_seconds(predicted_seconds));
+            if deadline_in.is_zero() || deadline_in < estimated_start + own {
                 return Err(RejectReason::DeadlineUnmeetable {
                     deadline_in,
                     estimated_start,
@@ -104,6 +142,7 @@ impl AdmissionQueue {
             tenant,
             request,
             submitted_at: now,
+            predicted_seconds,
         });
         Ok(())
     }
@@ -208,9 +247,9 @@ mod tests {
     fn queue_full_rejects_without_mutation() {
         let mut q = AdmissionQueue::new(2);
         let now = Instant::now();
-        assert!(q.try_admit(0, 1, req(), now).is_ok());
-        assert!(q.try_admit(1, 2, req(), now).is_ok());
-        let err = q.try_admit(2, 1, req(), now).unwrap_err();
+        assert!(q.try_admit(0, 1, req(), now, None).is_ok());
+        assert!(q.try_admit(1, 2, req(), now, None).is_ok());
+        let err = q.try_admit(2, 1, req(), now, None).unwrap_err();
         assert_eq!(err, RejectReason::QueueFull { capacity: 2 });
         assert_eq!(q.len(), 2);
     }
@@ -221,7 +260,7 @@ mod tests {
         let now = Instant::now();
         let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now - Duration::from_millis(1));
-        let err = q.try_admit(0, 1, Arc::new(r), now).unwrap_err();
+        let err = q.try_admit(0, 1, Arc::new(r), now, None).unwrap_err();
         assert!(matches!(err, RejectReason::DeadlineUnmeetable { .. }));
         assert!(q.is_empty());
     }
@@ -231,28 +270,58 @@ mod tests {
         let mut q = AdmissionQueue::new(8);
         let now = Instant::now();
         q.observe_job_seconds(1.0);
-        assert!(q.try_admit(0, 1, req(), now).is_ok());
-        assert!(q.try_admit(1, 1, req(), now).is_ok());
+        assert!(q.try_admit(0, 1, req(), now, None).is_ok());
+        assert!(q.try_admit(1, 1, req(), now, None).is_ok());
         // Two 1-second jobs queued; a 500 ms deadline is hopeless.
         let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now + Duration::from_millis(500));
         assert!(matches!(
-            q.try_admit(2, 2, Arc::new(r), now).unwrap_err(),
+            q.try_admit(2, 2, Arc::new(r), now, None).unwrap_err(),
             RejectReason::DeadlineUnmeetable { .. }
         ));
         // A 10-second deadline clears the estimate.
         let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now + Duration::from_secs(10));
-        assert!(q.try_admit(3, 2, Arc::new(r), now).is_ok());
+        assert!(q.try_admit(3, 2, Arc::new(r), now, None).is_ok());
+    }
+
+    #[test]
+    fn cold_queue_screens_from_catalogue_prediction() {
+        // No completion has been observed (EWMA is zero), so without
+        // a prediction any future deadline is admitted — the historic
+        // cold-tenant hole. With a catalogue prediction the job's own
+        // predicted cost screens the deadline even on an empty queue.
+        let mut q = AdmissionQueue::new(8);
+        let now = Instant::now();
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
+        r.deadline = Some(now + Duration::from_millis(1));
+        assert!(matches!(
+            q.try_admit(0, 1, Arc::new(r), now, Some(1.0)).unwrap_err(),
+            RejectReason::DeadlineUnmeetable { .. }
+        ));
+        assert!(q.is_empty());
+        // The same prediction clears a generous deadline.
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
+        r.deadline = Some(now + Duration::from_secs(10));
+        assert!(q.try_admit(1, 1, Arc::new(r), now, Some(1.0)).is_ok());
+        // Once the EWMA has an observation it takes precedence over
+        // the per-job prediction.
+        q.observe_job_seconds(0.25);
+        let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
+        r.deadline = Some(now + Duration::from_secs(1));
+        assert!(
+            q.try_admit(2, 1, Arc::new(r), now, Some(100.0)).is_ok(),
+            "observed EWMA overrides a wild prediction"
+        );
     }
 
     #[test]
     fn pop_is_fifo_per_tenant() {
         let mut q = AdmissionQueue::new(8);
         let now = Instant::now();
-        q.try_admit(10, 1, req(), now).unwrap();
-        q.try_admit(11, 2, req(), now).unwrap();
-        q.try_admit(12, 1, req(), now).unwrap();
+        q.try_admit(10, 1, req(), now, None).unwrap();
+        q.try_admit(11, 2, req(), now, None).unwrap();
+        q.try_admit(12, 1, req(), now, None).unwrap();
         assert_eq!(q.pop_for_tenant(1).unwrap().job, 10);
         assert_eq!(q.pop_for_tenant(1).unwrap().job, 12);
         assert!(q.pop_for_tenant(1).is_none());
@@ -268,7 +337,7 @@ mod tests {
         let mut q = AdmissionQueue::new(1);
         let now = Instant::now();
         q.observe_job_seconds(100.0);
-        q.try_admit(0, 1, req(), now).unwrap();
+        q.try_admit(0, 1, req(), now, None).unwrap();
         let mut r = SolveRequest::new(0, vec![1.0], SolveControl::default());
         r.deadline = Some(now + Duration::from_millis(1));
         q.restore(QueuedJob {
@@ -276,6 +345,7 @@ mod tests {
             tenant: 2,
             request: Arc::new(r),
             submitted_at: now,
+            predicted_seconds: None,
         });
         assert_eq!(q.len(), 2, "restore ignores the capacity bound");
         let restored = q.pop_for_tenant(2).unwrap();
@@ -288,8 +358,8 @@ mod tests {
         let mut q = AdmissionQueue::new(8);
         let t0 = Instant::now();
         assert_eq!(q.oldest_wait(t0), None);
-        q.try_admit(0, 1, req(), t0).unwrap();
-        q.try_admit(1, 2, req(), t0 + Duration::from_millis(50)).unwrap();
+        q.try_admit(0, 1, req(), t0, None).unwrap();
+        q.try_admit(1, 2, req(), t0 + Duration::from_millis(50), None).unwrap();
         let now = t0 + Duration::from_millis(80);
         assert_eq!(q.oldest_wait(now), Some(Duration::from_millis(80)));
         q.remove_job(0);
@@ -300,9 +370,9 @@ mod tests {
     fn tenants_with_work_deduplicates_in_order() {
         let mut q = AdmissionQueue::new(8);
         let now = Instant::now();
-        q.try_admit(0, 3, req(), now).unwrap();
-        q.try_admit(1, 1, req(), now).unwrap();
-        q.try_admit(2, 3, req(), now).unwrap();
+        q.try_admit(0, 3, req(), now, None).unwrap();
+        q.try_admit(1, 1, req(), now, None).unwrap();
+        q.try_admit(2, 3, req(), now, None).unwrap();
         assert_eq!(q.tenants_with_work(), vec![3, 1]);
     }
 }

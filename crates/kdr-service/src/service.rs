@@ -23,22 +23,36 @@
 //! moving a tenant — sessions, queued jobs, and checkpointed
 //! in-flight jobs — between shards.
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use kdr_core::{CancelToken, SolveError, SolveTrace, Solver, StepDriver, StepStatus};
-use kdr_runtime::{ColorAffinityMapper, Runtime, TaskSpan};
+use kdr_machine::MachineConfig;
+use kdr_runtime::{ColorAffinityMapper, MetricsSnapshot, Runtime, TaskSpan};
+use kdr_sparse::{KernelAdvisor, KernelKind};
+use kdr_store::{
+    CatalogueKey, SharedCatalogue, StoreBundle, StoreError, StoreSession, StoreTenant,
+};
 
 use crate::metrics::ServiceMetrics;
+use crate::persist;
 use crate::queue::{AdmissionQueue, QueuedJob};
 use crate::request::{
     CancelOutcome, JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse,
     TenantId,
 };
 use crate::scheduler::FairScheduler;
-use crate::session::{Session, SessionSpec};
+use crate::session::{Session, SessionSpec, SessionTuning};
+
+/// Iteration horizon for admission-time cost prediction: a deadline
+/// screen should reflect the work needed to produce a useful answer,
+/// not a request's (often deliberately generous) full iteration cap,
+/// so predictions assume at most this many iterations per RHS.
+const ADMIT_ITER_HORIZON: usize = 32;
 
 /// Service construction knobs.
 #[derive(Clone, Debug)]
@@ -121,6 +135,22 @@ pub struct ServiceConfig {
     ///
     /// [`TenantMetrics::tasks_stalled`]: crate::TenantMetrics::tasks_stalled
     pub stall_budget: Option<Duration>,
+    /// Shared cost catalogue. `None` (the default) runs exactly the
+    /// pre-catalogue service. When set, the service (a) screens
+    /// admission deadlines with predicted job costs — including a
+    /// cold tenant's very first job, (b) refines the catalogue online
+    /// from per-kernel execute latencies, (c) gives new sessions a
+    /// catalogue-snapshot [`kdr_sparse::KernelAdvisor`] so tile
+    /// lowering picks the predicted-cheapest kernel, and (d) counts
+    /// catalogue hits/misses and prediction error in the metrics.
+    /// Cloning a [`SharedCatalogue`] shares it, so the shards of a
+    /// sharded service all refine one catalogue.
+    pub catalogue: Option<SharedCatalogue>,
+    /// Scale fair-share stride weights by predicted per-session cost
+    /// (cheaper tenants get proportionally more slices, bounded at
+    /// 16×). Opt-in, and inert without a catalogue: the default
+    /// `false` keeps weights exactly as registered.
+    pub cost_weights: bool,
 }
 
 impl Default for ServiceConfig {
@@ -133,6 +163,8 @@ impl Default for ServiceConfig {
             capture_events: false,
             fence_slices: false,
             stall_budget: None,
+            catalogue: None,
+            cost_weights: false,
         }
     }
 }
@@ -145,6 +177,9 @@ struct ActiveJob {
     session: SessionId,
     request: Arc<SolveRequest>,
     token: CancelToken,
+    /// Admission-time catalogue prediction of this job's service
+    /// seconds (compared to the observed turnaround at completion).
+    predicted_seconds: Option<f64>,
     /// Index of the RHS currently being solved.
     rhs_idx: usize,
     /// Driver + solver for the in-flight RHS (`None` between RHS).
@@ -244,6 +279,7 @@ impl TenantBundle {
                 tenant: self.tenant,
                 request: snap.request,
                 submitted_at: snap.submitted_at,
+                predicted_seconds: None,
             });
         }
         self.queued.sort_by_key(|q| q.job);
@@ -293,6 +329,11 @@ struct ServiceState {
     metrics: ServiceMetrics,
     next_job: JobId,
     next_session: SessionId,
+    /// Registered fair-share weights as the caller gave them. The
+    /// scheduler may hold cost-scaled *effective* weights (with
+    /// [`ServiceConfig::cost_weights`]); migration and the durable
+    /// store always carry the base weight.
+    base_weights: BTreeMap<TenantId, u64>,
 }
 
 /// The multi-tenant solve service.
@@ -315,6 +356,11 @@ impl SolveService {
         if let Some(budget) = cfg.stall_budget {
             rt.set_stall_budget(Some(budget));
         }
+        if cfg.catalogue.is_some() {
+            // Per-kernel execute latencies feed the catalogue's
+            // online refinement.
+            rt.enable_kernel_timing(true);
+        }
         SolveService {
             rt,
             mapper,
@@ -327,6 +373,7 @@ impl SolveService {
                 metrics: ServiceMetrics::default(),
                 next_job: 0,
                 next_session: 0,
+                base_weights: BTreeMap::new(),
             }),
             cfg,
         }
@@ -345,7 +392,18 @@ impl SolveService {
 
     /// Register (or re-weight) a tenant with a fair-share weight.
     pub fn register_tenant(&self, tenant: TenantId, weight: u64) {
-        self.state.lock().scheduler.register(tenant, weight);
+        let mut st = self.state.lock();
+        st.base_weights.insert(tenant, weight);
+        st.scheduler.register(tenant, weight);
+        self.refresh_cost_weights(&mut st);
+    }
+
+    /// The weight the scheduler is currently striding a tenant at:
+    /// the registered weight, or the cost-scaled effective weight
+    /// when [`ServiceConfig::cost_weights`] is on. `None` for an
+    /// unregistered tenant.
+    pub fn effective_weight(&self, tenant: TenantId) -> Option<u64> {
+        self.state.lock().scheduler.weight(tenant)
     }
 
     /// Create a plan-cached session for a tenant. Cheap; the
@@ -356,28 +414,49 @@ impl SolveService {
         let id = st.next_session;
         st.next_session += 1;
         drop(st);
-        self.create_session_with_id(id, tenant, spec);
+        self.create_session_with_id(id, tenant, spec, None);
         id
     }
 
     /// Install a session under a caller-chosen id (the sharded front
     /// door allocates globally unique ids so a session keeps its id
-    /// across migrations).
+    /// across migrations). `forced_kernel` pins every tile of the
+    /// session's operator to one kernel — the store's warm-restart
+    /// replay; `None` lets the catalogue advisor (when configured)
+    /// or the structure heuristic pick.
     pub(crate) fn create_session_with_id(
         &self,
         id: SessionId,
         tenant: TenantId,
         spec: SessionSpec,
+        forced_kernel: Option<KernelKind>,
     ) {
-        let mut st = self.state.lock();
-        let sess = Session::new(
+        let sess = Session::with_tuning(
             Arc::clone(&self.rt),
             Arc::clone(&self.mapper),
             tenant,
             spec,
+            self.session_tuning(forced_kernel),
         );
+        let mut st = self.state.lock();
         st.sessions.insert(id, sess);
         st.next_session = st.next_session.max(id + 1);
+        self.refresh_cost_weights(&mut st);
+    }
+
+    /// Kernel tuning for a new session: the catalogue advisor when a
+    /// catalogue is configured (snapshotted here, so the session's
+    /// lowering decision is deterministic no matter when its first
+    /// job finalizes the plan), plus an optional forced kernel.
+    fn session_tuning(&self, forced_kernel: Option<KernelKind>) -> SessionTuning {
+        SessionTuning {
+            advisor: self
+                .cfg
+                .catalogue
+                .as_ref()
+                .map(|c| Arc::new(c.snapshot()) as Arc<dyn KernelAdvisor>),
+            forced_kernel,
+        }
     }
 
     /// Submit a request. Returns the admitted job id, or a typed
@@ -405,7 +484,7 @@ impl SolveService {
             return Err(RejectReason::UnknownTenant { tenant });
         }
         let session = request.session;
-        match st.sessions.get(&session) {
+        let predicted: Option<(f64, bool)> = match st.sessions.get(&session) {
             None => {
                 st.metrics.tenant_mut(tenant).jobs_rejected += 1;
                 return Err(RejectReason::UnknownSession { session });
@@ -431,11 +510,30 @@ impl SolveService {
                         got: bad.len(),
                     });
                 }
+                self.predict_job_seconds(s, &request)
             }
-        }
-        match st.queue.try_admit(job, tenant, request, Instant::now()) {
+        };
+        match st.queue.try_admit(
+            job,
+            tenant,
+            request,
+            Instant::now(),
+            predicted.map(|(seconds, _)| seconds),
+        ) {
             Ok(()) => {
                 st.next_job = st.next_job.max(job + 1);
+                // Hit/miss accounting covers *admitted* jobs only, so
+                // `catalogue_hits + catalogue_misses` reconciles with
+                // the admitted-job count.
+                if let Some((_, observed)) = predicted {
+                    let m = st.metrics.tenant_mut(tenant);
+                    if observed {
+                        m.catalogue_hits += 1;
+                    } else {
+                        m.catalogue_misses += 1;
+                    }
+                    self.rt.note_catalogue_prediction(observed);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -443,6 +541,26 @@ impl SolveService {
                 Err(e)
             }
         }
+    }
+
+    /// Catalogue prediction of a job's service seconds, and whether
+    /// the estimate was observed (refined from real latencies) or a
+    /// roofline prior. Per-iteration wall time is the per-tile kernel
+    /// cost times the number of worker waves the session's pieces
+    /// need; iterations are capped at [`ADMIT_ITER_HORIZON`]. `None`
+    /// without a catalogue — admission then behaves exactly as before
+    /// the catalogue existed.
+    fn predict_job_seconds(&self, sess: &Session, request: &SolveRequest) -> Option<(f64, bool)> {
+        let cat = self.cfg.catalogue.as_ref()?;
+        let (structure, kernel, pieces) = sess.cost_key();
+        let est = cat.predict(&CatalogueKey::new(structure, kernel, pieces));
+        let waves = pieces.div_ceil(self.cfg.workers.max(1)).max(1);
+        let iters = request.control.max_iters.clamp(1, ADMIT_ITER_HORIZON);
+        let batch = request.rhs_batch.len().max(1);
+        Some((
+            est.seconds * waves as f64 * iters as f64 * batch as f64,
+            est.is_observed(),
+        ))
     }
 
     /// Cooperatively cancel a job, queued or running. Queued jobs
@@ -558,6 +676,14 @@ impl SolveService {
     /// Meaningful only with [`ServiceConfig::capture_events`] on.
     pub fn chrome_trace(&self) -> String {
         let snap = self.rt.metrics();
+        let st = self.state.lock();
+        let (err_sum, err_n) = st
+            .metrics
+            .all()
+            .values()
+            .fold((0.0f64, 0u64), |(s, n), m| {
+                (s + m.prediction_err_pct_sum, n + m.prediction_samples)
+            });
         let counters = [
             ("reduction_stages", snap.reduction_stages as f64),
             (
@@ -568,8 +694,14 @@ impl SolveService {
             ("tasks_poisoned", snap.tasks_poisoned as f64),
             ("tasks_stalled", snap.tasks_stalled as f64),
             ("faults_injected", snap.faults_injected as f64),
+            ("catalogue_hits", snap.catalogue_hits as f64),
+            ("catalogue_misses", snap.catalogue_misses as f64),
+            (
+                "prediction_error_pct",
+                if err_n > 0 { err_sum / err_n as f64 } else { 0.0 },
+            ),
         ];
-        self.state.lock().metrics.chrome_trace_with_counters(&counters)
+        st.metrics.chrome_trace_with_counters(&counters)
     }
 
     /// Detach a tenant for migration: its scheduler entry, sessions
@@ -583,7 +715,11 @@ impl SolveService {
     /// lost or crashed.
     pub fn detach_tenant(&self, tenant: TenantId) -> Option<TenantBundle> {
         let mut st = self.state.lock();
-        let weight = st.scheduler.unregister(tenant)?;
+        let effective = st.scheduler.unregister(tenant)?;
+        // The bundle carries the *base* weight: effective weights are
+        // cost-scaled against this shard's catalogue view and would
+        // compound on re-registration.
+        let weight = st.base_weights.remove(&tenant).unwrap_or(effective);
         let queued = st.queue.remove_tenant(tenant);
         let mut in_flight = Vec::new();
         let mut i = 0;
@@ -670,16 +806,18 @@ impl SolveService {
             .map(|(id, spec)| {
                 (
                     id,
-                    Session::new(
+                    Session::with_tuning(
                         Arc::clone(&self.rt),
                         Arc::clone(&self.mapper),
                         bundle.tenant,
                         spec,
+                        self.session_tuning(None),
                     ),
                 )
             })
             .collect();
         let mut st = self.state.lock();
+        st.base_weights.insert(bundle.tenant, bundle.weight);
         st.scheduler.register(bundle.tenant, bundle.weight);
         for (id, sess) in rebuilt {
             st.sessions.insert(id, sess);
@@ -692,6 +830,7 @@ impl SolveService {
                 session: snap.session,
                 request: snap.request,
                 token: snap.token,
+                predicted_seconds: None,
                 rhs_idx: snap.rhs_idx,
                 driver: None,
                 solver: None,
@@ -712,6 +851,173 @@ impl SolveService {
         for q in bundle.queued {
             st.queue.restore(q);
         }
+        self.refresh_cost_weights(&mut st);
+    }
+
+    /// Persist the service's durable state to `path`: the cost
+    /// catalogue (when configured), every registered tenant with its
+    /// base weight, and every session — operator, solver, piece
+    /// count, and the kernel its tiles actually lowered to (when the
+    /// plan is finalized and unanimous; `Auto` otherwise). Queued and
+    /// in-flight jobs are *not* persisted: requests are transient,
+    /// and a restarted service re-runs them bitwise-identically
+    /// anyway. The write is atomic (temp file + rename).
+    pub fn save_store(&self, path: &Path) -> Result<(), StoreError> {
+        let bundle = StoreBundle {
+            catalogue: self
+                .cfg
+                .catalogue
+                .as_ref()
+                .map(|c| c.export())
+                .unwrap_or_default(),
+            tenants: self.export_tenants(),
+            sessions: self.export_sessions(),
+        };
+        kdr_store::store::save(path, &bundle)
+    }
+
+    /// Rebuild a service from a store written by
+    /// [`SolveService::save_store`]: tenants re-register at their
+    /// saved base weights, sessions rebuild with their persisted
+    /// kernel choices pinned, the catalogue re-seeds from the saved
+    /// entries (merged into `cfg.catalogue` if the caller supplies
+    /// one; a fresh shared catalogue is created otherwise), and every
+    /// session that was warm at save time is pre-warmed — its plan
+    /// finalized and iteration trace captured — so the first real job
+    /// lands on the warm path. Corrupted, truncated, or semantically
+    /// invalid stores fail with a typed [`StoreError`], never a
+    /// panic.
+    pub fn open_store(path: &Path, mut cfg: ServiceConfig) -> Result<SolveService, StoreError> {
+        let bundle = kdr_store::store::load(path)?;
+        let catalogue = cfg
+            .catalogue
+            .take()
+            .unwrap_or_else(|| SharedCatalogue::new(MachineConfig::lassen(1)));
+        for &(key, samples, mean) in &bundle.catalogue {
+            catalogue.insert_entry(key, samples, mean);
+        }
+        cfg.catalogue = Some(catalogue);
+        let svc = SolveService::new(cfg);
+        svc.install_store_bundle(&bundle)?;
+        Ok(svc)
+    }
+
+    /// Install a loaded bundle's tenants and sessions into this
+    /// (fresh) service. Split from [`SolveService::open_store`] so
+    /// the sharded service can reuse the per-shard half.
+    pub(crate) fn install_store_bundle(&self, bundle: &StoreBundle) -> Result<(), StoreError> {
+        let malformed = |what: &'static str| StoreError::Malformed { offset: 0, what };
+        for t in &bundle.tenants {
+            let tenant =
+                TenantId::try_from(t.tenant).map_err(|_| malformed("tenant id out of range"))?;
+            self.register_tenant(tenant, u64::from(t.weight));
+        }
+        let mut sessions: Vec<&StoreSession> = bundle.sessions.iter().collect();
+        sessions.sort_by_key(|s| s.session);
+        for s in sessions {
+            self.install_store_session(s)?;
+        }
+        Ok(())
+    }
+
+    /// Install one stored session: rebuild its spec, pin its
+    /// persisted kernel choice, and pre-warm it if it was warm at
+    /// save time. The owning tenant must already be registered.
+    pub(crate) fn install_store_session(&self, s: &StoreSession) -> Result<(), StoreError> {
+        let malformed = |what: &'static str| StoreError::Malformed { offset: 0, what };
+        let id =
+            SessionId::try_from(s.session).map_err(|_| malformed("session id out of range"))?;
+        let tenant =
+            TenantId::try_from(s.tenant).map_err(|_| malformed("tenant id out of range"))?;
+        if !self.state.lock().scheduler.is_registered(tenant) {
+            return Err(malformed("session references an unregistered tenant"));
+        }
+        let spec = persist::spec_from_store(s)?;
+        let forced = s.forced_kernel()?;
+        self.create_session_with_id(id, tenant, spec, forced);
+        if s.jobs_completed > 0 {
+            self.prewarm_session(id);
+        }
+        Ok(())
+    }
+
+    /// Registered tenants with their base weights, as store records.
+    pub(crate) fn export_tenants(&self) -> Vec<StoreTenant> {
+        self.state
+            .lock()
+            .base_weights
+            .iter()
+            .map(|(&tenant, &weight)| StoreTenant {
+                tenant: u64::from(tenant),
+                weight: u32::try_from(weight).unwrap_or(u32::MAX),
+            })
+            .collect()
+    }
+
+    /// Every session as a store record (the sharded service merges
+    /// these across shards into one bundle).
+    pub(crate) fn export_sessions(&self) -> Vec<StoreSession> {
+        let mut st = self.state.lock();
+        let ids: Vec<SessionId> = st.sessions.keys().copied().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let sess = st.sessions.get_mut(&id).expect("collected above");
+            let manifest = sess.operator_manifest();
+            // Persist a concrete kernel only when the plan finalized
+            // and every tile agrees; otherwise the restart re-decides
+            // (Auto). A cold session has an empty manifest.
+            let kernel = match manifest.first() {
+                Some(&(_, first, _)) if manifest.iter().all(|&(_, k, _)| k == first) => {
+                    Some(first)
+                }
+                _ => None,
+            };
+            let (solver_code, solver_p0, solver_f0, solver_f1) =
+                persist::solver_wire(sess.spec().solver);
+            out.push(StoreSession {
+                session: id as u64,
+                tenant: u64::from(sess.tenant()),
+                unknowns: sess.unknowns(),
+                pieces: sess.spec().pieces as u64,
+                solver_code,
+                solver_p0,
+                solver_f0,
+                solver_f1,
+                kernel_code: StoreSession::kernel_code_for(kernel),
+                jobs_completed: sess.jobs_completed(),
+                steps_captured: sess.steps_captured(),
+                operator: persist::operator_to_store(sess.spec()),
+            });
+        }
+        out
+    }
+
+    /// Replay the expensive solve prologue for a restored session:
+    /// run a two-iteration throwaway solve so the plan finalizes,
+    /// tiles lower (through the pinned kernel), and the iteration
+    /// trace is captured. The session comes out `warm()`; numerics of
+    /// later jobs are untouched because every job re-zeroes the
+    /// iterate (or installs its own) in `begin_solve`.
+    pub(crate) fn prewarm_session(&self, session: SessionId) {
+        let mut st = self.state.lock();
+        let Some(sess) = st.sessions.get_mut(&session) else {
+            return;
+        };
+        let rhs = vec![1.0; sess.unknowns() as usize];
+        let control = kdr_core::SolveControl::fixed(2);
+        let (mut solver, mark) = sess.begin_solve(&rhs, 0);
+        let mut driver = StepDriver::new();
+        if let Ok(None) = driver.preflight(sess.planner_mut(), solver.as_mut(), &control, None) {
+            while matches!(
+                driver.step(sess.planner_mut(), solver.as_mut(), &control, None),
+                Ok(StepStatus::Running)
+            ) {}
+            let _ = driver.finish(sess.planner_mut(), solver.as_mut(), &control, None);
+        }
+        // The solver holds deferred-scalar handles into the backend;
+        // drop it before releasing the workspace.
+        drop(solver);
+        sess.end_solve(mark);
     }
 
     /// Drive admitted work to completion: loop { pick tenant, run
@@ -786,6 +1092,7 @@ impl SolveService {
                     tenant: q.tenant,
                     session: q.request.session,
                     token,
+                    predicted_seconds: q.predicted_seconds,
                     rhs_idx: 0,
                     driver: None,
                     solver: None,
@@ -807,6 +1114,7 @@ impl SolveService {
             }
         };
 
+        let slice_session = st.active[idx].session;
         let (iters_run, finished) = Self::step_slice(
             &mut st.active[idx],
             &mut st.sessions,
@@ -814,12 +1122,22 @@ impl SolveService {
         );
         st.metrics.tenant_mut(tenant).iterations += iters_run;
 
+        let mut completed = false;
         if let Some(outcome) = finished {
+            completed = true;
             let a = st.active.swap_remove(idx);
             let started = a.started_at.unwrap_or(a.submitted_at);
             let turnaround = started.elapsed();
             st.queue.observe_job_seconds(turnaround.as_secs_f64());
             st.metrics.tenant_mut(a.tenant).jobs_completed += 1;
+            if let Some(predicted) = a.predicted_seconds {
+                let observed = turnaround.as_secs_f64();
+                if observed > 0.0 {
+                    let m = st.metrics.tenant_mut(a.tenant);
+                    m.prediction_err_pct_sum += ((observed - predicted).abs() / observed) * 100.0;
+                    m.prediction_samples += 1;
+                }
+            }
             if let Some(sess) = st.sessions.get_mut(&a.session) {
                 sess.end_solve(a.ws_mark);
             }
@@ -849,11 +1167,115 @@ impl SolveService {
         }
         let after = self.rt.metrics();
         st.metrics.record_slice_delta(tenant, &before, &after);
+        self.observe_kernel_costs(st, slice_session, &before, &after);
+        if completed {
+            // Completions are when the catalogue has just gained a
+            // job's worth of fresh observations — the natural point
+            // to re-derive cost-proportional weights.
+            self.refresh_cost_weights(st);
+        }
         if self.cfg.capture_events {
             let spans = self.rt.take_spans();
             st.metrics.record_spans(tenant, spans);
         }
         st.metrics.tenant_mut(tenant).busy_seconds += slice_start.elapsed().as_secs_f64();
+    }
+
+    /// Feed the slice's per-kernel execute-latency deltas into the
+    /// cost catalogue, attributed to the sliced session's operator
+    /// tiles. In the default unfenced mode tasks retiring after the
+    /// boundary land on a later slice — the attribution is
+    /// approximate in exactly the way the per-tenant counter deltas
+    /// already are, and the EWMA absorbs the noise.
+    fn observe_kernel_costs(
+        &self,
+        st: &mut ServiceState,
+        session: SessionId,
+        before: &MetricsSnapshot,
+        after: &MetricsSnapshot,
+    ) {
+        let Some(cat) = self.cfg.catalogue.as_ref() else {
+            return;
+        };
+        let Some(sess) = st.sessions.get_mut(&session) else {
+            return;
+        };
+        let manifest = sess.operator_manifest();
+        if manifest.is_empty() {
+            return;
+        }
+        for (name, &ns_after) in &after.task_execute_ns {
+            let ns = ns_after.saturating_sub(before.task_execute_ns.get(name).copied().unwrap_or(0));
+            if ns == 0 {
+                continue;
+            }
+            let count_after = after.task_counts.get(name).copied().unwrap_or(0);
+            let count = count_after.saturating_sub(before.task_counts.get(name).copied().unwrap_or(0));
+            if count == 0 {
+                continue;
+            }
+            let Some(kind) = kernel_kind_of_task(name) else {
+                continue;
+            };
+            let mean_seconds = ns as f64 / count as f64 / 1.0e9;
+            for &(structure, k, pieces) in &manifest {
+                if k == kind {
+                    cat.observe(CatalogueKey::new(structure, k, pieces as usize), mean_seconds);
+                }
+            }
+        }
+    }
+
+    /// Re-derive the scheduler's effective weights from predicted
+    /// per-session costs (see [`ServiceConfig::cost_weights`]). Every
+    /// base weight is scaled ×16 so the cost fraction keeps integer
+    /// resolution; a tenant whose sessions are predicted `k`× as
+    /// expensive as the cheapest tenant's gets `1/k` of that (floored
+    /// at ×1, i.e. at most a 16× swing). Tenants without sessions
+    /// keep their base ratio. No-op unless both a catalogue and
+    /// `cost_weights` are configured.
+    fn refresh_cost_weights(&self, st: &mut ServiceState) {
+        if !self.cfg.cost_weights {
+            return;
+        }
+        let Some(cat) = self.cfg.catalogue.as_ref() else {
+            return;
+        };
+        let mut sums: BTreeMap<TenantId, (f64, u32)> = BTreeMap::new();
+        for sess in st.sessions.values() {
+            let (structure, kernel, pieces) = sess.cost_key();
+            let est = cat.predict(&CatalogueKey::new(structure, kernel, pieces));
+            let e = sums.entry(sess.tenant()).or_insert((0.0, 0));
+            e.0 += est.seconds;
+            e.1 += 1;
+        }
+        let mut means: BTreeMap<TenantId, f64> = BTreeMap::new();
+        let mut min_cost = f64::INFINITY;
+        for (&t, &(sum, n)) in &sums {
+            if n > 0 {
+                let mean = (sum / n as f64).max(1.0e-12);
+                min_cost = min_cost.min(mean);
+                means.insert(t, mean);
+            }
+        }
+        if means.is_empty() || !min_cost.is_finite() {
+            return;
+        }
+        let tenants: Vec<(TenantId, u64)> =
+            st.base_weights.iter().map(|(&t, &w)| (t, w)).collect();
+        for (tenant, base) in tenants {
+            if !st.scheduler.is_registered(tenant) {
+                continue;
+            }
+            let effective = match means.get(&tenant) {
+                Some(&cost) => {
+                    let scale = (min_cost / cost).clamp(1.0 / 16.0, 1.0);
+                    ((base as f64 * 16.0 * scale).round() as u64).max(1)
+                }
+                None => base.saturating_mul(16).max(1),
+            };
+            st.scheduler.register(tenant, effective);
+        }
     }
 
     /// Step one active job for up to `budget` iterations. Returns
@@ -975,6 +1397,24 @@ impl SolveService {
         } else {
             None
         }
+    }
+}
+
+/// Map an executed task's name back to the spmv kernel that ran it
+/// (`None` for non-kernel tasks such as axpy/dot bodies). Names
+/// follow `kdr_core`'s `kernel_task_name` scheme:
+/// `spmv_[t_]<kind>[_z]`.
+fn kernel_kind_of_task(name: &str) -> Option<KernelKind> {
+    let rest = name.strip_prefix("spmv_")?;
+    let rest = rest.strip_prefix("t_").unwrap_or(rest);
+    let rest = rest.strip_suffix("_z").unwrap_or(rest);
+    match rest {
+        "csr" => Some(KernelKind::Csr),
+        "dia" => Some(KernelKind::Dia),
+        "ell" => Some(KernelKind::Ell),
+        "bcsr" => Some(KernelKind::Bcsr),
+        "stencil" => Some(KernelKind::Stencil),
+        _ => None,
     }
 }
 

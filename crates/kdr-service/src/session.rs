@@ -19,7 +19,10 @@ use kdr_core::{
 };
 use kdr_index::Partition;
 use kdr_runtime::{ColorAffinityMapper, Runtime};
-use kdr_sparse::{SparseMatrix, Stencil, StencilOperator};
+use kdr_sparse::{
+    KernelAdvisor, KernelChoice, KernelKind, SparseMatrix, Stencil, StencilOperator, StructureKey,
+    TileStructure,
+};
 
 use crate::request::TenantId;
 
@@ -127,6 +130,23 @@ impl SessionSpec {
     }
 }
 
+/// Optional per-session kernel tuning. The default tunes nothing:
+/// tiles lower through the structure heuristic exactly as before the
+/// cost catalogue existed.
+#[derive(Clone, Default)]
+pub struct SessionTuning {
+    /// Kernel advisor consulted at lowering time (typically a
+    /// [`kdr_store::CatalogueSnapshot`](kdr_store) doing a
+    /// predicted-cost argmin). `None`, or an advisor that abstains,
+    /// falls back to the structure heuristic.
+    pub advisor: Option<Arc<dyn KernelAdvisor>>,
+    /// Force every tile of the session's operator onto one kernel,
+    /// taking precedence over the advisor. The durable-store warm
+    /// restart uses this to replay a persisted kernel choice
+    /// deterministically.
+    pub forced_kernel: Option<KernelKind>,
+}
+
 /// One tenant's long-lived, plan-cached problem setup.
 pub struct Session {
     tenant: TenantId,
@@ -134,6 +154,10 @@ pub struct Session {
     planner: Planner<f64>,
     jobs_completed: u64,
     started_jobs: u64,
+    /// Cost-catalogue key of the session's operator, computed once at
+    /// construction: structure key, the kernel admission predictions
+    /// are made against, and the piece count.
+    cost_key: (StructureKey, KernelKind, usize),
 }
 
 impl Session {
@@ -146,8 +170,25 @@ impl Session {
         tenant: TenantId,
         spec: SessionSpec,
     ) -> Self {
+        Session::with_tuning(rt, mapper, tenant, spec, SessionTuning::default())
+    }
+
+    /// [`Session::new`] with kernel tuning: an advisor for
+    /// catalogue-driven auto-selection and/or a forced kernel.
+    pub fn with_tuning(
+        rt: Arc<Runtime>,
+        mapper: Arc<ColorAffinityMapper>,
+        tenant: TenantId,
+        spec: SessionSpec,
+        tuning: SessionTuning,
+    ) -> Self {
         let backend = kdr_core::ExecBackend::<f64>::with_shared_runtime(rt, Some(mapper));
         let mut planner = Planner::new(Box::new(backend));
+        if let Some(kind) = tuning.forced_kernel {
+            planner.set_kernel_choice(KernelChoice::Force(kind));
+        } else if tuning.advisor.is_some() {
+            planner.set_kernel_advisor(tuning.advisor.clone());
+        }
         let part = Partition::equal_blocks(spec.unknowns, spec.pieces);
         let d = planner.add_sol_vector(spec.unknowns, Some(part.clone()));
         let r = planner.add_rhs_vector(spec.unknowns, Some(part));
@@ -155,13 +196,72 @@ impl Session {
             Some(desc) => planner.add_stencil_operator(desc, d, r),
             None => planner.add_operator(Arc::clone(&spec.matrix), d, r),
         }
+        let (skey, heuristic) = match spec.stencil {
+            Some(desc) => (
+                StructureKey::for_stencil(
+                    desc.kind.code(),
+                    desc.kind.points() as usize,
+                    desc.unknowns(),
+                ),
+                KernelKind::Stencil,
+            ),
+            None => {
+                let mut rows = Vec::new();
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                spec.matrix.for_each_entry(&mut |_k, row, col, v| {
+                    rows.push(row);
+                    cols.push(col);
+                    vals.push(v);
+                });
+                let s = TileStructure::analyze(&rows, &cols, &vals);
+                (s.key(), s.select())
+            }
+        };
+        let kernel = tuning.forced_kernel.unwrap_or(heuristic);
+        let cost_key = (skey, kernel, spec.pieces);
         Session {
             tenant,
             spec,
             planner,
             jobs_completed: 0,
             started_jobs: 0,
+            cost_key,
         }
+    }
+
+    /// Cost-catalogue key of the session's operator: structure key,
+    /// the kernel predictions are made against (the forced kernel
+    /// when one is set, else the structure heuristic's pick), and the
+    /// piece count. Admission screening and cost-proportional
+    /// scheduling both predict through this key.
+    pub fn cost_key(&self) -> (StructureKey, KernelKind, usize) {
+        self.cost_key
+    }
+
+    /// Per-tile `(structure key, lowered kernel, pieces)` of the
+    /// session's registered operators, as the exec backend actually
+    /// lowered them. Empty until the first job finalizes the plan
+    /// (cold session), and empty under non-exec backends.
+    pub fn operator_manifest(&mut self) -> Vec<(StructureKey, KernelKind, u64)> {
+        self.planner.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<kdr_core::ExecBackend<f64>>()
+                .map(|eb| eb.operator_manifest())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Steps captured into the session's trace cache (0 until the
+    /// first job runs). Persisted to the durable store as a
+    /// diagnostic of how warm the session was at save time.
+    pub fn steps_captured(&mut self) -> u64 {
+        self.planner.with_backend(|b| {
+            b.as_any()
+                .downcast_mut::<kdr_core::ExecBackend<f64>>()
+                .map(|eb| eb.metrics().steps_captured)
+                .unwrap_or(0)
+        })
     }
 
     /// Owning tenant.

@@ -46,14 +46,18 @@
 //! jobs resubmitted from the ledger.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use kdr_machine::MachineConfig;
 use kdr_runtime::TaskSpan;
+use kdr_store::{SharedCatalogue, StoreBundle, StoreError, StoreSession, StoreTenant};
 
 use crate::metrics::TenantMetrics;
+use crate::persist;
 use crate::queue::QueuedJob;
 use crate::request::{
     CancelOutcome, JobId, JobOutcome, RejectReason, SessionId, SolveRequest, SolveResponse,
@@ -456,7 +460,7 @@ impl ShardedService {
         front.slots[shard]
             .live()
             .expect("healthy slots have a runtime")
-            .create_session_with_id(id, tenant, spec);
+            .create_session_with_id(id, tenant, spec, None);
         Ok(id)
     }
 
@@ -822,7 +826,7 @@ impl ShardedService {
                 .collect();
             for sid in sessions {
                 let spec = front.session_specs[&sid].clone();
-                dst_svc.create_session_with_id(sid, t, spec);
+                dst_svc.create_session_with_id(sid, t, spec, None);
             }
             front.placements.insert(t, dst);
             front.migrations += 1;
@@ -860,6 +864,7 @@ impl ShardedService {
                     tenant,
                     request,
                     submitted_at: Instant::now(),
+                    predicted_seconds: None,
                 });
             front.stats.jobs_resubmitted += 1;
         }
@@ -1067,6 +1072,7 @@ impl ShardedService {
                 tenant,
                 request,
                 submitted_at: Instant::now(),
+                predicted_seconds: None,
             });
         }
     }
@@ -1204,6 +1210,8 @@ impl ShardedService {
             .collect();
         let (mut stages, mut stall_ns) = (0u64, 0u64);
         let (mut failures, mut poisoned, mut stalled, mut injected) = (0u64, 0u64, 0u64, 0u64);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut err_sum, mut err_n) = (0.0f64, 0u64);
         for shard in &shards {
             let snap = shard.runtime().metrics();
             stages += snap.reduction_stages;
@@ -1212,6 +1220,12 @@ impl ShardedService {
             poisoned += snap.tasks_poisoned;
             stalled += snap.tasks_stalled;
             injected += snap.faults_injected;
+            hits += snap.catalogue_hits;
+            misses += snap.catalogue_misses;
+            for m in shard.metrics().values() {
+                err_sum += m.prediction_err_pct_sum;
+                err_n += m.prediction_samples;
+            }
         }
         let counters = [
             ("reduction_stages", stages as f64),
@@ -1220,7 +1234,141 @@ impl ShardedService {
             ("tasks_poisoned", poisoned as f64),
             ("tasks_stalled", stalled as f64),
             ("faults_injected", injected as f64),
+            ("catalogue_hits", hits as f64),
+            ("catalogue_misses", misses as f64),
+            (
+                "prediction_error_pct",
+                if err_n > 0 { err_sum / err_n as f64 } else { 0.0 },
+            ),
         ];
         kdr_runtime::chrome_trace_json_with_counters(&groups, &counters)
+    }
+
+    /// Persist the fleet's durable state to `path` as one bundle: the
+    /// shared cost catalogue (every shard refines the same
+    /// [`SharedCatalogue`] from `base.catalogue`), every registered
+    /// tenant at its front-door base weight, and every session. Live
+    /// shards export their sessions warm (pinned kernel, completed-job
+    /// counts); a session stranded on a killed or removed shard is
+    /// exported *cold* from its front-door spec — its warm plan died
+    /// with the shard, which is exactly crash semantics. Queued and
+    /// in-flight jobs are not persisted. The write is atomic (temp
+    /// file + rename).
+    pub fn save_store(&self, path: &Path) -> Result<(), StoreError> {
+        let front = self.front.lock();
+        let mut sessions = Vec::new();
+        for slot in &front.slots {
+            if let Some(svc) = slot.live() {
+                sessions.extend(svc.export_sessions());
+            }
+        }
+        for (&sid, &tenant) in &front.session_owner {
+            let on_live_shard = front
+                .placements
+                .get(&tenant)
+                .is_some_and(|&s| front.slots[s].live().is_some());
+            if on_live_shard {
+                continue;
+            }
+            let Some(spec) = front.session_specs.get(&sid) else {
+                continue;
+            };
+            let (solver_code, solver_p0, solver_f0, solver_f1) = persist::solver_wire(spec.solver);
+            sessions.push(StoreSession {
+                session: sid as u64,
+                tenant: u64::from(tenant),
+                unknowns: spec.unknowns,
+                pieces: spec.pieces as u64,
+                solver_code,
+                solver_p0,
+                solver_f0,
+                solver_f1,
+                kernel_code: StoreSession::kernel_code_for(None),
+                jobs_completed: 0,
+                steps_captured: 0,
+                operator: persist::operator_to_store(spec),
+            });
+        }
+        sessions.sort_by_key(|s| s.session);
+        let bundle = StoreBundle {
+            catalogue: self
+                .cfg
+                .base
+                .catalogue
+                .as_ref()
+                .map(|c| c.export())
+                .unwrap_or_default(),
+            tenants: front
+                .weights
+                .iter()
+                .map(|(&t, &w)| StoreTenant {
+                    tenant: u64::from(t),
+                    weight: u32::try_from(w).unwrap_or(u32::MAX),
+                })
+                .collect(),
+            sessions,
+        };
+        drop(front);
+        kdr_store::store::save(path, &bundle)
+    }
+
+    /// Rebuild a fleet from a store written by
+    /// [`ShardedService::save_store`] (or by
+    /// [`SolveService::save_store`] — the bundle format is shared).
+    /// The catalogue re-seeds into `cfg.base.catalogue` (merged if the
+    /// caller supplies one, fresh otherwise) and is shared by every
+    /// shard; tenants re-register at their saved base weights and are
+    /// re-placed by the configured [`Placement`] policy (consistent
+    /// hashing puts them back on the same shard when the shard count
+    /// is unchanged); sessions rebuild on their owner's shard with
+    /// persisted kernel choices pinned, and sessions that were warm at
+    /// save time are pre-warmed. Corrupted, truncated, or semantically
+    /// invalid stores fail with a typed [`StoreError`], never a panic.
+    pub fn open_store(path: &Path, mut cfg: ShardConfig) -> Result<ShardedService, StoreError> {
+        let bundle = kdr_store::store::load(path)?;
+        let catalogue = cfg
+            .base
+            .catalogue
+            .take()
+            .unwrap_or_else(|| SharedCatalogue::new(MachineConfig::lassen(1)));
+        for &(key, samples, mean) in &bundle.catalogue {
+            catalogue.insert_entry(key, samples, mean);
+        }
+        cfg.base.catalogue = Some(catalogue);
+        let svc = ShardedService::new(cfg);
+        let malformed = |what: &'static str| StoreError::Malformed { offset: 0, what };
+        for t in &bundle.tenants {
+            let tenant =
+                TenantId::try_from(t.tenant).map_err(|_| malformed("tenant id out of range"))?;
+            svc.register_tenant(tenant, u64::from(t.weight));
+        }
+        let mut stored: Vec<&StoreSession> = bundle.sessions.iter().collect();
+        stored.sort_by_key(|s| s.session);
+        {
+            let mut front = svc.front.lock();
+            for s in stored {
+                let id = SessionId::try_from(s.session)
+                    .map_err(|_| malformed("session id out of range"))?;
+                let tenant = TenantId::try_from(s.tenant)
+                    .map_err(|_| malformed("tenant id out of range"))?;
+                let Some(&shard) = front.placements.get(&tenant) else {
+                    return Err(malformed("session references an unregistered tenant"));
+                };
+                let spec = persist::spec_from_store(s)?;
+                let forced = s.forced_kernel()?;
+                front.session_owner.insert(id, tenant);
+                front.session_specs.insert(id, spec.clone());
+                front.next_session = front.next_session.max(id.saturating_add(1));
+                let engine = front.slots[shard]
+                    .live()
+                    .expect("a fresh fleet's shards are all live")
+                    .clone();
+                engine.create_session_with_id(id, tenant, spec, forced);
+                if s.jobs_completed > 0 {
+                    engine.prewarm_session(id);
+                }
+            }
+        }
+        Ok(svc)
     }
 }

@@ -1,0 +1,338 @@
+//! Cost-catalogue and durable-store integration tests: cold-tenant
+//! deadline screening, hit/miss reconciliation, cost-proportional
+//! weights, and warm restarts (unsharded and sharded) with
+//! bit-identical replay.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kdr_core::SolveControl;
+use kdr_machine::MachineConfig;
+use kdr_service::{
+    RejectReason, ServiceConfig, SessionSpec, ShardConfig, ShardedService, SolveRequest,
+    SolveService, SolverKind,
+};
+use kdr_sparse::stencil::rhs_vector;
+use kdr_sparse::{KernelKind, SparseMatrix, Stencil, StructureKey};
+use kdr_store::{CatalogueKey, SharedCatalogue, StoreError};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kdr_service_store_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn catalogue() -> SharedCatalogue {
+    SharedCatalogue::new(MachineConfig::lassen(1))
+}
+
+/// The cost key a stencil session predicts through (same derivation
+/// as `Session::cost_key`).
+fn stencil_key(s: &Stencil, pieces: usize) -> CatalogueKey {
+    CatalogueKey::new(
+        StructureKey::for_stencil(s.kind.code(), s.kind.points() as usize, s.unknowns()),
+        KernelKind::Stencil,
+        pieces,
+    )
+}
+
+fn history_bits(history: &[(usize, f64)]) -> Vec<(usize, u64)> {
+    history.iter().map(|&(i, r)| (i, r.to_bits())).collect()
+}
+
+/// The cold-tenant admission hole, closed: with a catalogue entry
+/// predicting a long solve, a cold tenant's *first* job is screened
+/// against the prediction (the queue has no EWMA yet) and rejected
+/// when the deadline cannot be met; a generous deadline still admits.
+#[test]
+fn cold_tenant_first_job_screens_against_catalogue_prediction() {
+    let cat = catalogue();
+    let s = Stencil::lap2d(8, 8);
+    // 10 s/kernel-apply: far beyond any near deadline once scaled by
+    // the admission iteration horizon.
+    cat.insert_entry(stencil_key(&s, 2), 4, 10.0);
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        catalogue: Some(cat),
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    let sid = svc.create_session(1, SessionSpec::stencil(s, 2, SolverKind::Cg));
+    let control = SolveControl::to_tolerance(1e-10, 1000);
+
+    let mut req = SolveRequest::new(sid, rhs_vector::<f64>(64, 3), control.clone());
+    req.deadline = Some(Instant::now() + Duration::from_millis(1));
+    match svc.submit(1, req) {
+        Err(RejectReason::DeadlineUnmeetable { .. }) => {}
+        other => panic!("cold tenant with a hopeless deadline admitted: {other:?}"),
+    }
+
+    let mut req = SolveRequest::new(sid, rhs_vector::<f64>(64, 3), control);
+    req.deadline = Some(Instant::now() + Duration::from_secs(24 * 3600));
+    svc.submit(1, req).expect("generous deadline admits");
+    svc.run_until_idle();
+    assert_eq!(svc.take_responses().len(), 1);
+}
+
+/// Every admitted job counts as exactly one catalogue hit or miss —
+/// `hits + misses == admitted` — both in the per-tenant metrics and
+/// the runtime snapshot; rejected jobs count as neither.
+#[test]
+fn catalogue_hits_and_misses_reconcile_with_admissions() {
+    let cat = catalogue();
+    let warm_stencil = Stencil::lap2d(8, 8);
+    cat.insert_entry(stencil_key(&warm_stencil, 2), 4, 1.0e-6);
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        catalogue: Some(cat),
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    svc.register_tenant(2, 1);
+    // Tenant 1's session has an observed entry (hits); tenant 2's
+    // (different shape, no entry) predicts from the prior (misses).
+    let s1 = svc.create_session(1, SessionSpec::stencil(warm_stencil, 2, SolverKind::Cg));
+    let s2 = svc.create_session(2, SessionSpec::stencil(Stencil::lap2d(12, 12), 2, SolverKind::Cg));
+    let control = SolveControl::to_tolerance(1e-10, 1000);
+
+    svc.submit(1, SolveRequest::new(s1, rhs_vector::<f64>(64, 1), control.clone()))
+        .unwrap();
+    svc.submit(2, SolveRequest::new(s2, rhs_vector::<f64>(144, 2), control.clone()))
+        .unwrap();
+    svc.submit(2, SolveRequest::new(s2, rhs_vector::<f64>(144, 3), control.clone()))
+        .unwrap();
+    // A rejection counts as neither hit nor miss.
+    let mut hopeless = SolveRequest::new(s1, rhs_vector::<f64>(64, 4), control);
+    hopeless.deadline = Some(Instant::now());
+    assert!(svc.submit(1, hopeless).is_err());
+
+    svc.run_until_idle();
+    let metrics = svc.metrics();
+    let (hits, misses) = metrics
+        .values()
+        .fold((0, 0), |(h, m), t| (h + t.catalogue_hits, m + t.catalogue_misses));
+    assert_eq!(hits + misses, 3, "hits + misses must equal admitted jobs");
+    assert_eq!(metrics[&1].catalogue_hits, 1);
+    assert_eq!(metrics[&1].catalogue_misses, 0);
+    assert_eq!(metrics[&2].catalogue_misses, 2);
+    let snap = svc.runtime().metrics();
+    assert_eq!(snap.catalogue_hits, hits);
+    assert_eq!(snap.catalogue_misses, misses);
+    // Completed jobs also feed the prediction-error gauge.
+    assert!(metrics[&1].prediction_error_pct().is_some());
+}
+
+/// With `cost_weights` on, a tenant whose sessions the catalogue says
+/// are cheap gets proportionally more effective weight than one with
+/// expensive sessions at the same base weight.
+#[test]
+fn cost_proportional_weights_order_by_catalogue_cost() {
+    let cat = catalogue();
+    let cheap = Stencil::lap2d(8, 8);
+    let pricey = Stencil::lap2d(12, 12);
+    cat.insert_entry(stencil_key(&cheap, 2), 8, 1.0e-6);
+    cat.insert_entry(stencil_key(&pricey, 2), 8, 1.0e-3);
+    let svc = SolveService::new(ServiceConfig {
+        workers: 2,
+        catalogue: Some(cat),
+        cost_weights: true,
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    svc.register_tenant(2, 1);
+    svc.create_session(1, SessionSpec::stencil(cheap, 2, SolverKind::Cg));
+    svc.create_session(2, SessionSpec::stencil(pricey, 2, SolverKind::Cg));
+    let w_cheap = svc.effective_weight(1).unwrap();
+    let w_pricey = svc.effective_weight(2).unwrap();
+    assert!(
+        w_cheap > w_pricey,
+        "cheap tenant must outweigh expensive one: {w_cheap} vs {w_pricey}"
+    );
+    // The scale factor is clamped to 1/16, so a 1000× cost ratio pins
+    // the expensive tenant at the floor while the cheap one keeps the
+    // full scaled base.
+    assert_eq!(w_cheap, 16);
+    assert_eq!(w_pricey, 1);
+}
+
+/// Warm restart, unsharded: save a service after real work, reopen
+/// the store, and re-run the same request. The replayed residual
+/// history is bit-identical and the restored session starts warm
+/// (plan finalized and trace captured before the first real job).
+#[test]
+fn open_store_warm_starts_with_bit_identical_replay() {
+    let path = tmp("warm_restart_unsharded.kdrstore");
+    let control = SolveControl::to_tolerance(1e-10, 1000);
+    let rhs = rhs_vector::<f64>(256, 9);
+
+    let cold_history;
+    {
+        let svc = SolveService::new(ServiceConfig {
+            workers: 2,
+            catalogue: Some(catalogue()),
+            ..ServiceConfig::default()
+        });
+        svc.register_tenant(7, 3);
+        let sid =
+            svc.create_session(7, SessionSpec::stencil(Stencil::lap2d(16, 16), 4, SolverKind::Cg));
+        let mut req = SolveRequest::new(sid, rhs.clone(), control.clone());
+        req.capture_history = true;
+        svc.submit(7, req).unwrap();
+        svc.run_until_idle();
+        let r = &svc.take_responses()[0];
+        assert!(r.outcome.is_converged());
+        assert!(!r.warm, "first job on a fresh service is cold");
+        cold_history = history_bits(&r.residual_history);
+        assert!(!cold_history.is_empty());
+        svc.save_store(&path).unwrap();
+        // Restored session ids continue where the saved service left
+        // off: sid was persisted, so the reopened service must not
+        // reuse it.
+        assert_eq!(sid, 0);
+    }
+
+    let svc = SolveService::open_store(
+        &path,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut req = SolveRequest::new(0, rhs, control);
+    req.capture_history = true;
+    svc.submit(7, req).unwrap();
+    svc.run_until_idle();
+    let r = &svc.take_responses()[0];
+    assert!(r.outcome.is_converged());
+    assert!(r.warm, "restored session must start warm");
+    assert_eq!(
+        history_bits(&r.residual_history),
+        cold_history,
+        "replay across a save/open cycle must be bit-identical"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Warm restart, sharded: a two-shard fleet with one stencil and one
+/// assembled session round-trips through one store file; consistent
+/// hashing puts tenants back on their shards, and both tenants replay
+/// bit-identically from warm sessions.
+#[test]
+fn sharded_open_store_replays_bit_identically() {
+    let path = tmp("warm_restart_sharded.kdrstore");
+    let control = SolveControl::to_tolerance(1e-10, 1000);
+    let assembled = || -> SessionSpec {
+        let s = Stencil::lap2d(12, 12);
+        let m: Arc<dyn SparseMatrix<f64>> = Arc::new(s.to_csr::<f64, u64>());
+        SessionSpec {
+            matrix: m,
+            unknowns: s.unknowns(),
+            pieces: 3,
+            solver: SolverKind::BiCgStab,
+            stencil: None,
+        }
+    };
+    let cfg = || ShardConfig {
+        shards: 2,
+        base: ServiceConfig {
+            workers: 2,
+            catalogue: Some(catalogue()),
+            ..ServiceConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+
+    let mut cold = Vec::new();
+    let placements;
+    {
+        let fleet = ShardedService::new(cfg());
+        fleet.register_tenant(1, 1);
+        fleet.register_tenant(2, 2);
+        let s1 = fleet
+            .create_session(1, SessionSpec::stencil(Stencil::lap2d(16, 16), 4, SolverKind::Cg))
+            .unwrap();
+        let s2 = fleet.create_session(2, assembled()).unwrap();
+        for (tenant, sid, n, seed) in [(1, s1, 256, 5), (2, s2, 144, 6)] {
+            let mut req =
+                SolveRequest::new(sid, rhs_vector::<f64>(n, seed), control.clone());
+            req.capture_history = true;
+            fleet.submit(tenant, req).unwrap();
+        }
+        fleet.run_until_idle();
+        let mut rs = fleet.take_responses();
+        rs.sort_by_key(|r| r.tenant);
+        assert_eq!(rs.len(), 2);
+        for r in &rs {
+            assert!(r.outcome.is_converged());
+            cold.push((r.session, history_bits(&r.residual_history)));
+        }
+        placements = (fleet.shard_of(1), fleet.shard_of(2));
+        fleet.save_store(&path).unwrap();
+    }
+
+    let fleet = ShardedService::open_store(&path, cfg()).unwrap();
+    assert_eq!((fleet.shard_of(1), fleet.shard_of(2)), placements);
+    for (tenant, &(sid, _)) in [1u32, 2].iter().zip(cold.iter()) {
+        let n = if *tenant == 1 { 256 } else { 144 };
+        let seed = if *tenant == 1 { 5 } else { 6 };
+        let mut req = SolveRequest::new(sid, rhs_vector::<f64>(n, seed), control.clone());
+        req.capture_history = true;
+        fleet.submit(*tenant, req).unwrap();
+    }
+    fleet.run_until_idle();
+    let mut rs = fleet.take_responses();
+    rs.sort_by_key(|r| r.tenant);
+    assert_eq!(rs.len(), 2);
+    for (r, (sid, history)) in rs.iter().zip(cold.iter()) {
+        assert_eq!(r.session, *sid);
+        assert!(r.warm, "restored sharded session must start warm");
+        assert_eq!(
+            &history_bits(&r.residual_history),
+            history,
+            "sharded replay across a save/open cycle must be bit-identical"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Corrupted and truncated store files surface as typed errors from
+/// the service-level open paths — never a panic, never a partial
+/// service.
+#[test]
+fn corrupted_stores_are_typed_errors_at_the_service_level() {
+    let path = tmp("corrupt.kdrstore");
+    // A valid store, then flip a payload byte.
+    let svc = SolveService::new(ServiceConfig {
+        catalogue: Some(catalogue()),
+        ..ServiceConfig::default()
+    });
+    svc.register_tenant(1, 1);
+    svc.create_session(1, SessionSpec::stencil(Stencil::lap2d(8, 8), 2, SolverKind::Cg));
+    svc.save_store(&path).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        SolveService::open_store(&path, ServiceConfig::default()),
+        Err(StoreError::ChecksumMismatch { .. } | StoreError::Malformed { .. })
+    ));
+
+    // Truncation at every prefix length stays a typed error too.
+    let good = {
+        bytes[mid] ^= 0xff;
+        bytes
+    };
+    for cut in [0, 1, good.len() / 3, good.len() - 1] {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(
+            SolveService::open_store(&path, ServiceConfig::default()).is_err(),
+            "truncation at {cut} must not open"
+        );
+        assert!(ShardedService::open_store(&path, ShardConfig::default()).is_err());
+    }
+    std::fs::remove_file(&path).unwrap();
+}

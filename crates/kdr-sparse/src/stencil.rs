@@ -47,6 +47,28 @@ impl StencilKind {
             StencilKind::Lap3D27 => 27,
         }
     }
+
+    /// Stable single-byte wire code, used by the durable store.
+    /// Codes are append-only: existing assignments never change.
+    pub fn code(self) -> u8 {
+        match self {
+            StencilKind::Lap1D3 => 0,
+            StencilKind::Lap2D5 => 1,
+            StencilKind::Lap3D7 => 2,
+            StencilKind::Lap3D27 => 3,
+        }
+    }
+
+    /// Inverse of [`StencilKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => StencilKind::Lap1D3,
+            1 => StencilKind::Lap2D5,
+            2 => StencilKind::Lap3D7,
+            3 => StencilKind::Lap3D27,
+            _ => return None,
+        })
+    }
 }
 
 /// A stencil problem: a kind plus grid dimensions. Unused dimensions

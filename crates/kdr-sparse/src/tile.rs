@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use crate::scalar::Scalar;
 
 /// The kernel family a tile can be lowered into.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub enum KernelKind {
     /// Row-sorted compressed sparse rows; handles any structure
     /// (including duplicate coordinates) and is the reference for the
@@ -80,6 +80,31 @@ impl KernelKind {
         KernelKind::Ell,
         KernelKind::Csr,
     ];
+
+    /// Stable single-byte wire code, used by the durable store.
+    /// Codes are append-only: existing assignments never change.
+    pub fn code(self) -> u8 {
+        match self {
+            KernelKind::Csr => 0,
+            KernelKind::Dia => 1,
+            KernelKind::Ell => 2,
+            KernelKind::Bcsr => 3,
+            KernelKind::Stencil => 4,
+        }
+    }
+
+    /// Inverse of [`KernelKind::code`]; `None` for unknown codes
+    /// (a store written by a future version).
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => KernelKind::Csr,
+            1 => KernelKind::Dia,
+            2 => KernelKind::Ell,
+            3 => KernelKind::Bcsr,
+            4 => KernelKind::Stencil,
+            _ => return None,
+        })
+    }
 }
 
 /// How a tile chooses its kernel at lowering time.
@@ -328,6 +353,115 @@ impl TileStructure {
         }
         KernelKind::Csr
     }
+
+    /// Coarse structural signature for cost-catalogue lookup; see
+    /// [`StructureKey`].
+    pub fn key(&self) -> StructureKey {
+        StructureKey {
+            nnz_log2: log2_bucket(self.nnz as u64),
+            diag_log2: log2_bucket(self.diag_count as u64),
+            row_var_bucket: variance_bucket(self.row_len_variance),
+            dense_block: self.dense_block.unwrap_or(0) as u8,
+            stencil: 0,
+        }
+    }
+}
+
+/// `floor(log2(n)) + 1`, with 0 reserved for `n == 0` — buckets a
+/// count into ~64 exponentially-spaced bins so structurally similar
+/// tiles share catalogue entries.
+fn log2_bucket(n: u64) -> u8 {
+    (64 - n.leading_zeros()) as u8
+}
+
+/// Buckets row-length variance into {0: uniform, 1: mild (< 1),
+/// 2: moderate (< 16), 3: wild}.
+fn variance_bucket(var: f64) -> u8 {
+    if var == 0.0 {
+        0
+    } else if var < 1.0 {
+        1
+    } else if var < 16.0 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Coarse, bucketed signature of an operator tile's structure — the
+/// catalogue key half contributed by kdr-sparse. Two tiles with the
+/// same key are expected to have similar per-apply cost for a given
+/// kernel kind, so observations generalize across tiles and sessions.
+///
+/// Buckets are deliberately coarse (log2 counts, a four-way variance
+/// class) to keep the catalogue small and its hit rate high; exact
+/// costs are refined online per key. `stencil` is the
+/// [`crate::stencil::StencilKind`] wire code plus one for
+/// matrix-free registrations and 0 for assembled tiles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StructureKey {
+    /// log2 bucket of the stored entry count.
+    pub nnz_log2: u8,
+    /// log2 bucket of the distinct-diagonal count.
+    pub diag_log2: u8,
+    /// Row-length-variance class (0 uniform … 3 wild).
+    pub row_var_bucket: u8,
+    /// Dense-block edge (8/4/2) or 0 when not block-structured.
+    pub dense_block: u8,
+    /// Stencil-kind code + 1 for matrix-free tiles; 0 for assembled.
+    pub stencil: u8,
+}
+
+impl StructureKey {
+    /// Key for a matrix-free stencil tile: `points` is the stencil's
+    /// points-per-row (3/5/7/27), `rows` the tile's row count, and
+    /// `stencil_code` the [`crate::stencil::StencilKind`] wire code.
+    pub fn for_stencil(stencil_code: u8, points: usize, rows: u64) -> Self {
+        StructureKey {
+            nnz_log2: log2_bucket(rows.saturating_mul(points as u64)),
+            diag_log2: log2_bucket(points as u64),
+            row_var_bucket: 0,
+            dense_block: 0,
+            stencil: stencil_code + 1,
+        }
+    }
+
+    /// Fixed-width byte encoding for the durable store.
+    pub fn to_bytes(self) -> [u8; 5] {
+        [
+            self.nnz_log2,
+            self.diag_log2,
+            self.row_var_bucket,
+            self.dense_block,
+            self.stencil,
+        ]
+    }
+
+    /// Inverse of [`StructureKey::to_bytes`].
+    pub fn from_bytes(b: [u8; 5]) -> Self {
+        StructureKey {
+            nnz_log2: b[0],
+            diag_log2: b[1],
+            row_var_bucket: b[2],
+            dense_block: b[3],
+            stencil: b[4],
+        }
+    }
+}
+
+/// Cost-model hook consulted during [`KernelChoice::Auto`] lowering.
+///
+/// An advisor sees the tile's full structure summary and the piece
+/// count of the surrounding partition and may override the built-in
+/// heuristic's kernel choice. Returning `None` (or an unrepresentable
+/// kind — lowering still falls back to CSR per the bitwise contract)
+/// defers to [`TileStructure::select`]. Implementations must be
+/// deterministic for a fixed internal state: the planner relies on
+/// identical advice for identical tiles within one lowering pass.
+pub trait KernelAdvisor: Send + Sync {
+    /// Advise a kernel kind for a tile with this structure, or `None`
+    /// to defer to the structure heuristic.
+    fn advise(&self, structure: &TileStructure, pieces: usize) -> Option<KernelKind>;
 }
 
 /// Row-sorted CSR payload (the reference kernel). `row_ids` lists
@@ -440,6 +574,24 @@ impl<T: Scalar> TileKernel<T> {
     /// representable (falling back to CSR otherwise, so forcing can
     /// never change results or lose entries).
     pub fn lower(rows: &[u64], cols: &[u64], vals: &[T], choice: KernelChoice) -> Self {
+        Self::lower_advised(rows, cols, vals, choice, 1, None)
+    }
+
+    /// [`TileKernel::lower`] with a cost-model hook: under
+    /// [`KernelChoice::Auto`], a [`KernelAdvisor`] may override the
+    /// structure heuristic (`pieces` is the partition's piece count,
+    /// part of the advisor's cost key). Advice of `Stencil` is
+    /// ignored — assembled triplets are never reinterpreted — and any
+    /// unrepresentable advice falls back to CSR exactly like a
+    /// forced kind, so advice can never change results.
+    pub fn lower_advised(
+        rows: &[u64],
+        cols: &[u64],
+        vals: &[T],
+        choice: KernelChoice,
+        pieces: usize,
+        advisor: Option<&dyn KernelAdvisor>,
+    ) -> Self {
         assert_eq!(rows.len(), cols.len());
         assert_eq!(rows.len(), vals.len());
         if rows.is_empty() {
@@ -447,7 +599,10 @@ impl<T: Scalar> TileKernel<T> {
         }
         let structure = TileStructure::analyze(rows, cols, vals);
         let kind = match choice {
-            KernelChoice::Auto => structure.select(),
+            KernelChoice::Auto => advisor
+                .and_then(|a| a.advise(&structure, pieces))
+                .filter(|&k| k != KernelKind::Stencil)
+                .unwrap_or_else(|| structure.select()),
             KernelChoice::Force(k) => k,
         };
         match kind {

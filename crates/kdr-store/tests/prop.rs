@@ -1,0 +1,203 @@
+//! Property/fuzz tests for the store format: arbitrary bundles
+//! round-trip bitwise; arbitrary truncation and byte flips yield
+//! typed errors (never a panic, never silently-loaded garbage).
+
+use kdr_store::store::{decode, encode};
+use kdr_store::{
+    CatalogueKey, StoreBundle, StoreError, StoreOperator, StoreSession, StoreTenant,
+};
+use kdr_sparse::{KernelKind, StructureKey};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = KernelKind> {
+    (0u8..5).prop_map(|c| KernelKind::from_code(c).unwrap())
+}
+
+fn arb_structure_key() -> impl Strategy<Value = StructureKey> {
+    (0u8..=255u8, 0u8..=255u8, 0u8..4, 0u8..=255u8, 0u8..=255u8).prop_map(
+        |(nnz_log2, diag_log2, row_var_bucket, dense_block, stencil)| StructureKey {
+            nnz_log2,
+            diag_log2,
+            row_var_bucket,
+            dense_block,
+            stencil,
+        },
+    )
+}
+
+/// Arbitrary f64 *bit patterns* — NaNs, infinities, -0.0, subnormals
+/// — to pin the bitwise round-trip, not just value equality.
+fn arb_f64_bits() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+fn arb_catalogue_entry() -> impl Strategy<Value = (CatalogueKey, u64, f64)> {
+    (arb_structure_key(), arb_kernel(), 0u8..=255u8, 0u64..=u64::MAX, arb_f64_bits()).prop_map(
+        |(structure, kernel, pieces_log2, samples, mean)| {
+            (
+                CatalogueKey {
+                    structure,
+                    kernel,
+                    pieces_log2,
+                },
+                samples,
+                mean,
+            )
+        },
+    )
+}
+
+fn arb_operator() -> impl Strategy<Value = StoreOperator> {
+    prop_oneof![
+        (0u8..4, 1u64..256, 1u64..256, 1u64..16).prop_map(|(kind, nx, ny, nz)| {
+            StoreOperator::Stencil { kind, nx, ny, nz }
+        }),
+        (1u64..64, 1u64..64)
+            .prop_flat_map(|(rows, cols)| {
+                (
+                    Just(rows),
+                    Just(cols),
+                    prop::collection::vec((0..rows, 0..cols, arb_f64_bits()), 0..32),
+                )
+            })
+            .prop_map(|(rows, cols, entries)| StoreOperator::Assembled {
+                rows,
+                cols,
+                entries
+            }),
+    ]
+}
+
+fn arb_session() -> impl Strategy<Value = StoreSession> {
+    (
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u8..=255u8,
+            0u64..=u64::MAX,
+        ),
+        (arb_f64_bits(), arb_f64_bits()),
+        // Valid kernel codes only: 0..5 or the Auto sentinel. Unknown
+        // codes are a *decode* error by design, exercised separately.
+        prop_oneof![0u8..5, Just(255u8)],
+        (0u64..=u64::MAX, 0u64..=u64::MAX),
+        arb_operator(),
+    )
+        .prop_map(
+            |(
+                (session, tenant, unknowns, pieces, solver_code, solver_p0),
+                (solver_f0, solver_f1),
+                kernel_code,
+                (jobs_completed, steps_captured),
+                operator,
+            )| StoreSession {
+                session,
+                tenant,
+                unknowns,
+                pieces,
+                solver_code,
+                solver_p0,
+                solver_f0,
+                solver_f1,
+                kernel_code,
+                jobs_completed,
+                steps_captured,
+                operator,
+            },
+        )
+}
+
+fn arb_bundle() -> impl Strategy<Value = StoreBundle> {
+    (
+        prop::collection::vec(arb_catalogue_entry(), 0..12),
+        prop::collection::vec((0u64..=u64::MAX, 0u32..=u32::MAX), 0..8),
+        prop::collection::vec(arb_session(), 0..6),
+    )
+        .prop_map(|(mut catalogue, tenants, sessions)| {
+            // The format rejects duplicate catalogue keys; keep the
+            // first of each.
+            catalogue.sort_by_key(|(k, _, _)| *k);
+            catalogue.dedup_by_key(|(k, _, _)| *k);
+            StoreBundle {
+                catalogue,
+                tenants: tenants
+                    .into_iter()
+                    .map(|(tenant, weight)| StoreTenant { tenant, weight })
+                    .collect(),
+                sessions,
+            }
+        })
+}
+
+/// Equality that respects f64 *bits* (StoreBundle's PartialEq treats
+/// NaN != NaN and -0.0 == 0.0, which is wrong for this check).
+fn bits_equal(a: &StoreBundle, b: &StoreBundle) -> bool {
+    encode(a) == encode(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn round_trip_bitwise(bundle in arb_bundle()) {
+        let bytes = encode(&bundle);
+        let back = decode(&bytes).expect("own encoding must decode");
+        prop_assert!(bits_equal(&bundle, &back), "bundle changed across round-trip");
+        // Idempotence: re-encoding the decoded bundle is byte-identical.
+        prop_assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn truncation_is_typed_error(bundle in arb_bundle(), frac in 0.0f64..1.0) {
+        let bytes = encode(&bundle);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            let r = decode(&bytes[..cut]);
+            prop_assert!(r.is_err(), "truncated store decoded at {cut}/{}", bytes.len());
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_error_or_detected(bundle in arb_bundle(), pos_seed in 0u64..=u64::MAX, bit in 0u8..8) {
+        let bytes = encode(&bundle);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        // Never a panic; and never silently *garbage* — decoding
+        // either fails typed, or (header count shrink edge cases
+        // aside, which trailing-byte checks catch) it cannot succeed,
+        // because every record byte is checksummed and the header is
+        // structurally validated.
+        match decode(&corrupt) {
+            Err(StoreError::Io(_)) => prop_assert!(false, "no i/o involved"),
+            Err(_) => {}
+            Ok(loaded) => {
+                // The only way a flip decodes is if it produced a
+                // different valid encoding of... the same data? Not
+                // possible: re-encoding canonically must reproduce the
+                // corrupted buffer, and the corrupted buffer differs
+                // from the canonical encoding of the original — so if
+                // this Ok is reached the loaded bundle must differ in
+                // exactly the flipped, checksummed byte: impossible.
+                // Assert it never happens.
+                prop_assert!(
+                    false,
+                    "corrupted store decoded successfully (pos {pos}, bit {bit}, {} records)",
+                    loaded.catalogue.len() + loaded.tenants.len() + loaded.sessions.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_rejected(bundle in arb_bundle(), version in 2u32..1000) {
+        let mut bytes = encode(&bundle);
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        match decode(&bytes) {
+            Err(StoreError::UnsupportedVersion { found }) => prop_assert_eq!(found, version),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other),
+        }
+    }
+}

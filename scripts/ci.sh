@@ -29,8 +29,11 @@ cargo test -q --release -p kdr-core --test fault_tolerance
 # specialized kernel and the CSR lowering. `--ci` arms the regression
 # gates: auto-selection within 1% of forced CSR on random_scatter,
 # matrix-free >= 1.5x assembled-auto on the large 3D grid, zero
-# stored operator value bytes for stencil-described registration, and
-# a matrix-free CG residual history bitwise identical to assembled.
+# stored operator value bytes for stencil-described registration, a
+# matrix-free CG residual history bitwise identical to assembled, and
+# the catalogue-advised arm (a cost-catalogue snapshot fed the
+# measured per-kernel latencies) never slower than the structure
+# heuristic beyond noise (<= 1.05x) on any workload.
 cargo run --release -p kdr-bench --bin spmv_kernels -- --ci
 
 # Multi-tenant service leg (dev profile): 16 tenants over one shared
@@ -57,6 +60,19 @@ cargo run -p kdr-bench --bin service_stress -- --ci-sharded
 # the release leg re-runs the same matrix under optimized codegen.
 cargo run -p kdr-bench --bin service_stress -- --ci-chaos
 cargo run --release -p kdr-bench --bin service_stress -- --ci-chaos
+
+# Warm-restart (store) leg: a cold fleet with a fresh cost catalogue
+# runs one batch, persists its durable state (`save_store`), and a
+# second fleet reopens the file (`open_store`) and runs the next
+# batch. Asserts every restored session's first job starts warm,
+# store-warm time-to-first-iteration beats cold by >= 2x (the
+# persisted plans + pinned kernels skip the lowering/analysis
+# prologue), and the reopened fleet's residual histories are bitwise
+# identical to the uninterrupted oracle's — the store round-trip may
+# cost time, never bits. Corrupt/truncated store files are covered by
+# `kdr-store` property tests and `kdr-service` integration tests in
+# the `cargo test` leg above.
+cargo run -p kdr-bench --bin service_stress -- --ci-store
 
 # Fence-minimal Krylov leg: asserts classic CG spends exactly 2
 # reduction stages per iteration, the fused/pipelined variants

@@ -15,7 +15,7 @@
 //! random-input coverage of the original tests while staying fully
 //! self-contained.
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Deterministic xorshift64* generator. Each generated test seeds one
 /// from its own name, so runs are reproducible across processes.
@@ -198,6 +198,20 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let lo = self.start as i128;
                 let span = (self.end as i128 - lo) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = *self.start() as i128;
+                let span = (*self.end() as i128 - lo) as u128 + 1;
+                // span can be 2^128 only for a full i128/u128 range,
+                // which no supported type produces; modulo is safe.
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (lo + off) as $t
             }
